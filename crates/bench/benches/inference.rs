@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for §7 model inference vs ancestral sampling:
+//! how expensive is answering a marginal exactly from the model, compared to
+//! drawing the synthetic sample it would replace?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privbayes::inference::{model_marginal, DEFAULT_CELL_CAP};
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes::sampler::sample_synthetic;
+use privbayes_data::encoding::EncodingKind;
+use privbayes_datasets::adult::adult_sized;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let data = adult_sized(1, 5_000).data;
+    let mut rng = StdRng::seed_from_u64(2);
+    let options = PrivBayesOptions::new(1.0).with_encoding(EncodingKind::Vanilla);
+    let result = PrivBayes::new(options).synthesize(&data, &mut rng).expect("synthesis");
+    let model = result.model;
+    let schema = data.schema();
+
+    let mut group = c.benchmark_group("model_inference");
+    for width in [1usize, 2, 3] {
+        let attrs: Vec<usize> = (0..width).collect();
+        group.bench_with_input(BenchmarkId::new("exact_marginal", width), &attrs, |b, attrs| {
+            b.iter(|| {
+                model_marginal(black_box(&model), schema, attrs, DEFAULT_CELL_CAP).unwrap()
+            });
+        });
+    }
+    group.bench_function("sample_1000_rows", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            sample_synthetic(black_box(&model), schema, 1000, &mut rng).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

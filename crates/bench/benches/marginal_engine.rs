@@ -1,0 +1,46 @@
+//! Criterion benches for the contingency-table engine and the baselines'
+//! inner loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privbayes_baselines::fourier::walsh_hadamard;
+use privbayes_datasets::nltcs;
+use privbayes_marginals::{Axis, ContingencyTable};
+use std::hint::black_box;
+
+fn bench_joint_materialisation(c: &mut Criterion) {
+    let data = nltcs::nltcs_sized(1, 20_000).data;
+    let mut group = c.benchmark_group("joint_materialisation_n20000");
+    for k in [1usize, 3, 5] {
+        let axes: Vec<Axis> = (0..=k).map(Axis::raw).collect();
+        group.throughput(Throughput::Elements(data.n() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &axes, |b, axes| {
+            b.iter(|| ContingencyTable::from_dataset(black_box(&data), axes));
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let data = nltcs::nltcs_sized(2, 5_000).data;
+    let axes: Vec<Axis> = (0..12).map(Axis::raw).collect();
+    let table = ContingencyTable::from_dataset(&data, &axes);
+    c.bench_function("project_12way_to_3way", |b| {
+        b.iter(|| black_box(&table).project(&[0, 5, 11]));
+    });
+}
+
+fn bench_wht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walsh_hadamard");
+    for bits in [8u32, 16] {
+        let cells = 1usize << bits;
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            let mut v: Vec<f64> = (0..cells).map(|i| i as f64).collect();
+            b.iter(|| walsh_hadamard(black_box(&mut v)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joint_materialisation, bench_projection, bench_wht);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the DP primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privbayes_dp::exponential::select_with_scale;
+use privbayes_dp::laplace::sample_laplace;
+use privbayes_dp::stats::{sample_dirichlet_symmetric, sample_gamma};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplace_noise");
+    for cells in [64usize, 4096, 65_536] {
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &cells| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut v = vec![0.0f64; cells];
+            b.iter(|| {
+                for x in &mut v {
+                    *x = sample_laplace(black_box(0.01), &mut rng);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exponential_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exponential_mechanism");
+    for candidates in [100usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scores: Vec<f64> = (0..candidates).map(|_| rng.random::<f64>()).collect();
+        group.throughput(Throughput::Elements(candidates as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(candidates), &scores, |b, s| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| select_with_scale(black_box(s), 0.05, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    c.bench_function("gamma_shape_4", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| sample_gamma(black_box(4.0), 1.0, &mut rng));
+    });
+    c.bench_function("dirichlet_dim_16", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| sample_dirichlet_symmetric(black_box(16), 0.5, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_laplace, bench_exponential_mechanism, bench_samplers);
+criterion_main!(benches);

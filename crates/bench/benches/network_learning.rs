@@ -1,0 +1,49 @@
+//! Criterion benches for GreedyBayes — the paper's dominant cost
+//! (`d·C(d+1,k+1)` candidate joints, §4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privbayes::greedy::{greedy_bayes_adaptive, greedy_bayes_fixed_k, GreedySettings};
+use privbayes::score::ScoreKind;
+use privbayes_datasets::{br2000, nltcs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fixed_k(c: &mut Criterion) {
+    let data = nltcs::nltcs_sized(1, 4000).data;
+    let mut group = c.benchmark_group("greedy_fixed_k_nltcs4000");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        for score in [ScoreKind::MutualInformation, ScoreKind::F, ScoreKind::R] {
+            let id = BenchmarkId::new(format!("{}-k", score.name()), k);
+            group.bench_with_input(id, &k, |b, &k| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let settings = GreedySettings::private(score, 0.3);
+                    greedy_bayes_fixed_k(black_box(&data), k, &settings, &mut rng).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let data = br2000::br2000_sized(2, 4000).data;
+    let mut group = c.benchmark_group("greedy_adaptive_br2000_4000");
+    group.sample_size(10);
+    for (label, use_taxonomy) in [("vanilla", false), ("hierarchical", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let settings = GreedySettings::private(ScoreKind::R, 0.3).with_max_degree(4);
+                greedy_bayes_adaptive(black_box(&data), 4.0, 0.7, use_taxonomy, &settings, &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_k, bench_adaptive);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the three score functions — the empirical
+//! counterpart of Table 4's time-complexity column: `I` and `R` are
+//! O(cells); `F`'s dynamic program scales with n·2ᵏ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privbayes::score::{f_score, mutual_information, r_score};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// A random probability joint over 2×2ᵏ cells on the 1/n grid.
+fn random_joint(k: u32, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells = 2usize << k;
+    let mut counts = vec![0u64; cells];
+    for _ in 0..n {
+        counts[rng.random_range(0..cells)] += 1;
+    }
+    counts.into_iter().map(|c| c as f64 / n as f64).collect()
+}
+
+fn bench_scores(c: &mut Criterion) {
+    let n = 21_574; // NLTCS cardinality
+    let mut group = c.benchmark_group("score_functions");
+    for k in [1u32, 2, 4, 6] {
+        let joint = random_joint(k, n, u64::from(k));
+        group.bench_with_input(BenchmarkId::new("I", k), &joint, |b, j| {
+            b.iter(|| mutual_information(black_box(j), 2));
+        });
+        group.bench_with_input(BenchmarkId::new("R", k), &joint, |b, j| {
+            b.iter(|| r_score(black_box(j), 2));
+        });
+        group.bench_with_input(BenchmarkId::new("F", k), &joint, |b, j| {
+            b.iter(|| f_score(black_box(j), 2, n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_f_scaling_in_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f_score_vs_n");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let joint = random_joint(4, n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &joint, |b, j| {
+            b.iter(|| f_score(black_box(j), 2, n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scores, bench_f_scaling_in_n);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches for distribution learning + ancestral sampling — the
+//! phases that let PrivBayes avoid materialising the full domain (§3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privbayes::conditionals::noisy_conditionals_general;
+use privbayes::greedy::{greedy_bayes_fixed_k, GreedySettings};
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes::sampler::sample_synthetic;
+use privbayes::score::ScoreKind;
+use privbayes_datasets::nltcs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conditionals(c: &mut Criterion) {
+    let data = nltcs::nltcs_sized(1, 8000).data;
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = greedy_bayes_fixed_k(
+        &data,
+        2,
+        &GreedySettings::private(ScoreKind::F, 0.3),
+        &mut rng,
+    )
+    .unwrap();
+    c.bench_function("noisy_conditionals_nltcs8000_k2", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            noisy_conditionals_general(black_box(&data), &net, Some(0.7), &mut rng).unwrap()
+        });
+    });
+}
+
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let data = nltcs::nltcs_sized(3, 8000).data;
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = greedy_bayes_fixed_k(
+        &data,
+        2,
+        &GreedySettings::private(ScoreKind::F, 0.3),
+        &mut rng,
+    )
+    .unwrap();
+    let model = noisy_conditionals_general(&data, &net, Some(0.7), &mut rng).unwrap();
+    let mut group = c.benchmark_group("ancestral_sampling");
+    for rows in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                sample_synthetic(black_box(&model), data.schema(), rows, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = nltcs::nltcs_sized(5, 4000).data;
+    let mut group = c.benchmark_group("pipeline_end_to_end_nltcs4000");
+    group.sample_size(10);
+    for eps in [0.1f64, 1.6] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                PrivBayes::new(PrivBayesOptions::new(eps))
+                    .synthesize(black_box(&data), &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conditionals, bench_sampling_throughput, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation 1: cross-marginal consistency (§3 footnote 1) on vs off.
+//!
+//! Columns are consistency round counts; the paper's PrivBayes corresponds
+//! to `rounds=0`. Expectation: reconciliation averages independent noise on
+//! shared sub-marginals, so a round or two shaves the count error, with
+//! diminishing returns.
+
+use privbayes_bench::ablations::consistency_count_error;
+use privbayes_bench::{mean_over_reps, HarnessConfig, ResultTable};
+use privbayes_datasets::adult::adult_sized;
+use privbayes_datasets::br2000::br2000_sized;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    const ROUNDS: [usize; 3] = [0, 1, 3];
+    for (name, data, alpha) in [
+        ("Adult", adult_sized(11, cfg.scaled(45_222)).data, 2usize),
+        ("BR2000", br2000_sized(12, cfg.scaled(38_000)).data, 2usize),
+    ] {
+        let mut table = ResultTable::new(
+            format!("Abl 1: {name}, Q{alpha} — consistency rounds"),
+            "epsilon",
+            ROUNDS.iter().map(|r| format!("rounds={r}")).collect(),
+        );
+        for eps in cfg.epsilons() {
+            let row: Vec<f64> = ROUNDS
+                .iter()
+                .map(|&rounds| {
+                    mean_over_reps(cfg.reps, 1000 + rounds as u64, |seed| {
+                        consistency_count_error(&data, alpha, eps, rounds, seed)
+                    })
+                })
+                .collect();
+            table.push_row(format!("{eps}"), row);
+        }
+        table.emit(&cfg);
+    }
+}

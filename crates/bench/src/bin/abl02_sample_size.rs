@@ -1,0 +1,42 @@
+//! Ablation 2: synthetic sample size vs exact model inference (§3's
+//! sampling discussion + §7's answer-from-the-model direction).
+//!
+//! Columns sweep the synthetic sample from n/4 to 4n, with the final column
+//! answering every workload marginal exactly from the noisy model (zero
+//! sampling error, identical privacy cost). The gap between `rows=n` and
+//! `exact` is precisely the sampling error the paper's `D* of size n`
+//! convention accepts.
+
+use privbayes_bench::ablations::{inference_count_error, sample_size_count_error};
+use privbayes_bench::{mean_over_reps, HarnessConfig, ResultTable};
+use privbayes_datasets::adult::adult_sized;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    const FACTORS: [(f64, &str); 3] = [(0.25, "rows=n/4"), (1.0, "rows=n"), (4.0, "rows=4n")];
+    let data = adult_sized(21, cfg.scaled(45_222)).data;
+    for alpha in [2usize, 3] {
+        let mut columns: Vec<String> = FACTORS.iter().map(|(_, l)| (*l).into()).collect();
+        columns.push("exact (model)".into());
+        let mut table = ResultTable::new(
+            format!("Abl 2: Adult, Q{alpha} — sample size vs exact inference"),
+            "epsilon",
+            columns,
+        );
+        for eps in cfg.epsilons() {
+            let mut row: Vec<f64> = FACTORS
+                .iter()
+                .map(|&(factor, _)| {
+                    mean_over_reps(cfg.reps, 2000, |seed| {
+                        sample_size_count_error(&data, alpha, eps, factor, seed)
+                    })
+                })
+                .collect();
+            row.push(mean_over_reps(cfg.reps, 2000, |seed| {
+                inference_count_error(&data, alpha, eps, seed)
+            }));
+            table.push_row(format!("{eps}"), row);
+        }
+        table.emit(&cfg);
+    }
+}

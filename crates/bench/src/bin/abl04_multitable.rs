@@ -1,0 +1,45 @@
+//! Ablation 4: the multi-table extension — accuracy vs fan-out cap.
+//!
+//! Group privacy scales the fact-phase noise by the fan-out cap `m`, so the
+//! cross-table joint must degrade as `m` grows at fixed ε (the concluding
+//! remarks' warning made quantitative). The fan-out histogram is learned by
+//! the entity phase at unit sensitivity and should stay comparatively flat.
+
+use privbayes_bench::ablations::{clinic_workload, multitable_errors};
+use privbayes_bench::{mean_over_reps, HarnessConfig, ResultTable};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    const FANOUTS: [usize; 4] = [1, 2, 4, 8];
+    let n_entities = cfg.scaled(20_000);
+
+    let mut joint = ResultTable::new(
+        "Abl 4a: clinic — entity x fact joint TVD vs fan-out cap",
+        "epsilon",
+        FANOUTS.iter().map(|m| format!("m={m}")).collect(),
+    );
+    let mut fanout = ResultTable::new(
+        "Abl 4b: clinic — fan-out histogram TVD vs fan-out cap",
+        "epsilon",
+        FANOUTS.iter().map(|m| format!("m={m}")).collect(),
+    );
+    for eps in cfg.epsilons() {
+        let mut joint_row = Vec::with_capacity(FANOUTS.len());
+        let mut fanout_row = Vec::with_capacity(FANOUTS.len());
+        for &m in &FANOUTS {
+            let data = clinic_workload(n_entities, m, 40 + m as u64);
+            let joint_err = mean_over_reps(cfg.reps, 4000 + m as u64, |seed| {
+                multitable_errors(&data, eps, seed).0
+            });
+            let fanout_err = mean_over_reps(cfg.reps, 5000 + m as u64, |seed| {
+                multitable_errors(&data, eps, seed).1
+            });
+            joint_row.push(joint_err);
+            fanout_row.push(fanout_err);
+        }
+        joint.push_row(format!("{eps}"), joint_row);
+        fanout.push_row(format!("{eps}"), fanout_row);
+    }
+    joint.emit(&cfg);
+    fanout.emit(&cfg);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 4(a–d): score functions I / F / R vs NoPrivacy,
+//! measured by the learned network's sum of mutual information.
+
+use privbayes_bench::figures::{fig04_panel, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for pick in [DatasetPick::Nltcs, DatasetPick::Acs, DatasetPick::Adult, DatasetPick::Br2000] {
+        fig04_panel(&cfg, pick).emit(&cfg);
+    }
+}

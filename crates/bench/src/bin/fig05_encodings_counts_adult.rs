@@ -1,0 +1,11 @@
+//! Regenerates Figure 5(a–b): the four encodings on Adult's Q2/Q3 count task.
+
+use privbayes_bench::figures::{fig_encodings_counts, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for alpha in DatasetPick::Adult.alphas() {
+        fig_encodings_counts(&cfg, DatasetPick::Adult, alpha).emit(&cfg);
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6(a–b): the four encodings on BR2000's Q2/Q3 count task.
+
+use privbayes_bench::figures::{fig_encodings_counts, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for alpha in DatasetPick::Br2000.alphas() {
+        fig_encodings_counts(&cfg, DatasetPick::Br2000, alpha).emit(&cfg);
+    }
+}

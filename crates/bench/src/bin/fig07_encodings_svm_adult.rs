@@ -1,0 +1,11 @@
+//! Regenerates Figure 7(a–d): the four encodings on Adult's SVM tasks.
+
+use privbayes_bench::figures::{fig_encodings_svm, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for t in fig_encodings_svm(&cfg, DatasetPick::Adult) {
+        t.emit(&cfg);
+    }
+}

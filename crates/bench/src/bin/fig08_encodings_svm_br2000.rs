@@ -1,0 +1,11 @@
+//! Regenerates Figure 8(a–d): the four encodings on BR2000's SVM tasks.
+
+use privbayes_bench::figures::{fig_encodings_svm, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for t in fig_encodings_svm(&cfg, DatasetPick::Br2000) {
+        t.emit(&cfg);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 9(a–h): the effect of the budget-split parameter β on
+//! one count task and one SVM task per dataset.
+
+use privbayes_bench::figures::{fig_parameter_sweep, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for pick in [DatasetPick::Nltcs, DatasetPick::Acs, DatasetPick::Adult, DatasetPick::Br2000] {
+        for t in fig_parameter_sweep(&cfg, pick, true) {
+            t.emit(&cfg);
+        }
+    }
+}

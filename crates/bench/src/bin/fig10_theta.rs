@@ -1,0 +1,13 @@
+//! Regenerates Figure 10(a–h): the effect of the θ-usefulness threshold.
+
+use privbayes_bench::figures::{fig_parameter_sweep, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for pick in [DatasetPick::Nltcs, DatasetPick::Acs, DatasetPick::Adult, DatasetPick::Br2000] {
+        for t in fig_parameter_sweep(&cfg, pick, false) {
+            t.emit(&cfg);
+        }
+    }
+}

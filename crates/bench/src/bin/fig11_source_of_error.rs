@@ -1,0 +1,14 @@
+//! Regenerates Figure 11(a–h): PrivBayes vs the BestNetwork / BestMarginal
+//! ablations, isolating the two phases' error contributions.
+
+use privbayes_bench::figures::{fig11_panels, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for pick in [DatasetPick::Nltcs, DatasetPick::Acs, DatasetPick::Adult, DatasetPick::Br2000] {
+        for t in fig11_panels(&cfg, pick) {
+            t.emit(&cfg);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 12: PrivBayes vs the count baselines on Nltcs's α-way
+//! marginal workloads.
+
+use privbayes_bench::figures::{fig_marginals_panel, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for alpha in DatasetPick::Nltcs.alphas() {
+        fig_marginals_panel(&cfg, DatasetPick::Nltcs, alpha).emit(&cfg);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 13: PrivBayes vs the count baselines on Acs's α-way
+//! marginal workloads.
+
+use privbayes_bench::figures::{fig_marginals_panel, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for alpha in DatasetPick::Acs.alphas() {
+        fig_marginals_panel(&cfg, DatasetPick::Acs, alpha).emit(&cfg);
+    }
+}

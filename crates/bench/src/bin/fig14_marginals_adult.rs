@@ -1,0 +1,12 @@
+//! Regenerates Figure 14: PrivBayes vs the count baselines on Adult's α-way
+//! marginal workloads.
+
+use privbayes_bench::figures::{fig_marginals_panel, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for alpha in DatasetPick::Adult.alphas() {
+        fig_marginals_panel(&cfg, DatasetPick::Adult, alpha).emit(&cfg);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 15: PrivBayes vs the count baselines on Br2000's α-way
+//! marginal workloads.
+
+use privbayes_bench::figures::{fig_marginals_panel, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for alpha in DatasetPick::Br2000.alphas() {
+        fig_marginals_panel(&cfg, DatasetPick::Br2000, alpha).emit(&cfg);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 18: PrivBayes vs the classification baselines on Adult's
+//! four SVM targets.
+
+use privbayes_bench::figures::{fig_svm_panels, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for t in fig_svm_panels(&cfg, DatasetPick::Adult) {
+        t.emit(&cfg);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 19: PrivBayes vs the classification baselines on Br2000's
+//! four SVM targets.
+
+use privbayes_bench::figures::{fig_svm_panels, DatasetPick};
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for t in fig_svm_panels(&cfg, DatasetPick::Br2000) {
+        t.emit(&cfg);
+    }
+}

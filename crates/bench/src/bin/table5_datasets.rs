@@ -1,0 +1,9 @@
+//! Regenerates Table 5 (dataset characteristics).
+
+use privbayes_bench::figures::table5;
+use privbayes_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    table5(&cfg).emit(&cfg);
+}

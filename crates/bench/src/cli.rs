@@ -1,0 +1,134 @@
+//! Minimal CLI parsing shared by the figure binaries (no external deps).
+
+use std::path::PathBuf;
+
+/// Harness options common to every figure binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// Repetitions per measured point (paper: 100).
+    pub reps: usize,
+    /// Dataset-size fraction in (0, 1].
+    pub scale: f64,
+    /// Thin the ε grid and reduce reps for a fast smoke run.
+    pub quick: bool,
+    /// Optional CSV output directory.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self { reps: 3, scale: 1.0, quick: false, out_dir: None }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `std::env::args()`-style arguments.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    cfg.quick = true;
+                    cfg.reps = 1;
+                    cfg.scale = cfg.scale.min(0.25);
+                }
+                "--reps" => {
+                    let v = it.next().expect("--reps needs a value");
+                    cfg.reps = v.parse().expect("--reps needs an integer");
+                }
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    cfg.scale = v.parse().expect("--scale needs a float");
+                    assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "--scale must be in (0, 1]");
+                }
+                "--out" => {
+                    let v = it.next().expect("--out needs a directory");
+                    cfg.out_dir = Some(PathBuf::from(v));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --quick | --reps N | --scale F (0,1] | --out DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument `{other}` (try --help)"),
+            }
+        }
+        cfg
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The ε grid for this run (thinned under `--quick`).
+    #[must_use]
+    pub fn epsilons(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.1, 0.4, 1.6]
+        } else {
+            crate::EPSILONS.to_vec()
+        }
+    }
+
+    /// Scales a dataset cardinality.
+    #[must_use]
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale) as usize).max(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessConfig {
+        HarnessConfig::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = parse(&[]);
+        assert_eq!(cfg.reps, 3);
+        assert_eq!(cfg.scale, 1.0);
+        assert!(!cfg.quick);
+        assert_eq!(cfg.epsilons().len(), 6);
+    }
+
+    #[test]
+    fn quick_mode() {
+        let cfg = parse(&["--quick"]);
+        assert!(cfg.quick);
+        assert_eq!(cfg.reps, 1);
+        assert!(cfg.scale <= 0.25);
+        assert_eq!(cfg.epsilons(), vec![0.1, 0.4, 1.6]);
+        assert_eq!(cfg.scaled(40_000), 10_000);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let cfg = parse(&["--reps", "7", "--scale", "0.5", "--out", "/tmp/r"]);
+        assert_eq!(cfg.reps, 7);
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.out_dir, Some(PathBuf::from("/tmp/r")));
+    }
+
+    #[test]
+    fn scaled_has_floor() {
+        let cfg = parse(&["--scale", "0.001"]);
+        assert_eq!(cfg.scaled(10_000), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flags() {
+        let _ = parse(&["--frobnicate"]);
+    }
+}

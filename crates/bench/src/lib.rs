@@ -1,0 +1,80 @@
+//! Experiment harness for the PrivBayes reproduction.
+//!
+//! One binary per figure/table of the paper's evaluation (§6) lives in
+//! `src/bin/`; this library provides the shared machinery: CLI options,
+//! result tables (console + CSV), seeded repetition, and task runners for
+//! the two workload families (α-way marginal counts and multi-SVM
+//! classification).
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — 1 repetition, quarter-size datasets, thinned ε grid;
+//! * `--reps N` — repetitions per point (paper: 100; default here: 3);
+//! * `--scale F` — dataset-size fraction (default 1.0);
+//! * `--out DIR` — also write each table as CSV into DIR.
+
+pub mod ablations;
+pub mod cli;
+pub mod figures;
+pub mod table;
+pub mod tasks;
+
+pub use cli::HarnessConfig;
+pub use table::ResultTable;
+
+/// The paper's ε grid (§6.1).
+pub const EPSILONS: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
+
+/// The β grid of Figure 9.
+pub const BETAS: [f64; 8] = [0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+
+/// The θ grid of Figure 10.
+pub const THETAS: [f64; 8] = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0];
+
+/// Runs `f` for `reps` seeds in parallel and averages the results.
+///
+/// # Panics
+/// Panics if `reps == 0` or a worker panics.
+pub fn mean_over_reps<F>(reps: usize, base_seed: u64, f: F) -> f64
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    assert!(reps > 0, "need at least one repetition");
+    let results = parking_lot::Mutex::new(vec![0.0f64; reps]);
+    crossbeam::thread::scope(|scope| {
+        for r in 0..reps {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let v = f(base_seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                results.lock()[r] = v;
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    let results = results.into_inner();
+    results.iter().sum::<f64>() / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_reps_averages() {
+        // Seeds differ, so feed back a deterministic function of the seed.
+        let v = mean_over_reps(4, 0, |seed| (seed % 7) as f64);
+        let expected: f64 = (0..4u64)
+            .map(|r| (r.wrapping_mul(0x9e37_79b9_7f4a_7c15) % 7) as f64)
+            .sum::<f64>()
+            / 4.0;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grids_match_paper() {
+        assert_eq!(EPSILONS.len(), 6);
+        assert_eq!(BETAS.len(), 8);
+        assert_eq!(THETAS.len(), 8);
+    }
+}

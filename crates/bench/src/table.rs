@@ -1,0 +1,155 @@
+//! Result tables: aligned console output plus optional CSV files, one table
+//! per figure panel.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A labelled table of measured values (rows = sweep points, columns =
+/// methods).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    title: String,
+    row_label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        row_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self { title: title.into(), row_label: row_label.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the value count differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table for the console.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.row_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(6);
+        let col_width = self.columns.iter().map(String::len).max().unwrap_or(8).max(9);
+        let _ = write!(out, "{:>label_width$}", self.row_label);
+        for c in &self.columns {
+            let _ = write!(out, " {c:>col_width$}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:>label_width$}");
+            for v in values {
+                let _ = write!(out, " {v:>col_width$.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV to `dir/<slug>.csv`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let mut csv = String::new();
+        let _ = write!(csv, "{}", self.row_label);
+        for c in &self.columns {
+            let _ = write!(csv, ",{c}");
+        }
+        let _ = writeln!(csv);
+        for (label, values) in &self.rows {
+            let _ = write!(csv, "{label}");
+            for v in values {
+                let _ = write!(csv, ",{v}");
+            }
+            let _ = writeln!(csv);
+        }
+        std::fs::write(dir.join(format!("{slug}.csv")), csv)
+    }
+
+    /// Prints and optionally persists the table per the harness config.
+    pub fn emit(&self, cfg: &crate::HarnessConfig) {
+        self.print();
+        if let Some(dir) = &cfg.out_dir {
+            if let Err(e) = self.write_csv(dir) {
+                eprintln!("warning: could not write CSV for `{}`: {e}", self.title);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new(
+            "Fig 12(a): NLTCS, Q3",
+            "epsilon",
+            vec!["PrivBayes".into(), "Laplace".into()],
+        );
+        t.push_row("0.05", vec![0.12, 0.55]);
+        t.push_row("1.6", vec![0.03, 0.07]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Fig 12(a)"));
+        assert!(s.contains("PrivBayes"));
+        assert!(s.contains("0.1200"));
+        assert!(s.contains("1.6"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("privbayes_table_test");
+        sample().write_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig_12_a___nltcs__q3.csv")).unwrap();
+        assert!(text.starts_with("epsilon,PrivBayes,Laplace\n"));
+        assert!(text.contains("0.05,0.12,0.55"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = sample();
+        t.push_row("x", vec![1.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Flag parsing: `command --key value … [--switch …]`, no external deps.
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+use crate::error::CliError;
+
+/// Parsed command line: one subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["help"];
+
+impl ParsedArgs {
+    /// Parses `args` (without the binary name).
+    ///
+    /// # Errors
+    /// Returns [`CliError::Usage`] for a missing command, a flag without a
+    /// value, a repeated flag, or a stray positional argument.
+    pub fn parse<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut it = args.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| CliError::Usage("missing command (try `help`)".into()))?;
+        if let Some(stripped) = command.strip_prefix("--") {
+            // `--help` with no command is accepted for discoverability.
+            if stripped == "help" || stripped == "h" {
+                return Ok(Self { command: "help".into(), flags: BTreeMap::new() });
+            }
+            return Err(CliError::Usage(format!("expected a command, got flag `{command}`")));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected a flag, got `{arg}`")))?
+                .to_string();
+            let value = if SWITCHES.contains(&key.as_str()) {
+                String::new()
+            } else {
+                it.next().ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?
+            };
+            if flags.insert(key.clone(), value).is_some() {
+                return Err(CliError::Usage(format!("--{key} given twice")));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// The subcommand.
+    #[must_use]
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Whether `--help` was given.
+    #[must_use]
+    pub fn wants_help(&self) -> bool {
+        self.flags.contains_key("help")
+    }
+
+    /// A required flag's raw value.
+    ///
+    /// # Errors
+    /// Returns [`CliError::Usage`] if the flag is missing.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+
+    /// An optional flag's raw value.
+    #[must_use]
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Parses an optional flag, falling back to `default`.
+    ///
+    /// # Errors
+    /// Returns [`CliError::Usage`] if the flag is present but unparsable.
+    pub fn parse_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// Parses an optional flag into `Option<T>`.
+    ///
+    /// # Errors
+    /// Returns [`CliError::Usage`] if the flag is present but unparsable.
+    pub fn parse_opt<T: FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// Rejects flags outside `known` so typos fail fast.
+    ///
+    /// # Errors
+    /// Returns [`CliError::Usage`] naming the first unknown flag.
+    pub fn expect_only(&self, known: &[&str]) -> Result<(), CliError> {
+        for key in self.flags.keys() {
+            if key != "help" && !known.contains(&key.as_str()) {
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{key} for `{}`",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, CliError> {
+        ParsedArgs::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["fit", "--epsilon", "1.0", "--data", "d.csv"]).unwrap();
+        assert_eq!(a.command(), "fit");
+        assert_eq!(a.required("epsilon").unwrap(), "1.0");
+        assert_eq!(a.optional("data"), Some("d.csv"));
+        assert_eq!(a.optional("missing"), None);
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let a = parse(&["fit", "--epsilon", "0.5", "--seed", "7"]).unwrap();
+        assert_eq!(a.parse_or("epsilon", 1.0).unwrap(), 0.5);
+        assert_eq!(a.parse_or("beta", 0.3).unwrap(), 0.3);
+        assert_eq!(a.parse_opt::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(a.parse_opt::<u64>("rows").unwrap(), None);
+        assert!(a.parse_or("epsilon", 0u32).is_err(), "0.5 is not a u32");
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["fit", "--epsilon"]).is_err(), "flag without value");
+        assert!(parse(&["fit", "stray"]).is_err(), "positional after command");
+        assert!(parse(&["fit", "--a", "1", "--a", "2"]).is_err(), "duplicate flag");
+        assert!(parse(&["--frobnicate"]).is_err(), "flag as command");
+    }
+
+    #[test]
+    fn help_forms() {
+        assert_eq!(parse(&["--help"]).unwrap().command(), "help");
+        assert!(parse(&["fit", "--help"]).unwrap().wants_help());
+    }
+
+    #[test]
+    fn expect_only_rejects_typos() {
+        let a = parse(&["fit", "--epsilom", "1.0"]).unwrap();
+        let e = a.expect_only(&["epsilon"]).unwrap_err();
+        assert!(e.to_string().contains("epsilom"));
+        let a = parse(&["fit", "--epsilon", "1.0", "--help"]).unwrap();
+        assert!(a.expect_only(&["epsilon"]).is_ok(), "--help is always allowed");
+    }
+}

@@ -1,0 +1,530 @@
+//! The four subcommands: `fit`, `synth`, `eval`, `inspect`.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::Path;
+
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_data::csv::{read_csv, write_csv};
+use privbayes_data::encoding::EncodingKind;
+use privbayes_data::{Dataset, Schema};
+use privbayes_marginals::average_workload_tvd;
+use privbayes_model::{
+    schema_from_json, Json, ModelMetadata, ReleasedModel, ReleasedRelationalModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+
+/// Top-level usage text (the `help` command and `--help`).
+pub const USAGE: &str = "\
+privbayes-cli — differentially private synthetic data via Bayesian networks
+
+commands:
+  fit      --data D.csv --schema S.json --epsilon F --out MODEL.json
+           [--beta F=0.3] [--theta F=4] [--encoding vanilla|hierarchical]
+           [--consistency N=0] [--seed N] [--comment TEXT]
+           Fit a private model on a CSV table and write the release artifact.
+
+  synth    --model MODEL.json --out D.csv [--rows N] [--seed N]
+           Sample a synthetic CSV from a released model (no privacy cost).
+
+  synth-relational
+           --model MODEL.json --entities N --out-entities E.csv
+           --out-facts F.csv [--seed N]
+           Regenerate a two-table database from a relational release artifact
+           (privbayes-relational-model/1). The facts CSV gets a leading
+           `owner` column holding the 0-based entity row index.
+
+  eval     --schema S.json --truth A.csv --synthetic B.csv [--alpha N=2]
+           Report average total-variation distance of all 1..=alpha-way
+           marginals between two tables.
+
+  inspect  --model MODEL.json
+           Print a released model's provenance and network structure
+           (handles both single-table and relational artifacts).
+
+The schema file is a JSON array of attributes, e.g.
+  [{\"name\": \"age\", \"kind\": \"continuous\", \"min\": 0, \"max\": 90, \"bins\": 16},
+   {\"name\": \"smoker\", \"kind\": \"binary\"},
+   {\"name\": \"work\", \"kind\": \"categorical\", \"size\": 4,
+    \"labels\": [\"gov\", \"private\", \"self\", \"none\"]}]
+";
+
+/// Runs a full command line (without the binary name) and returns the text
+/// to print on success.
+///
+/// # Errors
+/// Returns [`CliError`] on usage errors, I/O failures, and invalid inputs.
+pub fn run<I>(args: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let parsed = ParsedArgs::parse(args)?;
+    if parsed.wants_help() || parsed.command() == "help" {
+        return Ok(USAGE.to_string());
+    }
+    match parsed.command() {
+        "fit" => fit(&parsed),
+        "synth" => synth(&parsed),
+        "synth-relational" => synth_relational(&parsed),
+        "eval" => eval(&parsed),
+        "inspect" => inspect(&parsed),
+        other => Err(CliError::Usage(format!("unknown command `{other}` (try `help`)"))),
+    }
+}
+
+fn fit(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[
+        "data", "schema", "out", "epsilon", "beta", "theta", "encoding", "consistency", "seed",
+        "comment",
+    ])?;
+    // Validate flags before touching the filesystem, so usage mistakes are
+    // reported even when paths are also wrong.
+    let out = args.required("out")?;
+    let epsilon: f64 = args
+        .required("epsilon")?
+        .parse()
+        .map_err(|_| CliError::Usage("--epsilon: expected a number".into()))?;
+    let encoding = match args.optional("encoding").unwrap_or("vanilla") {
+        "vanilla" => EncodingKind::Vanilla,
+        "hierarchical" => EncodingKind::Hierarchical,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--encoding `{other}` is not supported here; the release artifact needs the \
+                 model over the original schema, so choose `vanilla` or `hierarchical`"
+            )))
+        }
+    };
+    let schema = load_schema(args.required("schema")?)?;
+    let data = load_csv(&schema, args.required("data")?)?;
+    let options = PrivBayesOptions::new(epsilon)
+        .with_beta(args.parse_or("beta", 0.3)?)
+        .with_theta(args.parse_or("theta", 4.0)?)
+        .with_encoding(encoding)
+        .with_consistency_rounds(args.parse_or("consistency", 0usize)?);
+
+    let mut rng = make_rng(args.parse_opt("seed")?);
+    let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng)?;
+    let artifact = ReleasedModel::new(
+        ModelMetadata {
+            epsilon,
+            beta: options.beta,
+            theta: options.theta,
+            score: options.effective_score().name().to_string(),
+            encoding: options.encoding.name().to_string(),
+            source_rows: data.n(),
+            comment: args.optional("comment").unwrap_or_default().to_string(),
+        },
+        data.schema().clone(),
+        result.model,
+    )?;
+    artifact.save(out).map_err(|e| CliError::Io { path: out.into(), message: e.to_string() })?;
+
+    Ok(format!(
+        "fitted {}-attribute model on {} rows (ε = {epsilon}, degree {})\n{}\nwrote {out}",
+        data.d(),
+        data.n(),
+        result.degree,
+        result.network.describe(data.schema()),
+    ))
+}
+
+fn synth(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["model", "out", "rows", "seed"])?;
+    let model_path = args.required("model")?;
+    let out = args.required("out")?;
+    let artifact = ReleasedModel::load(model_path)
+        .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+    let rows = args.parse_or("rows", artifact.metadata.source_rows)?;
+    if rows == 0 {
+        return Err(CliError::Usage("--rows must be at least 1".into()));
+    }
+    let mut rng = make_rng(args.parse_opt("seed")?);
+    let synthetic = artifact.sample(rows, &mut rng)?;
+    save_csv(&synthetic, out)?;
+    Ok(format!("sampled {rows} rows from {model_path}\nwrote {out}"))
+}
+
+fn synth_relational(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["model", "entities", "out-entities", "out-facts", "seed"])?;
+    let model_path = args.required("model")?;
+    let out_entities = args.required("out-entities")?;
+    let out_facts = args.required("out-facts")?;
+    let artifact = ReleasedRelationalModel::load(model_path)
+        .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+    let n_entities = args.parse_or("entities", artifact.metadata.source_entities)?;
+    if n_entities == 0 {
+        return Err(CliError::Usage("--entities must be at least 1".into()));
+    }
+    let mut rng = make_rng(args.parse_opt("seed")?);
+    let synthetic = artifact.synthesize(n_entities, &mut rng)?;
+    save_csv(synthetic.entities(), out_entities)?;
+
+    // The fact table gets a leading `owner` column (the 0-based entity row).
+    let mut fact_csv = Vec::new();
+    write_csv(synthetic.facts(), &mut fact_csv)
+        .map_err(|e| CliError::Invalid(format!("{out_facts}: {e}")))?;
+    let fact_text = String::from_utf8(fact_csv).expect("CSV writer emits UTF-8");
+    let mut lines = fact_text.lines();
+    let header = lines.next().unwrap_or_default();
+    let mut out = format!("owner,{header}\n");
+    for (line, &owner) in lines.zip(synthetic.fact_owner()) {
+        out.push_str(&format!("{owner},{line}\n"));
+    }
+    fs::write(out_facts, out)
+        .map_err(|e| CliError::Io { path: out_facts.into(), message: e.to_string() })?;
+
+    Ok(format!(
+        "synthesised {} entities and {} facts from {model_path}\nwrote {out_entities} and {out_facts}",
+        synthetic.n_entities(),
+        synthetic.n_facts(),
+    ))
+}
+
+fn eval(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["schema", "truth", "synthetic", "alpha"])?;
+    let schema = load_schema(args.required("schema")?)?;
+    let truth = load_csv(&schema, args.required("truth")?)?;
+    let synthetic = load_csv(&schema, args.required("synthetic")?)?;
+    let alpha: usize = args.parse_or("alpha", 2)?;
+    if alpha == 0 || alpha > schema.len() {
+        return Err(CliError::Usage(format!(
+            "--alpha must lie in 1..={} for this schema",
+            schema.len()
+        )));
+    }
+    let mut out = String::from("alpha,avg_total_variation\n");
+    for a in 1..=alpha {
+        let tvd = average_workload_tvd(&truth, &synthetic, a);
+        out.push_str(&format!("{a},{tvd:.6}\n"));
+    }
+    Ok(out)
+}
+
+fn inspect(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["model"])?;
+    let model_path = args.required("model")?;
+    let text = fs::read_to_string(model_path)
+        .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+    // Dispatch on the declared format.
+    let format = Json::parse(&text)
+        .map_err(|e| CliError::Invalid(format!("{model_path}: {e}")))?
+        .get("format")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| CliError::Invalid(format!("{model_path}: missing `format` field")))?;
+    if format == privbayes_model::RELATIONAL_FORMAT {
+        return inspect_relational(&text);
+    }
+    let artifact = ReleasedModel::from_json_string(&text)
+        .map_err(|e| CliError::Invalid(format!("{model_path}: {e}")))?;
+    let meta = &artifact.metadata;
+    let degree = artifact
+        .model
+        .network
+        .pairs()
+        .iter()
+        .map(|p| p.parents.len())
+        .max()
+        .unwrap_or(0);
+    Ok(format!(
+        "format:    {}\nepsilon:   {}\nbeta:      {}\ntheta:     {}\nscore:     {}\n\
+         encoding:  {}\nsource:    {} rows\ncomment:   {}\nattributes: {}\ndegree:    {degree}\n\
+         network:\n{}",
+        privbayes_model::FORMAT,
+        meta.epsilon,
+        meta.beta,
+        meta.theta,
+        meta.score,
+        meta.encoding,
+        meta.source_rows,
+        if meta.comment.is_empty() { "(none)" } else { &meta.comment },
+        artifact.schema.len(),
+        artifact.model.network.describe(&artifact.schema),
+    ))
+}
+
+fn inspect_relational(text: &str) -> Result<String, CliError> {
+    let artifact = ReleasedRelationalModel::from_json_string(text)?;
+    let meta = &artifact.metadata;
+    Ok(format!(
+        "format:         {}\nepsilon:        {} (entity {} + fact {})\nfan-out cap:    {}\n\
+         source:         {} entities, {} facts\ncomment:        {}\n\
+         entity network (over the flattened per-individual view):\n{}\n\
+         fact network (entity attributes are evidence roots):\n{}",
+        privbayes_model::RELATIONAL_FORMAT,
+        meta.epsilon_entity + meta.epsilon_fact,
+        meta.epsilon_entity,
+        meta.epsilon_fact,
+        artifact.schema.max_fanout(),
+        meta.source_entities,
+        meta.source_facts,
+        if meta.comment.is_empty() { "(none)" } else { &meta.comment },
+        artifact.entity_model.network.describe(artifact.schema.flattened()),
+        artifact.fact_model.network().describe(artifact.schema.fact_view()),
+    ))
+}
+
+fn make_rng(seed: Option<u64>) -> StdRng {
+    match seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::try_from_rng(&mut rand::rngs::SysRng)
+            .expect("operating-system entropy source unavailable"),
+    }
+}
+
+fn load_schema(path: &str) -> Result<Schema, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Io { path: path.into(), message: e.to_string() })?;
+    let json = Json::parse(&text)
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    schema_from_json(&json).map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+}
+
+fn load_csv(schema: &Schema, path: &str) -> Result<Dataset, CliError> {
+    let file = fs::File::open(path)
+        .map_err(|e| CliError::Io { path: path.into(), message: e.to_string() })?;
+    read_csv(schema, BufReader::new(file))
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+}
+
+fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), CliError> {
+    let path = path.as_ref();
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf)
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
+    fs::write(path, buf)
+        .map_err(|e| CliError::Io { path: path.display().to_string(), message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use std::path::PathBuf;
+
+    /// A unique temp dir per test.
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("privbayes-cli-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        run(args.iter().map(ToString::to_string))
+    }
+
+    const SCHEMA_JSON: &str = r#"[
+        {"name": "smoker", "kind": "binary"},
+        {"name": "region", "kind": "categorical", "size": 3,
+         "labels": ["north", "south", "west"]},
+        {"name": "age", "kind": "continuous", "min": 0, "max": 80, "bins": 8}
+    ]"#;
+
+    fn write_fixture_data(dir: &Path) -> (String, String) {
+        let schema_path = dir.join("schema.json");
+        fs::write(&schema_path, SCHEMA_JSON).unwrap();
+        let schema = load_schema(schema_path.to_str().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<u32>> = (0..400)
+            .map(|_| {
+                let s = rng.random_range(0..2u32);
+                let r = (s + rng.random_range(0..2u32)) % 3;
+                let a = s * 4 + rng.random_range(0..4u32);
+                vec![s, r, a]
+            })
+            .collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let data_path = dir.join("data.csv");
+        save_csv(&data, &data_path).unwrap();
+        (
+            schema_path.to_str().unwrap().to_string(),
+            data_path.to_str().unwrap().to_string(),
+        )
+    }
+
+    #[test]
+    fn full_fit_synth_eval_inspect_workflow() {
+        let dir = temp_dir("workflow");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        let synth_path = dir.join("synth.csv").to_str().unwrap().to_string();
+
+        let out = run_cli(&[
+            "fit", "--data", &data_path, "--schema", &schema_path, "--epsilon", "2.0",
+            "--seed", "1", "--out", &model_path, "--comment", "workflow test",
+        ])
+        .unwrap();
+        assert!(out.contains("fitted 3-attribute model on 400 rows"), "{out}");
+
+        let out = run_cli(&[
+            "synth", "--model", &model_path, "--rows", "200", "--seed", "2", "--out",
+            &synth_path,
+        ])
+        .unwrap();
+        assert!(out.contains("sampled 200 rows"), "{out}");
+
+        let out = run_cli(&[
+            "eval", "--schema", &schema_path, "--truth", &data_path, "--synthetic",
+            &synth_path, "--alpha", "2",
+        ])
+        .unwrap();
+        assert!(out.starts_with("alpha,avg_total_variation"), "{out}");
+        let lines: Vec<&str> = out.trim().lines().collect();
+        assert_eq!(lines.len(), 3, "header + alpha 1 and 2: {out}");
+        let tvd: f64 = lines[2].split(',').nth(1).unwrap().parse().unwrap();
+        assert!((0.0..=1.0).contains(&tvd));
+
+        let out = run_cli(&["inspect", "--model", &model_path]).unwrap();
+        assert!(out.contains("epsilon:   2"), "{out}");
+        assert!(out.contains("workflow test"), "{out}");
+        assert!(out.contains("smoker"), "network must mention attributes: {out}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn synth_defaults_to_source_row_count() {
+        let dir = temp_dir("rows-default");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        let synth_path = dir.join("synth.csv").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit", "--data", &data_path, "--schema", &schema_path, "--epsilon", "1.0",
+            "--seed", "3", "--out", &model_path,
+        ])
+        .unwrap();
+        let out =
+            run_cli(&["synth", "--model", &model_path, "--seed", "4", "--out", &synth_path])
+                .unwrap();
+        assert!(out.contains("sampled 400 rows"), "{out}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn help_is_always_available() {
+        assert!(run_cli(&["help"]).unwrap().contains("commands:"));
+        assert!(run_cli(&["--help"]).unwrap().contains("commands:"));
+        assert!(run_cli(&["fit", "--help"]).unwrap().contains("commands:"));
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(run_cli(&["transmogrify"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_cli(&["fit", "--epsilon", "1.0"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_cli(&["fit", "--data", "d", "--schema", "s", "--out", "o", "--epsilon",
+                      "1.0", "--encoding", "gray"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        let dir = temp_dir("missing");
+        let (schema_path, _) = write_fixture_data(&dir);
+        let e = run_cli(&[
+            "fit", "--data", "/nonexistent.csv", "--schema", &schema_path, "--epsilon",
+            "1.0", "--out", "/tmp/x.json",
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Io { .. }), "{e}");
+        let e = run_cli(&["inspect", "--model", "/nonexistent.json"]).unwrap_err();
+        assert!(matches!(e, CliError::Io { .. }), "{e}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eval_rejects_bad_alpha() {
+        let dir = temp_dir("alpha");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let e = run_cli(&[
+            "eval", "--schema", &schema_path, "--truth", &data_path, "--synthetic",
+            &data_path, "--alpha", "9",
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eval_of_identical_tables_is_zero() {
+        let dir = temp_dir("self-eval");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let out = run_cli(&[
+            "eval", "--schema", &schema_path, "--truth", &data_path, "--synthetic",
+            &data_path, "--alpha", "1",
+        ])
+        .unwrap();
+        let tvd: f64 = out.trim().lines().nth(1).unwrap().split(',').nth(1).unwrap()
+            .parse()
+            .unwrap();
+        assert!(tvd < 1e-9, "identical tables must have zero distance, got {tvd}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn relational_artifact_synth_and_inspect() {
+        use privbayes_relational::{clinic_benchmark, RelationalOptions, RelationalPrivBayes};
+
+        let dir = temp_dir("relational");
+        let data = clinic_benchmark(300, 3, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let synthesis = RelationalPrivBayes::new(RelationalOptions::new(2.0))
+            .synthesize(&data, &mut rng)
+            .unwrap();
+        let artifact = ReleasedRelationalModel::from_synthesis(
+            data.schema().clone(),
+            &synthesis,
+            "cli test",
+            data.n_entities(),
+            data.n_facts(),
+        )
+        .unwrap();
+        let model_path = dir.join("clinic.json").to_str().unwrap().to_string();
+        artifact.save(&model_path).unwrap();
+
+        let out_e = dir.join("entities.csv").to_str().unwrap().to_string();
+        let out_f = dir.join("facts.csv").to_str().unwrap().to_string();
+        let out = run_cli(&[
+            "synth-relational", "--model", &model_path, "--entities", "150", "--seed", "3",
+            "--out-entities", &out_e, "--out-facts", &out_f,
+        ])
+        .unwrap();
+        assert!(out.contains("synthesised 150 entities"), "{out}");
+        let facts = fs::read_to_string(&out_f).unwrap();
+        assert!(facts.starts_with("owner,diagnosis,inpatient\n"), "{facts}");
+        // Every owner index refers to a synthesised entity.
+        let entities = fs::read_to_string(&out_e).unwrap();
+        let n_entities = entities.trim().lines().count() - 1;
+        assert_eq!(n_entities, 150);
+        for line in facts.trim().lines().skip(1) {
+            let owner: usize = line.split(',').next().unwrap().parse().unwrap();
+            assert!(owner < 150, "dangling owner {owner}");
+        }
+
+        let out = run_cli(&["inspect", "--model", &model_path]).unwrap();
+        assert!(out.contains("fan-out cap:    3"), "{out}");
+        assert!(out.contains("fact network"), "{out}");
+        assert!(out.contains("cli test"), "{out}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_schema_is_invalid() {
+        let dir = temp_dir("corrupt");
+        let schema_path = dir.join("schema.json");
+        fs::write(&schema_path, "{not json").unwrap();
+        let e = run_cli(&[
+            "fit", "--data", "d.csv", "--schema", schema_path.to_str().unwrap(),
+            "--epsilon", "1.0", "--out", "m.json",
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)), "{e}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

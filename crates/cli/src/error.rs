@@ -1,0 +1,62 @@
+//! Error type for the command-line front end.
+
+use std::fmt;
+
+/// Errors surfaced to the CLI user (printed to stderr, exit code 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line: unknown command, missing flag, unparsable value.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying message.
+        message: String,
+    },
+    /// Input files parsed but were semantically invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<privbayes_model::ModelError> for CliError {
+    fn from(e: privbayes_model::ModelError) -> Self {
+        CliError::Invalid(e.to_string())
+    }
+}
+
+impl From<privbayes_data::DataError> for CliError {
+    fn from(e: privbayes_data::DataError) -> Self {
+        CliError::Invalid(e.to_string())
+    }
+}
+
+impl From<privbayes::PrivBayesError> for CliError {
+    fn from(e: privbayes::PrivBayesError) -> Self {
+        CliError::Invalid(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CliError::Usage("missing --data".into()).to_string().contains("--data"));
+        let e = CliError::Io { path: "/x/y".into(), message: "not found".into() };
+        assert!(e.to_string().contains("/x/y"));
+        assert!(CliError::Invalid("bad model".into()).to_string().contains("bad model"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Command-line front end for the PrivBayes suite.
+//!
+//! Wraps the library pipeline in four file-oriented commands so a data owner
+//! can release synthetic data without writing Rust:
+//!
+//! ```text
+//! privbayes-cli fit     --data sensitive.csv --schema schema.json \
+//!                       --epsilon 1.0 --out model.json
+//! privbayes-cli synth   --model model.json --rows 50000 --out synthetic.csv
+//! privbayes-cli eval    --schema schema.json --truth sensitive.csv \
+//!                       --synthetic synthetic.csv --alpha 3
+//! privbayes-cli inspect --model model.json
+//! ```
+//!
+//! The `fit` command consumes the privacy budget; `synth`, `eval` on the
+//! released artifact, and `inspect` are post-processing. All parsing is
+//! dependency-free; see [`commands::USAGE`] for the flag reference.
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use commands::{run, USAGE};
+pub use error::CliError;

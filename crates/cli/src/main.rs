@@ -1,0 +1,11 @@
+//! Binary entry point: parse, run, print (or fail with exit code 1).
+
+fn main() {
+    match privbayes_cli::run(std::env::args().skip(1)) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

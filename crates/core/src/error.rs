@@ -1,0 +1,75 @@
+//! Error type for the PrivBayes core crate.
+
+use std::fmt;
+
+use privbayes_data::DataError;
+use privbayes_dp::DpError;
+
+/// Errors raised by PrivBayes phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivBayesError {
+    /// Underlying data-model error.
+    Data(DataError),
+    /// Underlying mechanism / budget error.
+    Dp(DpError),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The score function cannot be applied to this input (e.g. `F` on a
+    /// non-binary child attribute — Theorem 5.1).
+    UnsupportedScore(String),
+    /// The network is structurally invalid (not a DAG in construction order,
+    /// duplicate children, unknown attributes, ...).
+    InvalidNetwork(String),
+}
+
+impl fmt::Display for PrivBayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivBayesError::Data(e) => write!(f, "data error: {e}"),
+            PrivBayesError::Dp(e) => write!(f, "dp error: {e}"),
+            PrivBayesError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            PrivBayesError::UnsupportedScore(m) => write!(f, "unsupported score: {m}"),
+            PrivBayesError::InvalidNetwork(m) => write!(f, "invalid network: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivBayesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrivBayesError::Data(e) => Some(e),
+            PrivBayesError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for PrivBayesError {
+    fn from(e: DataError) -> Self {
+        PrivBayesError::Data(e)
+    }
+}
+
+impl From<DpError> for PrivBayesError {
+    fn from(e: DpError) -> Self {
+        PrivBayesError::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: PrivBayesError = DataError::UnknownAttribute("x".into()).into();
+        assert!(matches!(e, PrivBayesError::Data(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: PrivBayesError = DpError::InvalidParameter("eps".into()).into();
+        assert!(e.to_string().contains("eps"));
+
+        let e = PrivBayesError::InvalidConfig("beta".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,542 @@
+//! GreedyBayes network learning (Algorithms 2 and 4).
+//!
+//! Both variants repeatedly pick an attribute–parent pair from a candidate
+//! set Ω: Algorithm 2 (all-binary data, fixed degree `k`) draws parent sets
+//! from `(V choose min(k,|V|))`; Algorithm 4 (general domains) draws them
+//! from the θ-usefulness-constrained maximal parent sets. The selection is
+//! either the exponential mechanism at ε₁/(d−1) per round (private) or an
+//! argmax (the paper's NoPrivacy / BestNetwork reference lines).
+
+use privbayes_data::Dataset;
+use privbayes_dp::exponential::select_with_scale;
+use privbayes_marginals::{Axis, ContingencyTable};
+use rand::{Rng, RngExt};
+
+use crate::error::PrivBayesError;
+use crate::network::{ApPair, BayesianNetwork};
+use crate::parent_sets::{maximal_parent_sets, maximal_parent_sets_generalized};
+use crate::score::ScoreKind;
+use crate::theta::tau_for_child;
+
+/// Settings shared by both GreedyBayes variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedySettings {
+    /// Score function for candidate AP pairs.
+    pub score: ScoreKind,
+    /// Network-learning budget ε₁; `None` selects by argmax (no privacy),
+    /// which implements the paper's NoPrivacy and BestNetwork lines.
+    pub epsilon1: Option<f64>,
+    /// Cap on parent-set cardinality. `usize::MAX` is the paper-faithful
+    /// setting; the experiment harness uses a small cap for tractability
+    /// (documented in DESIGN.md §4).
+    pub max_degree: usize,
+}
+
+impl GreedySettings {
+    /// Private learning with the given budget and score.
+    #[must_use]
+    pub fn private(score: ScoreKind, epsilon1: f64) -> Self {
+        Self { score, epsilon1: Some(epsilon1), max_degree: usize::MAX }
+    }
+
+    /// Non-private argmax learning (NoPrivacy / BestNetwork).
+    #[must_use]
+    pub fn non_private(score: ScoreKind) -> Self {
+        Self { score, epsilon1: None, max_degree: usize::MAX }
+    }
+
+    /// Returns a copy with the degree cap set.
+    #[must_use]
+    pub fn with_max_degree(mut self, cap: usize) -> Self {
+        self.max_degree = cap;
+        self
+    }
+}
+
+/// One candidate AP pair under consideration.
+#[derive(Debug, Clone)]
+struct Candidate {
+    child: usize,
+    parents: Vec<Axis>,
+}
+
+/// Bit-packed columns of an all-binary dataset: joint counts over a small
+/// attribute set come from AND + popcount chains instead of row scans, which
+/// is what makes full-size NLTCS/ACS network learning tractable (the paper's
+/// cost is `d·C(d+1, k+1)` candidate joints, §4.1).
+struct BitColumns {
+    cols: Vec<Vec<u64>>,
+    n: usize,
+}
+
+impl BitColumns {
+    fn build(data: &Dataset) -> Self {
+        let n = data.n();
+        let words = n.div_ceil(64);
+        let cols = (0..data.d())
+            .map(|a| {
+                let mut mask = vec![0u64; words];
+                for (row, &v) in data.column(a).iter().enumerate() {
+                    if v == 1 {
+                        mask[row / 64] |= 1 << (row % 64);
+                    }
+                }
+                mask
+            })
+            .collect();
+        Self { cols, n }
+    }
+
+    /// Joint distribution over `attrs` (≤ 16), probability scale, laid out
+    /// exactly like `ContingencyTable::from_dataset` with those axes (last
+    /// attribute fastest). Uses the subset-AND lattice plus a Möbius
+    /// transform from "all-ones" counts to exact cell counts.
+    fn joint(&self, attrs: &[usize], scratch: &mut Vec<Vec<u64>>, counts: &mut Vec<i64>) -> Vec<f64> {
+        let m = attrs.len();
+        assert!(m <= 16, "bit-path joints limited to 16 attributes");
+        let cells = 1usize << m;
+        scratch.resize(cells, Vec::new());
+        counts.clear();
+        counts.resize(cells, 0);
+
+        // ones[s] = #rows where every attribute in s is 1. Bit p of `s`
+        // corresponds to attrs[m-1-p], so `s` doubles as the cell index of
+        // the all-ones pattern restricted to s.
+        counts[0] = self.n as i64;
+        for s in 1..cells {
+            let low = s.trailing_zeros() as usize;
+            let rest = s & (s - 1);
+            let col = &self.cols[attrs[m - 1 - low]];
+            let (count, vec) = if rest == 0 {
+                (col.iter().map(|w| w.count_ones() as i64).sum(), col.clone())
+            } else {
+                let prev = std::mem::take(&mut scratch[rest]);
+                let mut out = vec![0u64; col.len()];
+                let mut c = 0i64;
+                for ((o, &a), &b) in out.iter_mut().zip(&prev).zip(col) {
+                    *o = a & b;
+                    c += o.count_ones() as i64;
+                }
+                scratch[rest] = prev;
+                (c, out)
+            };
+            counts[s] = count;
+            scratch[s] = vec;
+        }
+        // Möbius: convert "attr unconstrained" to "attr = 0", bit by bit.
+        for p in 0..m {
+            let bit = 1usize << p;
+            for s in 0..cells {
+                if s & bit == 0 {
+                    counts[s] -= counts[s | bit];
+                }
+            }
+        }
+        let scale = 1.0 / self.n as f64;
+        counts.iter().map(|&c| c as f64 * scale).collect()
+    }
+}
+
+/// Scores `Pr[X, Π]` for a candidate.
+///
+/// # Errors
+/// Propagates score errors (e.g. `F` on a non-binary child).
+pub fn score_candidate(
+    data: &Dataset,
+    child: usize,
+    parents: &[Axis],
+    score: ScoreKind,
+) -> Result<f64, PrivBayesError> {
+    let mut axes: Vec<Axis> = parents.to_vec();
+    axes.push(Axis::raw(child));
+    let table = ContingencyTable::from_dataset(data, &axes);
+    let child_dim = data.schema().attribute(child).domain_size();
+    score.compute(table.values(), child_dim, data.n())
+}
+
+/// All size-`k` subsets of `items` (the paper's `(V choose k)`).
+fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    fn rec(items: &[usize], k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        let needed = k - cur.len();
+        for i in start..=items.len().saturating_sub(needed) {
+            cur.push(items[i]);
+            rec(items, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    rec(items, k, 0, &mut cur, &mut out);
+    out
+}
+
+/// Selects one candidate: exponential mechanism (private) or argmax.
+fn select<R: Rng + ?Sized>(
+    scores: &[f64],
+    settings: &GreedySettings,
+    d: usize,
+    n: usize,
+    all_binary: bool,
+    rng: &mut R,
+) -> Result<usize, PrivBayesError> {
+    match settings.epsilon1 {
+        Some(eps1) => {
+            // Δ = (d−1)·S/ε₁ (§4.2): d−1 invocations compose to ε₁.
+            let sensitivity = settings.score.sensitivity(n, all_binary);
+            let delta = (d as f64 - 1.0) * sensitivity / eps1;
+            Ok(select_with_scale(scores, delta, rng)?)
+        }
+        None => {
+            let (mut best, mut best_score) = (0usize, f64::NEG_INFINITY);
+            for (i, &s) in scores.iter().enumerate() {
+                if s > best_score {
+                    best = i;
+                    best_score = s;
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+/// Algorithm 2: GreedyBayes with a fixed degree `k` (binary encodings).
+///
+/// # Errors
+/// Returns [`PrivBayesError`] on score failures or invalid configuration.
+pub fn greedy_bayes_fixed_k<R: Rng + ?Sized>(
+    data: &Dataset,
+    k: usize,
+    settings: &GreedySettings,
+    rng: &mut R,
+) -> Result<BayesianNetwork, PrivBayesError> {
+    let d = data.d();
+    if d < 2 {
+        return Err(PrivBayesError::InvalidConfig("need at least two attributes".into()));
+    }
+    let k = k.min(settings.max_degree).min(d - 1);
+    let n = data.n();
+    let all_binary = data.schema().all_binary();
+
+    let first = rng.random_range(0..d);
+    let mut pairs = vec![ApPair::new(first, vec![])];
+    let mut in_v = vec![false; d];
+    in_v[first] = true;
+    let mut v = vec![first];
+
+    let bit_cols = all_binary.then(|| BitColumns::build(data));
+    let mut scratch: Vec<Vec<u64>> = Vec::new();
+    let mut count_buf: Vec<i64> = Vec::new();
+    let mut attr_buf: Vec<usize> = Vec::new();
+
+    for _ in 2..=d {
+        let mut candidates = Vec::new();
+        let mut scores = Vec::new();
+        let subset_size = k.min(v.len());
+        let parent_sets = combinations(&v, subset_size);
+        for child in (0..d).filter(|&x| !in_v[x]) {
+            for parents in &parent_sets {
+                let score = match &bit_cols {
+                    Some(bits) => {
+                        attr_buf.clear();
+                        attr_buf.extend_from_slice(parents);
+                        attr_buf.push(child);
+                        let joint = bits.joint(&attr_buf, &mut scratch, &mut count_buf);
+                        settings.score.compute(&joint, 2, n)?
+                    }
+                    None => {
+                        let axes: Vec<Axis> = parents.iter().copied().map(Axis::raw).collect();
+                        score_candidate(data, child, &axes, settings.score)?
+                    }
+                };
+                scores.push(score);
+                candidates.push(Candidate {
+                    child,
+                    parents: parents.iter().copied().map(Axis::raw).collect(),
+                });
+            }
+        }
+        let chosen = select(&scores, settings, d, n, all_binary, rng)?;
+        let c = candidates.swap_remove(chosen);
+        in_v[c.child] = true;
+        v.push(c.child);
+        pairs.push(ApPair::generalized(c.child, c.parents));
+    }
+    BayesianNetwork::new(pairs, data.schema())
+}
+
+/// Algorithm 4: GreedyBayes with θ-usefulness-driven maximal parent sets
+/// (vanilla and hierarchical encodings). `use_taxonomy` enables generalised
+/// parent sets (Algorithm 6) where taxonomy trees are available.
+///
+/// # Errors
+/// Returns [`PrivBayesError`] on score failures or invalid configuration.
+pub fn greedy_bayes_adaptive<R: Rng + ?Sized>(
+    data: &Dataset,
+    theta: f64,
+    epsilon2: f64,
+    use_taxonomy: bool,
+    settings: &GreedySettings,
+    rng: &mut R,
+) -> Result<BayesianNetwork, PrivBayesError> {
+    let d = data.d();
+    if d < 2 {
+        return Err(PrivBayesError::InvalidConfig("need at least two attributes".into()));
+    }
+    let n = data.n();
+    let schema = data.schema();
+    let all_binary = schema.all_binary();
+    let domain_sizes = schema.domain_sizes();
+    let level_sizes: Vec<Vec<usize>> = schema
+        .attributes()
+        .iter()
+        .map(|a| match (use_taxonomy, a.taxonomy()) {
+            (true, Some(t)) => (0..t.height()).map(|l| t.level_size(l)).collect(),
+            _ => vec![a.domain_size()],
+        })
+        .collect();
+
+    let first = rng.random_range(0..d);
+    let mut pairs = vec![ApPair::new(first, vec![])];
+    let mut in_v = vec![false; d];
+    in_v[first] = true;
+    let mut v = vec![first];
+
+    for _ in 2..=d {
+        let mut candidates = Vec::new();
+        let mut scores = Vec::new();
+        for child in (0..d).filter(|&x| !in_v[x]) {
+            let tau = tau_for_child(n, d, epsilon2, theta, domain_sizes[child]);
+            let tops: Vec<Vec<Axis>> = if use_taxonomy {
+                maximal_parent_sets_generalized(&v, &level_sizes, tau, settings.max_degree)
+            } else {
+                maximal_parent_sets(&v, &domain_sizes, tau, settings.max_degree)
+                    .into_iter()
+                    .map(|s| s.into_iter().map(Axis::raw).collect())
+                    .collect()
+            };
+            if tops.is_empty() {
+                // Algorithm 4 lines 7–8: even Pr[X] violates θ-usefulness;
+                // model X as independent so every attribute is covered.
+                scores.push(score_candidate(data, child, &[], settings.score)?);
+                candidates.push(Candidate { child, parents: Vec::new() });
+            } else {
+                for parents in tops {
+                    scores.push(score_candidate(data, child, &parents, settings.score)?);
+                    candidates.push(Candidate { child, parents });
+                }
+            }
+        }
+        let chosen = select(&scores, settings, d, n, all_binary, rng)?;
+        let c = candidates.swap_remove(chosen);
+        in_v[c.child] = true;
+        v.push(c.child);
+        pairs.push(ApPair::generalized(c.child, c.parents));
+    }
+    BayesianNetwork::new(pairs, data.schema())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privbayes_data::{Attribute, Schema, TaxonomyTree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A binary dataset where x1 ≈ x0 and x3 ≈ x2, with x0 ⊥ x2.
+    fn correlated_binary(n: usize, seed: u64) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::binary("x0"),
+            Attribute::binary("x1"),
+            Attribute::binary("x2"),
+            Attribute::binary("x3"),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let a = rng.random_range(0..2u32);
+                let b = rng.random_range(0..2u32);
+                let noise1 = rng.random::<f64>() < 0.05;
+                let noise3 = rng.random::<f64>() < 0.05;
+                vec![a, a ^ u32::from(noise1), b, b ^ u32::from(noise3)]
+            })
+            .collect();
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn bit_columns_joint_matches_contingency_table() {
+        let data = correlated_binary(321, 99); // non-multiple of 64 rows
+        let bits = BitColumns::build(&data);
+        let mut scratch = Vec::new();
+        let mut counts = Vec::new();
+        for attrs in [vec![0usize], vec![1, 0], vec![2, 3, 1], vec![0, 1, 2, 3]] {
+            let fast = bits.joint(&attrs, &mut scratch, &mut counts);
+            let axes: Vec<Axis> = attrs.iter().copied().map(Axis::raw).collect();
+            let slow = privbayes_marginals::ContingencyTable::from_dataset(&data, &axes);
+            assert_eq!(fast.len(), slow.values().len());
+            for (a, b) in fast.iter().zip(slow.values()) {
+                assert!((a - b).abs() < 1e-12, "attrs {attrs:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_enumeration() {
+        assert_eq!(combinations(&[5, 7, 9], 2), vec![vec![5, 7], vec![5, 9], vec![7, 9]]);
+        assert_eq!(combinations(&[1, 2], 0), vec![Vec::<usize>::new()]);
+        assert_eq!(combinations(&[1], 1), vec![vec![1]]);
+    }
+
+    #[test]
+    fn non_private_greedy_finds_true_edges() {
+        let data = correlated_binary(2000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let settings = GreedySettings::non_private(ScoreKind::MutualInformation);
+        let net = greedy_bayes_fixed_k(&data, 1, &settings, &mut rng).unwrap();
+        assert_eq!(net.degree(), 1);
+        // The two strongly-correlated pairs must be joined by an edge (the
+        // Chow-Liu tree necessarily adds one ~zero-MI edge between the
+        // independent blocks, which is fine).
+        let edges = net.edges();
+        let has = |a: usize, b: usize| edges.contains(&(a, b)) || edges.contains(&(b, a));
+        assert!(has(0, 1), "x0—x1 edge missing: {edges:?}");
+        assert!(has(2, 3), "x2—x3 edge missing: {edges:?}");
+    }
+
+    #[test]
+    fn private_greedy_produces_valid_network() {
+        let data = correlated_binary(500, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for score in [ScoreKind::MutualInformation, ScoreKind::F, ScoreKind::R] {
+            let settings = GreedySettings::private(score, 0.5);
+            let net = greedy_bayes_fixed_k(&data, 2, &settings, &mut rng).unwrap();
+            assert_eq!(net.len(), 4);
+            assert!(net.degree() <= 2);
+        }
+    }
+
+    #[test]
+    fn fixed_k_zero_yields_independent_network() {
+        let data = correlated_binary(200, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let settings = GreedySettings::private(ScoreKind::F, 0.1);
+        let net = greedy_bayes_fixed_k(&data, 0, &settings, &mut rng).unwrap();
+        assert_eq!(net.degree(), 0);
+    }
+
+    #[test]
+    fn max_degree_caps_parent_sets() {
+        let data = correlated_binary(500, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let settings = GreedySettings::private(ScoreKind::F, 1.0).with_max_degree(1);
+        let net = greedy_bayes_fixed_k(&data, 3, &settings, &mut rng).unwrap();
+        assert!(net.degree() <= 1);
+    }
+
+    #[test]
+    fn first_k_pairs_have_prefix_parents() {
+        // Algorithm 1's derivation of the first k conditionals relies on
+        // Πᵢ = {X₁..Xᵢ₋₁} for i ≤ k and Π_{k+1} = {X₁..X_k}.
+        let data = correlated_binary(300, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let k = 2;
+        let settings = GreedySettings::private(ScoreKind::F, 1.0);
+        let net = greedy_bayes_fixed_k(&data, k, &settings, &mut rng).unwrap();
+        let children: Vec<usize> = net.pairs().iter().map(|p| p.child).collect();
+        for (i, pair) in net.pairs().iter().enumerate().take(k + 1) {
+            let parent_attrs: Vec<usize> = pair.parents.iter().map(|a| a.attr).collect();
+            let expected: Vec<usize> = children[..i.min(k)].to_vec();
+            let mut a = parent_attrs;
+            let mut b = expected;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "pair {i} parents");
+        }
+    }
+
+    fn mixed_dataset(n: usize, seed: u64) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::binary("b"),
+            Attribute::categorical("c", 4)
+                .unwrap()
+                .with_taxonomy(TaxonomyTree::balanced_binary(4).unwrap())
+                .unwrap(),
+            Attribute::categorical("e", 8)
+                .unwrap()
+                .with_taxonomy(TaxonomyTree::balanced_binary(8).unwrap())
+                .unwrap(),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let c = rng.random_range(0..4u32);
+                vec![u32::from(c >= 2), c, c * 2 + rng.random_range(0..2u32)]
+            })
+            .collect();
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn adaptive_greedy_respects_theta() {
+        let data = mixed_dataset(1000, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let settings = GreedySettings::private(ScoreKind::R, 0.3);
+        let net = greedy_bayes_adaptive(&data, 4.0, 0.7, false, &settings, &mut rng).unwrap();
+        assert_eq!(net.len(), 3);
+        // Every AP joint must satisfy the θ bound m ≤ nε₂/(2dθ).
+        let bound = crate::theta::max_joint_cells(data.n(), data.d(), 0.7, 4.0);
+        for pair in net.pairs() {
+            let child_dim = data.schema().attribute(pair.child).domain_size() as f64;
+            let parent_dim: f64 = pair
+                .parents
+                .iter()
+                .map(|ax| ax.size(data.schema()) as f64)
+                .product();
+            assert!(
+                pair.parents.is_empty() || child_dim * parent_dim <= bound + 1e-9,
+                "AP pair exceeds θ bound"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_with_taxonomy_can_generalize() {
+        let data = mixed_dataset(1000, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let settings = GreedySettings::non_private(ScoreKind::R);
+        // Tight budget: forces generalised parents if any.
+        let net = greedy_bayes_adaptive(&data, 4.0, 0.05, true, &settings, &mut rng).unwrap();
+        assert_eq!(net.len(), 3);
+        for pair in net.pairs() {
+            for ax in &pair.parents {
+                let attr = data.schema().attribute(ax.attr);
+                let height = attr.taxonomy().map_or(1, |t| t.height());
+                assert!(ax.level < height);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_gives_empty_parents() {
+        let data = mixed_dataset(50, 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let settings = GreedySettings::private(ScoreKind::R, 0.01);
+        let net = greedy_bayes_adaptive(&data, 4.0, 0.0001, false, &settings, &mut rng).unwrap();
+        assert_eq!(net.degree(), 0, "θ-usefulness must reject all parent sets");
+    }
+
+    #[test]
+    fn rejects_single_attribute() {
+        let schema = Schema::new(vec![Attribute::binary("only")]).unwrap();
+        let data = Dataset::from_rows(schema, &[vec![0], vec![1]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let settings = GreedySettings::private(ScoreKind::F, 1.0);
+        assert!(greedy_bayes_fixed_k(&data, 1, &settings, &mut rng).is_err());
+    }
+}

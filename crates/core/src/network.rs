@@ -1,0 +1,253 @@
+//! Bayesian networks as ordered lists of attribute–parent (AP) pairs (§2.2).
+
+use privbayes_data::Schema;
+use privbayes_marginals::Axis;
+
+use crate::error::PrivBayesError;
+
+/// One attribute–parent pair `(Xᵢ, Πᵢ)`.
+///
+/// Parents are [`Axis`]es — attribute indices with a generalisation level, so
+/// the hierarchical encoding's generalised parent sets (§5.2) are represented
+/// uniformly (level 0 everywhere for the other encodings). The child is
+/// always at level 0: the paper only generalises parents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApPair {
+    /// Child attribute index.
+    pub child: usize,
+    /// Parent set (possibly empty; possibly generalised).
+    pub parents: Vec<Axis>,
+}
+
+impl ApPair {
+    /// Creates an AP pair with raw (level-0) parents.
+    #[must_use]
+    pub fn new(child: usize, parents: Vec<usize>) -> Self {
+        Self { child, parents: parents.into_iter().map(Axis::raw).collect() }
+    }
+
+    /// Creates an AP pair with generalised parents.
+    #[must_use]
+    pub fn generalized(child: usize, parents: Vec<Axis>) -> Self {
+        Self { child, parents }
+    }
+}
+
+/// A Bayesian network: `d` AP pairs in construction order.
+///
+/// The structural invariant (paper §2.2, condition 3) is that every parent of
+/// `Xᵢ` appears as a child earlier in the list — this guarantees acyclicity
+/// and enables ancestral sampling in list order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BayesianNetwork {
+    pairs: Vec<ApPair>,
+}
+
+impl BayesianNetwork {
+    /// Builds a network from AP pairs, validating the structural invariants
+    /// against `schema`.
+    ///
+    /// # Errors
+    /// Returns [`PrivBayesError::InvalidNetwork`] if a child repeats, an
+    /// attribute index is out of range, a parent is not an earlier child, or
+    /// a generalisation level is invalid for the attribute.
+    pub fn new(pairs: Vec<ApPair>, schema: &Schema) -> Result<Self, PrivBayesError> {
+        let d = schema.len();
+        let mut seen = vec![false; d];
+        for (i, pair) in pairs.iter().enumerate() {
+            if pair.child >= d {
+                return Err(PrivBayesError::InvalidNetwork(format!(
+                    "pair {i}: child index {} out of range",
+                    pair.child
+                )));
+            }
+            if seen[pair.child] {
+                return Err(PrivBayesError::InvalidNetwork(format!(
+                    "attribute {} appears as child twice",
+                    pair.child
+                )));
+            }
+            for p in &pair.parents {
+                if p.attr >= d {
+                    return Err(PrivBayesError::InvalidNetwork(format!(
+                        "pair {i}: parent index {} out of range",
+                        p.attr
+                    )));
+                }
+                if !seen[p.attr] {
+                    return Err(PrivBayesError::InvalidNetwork(format!(
+                        "pair {i}: parent {} is not an earlier child (DAG order violated)",
+                        p.attr
+                    )));
+                }
+                if p.level > 0 {
+                    let attr = schema.attribute(p.attr);
+                    let height = attr.taxonomy().map_or(1, |t| t.height());
+                    if p.level >= height {
+                        return Err(PrivBayesError::InvalidNetwork(format!(
+                            "pair {i}: level {} out of range for attribute `{}`",
+                            p.level,
+                            attr.name()
+                        )));
+                    }
+                }
+            }
+            seen[pair.child] = true;
+        }
+        Ok(Self { pairs })
+    }
+
+    /// The AP pairs in construction (ancestral) order.
+    #[must_use]
+    pub fn pairs(&self) -> &[ApPair] {
+        &self.pairs
+    }
+
+    /// Number of pairs (equals `d` for a complete network).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the network has no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Degree: the maximum parent-set size (§2.2).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.pairs.iter().map(|p| p.parents.len()).max().unwrap_or(0)
+    }
+
+    /// Directed edges `(parent, child)` at the attribute level.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.pairs
+            .iter()
+            .flat_map(|p| p.parents.iter().map(move |q| (q.attr, p.child)))
+            .collect()
+    }
+
+    /// Renders the network like the paper's Table 1 (attribute names).
+    #[must_use]
+    pub fn describe(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for (i, pair) in self.pairs.iter().enumerate() {
+            let child = schema.attribute(pair.child).name();
+            let parents: Vec<String> = pair
+                .parents
+                .iter()
+                .map(|p| {
+                    let name = schema.attribute(p.attr).name();
+                    if p.level == 0 {
+                        name.to_string()
+                    } else {
+                        format!("{name}({})", p.level)
+                    }
+                })
+                .collect();
+            let parents = if parents.is_empty() {
+                "∅".to_string()
+            } else {
+                format!("{{{}}}", parents.join(", "))
+            };
+            out.push_str(&format!("{:>3}  {:<16} {parents}\n", i + 1, child));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privbayes_data::Attribute;
+
+    fn schema5() -> Schema {
+        // Figure 1's example: age, education, workclass, title, income.
+        Schema::new(vec![
+            Attribute::binary("age"),
+            Attribute::binary("education"),
+            Attribute::binary("workclass"),
+            Attribute::binary("title"),
+            Attribute::binary("income"),
+        ])
+        .unwrap()
+    }
+
+    /// Table 1's network N₁.
+    fn n1() -> Vec<ApPair> {
+        vec![
+            ApPair::new(0, vec![]),
+            ApPair::new(1, vec![0]),
+            ApPair::new(2, vec![0, 1]),
+            ApPair::new(3, vec![0, 2]),
+            ApPair::new(4, vec![2, 3]),
+        ]
+    }
+
+    #[test]
+    fn table_1_network_is_valid_with_degree_2() {
+        let net = BayesianNetwork::new(n1(), &schema5()).unwrap();
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.degree(), 2);
+        assert_eq!(net.edges().len(), 7);
+    }
+
+    #[test]
+    fn describe_lists_ap_pairs() {
+        let net = BayesianNetwork::new(n1(), &schema5()).unwrap();
+        let s = net.describe(&schema5());
+        assert!(s.contains("age"));
+        assert!(s.contains('∅'));
+        assert!(s.contains("{workclass, title}"));
+    }
+
+    #[test]
+    fn rejects_forward_edges() {
+        // income's parent `title` is declared after it.
+        let pairs = vec![ApPair::new(4, vec![3]), ApPair::new(3, vec![])];
+        assert!(matches!(
+            BayesianNetwork::new(pairs, &schema5()),
+            Err(PrivBayesError::InvalidNetwork(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_children() {
+        let pairs = vec![ApPair::new(0, vec![]), ApPair::new(0, vec![])];
+        assert!(BayesianNetwork::new(pairs, &schema5()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(BayesianNetwork::new(vec![ApPair::new(9, vec![])], &schema5()).is_err());
+        let pairs = vec![ApPair::new(0, vec![]), ApPair::new(1, vec![9])];
+        assert!(BayesianNetwork::new(pairs, &schema5()).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        // A self-loop is a parent that is not an earlier child.
+        let pairs = vec![ApPair::new(0, vec![0])];
+        assert!(BayesianNetwork::new(pairs, &schema5()).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_level() {
+        let pairs = vec![
+            ApPair::new(0, vec![]),
+            ApPair::generalized(1, vec![Axis { attr: 0, level: 3 }]),
+        ];
+        assert!(BayesianNetwork::new(pairs, &schema5()).is_err());
+    }
+
+    #[test]
+    fn empty_parentless_network_degree_zero() {
+        let pairs = (0..5).map(|i| ApPair::new(i, vec![])).collect();
+        let net = BayesianNetwork::new(pairs, &schema5()).unwrap();
+        assert_eq!(net.degree(), 0);
+        assert!(net.edges().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! The score function `F` (§4.3–4.4): negative half the L1 distance from
+//! `Pr[X, Π]` to the nearest *maximum joint distribution* (Definition 4.2),
+//! computed by the dominated-state dynamic program of §4.4.
+//!
+//! `F` requires a binary child: Theorem 5.1 shows that computing `F` exactly
+//! is NP-hard in general, and the pseudo-polynomial algorithm costs
+//! `O(|dom(Π)| · n^{|dom(X)|−1})` — only `|dom(X)| = 2` is practical.
+
+use crate::error::PrivBayesError;
+
+/// Frontier-size guard. The exact dynamic program keeps every non-dominated
+/// `(a, b)` count pair, of which there can be up to `n+1`. Past this bound we
+/// thin the frontier to evenly spaced states; the induced error in `F` is at
+/// most `max_count / (n · MAX_STATES)` per column — negligible against
+/// `range(F) = 0.5` (and the guard never triggers in the paper's settings).
+const MAX_STATES: usize = 4096;
+
+/// Sensitivity of `F`: exactly `1/n` (Theorem 4.5).
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn f_sensitivity(n: usize) -> f64 {
+    assert!(n > 0);
+    1.0 / n as f64
+}
+
+/// Extracts per-parent-value count pairs from a probability-scale joint.
+fn column_counts(values: &[f64], n: usize) -> Vec<(u64, u64)> {
+    values
+        .chunks_exact(2)
+        .map(|c| {
+            let c0 = (c[0] * n as f64).round() as u64;
+            let c1 = (c[1] * n as f64).round() as u64;
+            (c0, c1)
+        })
+        .collect()
+}
+
+/// Computes `F(X, Π)` for a binary child via the Pareto-frontier dynamic
+/// program. `values` is parent-major/child-fastest (module docs of
+/// [`crate::score`]); `n` is the dataset cardinality (cells must be multiples
+/// of `1/n`).
+///
+/// # Errors
+/// Returns [`PrivBayesError::UnsupportedScore`] if `child_dim != 2`.
+///
+/// # Panics
+/// Panics if the joint shape is inconsistent or `n == 0`.
+pub fn f_score(values: &[f64], child_dim: usize, n: usize) -> Result<f64, PrivBayesError> {
+    if child_dim != 2 {
+        return Err(PrivBayesError::UnsupportedScore(format!(
+            "F requires a binary child attribute, got domain size {child_dim} (Theorem 5.1)"
+        )));
+    }
+    assert!(n > 0, "empty dataset");
+    assert!(values.len().is_multiple_of(2), "joint length must be even");
+
+    // Frontier of Pareto-maximal reachable (K0·n, K1·n) pairs, kept sorted by
+    // `a` strictly increasing / `b` strictly decreasing.
+    let mut frontier: Vec<(u64, u64)> = vec![(0, 0)];
+    let mut scratch: Vec<(u64, u64)> = Vec::new();
+
+    for (c0, c1) in column_counts(values, n) {
+        if c0 == 0 && c1 == 0 {
+            continue;
+        }
+        // Branch A assigns the column's row-0 mass to K0; branch B assigns
+        // row-1 mass to K1. Both branches preserve the frontier's ordering,
+        // so a linear merge + prune suffices.
+        scratch.clear();
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < frontier.len() || ib < frontier.len() {
+            let cand_a = frontier.get(ia).map(|&(a, b)| (a + c0, b));
+            let cand_b = frontier.get(ib).map(|&(a, b)| (a, b + c1));
+            let take_a = match (cand_a, cand_b) {
+                (Some(x), Some(y)) => (x.0, x.1) <= (y.0, y.1),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_a {
+                scratch.push(cand_a.expect("guarded"));
+                ia += 1;
+            } else {
+                scratch.push(cand_b.expect("guarded"));
+                ib += 1;
+            }
+        }
+        // Prune dominated states right-to-left: keep strictly increasing b.
+        frontier.clear();
+        let mut best_b: Option<u64> = None;
+        for &(a, b) in scratch.iter().rev() {
+            if best_b.is_none_or(|bb| b > bb) {
+                frontier.push((a, b));
+                best_b = Some(b);
+            }
+        }
+        frontier.reverse();
+
+        if frontier.len() > MAX_STATES {
+            thin(&mut frontier);
+        }
+    }
+
+    let nf = n as f64;
+    let best = frontier
+        .iter()
+        .map(|&(a, b)| (0.5 - a as f64 / nf).max(0.0) + (0.5 - b as f64 / nf).max(0.0))
+        .fold(f64::INFINITY, f64::min);
+    Ok(-best)
+}
+
+/// Keeps `MAX_STATES` evenly spaced states (always including both endpoints).
+fn thin(frontier: &mut Vec<(u64, u64)>) {
+    let len = frontier.len();
+    let mut kept = Vec::with_capacity(MAX_STATES);
+    for i in 0..MAX_STATES {
+        let idx = i * (len - 1) / (MAX_STATES - 1);
+        if kept.last() != Some(&frontier[idx]) {
+            kept.push(frontier[idx]);
+        }
+    }
+    *frontier = kept;
+}
+
+/// Exhaustive-enumeration reference implementation (exponential in the number
+/// of parent values). Used to cross-validate the dynamic program in tests and
+/// benches; inputs must be small.
+///
+/// # Errors
+/// Returns [`PrivBayesError::UnsupportedScore`] if `child_dim != 2`.
+///
+/// # Panics
+/// Panics if the joint has more than 20 parent values.
+pub fn f_score_exhaustive(
+    values: &[f64],
+    child_dim: usize,
+    n: usize,
+) -> Result<f64, PrivBayesError> {
+    if child_dim != 2 {
+        return Err(PrivBayesError::UnsupportedScore(
+            "F requires a binary child attribute".into(),
+        ));
+    }
+    let cols = column_counts(values, n);
+    assert!(cols.len() <= 20, "exhaustive F only feasible for small parents");
+    let nf = n as f64;
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << cols.len()) {
+        let (mut a, mut b) = (0u64, 0u64);
+        for (j, &(c0, c1)) in cols.iter().enumerate() {
+            if mask >> j & 1 == 0 {
+                a += c0;
+            } else {
+                b += c1;
+            }
+        }
+        let v = (0.5 - a as f64 / nf).max(0.0) + (0.5 - b as f64 / nf).max(0.0);
+        best = best.min(v);
+    }
+    Ok(-best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a probability joint from counts, child-fastest.
+    fn joint(counts: &[(u64, u64)], n: u64) -> Vec<f64> {
+        counts
+            .iter()
+            .flat_map(|&(c0, c1)| [c0 as f64 / n as f64, c1 as f64 / n as f64])
+            .collect()
+    }
+
+    #[test]
+    fn table_3_example() {
+        // Table 3(a): X binary, Π 4-valued, n=10:
+        // row X=0: .6 0 0 0 ; row X=1: .1 .1 .1 .1.
+        // The closest maximum joint (Table 3(b)) is at L1 distance 0.4, so
+        // F = -0.4/2 = -0.2.
+        let v = joint(&[(6, 1), (0, 1), (0, 1), (0, 1)], 10);
+        let f = f_score(&v, 2, 10).unwrap();
+        assert!((f - (-0.2)).abs() < 1e-12, "F = {f}, expected -0.2");
+    }
+
+    #[test]
+    fn maximum_joint_scores_zero() {
+        // Diagonal .5/.5 is itself a maximum joint distribution.
+        let v = joint(&[(5, 0), (0, 5)], 10);
+        assert!(f_score(&v, 2, 10).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_independent_scores_minus_half() {
+        // Uniform 2×2: the nearest maximum joint (e.g. diag(.5, .5)) is at L1
+        // distance 1, so F = −0.5 — the minimum over full-mass inputs,
+        // matching range(F) = 0.5 for binary domains (§4.3).
+        let v = joint(&[(1, 1), (1, 1)], 4);
+        let f = f_score(&v, 2, 4).unwrap();
+        assert!((f - (-0.5)).abs() < 1e-12, "F = {f}");
+    }
+
+    #[test]
+    fn rejects_non_binary_child() {
+        assert!(f_score(&[0.5, 0.25, 0.25], 3, 4).is_err());
+        assert!(f_score_exhaustive(&[0.5, 0.25, 0.25], 3, 4).is_err());
+    }
+
+    #[test]
+    fn empty_parent_set_single_column() {
+        // Π = ∅: one column holding the child marginal. Best assignment puts
+        // the full row mass in K0 or K1, whichever is larger.
+        let v = joint(&[(7, 3)], 10);
+        // Option A: a=7/10, b=0 -> 0 + .5 = .5. Option B: a=0, b=3/10 -> .5+.2=.7.
+        let f = f_score(&v, 2, 10).unwrap();
+        assert!((f - (-0.5)).abs() < 1e-12, "F = {f}");
+    }
+
+    #[test]
+    fn range_is_bounded() {
+        // F ∈ [-1, 0]: minimum at an empty-ish distribution; maximum at a
+        // maximum joint. (range(F) = 0.5 for realistic inputs; the extreme -1
+        // needs zero mass.)
+        let v = joint(&[(0, 0)], 10);
+        let f = f_score(&v, 2, 10).unwrap();
+        assert!((f - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_bound_on_neighbors() {
+        // Move one tuple between arbitrary cells; |ΔF| ≤ 1/n (Theorem 4.5).
+        let n = 50u64;
+        let base = [(10u64, 5u64), (8, 7), (12, 8)];
+        let v1 = joint(&base, n);
+        for (from_col, from_row) in [(0usize, 0usize), (1, 1), (2, 0)] {
+            for (to_col, to_row) in [(0usize, 1usize), (2, 1), (1, 0)] {
+                let mut c = base;
+                let take = if from_row == 0 { &mut c[from_col].0 } else { &mut c[from_col].1 };
+                *take -= 1;
+                let put = if to_row == 0 { &mut c[to_col].0 } else { &mut c[to_col].1 };
+                *put += 1;
+                let v2 = joint(&c, n);
+                let f1 = f_score(&v1, 2, n as usize).unwrap();
+                let f2 = f_score(&v2, 2, n as usize).unwrap();
+                assert!(
+                    (f1 - f2).abs() <= 1.0 / n as f64 + 1e-12,
+                    "sensitivity violated: {} > 1/n",
+                    (f1 - f2).abs()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The dynamic program agrees exactly with exhaustive enumeration.
+        #[test]
+        fn prop_dp_matches_exhaustive(
+            counts in proptest::collection::vec((0u64..30, 0u64..30), 1..8),
+        ) {
+            let n: u64 = counts.iter().map(|&(a, b)| a + b).sum::<u64>().max(1);
+            let v = joint(&counts, n);
+            let dp = f_score(&v, 2, n as usize).unwrap();
+            let ex = f_score_exhaustive(&v, 2, n as usize).unwrap();
+            prop_assert!((dp - ex).abs() < 1e-12, "dp={dp} exhaustive={ex}");
+        }
+
+        /// F is always in [-1, 0].
+        #[test]
+        fn prop_f_range(
+            counts in proptest::collection::vec((0u64..50, 0u64..50), 1..10),
+        ) {
+            let n: u64 = counts.iter().map(|&(a, b)| a + b).sum::<u64>().max(1);
+            let v = joint(&counts, n);
+            let f = f_score(&v, 2, n as usize).unwrap();
+            prop_assert!((-1.0..=1e-12).contains(&f));
+        }
+
+        /// Permuting parent columns leaves F unchanged (it only depends on
+        /// the multiset of columns).
+        #[test]
+        fn prop_f_column_permutation_invariant(
+            mut counts in proptest::collection::vec((0u64..20, 0u64..20), 2..8),
+            swap in (0usize..8, 0usize..8),
+        ) {
+            let n: u64 = counts.iter().map(|&(a, b)| a + b).sum::<u64>().max(1);
+            let before = f_score(&joint(&counts, n), 2, n as usize).unwrap();
+            let (i, j) = (swap.0 % counts.len(), swap.1 % counts.len());
+            counts.swap(i, j);
+            let after = f_score(&joint(&counts, n), 2, n as usize).unwrap();
+            prop_assert!((before - after).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Mutual information `I(X, Π)` and its sensitivity (Equation 5, Lemma 4.1).
+
+/// Shannon entropy (base 2) of a distribution slice; zero cells contribute 0.
+#[must_use]
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.log2()).sum()
+}
+
+/// Mutual information `I(X, Π)` of a joint in parent-major/child-fastest
+/// layout (see the [module docs](crate::score)).
+///
+/// # Panics
+/// Panics if `values.len()` is not a multiple of `child_dim`.
+#[must_use]
+pub fn mutual_information(values: &[f64], child_dim: usize) -> f64 {
+    assert!(child_dim > 0 && values.len().is_multiple_of(child_dim), "bad joint shape");
+    let parent_dim = values.len() / child_dim;
+    let mut px = vec![0.0f64; child_dim];
+    let mut ppi = vec![0.0f64; parent_dim];
+    for pi in 0..parent_dim {
+        for x in 0..child_dim {
+            let v = values[pi * child_dim + x];
+            px[x] += v;
+            ppi[pi] += v;
+        }
+    }
+    let mut mi = 0.0;
+    for pi in 0..parent_dim {
+        for x in 0..child_dim {
+            let v = values[pi * child_dim + x];
+            if v > 0.0 {
+                mi += v * (v / (px[x] * ppi[pi])).log2();
+            }
+        }
+    }
+    // Clamp tiny negative float residue.
+    mi.max(0.0)
+}
+
+/// Sensitivity of `I` for `n` tuples (Lemma 4.1).
+///
+/// `either_binary`: whether `X` or `Π` has a binary domain (the smaller
+/// bound applies).
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn mi_sensitivity(n: usize, either_binary: bool) -> f64 {
+    assert!(n > 0);
+    let n = n as f64;
+    if either_binary {
+        (1.0 / n) * n.log2() + ((n - 1.0) / n) * (n / (n - 1.0)).log2()
+    } else {
+        (2.0 / n) * ((n + 1.0) / 2.0).log2() + ((n - 1.0) / n) * ((n + 1.0) / (n - 1.0)).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_known_values() {
+        assert!((entropy(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!(entropy(&[1.0, 0.0]).abs() < 1e-12);
+        assert!((entropy(&[0.25; 4]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_joint_has_zero_mi() {
+        // Pr[X,Π] = Pr[X]·Pr[Π] with Pr[X] = (.3,.7), Pr[Π] = (.2,.5,.3).
+        let px = [0.3, 0.7];
+        let ppi = [0.2, 0.5, 0.3];
+        let mut joint = Vec::new();
+        for &q in &ppi {
+            for &p in &px {
+                joint.push(p * q);
+            }
+        }
+        assert!(mutual_information(&joint, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_correlated_binary_has_mi_one() {
+        // X = Π uniform: diagonal .5/.5.
+        let joint = [0.5, 0.0, 0.0, 0.5];
+        assert!((mutual_information(&joint, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_4_4_maximum_joint_distributions() {
+        // Both distributions of Example 4.4 have I = 1 (child binary,
+        // parent ternary). Layout: child fastest.
+        // First: columns a=(.5,0), b=(0,.5), c=(0,0).
+        let d1 = [0.5, 0.0, 0.0, 0.5, 0.0, 0.0];
+        assert!((mutual_information(&d1, 2) - 1.0).abs() < 1e-12);
+        // Second: a=(0,.5), b=(.2,0), c=(.3,0).
+        let d2 = [0.0, 0.5, 0.2, 0.0, 0.3, 0.0];
+        assert!((mutual_information(&d2, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_decomposition_holds() {
+        // I = H(X) + H(Π) − H(X,Π)  (Equation 12).
+        let joint = [0.1, 0.2, 0.3, 0.15, 0.05, 0.2];
+        let child_dim = 2;
+        let parent_dim = 3;
+        let mut px = [0.0; 2];
+        let mut ppi = [0.0; 3];
+        for pi in 0..parent_dim {
+            for x in 0..child_dim {
+                px[x] += joint[pi * child_dim + x];
+                ppi[pi] += joint[pi * child_dim + x];
+            }
+        }
+        let direct = mutual_information(&joint, child_dim);
+        let via_entropy = entropy(&px) + entropy(&ppi) - entropy(&joint);
+        assert!((direct - via_entropy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_witness_binary_case() {
+        // Lemma 4.1, Table 7: ΔI between those two neighbouring tables equals
+        // the binary-case bound.
+        let n = 100usize;
+        let nf = n as f64;
+        // D1: cells (x=0,π=0)=1/n, (x=1,π=1)=(n-1)/n; layout child-fastest,
+        // parent dim 3.
+        let d1 = [1.0 / nf, 0.0, 0.0, (nf - 1.0) / nf, 0.0, 0.0];
+        let d2 = [0.0, 0.0, 0.0, (nf - 1.0) / nf, 0.0, 1.0 / nf];
+        let delta = (mutual_information(&d1, 2) - mutual_information(&d2, 2)).abs();
+        let bound = mi_sensitivity(n, true);
+        assert!((delta - bound).abs() < 1e-9, "witness {delta} vs bound {bound}");
+    }
+
+    #[test]
+    fn sensitivity_witness_general_case() {
+        // Lemma 4.1, Table 6: the general-case witness with both domains of
+        // size 3 achieves the general bound.
+        let n = 101usize; // odd so (n+1)/2 is integral
+        let nf = n as f64;
+        let h = (nf - 1.0) / (2.0 * nf);
+        // Layout: parent π ∈ {0,1,2} major, child x ∈ {0,1,2} fastest.
+        // D1: (0,0)=1/n, (1,2)=h, (2,1)=h.
+        let d1 = [1.0 / nf, 0.0, 0.0, 0.0, 0.0, h, 0.0, h, 0.0];
+        // D2: (1,2)=h, (2,1)=h, (2,2)=1/n.
+        let d2 = [0.0, 0.0, 0.0, 0.0, 0.0, h, 0.0, h, 1.0 / nf];
+        let delta = (mutual_information(&d1, 3) - mutual_information(&d2, 3)).abs();
+        let bound = mi_sensitivity(n, false);
+        assert!((delta - bound).abs() < 1e-9, "witness {delta} vs bound {bound}");
+        // And the general bound exceeds the binary bound.
+        assert!(bound > mi_sensitivity(n, true));
+    }
+
+    proptest! {
+        /// 0 ≤ I ≤ min(log|X|, log|Π|) for arbitrary joints.
+        #[test]
+        fn prop_mi_bounds(vals in proptest::collection::vec(0.0f64..1.0, 12..=12)) {
+            let total: f64 = vals.iter().sum();
+            prop_assume!(total > 1e-9);
+            let joint: Vec<f64> = vals.iter().map(|v| v / total).collect();
+            let mi = mutual_information(&joint, 3); // 3-child × 4-parent
+            prop_assert!(mi >= 0.0);
+            prop_assert!(mi <= 3f64.log2() + 1e-9);
+        }
+
+        /// I is symmetric in X and Π.
+        #[test]
+        fn prop_mi_symmetric(vals in proptest::collection::vec(0.0f64..1.0, 6..=6)) {
+            let total: f64 = vals.iter().sum();
+            prop_assume!(total > 1e-9);
+            let joint: Vec<f64> = vals.iter().map(|v| v / total).collect();
+            // joint laid out child-fastest, child_dim=2, parent_dim=3.
+            let a = mutual_information(&joint, 2);
+            // Transpose: child_dim=3, parent_dim=2.
+            let mut t = vec![0.0; 6];
+            for pi in 0..3 {
+                for x in 0..2 {
+                    t[x * 3 + pi] = joint[pi * 2 + x];
+                }
+            }
+            let b = mutual_information(&t, 3);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        /// Monotonicity under merging parents: I(X, Π) ≤ I(X, Π′) when Π is a
+        /// coarsening of Π′ (the property §5.2's maximality argument uses).
+        #[test]
+        fn prop_mi_monotone_coarsening(vals in proptest::collection::vec(0.0f64..1.0, 8..=8)) {
+            let total: f64 = vals.iter().sum();
+            prop_assume!(total > 1e-9);
+            let joint: Vec<f64> = vals.iter().map(|v| v / total).collect();
+            // child_dim=2, parent_dim=4; coarsen parents {0,1}->0, {2,3}->1.
+            let fine = mutual_information(&joint, 2);
+            let mut coarse = vec![0.0; 4];
+            for pi in 0..4 {
+                for x in 0..2 {
+                    coarse[(pi / 2) * 2 + x] += joint[pi * 2 + x];
+                }
+            }
+            prop_assert!(mutual_information(&coarse, 2) <= fine + 1e-9);
+        }
+    }
+}

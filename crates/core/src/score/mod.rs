@@ -1,0 +1,129 @@
+//! Score functions for AP-pair selection (§4.2, §4.3, §5.3; Table 4).
+//!
+//! All three functions score a joint distribution `Pr[X, Π]` supplied as a
+//! flat slice in **parent-major order with the child varying fastest**:
+//! `values[π · |dom(X)| + x] = Pr[X = x, Π = π]`. This is exactly the layout
+//! produced by materialising a [`privbayes_marginals::ContingencyTable`] with
+//! axes `[parents…, child]`.
+//!
+//! | Function | Range | Sensitivity | Time |
+//! |----------|-------|-------------|------|
+//! | `I`      | O(1)  | O(log n / n) (Lemma 4.1) | O(cells) |
+//! | `F`      | O(1)  | 1/n (Theorem 4.5)        | O(n·2ᵏ) dynamic program |
+//! | `R`      | O(1)  | 3/n + 2/n² (Theorem 5.3) | O(cells) |
+
+pub mod f_score;
+pub mod mi;
+pub mod r_score;
+
+use crate::error::PrivBayesError;
+
+pub use f_score::{f_score, f_score_exhaustive, f_sensitivity};
+pub use mi::{entropy, mi_sensitivity, mutual_information};
+pub use r_score::{r_score, r_sensitivity};
+
+/// Which score function the exponential mechanism uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreKind {
+    /// Mutual information `I` (the first-cut solution, §4.2).
+    MutualInformation,
+    /// The surrogate `F` (§4.3): L1 distance to the nearest *maximum* joint
+    /// distribution. Binary child only (Theorem 5.1 shows general-domain
+    /// computation is NP-hard).
+    F,
+    /// The surrogate `R` (§5.3): L1 distance to the independent
+    /// (zero-mutual-information) joint. Works on general domains.
+    R,
+}
+
+impl ScoreKind {
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreKind::MutualInformation => "I",
+            ScoreKind::F => "F",
+            ScoreKind::R => "R",
+        }
+    }
+
+    /// Computes the score of a joint distribution (layout documented at the
+    /// module level). `n` is the dataset cardinality (used by `F`'s dynamic
+    /// program and available to sensitivity bounds).
+    ///
+    /// # Errors
+    /// Returns [`PrivBayesError::UnsupportedScore`] if `F` is applied to a
+    /// non-binary child.
+    pub fn compute(
+        self,
+        values: &[f64],
+        child_dim: usize,
+        n: usize,
+    ) -> Result<f64, PrivBayesError> {
+        match self {
+            ScoreKind::MutualInformation => Ok(mutual_information(values, child_dim)),
+            ScoreKind::F => f_score(values, child_dim, n),
+            ScoreKind::R => Ok(r_score(values, child_dim)),
+        }
+    }
+
+    /// Sensitivity of the score for a dataset of `n` tuples.
+    ///
+    /// `either_binary` only matters for `I` (Lemma 4.1 distinguishes the case
+    /// where `X` or `Π` has a binary domain).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn sensitivity(self, n: usize, either_binary: bool) -> f64 {
+        assert!(n > 0, "sensitivity undefined for empty data");
+        match self {
+            ScoreKind::MutualInformation => mi_sensitivity(n, either_binary),
+            ScoreKind::F => f_sensitivity(n),
+            ScoreKind::R => r_sensitivity(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(ScoreKind::MutualInformation.name(), "I");
+        assert_eq!(ScoreKind::F.name(), "F");
+        assert_eq!(ScoreKind::R.name(), "R");
+    }
+
+    #[test]
+    fn table_4_sensitivity_ordering() {
+        // Table 4 and §5.3: S(F) < S(R)/3 … and both ≪ S(I).
+        let n = 10_000;
+        let sf = ScoreKind::F.sensitivity(n, true);
+        let sr = ScoreKind::R.sensitivity(n, true);
+        let si = ScoreKind::MutualInformation.sensitivity(n, true);
+        assert!(sf < sr, "S(F)={sf} < S(R)={sr}");
+        assert!(sr < si, "S(R)={sr} < S(I)={si}");
+        assert!(sf <= sr / 3.0 + 1e-12, "S(F) is less than a third of S(R)");
+        assert!(si > (n as f64).log2() / n as f64, "S(I) > log(n)/n");
+    }
+
+    #[test]
+    fn f_on_non_binary_child_is_rejected() {
+        // A 3-valued child: Theorem 5.1 territory.
+        let joint = vec![0.2, 0.3, 0.5];
+        let r = ScoreKind::F.compute(&joint, 3, 10);
+        assert!(matches!(r, Err(PrivBayesError::UnsupportedScore(_))));
+    }
+
+    #[test]
+    fn compute_dispatches() {
+        // Independent uniform joint: I = 0, R = 0, F < 0.
+        let joint = vec![0.25, 0.25, 0.25, 0.25];
+        let n = 4;
+        assert!(ScoreKind::MutualInformation.compute(&joint, 2, n).unwrap().abs() < 1e-12);
+        assert!(ScoreKind::R.compute(&joint, 2, n).unwrap().abs() < 1e-12);
+        assert!(ScoreKind::F.compute(&joint, 2, n).unwrap() < 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The score function `R` (§5.3): half the L1 distance from `Pr[X, Π]` to the
+//! independent joint `Pr[X]·Pr[Π]` — i.e. the total-variation distance to the
+//! nearest zero-mutual-information distribution (Lemma 5.2).
+
+/// Computes `R(X, Π)` (Equation 11) for a joint in parent-major/child-fastest
+/// layout (module docs of [`crate::score`]).
+///
+/// # Panics
+/// Panics if `values.len()` is not a multiple of `child_dim`.
+#[must_use]
+pub fn r_score(values: &[f64], child_dim: usize) -> f64 {
+    assert!(child_dim > 0 && values.len().is_multiple_of(child_dim), "bad joint shape");
+    let parent_dim = values.len() / child_dim;
+    let mut px = vec![0.0f64; child_dim];
+    let mut ppi = vec![0.0f64; parent_dim];
+    for pi in 0..parent_dim {
+        for x in 0..child_dim {
+            let v = values[pi * child_dim + x];
+            px[x] += v;
+            ppi[pi] += v;
+        }
+    }
+    let mut l1 = 0.0;
+    for pi in 0..parent_dim {
+        for x in 0..child_dim {
+            l1 += (values[pi * child_dim + x] - px[x] * ppi[pi]).abs();
+        }
+    }
+    0.5 * l1
+}
+
+/// Upper bound on the sensitivity of `R`: `3/n + 2/n²` (Theorem 5.3).
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn r_sensitivity(n: usize) -> f64 {
+    assert!(n > 0);
+    let n = n as f64;
+    3.0 / n + 2.0 / (n * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::mi::mutual_information;
+    use proptest::prelude::*;
+
+    #[test]
+    fn independent_joint_scores_zero() {
+        let px = [0.3, 0.7];
+        let ppi = [0.2, 0.5, 0.3];
+        let mut joint = Vec::new();
+        for &q in &ppi {
+            for &p in &px {
+                joint.push(p * q);
+            }
+        }
+        assert!(r_score(&joint, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_binary_correlation_scores_half() {
+        // Diagonal .5/.5: product distribution is uniform .25, L1 = 4·.25 = 1.
+        let joint = [0.5, 0.0, 0.0, 0.5];
+        assert!((r_score(&joint, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_on_non_binary_domains() {
+        // 3×3 permutation matrix / 3: strongly correlated.
+        let mut joint = vec![0.0; 9];
+        for i in 0..3 {
+            joint[i * 3 + i] = 1.0 / 3.0;
+        }
+        let r = r_score(&joint, 3);
+        // Product marginals are uniform 1/9: L1 = 3·|1/3−1/9| + 6·|0−1/9| = 4/3.
+        assert!((r - 2.0 / 3.0).abs() < 1e-12, "R = {r}");
+    }
+
+    #[test]
+    fn sensitivity_bound_on_neighbors() {
+        // Theorem 5.3: |ΔR| ≤ 3/n + 2/n² between neighbouring datasets.
+        let n = 40u64;
+        let base = [(5u64, 9u64), (11, 2), (6, 7)];
+        let to_joint = |c: &[(u64, u64)]| -> Vec<f64> {
+            c.iter().flat_map(|&(a, b)| [a as f64 / n as f64, b as f64 / n as f64]).collect()
+        };
+        let r1 = r_score(&to_joint(&base), 2);
+        for (fc, fr) in [(0usize, 0usize), (1, 0), (2, 1)] {
+            for (tc, tr) in [(1usize, 1usize), (2, 0), (0, 1)] {
+                let mut c = base;
+                if fr == 0 { c[fc].0 -= 1 } else { c[fc].1 -= 1 };
+                if tr == 0 { c[tc].0 += 1 } else { c[tc].1 += 1 };
+                let r2 = r_score(&to_joint(&c), 2);
+                assert!(
+                    (r1 - r2).abs() <= r_sensitivity(n as usize) + 1e-12,
+                    "ΔR = {} exceeds bound {}",
+                    (r1 - r2).abs(),
+                    r_sensitivity(n as usize)
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// R ∈ [0, 1) and R = 0 exactly for product distributions.
+        #[test]
+        fn prop_r_range(vals in proptest::collection::vec(0.0f64..1.0, 12..=12)) {
+            let total: f64 = vals.iter().sum();
+            prop_assume!(total > 1e-9);
+            let joint: Vec<f64> = vals.iter().map(|v| v / total).collect();
+            let r = r_score(&joint, 3);
+            prop_assert!((0.0..1.0).contains(&r));
+        }
+
+        /// Pinsker relation (§5.3): R ≤ sqrt(ln2/2 · I).
+        #[test]
+        fn prop_pinsker(vals in proptest::collection::vec(0.0f64..1.0, 8..=8)) {
+            let total: f64 = vals.iter().sum();
+            prop_assume!(total > 1e-9);
+            let joint: Vec<f64> = vals.iter().map(|v| v / total).collect();
+            let r = r_score(&joint, 2);
+            let i = mutual_information(&joint, 2);
+            prop_assert!(r <= (0.5 * std::f64::consts::LN_2 * i).sqrt() + 1e-9);
+        }
+
+        /// R is symmetric in X and Π.
+        #[test]
+        fn prop_r_symmetric(vals in proptest::collection::vec(0.0f64..1.0, 6..=6)) {
+            let total: f64 = vals.iter().sum();
+            prop_assume!(total > 1e-9);
+            let joint: Vec<f64> = vals.iter().map(|v| v / total).collect();
+            let a = r_score(&joint, 2);
+            let mut t = vec![0.0; 6];
+            for pi in 0..3 {
+                for x in 0..2 {
+                    t[x * 3 + pi] = joint[pi * 2 + x];
+                }
+            }
+            prop_assert!((a - r_score(&t, 3)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Attribute metadata: name, kind, domain, and optional taxonomy.
+
+use crate::domain::Domain;
+use crate::error::DataError;
+use crate::taxonomy::TaxonomyTree;
+
+/// The kind of an attribute, mirroring the paper's three attribute classes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeKind {
+    /// A `{0,1}` attribute (NLTCS / ACS attributes, bits of binarised data).
+    Binary,
+    /// A categorical attribute with an unordered finite domain.
+    Categorical,
+    /// A continuous attribute, equi-width discretised into `bins` bins over
+    /// `[min, max]` (§5.1 uses 16 bins).
+    Continuous {
+        /// Lower bound of the raw range.
+        min: f64,
+        /// Upper bound of the raw range.
+        max: f64,
+    },
+}
+
+/// A single attribute of a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    kind: AttributeKind,
+    domain: Domain,
+    taxonomy: Option<TaxonomyTree>,
+}
+
+impl Attribute {
+    /// Creates a binary attribute.
+    #[must_use]
+    pub fn binary(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: AttributeKind::Binary,
+            domain: Domain::binary(),
+            taxonomy: None,
+        }
+    }
+
+    /// Creates a categorical attribute over an unlabelled domain of `size` values.
+    ///
+    /// # Errors
+    /// Propagates [`DataError::InvalidDomain`] for an empty domain.
+    pub fn categorical(name: impl Into<String>, size: usize) -> Result<Self, DataError> {
+        Ok(Self {
+            name: name.into(),
+            kind: AttributeKind::Categorical,
+            domain: Domain::new(size)?,
+            taxonomy: None,
+        })
+    }
+
+    /// Creates a categorical attribute with labelled values.
+    ///
+    /// # Errors
+    /// Propagates [`DataError::InvalidDomain`] for empty/duplicate labels.
+    pub fn categorical_labelled<I, S>(name: impl Into<String>, labels: I) -> Result<Self, DataError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Ok(Self {
+            name: name.into(),
+            kind: AttributeKind::Categorical,
+            domain: Domain::with_labels(labels)?,
+            taxonomy: None,
+        })
+    }
+
+    /// Creates a continuous attribute discretised into `bins` equi-width bins.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidDomain`] if `bins == 0` or `min >= max`.
+    pub fn continuous(
+        name: impl Into<String>,
+        min: f64,
+        max: f64,
+        bins: usize,
+    ) -> Result<Self, DataError> {
+        if min >= max {
+            return Err(DataError::InvalidDomain(format!("continuous range [{min}, {max}] is empty")));
+        }
+        Ok(Self {
+            name: name.into(),
+            kind: AttributeKind::Continuous { min, max },
+            domain: Domain::new(bins)?,
+            taxonomy: None,
+        })
+    }
+
+    /// Attaches a taxonomy tree (for the hierarchical encoding).
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidTaxonomy`] if the tree's leaf count differs
+    /// from the domain size.
+    pub fn with_taxonomy(mut self, taxonomy: TaxonomyTree) -> Result<Self, DataError> {
+        if taxonomy.leaf_count() != self.domain.size() {
+            return Err(DataError::InvalidTaxonomy(format!(
+                "taxonomy has {} leaves but attribute `{}` has domain size {}",
+                taxonomy.leaf_count(),
+                self.name,
+                self.domain.size()
+            )));
+        }
+        self.taxonomy = Some(taxonomy);
+        Ok(self)
+    }
+
+    /// Attribute name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute kind.
+    #[must_use]
+    pub fn kind(&self) -> &AttributeKind {
+        &self.kind
+    }
+
+    /// Coded domain.
+    #[must_use]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Domain size shorthand.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        self.domain.size()
+    }
+
+    /// Taxonomy tree, if one is attached.
+    #[must_use]
+    pub fn taxonomy(&self) -> Option<&TaxonomyTree> {
+        self.taxonomy.as_ref()
+    }
+
+    /// Whether the attribute is binary.
+    #[must_use]
+    pub fn is_binary(&self) -> bool {
+        self.domain.is_binary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::TaxonomyTree;
+
+    #[test]
+    fn binary_attribute_has_domain_two() {
+        let a = Attribute::binary("disabled");
+        assert_eq!(a.domain_size(), 2);
+        assert!(a.is_binary());
+        assert_eq!(a.kind(), &AttributeKind::Binary);
+    }
+
+    #[test]
+    fn categorical_with_labels() {
+        let a = Attribute::categorical_labelled("workclass", ["private", "gov"]).unwrap();
+        assert_eq!(a.domain_size(), 2);
+        assert_eq!(a.domain().label(0), "private");
+    }
+
+    #[test]
+    fn continuous_rejects_empty_range() {
+        assert!(Attribute::continuous("age", 80.0, 0.0, 16).is_err());
+        assert!(Attribute::continuous("age", 0.0, 80.0, 0).is_err());
+        let a = Attribute::continuous("age", 0.0, 80.0, 16).unwrap();
+        assert_eq!(a.domain_size(), 16);
+    }
+
+    #[test]
+    fn taxonomy_leaf_count_must_match() {
+        let a = Attribute::categorical("x", 4).unwrap();
+        let good = TaxonomyTree::balanced_binary(4).unwrap();
+        assert!(a.clone().with_taxonomy(good).is_ok());
+        let bad = TaxonomyTree::balanced_binary(8).unwrap();
+        assert!(a.with_taxonomy(bad).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Minimal CSV import/export for datasets (used by the examples).
+//!
+//! The format is deliberately simple: a header of attribute names followed by
+//! one comma-separated row per tuple. Labelled categorical values are written
+//! as labels; everything else as numeric codes. No quoting/escaping is
+//! supported — attribute labels in this suite contain no commas.
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Schema;
+
+/// Writes `dataset` as CSV.
+///
+/// # Errors
+/// Propagates I/O errors as [`DataError::Parse`].
+pub fn write_csv<W: Write>(dataset: &Dataset, out: &mut W) -> Result<(), DataError> {
+    let io = |e: std::io::Error| DataError::Parse(e.to_string());
+    let schema = dataset.schema();
+    let header: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
+    writeln!(out, "{}", header.join(",")).map_err(io)?;
+    for row in 0..dataset.n() {
+        let mut cells = Vec::with_capacity(dataset.d());
+        for attr in 0..dataset.d() {
+            let code = dataset.value(row, attr);
+            cells.push(schema.attribute(attr).domain().label(code));
+        }
+        writeln!(out, "{}", cells.join(",")).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV produced by [`write_csv`] back into a dataset over `schema`.
+///
+/// Cells are resolved first as domain labels, then as `v{code}` synthesised
+/// labels, then as bare integer codes.
+///
+/// # Errors
+/// Returns [`DataError::Parse`] on malformed input and domain violations.
+pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Dataset, DataError> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Parse("missing header".into()))?
+        .map_err(|e| DataError::Parse(e.to_string()))?;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.len() != schema.len() {
+        return Err(DataError::Parse(format!(
+            "header has {} columns, schema has {}",
+            names.len(),
+            schema.len()
+        )));
+    }
+    for (i, name) in names.iter().enumerate() {
+        if schema.attribute(i).name() != *name {
+            return Err(DataError::Parse(format!(
+                "column {i} is `{name}`, expected `{}`",
+                schema.attribute(i).name()
+            )));
+        }
+    }
+
+    let mut columns: Vec<Vec<u32>> = vec![Vec::new(); schema.len()];
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| DataError::Parse(e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != schema.len() {
+            return Err(DataError::Parse(format!(
+                "row {} has {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                schema.len()
+            )));
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            let domain = schema.attribute(i).domain();
+            let code = domain
+                .code_of(cell)
+                .or_else(|| cell.strip_prefix('v').and_then(|c| c.parse().ok()))
+                .or_else(|| cell.parse().ok())
+                .ok_or_else(|| {
+                    DataError::Parse(format!("row {}: unparseable cell `{cell}`", lineno + 2))
+                })?;
+            if !domain.contains(code) {
+                return Err(DataError::Parse(format!(
+                    "row {}: code {code} out of domain for `{}`",
+                    lineno + 2,
+                    schema.attribute(i).name()
+                )));
+            }
+            columns[i].push(code);
+        }
+    }
+    Dataset::from_columns(schema.clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_labelled("work", ["private", "gov"]).unwrap(),
+            Attribute::binary("flag"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = Dataset::from_rows(schema(), &[vec![0, 1], vec![1, 0]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("work,flag\nprivate,v1\n"));
+        let back = read_csv(&schema(), &buf[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn read_accepts_bare_codes() {
+        let input = b"work,flag\n1,0\n" as &[u8];
+        let ds = read_csv(&schema(), input).unwrap();
+        assert_eq!(ds.value(0, 0), 1);
+    }
+
+    #[test]
+    fn read_rejects_bad_header() {
+        let input = b"wrong,flag\n0,0\n" as &[u8];
+        assert!(read_csv(&schema(), input).is_err());
+    }
+
+    #[test]
+    fn read_rejects_out_of_domain() {
+        let input = b"work,flag\n9,0\n" as &[u8];
+        assert!(read_csv(&schema(), input).is_err());
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let input = b"work,flag\n0\n" as &[u8];
+        assert!(read_csv(&schema(), input).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = b"work,flag\n0,0\n\n1,1\n" as &[u8];
+        let ds = read_csv(&schema(), input).unwrap();
+        assert_eq!(ds.n(), 2);
+    }
+}

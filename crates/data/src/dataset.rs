@@ -1,0 +1,271 @@
+//! Columnar datasets of coded values.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::DataError;
+use crate::schema::Schema;
+
+/// A table of `u32` codes stored column-major.
+///
+/// Column-major storage makes joint-distribution materialisation over small
+/// attribute subsets cache-friendly: only the touched columns are read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Box<[u32]>>,
+    n: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from columns, validating shapes and domains.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ColumnCountMismatch`], [`DataError::RaggedColumns`],
+    /// or [`DataError::CodeOutOfDomain`] on invalid input.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<u32>>) -> Result<Self, DataError> {
+        if columns.len() != schema.len() {
+            return Err(DataError::ColumnCountMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let n = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n {
+                return Err(DataError::RaggedColumns { expected: n, found: col.len(), column: i });
+            }
+            let domain = schema.attribute(i).domain();
+            if let Some(&bad) = col.iter().find(|&&c| !domain.contains(c)) {
+                return Err(DataError::CodeOutOfDomain {
+                    attribute: schema.attribute(i).name().to_string(),
+                    code: bad,
+                    domain_size: domain.size(),
+                });
+            }
+        }
+        Ok(Self { schema, columns: columns.into_iter().map(Vec::into_boxed_slice).collect(), n })
+    }
+
+    /// Creates a dataset from row tuples.
+    ///
+    /// # Errors
+    /// Same as [`Dataset::from_columns`].
+    pub fn from_rows(schema: Schema, rows: &[Vec<u32>]) -> Result<Self, DataError> {
+        let d = schema.len();
+        let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(rows.len()); d];
+        for row in rows {
+            if row.len() != d {
+                return Err(DataError::ColumnCountMismatch { expected: d, found: row.len() });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Self::from_columns(schema, columns)
+    }
+
+    /// An empty dataset over `schema`.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Self {
+        let d = schema.len();
+        Self { schema, columns: vec![Vec::new().into_boxed_slice(); d], n: 0 }
+    }
+
+    /// Number of tuples (the paper's `n`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of attributes (the paper's `d`).
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Column of attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    #[must_use]
+    pub fn column(&self, attr: usize) -> &[u32] {
+        &self.columns[attr]
+    }
+
+    /// Value of attribute `attr` in row `row`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn value(&self, row: usize, attr: usize) -> u32 {
+        self.columns[attr][row]
+    }
+
+    /// Materialises row `row` as a tuple of codes.
+    #[must_use]
+    pub fn row(&self, row: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Returns a new dataset containing the rows at `indices` (in order).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let columns: Vec<Box<[u32]>> = self
+            .columns
+            .iter()
+            .map(|col| indices.iter().map(|&i| col[i]).collect())
+            .collect();
+        Self { schema: self.schema.clone(), columns, n: indices.len() }
+    }
+
+    /// Splits into (train, test) with `train_fraction` of rows in train,
+    /// shuffled by `rng`. The paper's classification task uses 80/20.
+    pub fn split_train_test<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (Self, Self) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must lie in [0, 1], got {train_fraction}"
+        );
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(rng);
+        let cut = ((self.n as f64) * train_fraction).round() as usize;
+        (self.select_rows(&idx[..cut]), self.select_rows(&idx[cut..]))
+    }
+
+    /// Uniform random subsample of `m` rows without replacement.
+    ///
+    /// # Panics
+    /// Panics if `m > n`.
+    pub fn subsample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Self {
+        assert!(m <= self.n, "cannot sample {m} rows from {}", self.n);
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(rng);
+        idx.truncate(m);
+        self.select_rows(&idx)
+    }
+
+    /// Projects onto a subset of attributes (columns), preserving order.
+    ///
+    /// # Errors
+    /// Returns [`DataError::UnknownAttribute`] if an index is out of range.
+    pub fn project(&self, attrs: &[usize]) -> Result<Self, DataError> {
+        for &a in attrs {
+            if a >= self.d() {
+                return Err(DataError::UnknownAttribute(format!("attribute index {a}")));
+            }
+        }
+        let schema = Schema::new(attrs.iter().map(|&a| self.schema.attribute(a).clone()).collect())?;
+        let columns: Vec<Box<[u32]>> = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        Ok(Self { schema, columns, n: self.n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            Attribute::binary("a"),
+            Attribute::categorical("b", 3).unwrap(),
+            Attribute::binary("c"),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(
+            schema3(),
+            &[
+                vec![0, 0, 1],
+                vec![1, 2, 0],
+                vec![0, 1, 1],
+                vec![1, 1, 0],
+                vec![0, 2, 0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_rows_and_columns() {
+        let ds = sample();
+        assert_eq!(ds.n(), 5);
+        assert_eq!(ds.d(), 3);
+        assert_eq!(ds.row(1), vec![1, 2, 0]);
+        assert_eq!(ds.column(1), &[0, 2, 1, 1, 2]);
+        assert_eq!(ds.value(4, 1), 2);
+    }
+
+    #[test]
+    fn from_columns_validates_domains() {
+        let r = Dataset::from_columns(schema3(), vec![vec![0, 2], vec![0, 0], vec![0, 0]]);
+        assert!(matches!(r, Err(DataError::CodeOutOfDomain { .. })));
+    }
+
+    #[test]
+    fn from_columns_validates_shapes() {
+        let r = Dataset::from_columns(schema3(), vec![vec![0], vec![0, 0], vec![0]]);
+        assert!(matches!(r, Err(DataError::RaggedColumns { .. })));
+        let r = Dataset::from_columns(schema3(), vec![vec![0], vec![0]]);
+        assert!(matches!(r, Err(DataError::ColumnCountMismatch { .. })));
+    }
+
+    #[test]
+    fn split_preserves_rows() {
+        let ds = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = ds.split_train_test(0.8, &mut rng);
+        assert_eq!(train.n(), 4);
+        assert_eq!(test.n(), 1);
+        // Every original row appears exactly once across the split.
+        let mut rows: Vec<Vec<u32>> = (0..train.n())
+            .map(|i| train.row(i))
+            .chain((0..test.n()).map(|i| test.row(i)))
+            .collect();
+        rows.sort();
+        let mut orig: Vec<Vec<u32>> = (0..ds.n()).map(|i| ds.row(i)).collect();
+        orig.sort();
+        assert_eq!(rows, orig);
+    }
+
+    #[test]
+    fn project_keeps_selected_columns() {
+        let ds = sample();
+        let p = ds.project(&[2, 0]).unwrap();
+        assert_eq!(p.d(), 2);
+        assert_eq!(p.schema().attribute(0).name(), "c");
+        assert_eq!(p.column(0), ds.column(2));
+        assert!(ds.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn subsample_size() {
+        let ds = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(ds.subsample(3, &mut rng).n(), 3);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::empty(schema3());
+        assert_eq!(ds.n(), 0);
+        assert_eq!(ds.d(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Equi-width discretisation of continuous attributes (§5.1, footnote 3).
+
+/// An equi-width binning of `[min, max]` into `bins` bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    min: f64,
+    max: f64,
+    bins: usize,
+}
+
+impl Discretizer {
+    /// Creates a discretiser.
+    ///
+    /// # Panics
+    /// Panics if `min >= max` or `bins == 0`.
+    #[must_use]
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(min < max, "empty range [{min}, {max}]");
+        assert!(bins > 0, "need at least one bin");
+        Self { min, max, bins }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Bin code of a raw value; values outside the range clamp to the
+    /// first/last bin.
+    #[must_use]
+    pub fn bin_of(&self, value: f64) -> u32 {
+        let w = (self.max - self.min) / self.bins as f64;
+        let raw = ((value - self.min) / w).floor();
+        raw.clamp(0.0, (self.bins - 1) as f64) as u32
+    }
+
+    /// Midpoint of a bin (used when exporting synthetic data as raw values).
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range.
+    #[must_use]
+    pub fn midpoint(&self, bin: u32) -> f64 {
+        assert!((bin as usize) < self.bins, "bin {bin} out of range");
+        let w = (self.max - self.min) / self.bins as f64;
+        self.min + (bin as f64 + 0.5) * w
+    }
+
+    /// `[lo, hi)` edges of a bin (the last bin is closed on the right).
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range.
+    #[must_use]
+    pub fn edges(&self, bin: u32) -> (f64, f64) {
+        assert!((bin as usize) < self.bins, "bin {bin} out of range");
+        let w = (self.max - self.min) / self.bins as f64;
+        (self.min + bin as f64 * w, self.min + (bin as f64 + 1.0) * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure_2_age_bins() {
+        // Figure 2: age in (0, 80] split into 8 bins of 10 years.
+        let d = Discretizer::new(0.0, 80.0, 8);
+        assert_eq!(d.bin_of(5.0), 0);
+        assert_eq!(d.bin_of(35.0), 3);
+        assert_eq!(d.bin_of(79.9), 7);
+        assert_eq!(d.bin_of(80.0), 7, "right edge clamps into last bin");
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let d = Discretizer::new(0.0, 10.0, 5);
+        assert_eq!(d.bin_of(-3.0), 0);
+        assert_eq!(d.bin_of(42.0), 4);
+    }
+
+    #[test]
+    fn midpoint_lies_in_bin() {
+        let d = Discretizer::new(0.0, 80.0, 8);
+        let (lo, hi) = d.edges(3);
+        let m = d.midpoint(3);
+        assert!(lo < m && m < hi);
+        assert_eq!(lo, 30.0);
+        assert_eq!(hi, 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn rejects_empty_range() {
+        let _ = Discretizer::new(1.0, 1.0, 4);
+    }
+
+    proptest! {
+        /// bin_of is monotone and always lands in range.
+        #[test]
+        fn prop_monotone(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let d = Discretizer::new(-50.0, 50.0, 16);
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            let (bx, by) = (d.bin_of(x), d.bin_of(y));
+            prop_assert!(bx <= by);
+            prop_assert!(by < 16);
+        }
+
+        /// Midpoints invert to their own bin.
+        #[test]
+        fn prop_midpoint_round_trip(bin in 0u32..16) {
+            let d = Discretizer::new(-1.0, 3.0, 16);
+            prop_assert_eq!(d.bin_of(d.midpoint(bin)), bin);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Attribute encodings (§5.1): binary, Gray, vanilla, hierarchical.
+//!
+//! The *vanilla* and *hierarchical* encodings keep attributes intact (the
+//! hierarchical one additionally exposes taxonomy levels; see
+//! [`crate::taxonomy`]), so they need no dataset transformation here. The
+//! *binary* and *Gray* encodings decompose every attribute into
+//! `⌈log₂ ℓ⌉` binary attributes; this module implements that transformation
+//! and its inverse (used to decode synthetic data back to the original
+//! domain).
+
+use crate::attribute::Attribute;
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Schema;
+
+/// Which of the paper's four encodings to use (Figures 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingKind {
+    /// Natural binary code, MSB first.
+    Binary,
+    /// Gray code: successive values differ in one bit.
+    Gray,
+    /// Attributes kept whole; domains indivisible.
+    Vanilla,
+    /// Attributes kept whole; taxonomy levels available for generalisation.
+    Hierarchical,
+}
+
+impl EncodingKind {
+    /// Whether this encoding decomposes attributes into bits.
+    #[must_use]
+    pub fn is_bitwise(self) -> bool {
+        matches!(self, EncodingKind::Binary | EncodingKind::Gray)
+    }
+
+    /// Display name matching the paper's figures (e.g. `Binary-F`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EncodingKind::Binary => "Binary",
+            EncodingKind::Gray => "Gray",
+            EncodingKind::Vanilla => "Vanilla",
+            EncodingKind::Hierarchical => "Hierarchical",
+        }
+    }
+}
+
+/// Number of bits needed for a domain of `size` values.
+#[must_use]
+pub fn bits_for(size: usize) -> usize {
+    if size <= 1 {
+        0
+    } else {
+        (usize::BITS - (size - 1).leading_zeros()) as usize
+    }
+}
+
+/// Natural-binary → Gray code.
+#[must_use]
+pub fn to_gray(v: u32) -> u32 {
+    v ^ (v >> 1)
+}
+
+/// Gray → natural-binary code.
+#[must_use]
+pub fn from_gray(mut g: u32) -> u32 {
+    let mut shift = 1;
+    while shift < 32 {
+        g ^= g >> shift;
+        shift <<= 1;
+    }
+    g
+}
+
+/// Describes how one original attribute maps to a run of bit attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrBits {
+    /// Index of the first bit attribute in the binarised schema.
+    pub first_bit_attr: usize,
+    /// Number of bit attributes (0 for constant attributes).
+    pub bits: usize,
+    /// Original domain size.
+    pub domain_size: usize,
+}
+
+/// Mapping between an original schema and its binarised counterpart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinarizationMap {
+    per_attr: Vec<AttrBits>,
+    gray: bool,
+    bit_attr_count: usize,
+}
+
+impl BinarizationMap {
+    /// Per-original-attribute bit layout.
+    #[must_use]
+    pub fn per_attr(&self) -> &[AttrBits] {
+        &self.per_attr
+    }
+
+    /// Whether Gray code is used.
+    #[must_use]
+    pub fn is_gray(&self) -> bool {
+        self.gray
+    }
+
+    /// Total number of bit attributes.
+    #[must_use]
+    pub fn bit_attr_count(&self) -> usize {
+        self.bit_attr_count
+    }
+
+    /// Encodes an original code into its per-bit values (MSB first).
+    #[must_use]
+    pub fn encode_value(&self, attr: usize, code: u32) -> Vec<u32> {
+        let ab = &self.per_attr[attr];
+        let v = if self.gray { to_gray(code) } else { code };
+        (0..ab.bits).map(|j| (v >> (ab.bits - 1 - j)) & 1).collect()
+    }
+
+    /// Decodes per-bit values (MSB first) back to an original code, clamping
+    /// invalid patterns (possible once noise is involved) to the largest code.
+    #[must_use]
+    pub fn decode_value(&self, attr: usize, bits: &[u32]) -> u32 {
+        let ab = &self.per_attr[attr];
+        debug_assert_eq!(bits.len(), ab.bits);
+        let mut v: u32 = 0;
+        for &b in bits {
+            v = (v << 1) | (b & 1);
+        }
+        if self.gray {
+            v = from_gray(v);
+        }
+        v.min(ab.domain_size as u32 - 1)
+    }
+}
+
+/// Binarises a dataset under the given bitwise encoding.
+///
+/// Every attribute with domain size `ℓ ≥ 2` becomes `⌈log₂ ℓ⌉` binary
+/// attributes named `name#b{j}` (MSB first). Constant attributes (ℓ = 1)
+/// contribute no bit attributes and are reconstructed as the constant 0.
+///
+/// # Errors
+/// Propagates schema-construction errors.
+///
+/// # Panics
+/// Panics if `kind` is not a bitwise encoding.
+pub fn binarize(dataset: &Dataset, kind: EncodingKind) -> Result<(Dataset, BinarizationMap), DataError> {
+    assert!(kind.is_bitwise(), "binarize called with non-bitwise encoding {kind:?}");
+    let gray = kind == EncodingKind::Gray;
+    let schema = dataset.schema();
+    let mut per_attr = Vec::with_capacity(schema.len());
+    let mut bit_attrs = Vec::new();
+    let mut columns: Vec<Vec<u32>> = Vec::new();
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        let size = attr.domain_size();
+        let bits = bits_for(size);
+        per_attr.push(AttrBits { first_bit_attr: bit_attrs.len(), bits, domain_size: size });
+        let source = dataset.column(i);
+        for j in 0..bits {
+            bit_attrs.push(Attribute::binary(format!("{}#b{j}", attr.name())));
+            let shift = bits - 1 - j;
+            columns.push(
+                source
+                    .iter()
+                    .map(|&c| {
+                        let v = if gray { to_gray(c) } else { c };
+                        (v >> shift) & 1
+                    })
+                    .collect(),
+            );
+        }
+    }
+    let map = BinarizationMap { per_attr, gray, bit_attr_count: bit_attrs.len() };
+    let bin_schema = Schema::new(bit_attrs)?;
+    Ok((Dataset::from_columns(bin_schema, columns)?, map))
+}
+
+/// Inverse of [`binarize`]: reconstructs a dataset over `original_schema` from
+/// a binarised dataset (e.g. synthetic output), clamping out-of-domain codes.
+///
+/// # Errors
+/// Returns [`DataError::ColumnCountMismatch`] if the binarised dataset does
+/// not match `map`, plus any dataset-construction error.
+pub fn debinarize(
+    binarized: &Dataset,
+    map: &BinarizationMap,
+    original_schema: &Schema,
+) -> Result<Dataset, DataError> {
+    if binarized.d() != map.bit_attr_count {
+        return Err(DataError::ColumnCountMismatch {
+            expected: map.bit_attr_count,
+            found: binarized.d(),
+        });
+    }
+    if original_schema.len() != map.per_attr.len() {
+        return Err(DataError::ColumnCountMismatch {
+            expected: map.per_attr.len(),
+            found: original_schema.len(),
+        });
+    }
+    let n = binarized.n();
+    let mut columns: Vec<Vec<u32>> = Vec::with_capacity(original_schema.len());
+    for ab in &map.per_attr {
+        let mut col = vec![0u32; n];
+        if ab.bits > 0 {
+            for j in 0..ab.bits {
+                let bit_col = binarized.column(ab.first_bit_attr + j);
+                for (v, &b) in col.iter_mut().zip(bit_col) {
+                    *v = (*v << 1) | (b & 1);
+                }
+            }
+            let max = ab.domain_size as u32 - 1;
+            for v in &mut col {
+                if map.gray {
+                    *v = from_gray(*v);
+                }
+                *v = (*v).min(max);
+            }
+        }
+        columns.push(col);
+    }
+    Dataset::from_columns(original_schema.clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mixed_dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::binary("flag"),
+            Attribute::categorical("work", 5).unwrap(),
+            Attribute::continuous("age", 0.0, 80.0, 8).unwrap(),
+        ])
+        .unwrap();
+        Dataset::from_rows(
+            schema,
+            &[
+                vec![0, 4, 7],
+                vec![1, 0, 0],
+                vec![1, 3, 5],
+                vec![0, 2, 2],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bits_for_matches_paper() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(5), 3, "⌈log₂ 5⌉ = 3");
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(16), 4);
+        assert_eq!(bits_for(1), 0);
+    }
+
+    #[test]
+    fn gray_code_adjacent_values_differ_in_one_bit() {
+        for v in 0u32..255 {
+            let diff = to_gray(v) ^ to_gray(v + 1);
+            assert_eq!(diff.count_ones(), 1, "gray({v}) vs gray({})", v + 1);
+        }
+    }
+
+    #[test]
+    fn gray_round_trip() {
+        for v in 0u32..1024 {
+            assert_eq!(from_gray(to_gray(v)), v);
+        }
+    }
+
+    #[test]
+    fn binarize_shape() {
+        let ds = mixed_dataset();
+        let (bin, map) = binarize(&ds, EncodingKind::Binary).unwrap();
+        // 1 + 3 + 3 bits.
+        assert_eq!(bin.d(), 7);
+        assert_eq!(map.bit_attr_count(), 7);
+        assert_eq!(bin.n(), ds.n());
+        assert!(bin.schema().all_binary());
+        assert_eq!(bin.schema().attribute(1).name(), "work#b0");
+    }
+
+    #[test]
+    fn binarize_msb_first() {
+        let ds = mixed_dataset();
+        let (bin, _) = binarize(&ds, EncodingKind::Binary).unwrap();
+        // Row 0: work = 4 = 100₂ -> bits (1, 0, 0) at attrs 1..4.
+        assert_eq!(bin.value(0, 1), 1);
+        assert_eq!(bin.value(0, 2), 0);
+        assert_eq!(bin.value(0, 3), 0);
+    }
+
+    #[test]
+    fn round_trip_binary_and_gray() {
+        let ds = mixed_dataset();
+        for kind in [EncodingKind::Binary, EncodingKind::Gray] {
+            let (bin, map) = binarize(&ds, kind).unwrap();
+            let back = debinarize(&bin, &map, ds.schema()).unwrap();
+            assert_eq!(back, ds, "{kind:?} round trip");
+        }
+    }
+
+    #[test]
+    fn decode_clamps_invalid_patterns() {
+        let ds = mixed_dataset();
+        let (_, map) = binarize(&ds, EncodingKind::Binary).unwrap();
+        // work has domain 5 (codes 0..=4); pattern 111₂ = 7 must clamp to 4.
+        assert_eq!(map.decode_value(1, &[1, 1, 1]), 4);
+    }
+
+    #[test]
+    fn encode_decode_value_round_trip() {
+        let ds = mixed_dataset();
+        for kind in [EncodingKind::Binary, EncodingKind::Gray] {
+            let (_, map) = binarize(&ds, kind).unwrap();
+            for code in 0..5u32 {
+                let bits = map.encode_value(1, code);
+                assert_eq!(map.decode_value(1, &bits), code);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-bitwise")]
+    fn binarize_rejects_vanilla() {
+        let ds = mixed_dataset();
+        let _ = binarize(&ds, EncodingKind::Vanilla);
+    }
+
+    proptest! {
+        /// Binarise→debinarise is the identity for arbitrary datasets.
+        #[test]
+        fn prop_round_trip(
+            rows in proptest::collection::vec((0u32..2, 0u32..7, 0u32..13), 1..40),
+            gray in any::<bool>(),
+        ) {
+            let schema = Schema::new(vec![
+                Attribute::binary("a"),
+                Attribute::categorical("b", 7).unwrap(),
+                Attribute::categorical("c", 13).unwrap(),
+            ]).unwrap();
+            let rows: Vec<Vec<u32>> = rows.into_iter().map(|(a, b, c)| vec![a, b, c]).collect();
+            let ds = Dataset::from_rows(schema, &rows).unwrap();
+            let kind = if gray { EncodingKind::Gray } else { EncodingKind::Binary };
+            let (bin, map) = binarize(&ds, kind).unwrap();
+            let back = debinarize(&bin, &map, ds.schema()).unwrap();
+            prop_assert_eq!(back, ds);
+        }
+
+        /// Decoding any bit pattern lands inside the original domain.
+        #[test]
+        fn prop_decode_in_domain(pattern in 0u32..16, gray in any::<bool>()) {
+            let schema = Schema::new(vec![Attribute::categorical("x", 11).unwrap()]).unwrap();
+            let ds = Dataset::from_rows(schema, &[vec![0]]).unwrap();
+            let kind = if gray { EncodingKind::Gray } else { EncodingKind::Binary };
+            let (_, map) = binarize(&ds, kind).unwrap();
+            let bits: Vec<u32> = (0..4).map(|j| (pattern >> (3 - j)) & 1).collect();
+            let code = map.decode_value(0, &bits);
+            prop_assert!(code < 11);
+        }
+    }
+}

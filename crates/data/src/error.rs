@@ -1,0 +1,93 @@
+//! Error type shared by the data-model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A value code was outside its attribute's domain.
+    CodeOutOfDomain {
+        /// Attribute name.
+        attribute: String,
+        /// Offending code.
+        code: u32,
+        /// Domain size of the attribute.
+        domain_size: usize,
+    },
+    /// Columns of a dataset had differing lengths.
+    RaggedColumns {
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        found: usize,
+        /// Index of the offending column.
+        column: usize,
+    },
+    /// The number of columns did not match the schema.
+    ColumnCountMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of columns provided.
+        found: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A taxonomy tree was structurally invalid.
+    InvalidTaxonomy(String),
+    /// A domain was empty or otherwise invalid.
+    InvalidDomain(String),
+    /// Malformed external data (CSV import).
+    Parse(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::CodeOutOfDomain { attribute, code, domain_size } => write!(
+                f,
+                "value code {code} out of domain for attribute `{attribute}` (domain size {domain_size})"
+            ),
+            DataError::RaggedColumns { expected, found, column } => write!(
+                f,
+                "column {column} has {found} rows but the first column has {expected}"
+            ),
+            DataError::ColumnCountMismatch { expected, found } => {
+                write!(f, "schema has {expected} attributes but {found} columns were provided")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::InvalidTaxonomy(msg) => write!(f, "invalid taxonomy: {msg}"),
+            DataError::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = DataError::CodeOutOfDomain {
+            attribute: "age".into(),
+            code: 9,
+            domain_size: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains('9') && s.contains('4'));
+
+        let e = DataError::RaggedColumns { expected: 10, found: 7, column: 3 };
+        assert!(e.to_string().contains("column 3"));
+
+        let e = DataError::UnknownAttribute("salary".into());
+        assert!(e.to_string().contains("salary"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DataError>();
+    }
+}

@@ -1,0 +1,35 @@
+//! Tabular data model for the PrivBayes reproduction.
+//!
+//! The paper operates on relational tables whose attributes are binary,
+//! categorical, or continuous. This crate provides:
+//!
+//! * [`Attribute`] / [`Schema`] — typed attribute metadata with finite coded
+//!   domains (continuous attributes are equi-width discretised, §5.1),
+//! * [`Dataset`] — a columnar table of `u32` codes,
+//! * [`taxonomy::TaxonomyTree`] — generalisation hierarchies used by the
+//!   hierarchical encoding (§5.1, Figures 2–3),
+//! * [`encoding`] — the four attribute encodings evaluated in §6.3
+//!   (binary, Gray, vanilla, hierarchical),
+//! * [`csv`] — plain-text import/export used by the examples.
+//!
+//! Values are stored as dense codes in `0..domain_size`, which keeps joint
+//! distribution materialisation O(n·k) per attribute subset and independent of
+//! the total domain size — the property that lets PrivBayes sidestep the
+//! output-scalability problem described in the paper's introduction.
+
+pub mod attribute;
+pub mod csv;
+pub mod dataset;
+pub mod discretize;
+pub mod domain;
+pub mod encoding;
+pub mod error;
+pub mod schema;
+pub mod taxonomy;
+
+pub use attribute::{Attribute, AttributeKind};
+pub use dataset::Dataset;
+pub use domain::Domain;
+pub use error::DataError;
+pub use schema::Schema;
+pub use taxonomy::TaxonomyTree;

@@ -1,0 +1,301 @@
+//! Taxonomy trees for attribute generalisation (§5.1, hierarchical encoding).
+//!
+//! A taxonomy tree partitions an attribute's domain into progressively coarser
+//! levels. Level 0 is the original domain (the leaves); level `l+1` groups the
+//! nodes of level `l`. The root (a single node covering the whole domain) is
+//! excluded, matching the paper's `i ∈ [0, height(X))` convention: generalising
+//! to a single value carries no information.
+
+use crate::error::DataError;
+
+/// A generalisation hierarchy over a coded domain.
+///
+/// Internally stores, for each level `l`, the mapping from a level-`l` code to
+/// its parent's code at level `l+1`, plus a precomputed leaf→level lookup so
+/// generalising a tuple is a single indexed load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyTree {
+    /// `parent[l][c]` = code at level `l+1` of node `c` at level `l`.
+    parent: Vec<Vec<u32>>,
+    /// `leaf_to_level[l][leaf]` = code at level `l` of `leaf` (level 0 is identity).
+    leaf_to_level: Vec<Vec<u32>>,
+    /// Number of nodes at each level, `level_sizes\[0\]` = leaf count.
+    level_sizes: Vec<usize>,
+}
+
+impl TaxonomyTree {
+    /// Builds a taxonomy from explicit parent maps.
+    ///
+    /// `parent_maps[l][c]` gives the parent (level `l+1`) code of node `c` at
+    /// level `l`. Parent codes must be dense (`0..max+1`) and each level must be
+    /// strictly smaller than the one below. Levels whose size would be 1 (the
+    /// root) must not be included.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidTaxonomy`] if any map is empty, non-dense,
+    /// non-monotone, or reaches a single node before the last level.
+    pub fn from_parent_maps(leaf_count: usize, parent_maps: Vec<Vec<u32>>) -> Result<Self, DataError> {
+        if leaf_count == 0 {
+            return Err(DataError::InvalidTaxonomy("no leaves".into()));
+        }
+        let mut level_sizes = vec![leaf_count];
+        for (l, map) in parent_maps.iter().enumerate() {
+            let expected = level_sizes[l];
+            if map.len() != expected {
+                return Err(DataError::InvalidTaxonomy(format!(
+                    "level {l} parent map has {} entries, expected {expected}",
+                    map.len()
+                )));
+            }
+            let next = match map.iter().max() {
+                Some(&m) => m as usize + 1,
+                None => return Err(DataError::InvalidTaxonomy(format!("level {l} is empty"))),
+            };
+            // Dense codes: every code in 0..next must appear.
+            let mut seen = vec![false; next];
+            for &p in map {
+                seen[p as usize] = true;
+            }
+            if seen.iter().any(|s| !s) {
+                return Err(DataError::InvalidTaxonomy(format!(
+                    "level {} codes are not dense",
+                    l + 1
+                )));
+            }
+            if next >= expected {
+                return Err(DataError::InvalidTaxonomy(format!(
+                    "level {} ({next} nodes) is not coarser than level {l} ({expected} nodes)",
+                    l + 1
+                )));
+            }
+            if next < 2 {
+                return Err(DataError::InvalidTaxonomy(
+                    "root level (size 1) must be excluded".into(),
+                ));
+            }
+            level_sizes.push(next);
+        }
+
+        // Precompute leaf -> level lookups.
+        let height = level_sizes.len();
+        let mut leaf_to_level: Vec<Vec<u32>> = Vec::with_capacity(height);
+        leaf_to_level.push((0..leaf_count as u32).collect());
+        for l in 1..height {
+            let prev = &leaf_to_level[l - 1];
+            let map = &parent_maps[l - 1];
+            leaf_to_level.push(prev.iter().map(|&c| map[c as usize]).collect());
+        }
+
+        Ok(Self { parent: parent_maps, leaf_to_level, level_sizes })
+    }
+
+    /// Builds a balanced binary taxonomy over `leaf_count` leaves: level `l+1`
+    /// merges adjacent pairs of level-`l` nodes. This is the tree the paper
+    /// uses for discretised continuous attributes (Figure 2).
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidTaxonomy`] if `leaf_count < 2`.
+    pub fn balanced_binary(leaf_count: usize) -> Result<Self, DataError> {
+        if leaf_count < 2 {
+            return Err(DataError::InvalidTaxonomy("need at least two leaves".into()));
+        }
+        let mut maps = Vec::new();
+        let mut size = leaf_count;
+        while size.div_ceil(2) >= 2 {
+            let next = size.div_ceil(2);
+            maps.push((0..size as u32).map(|c| c / 2).collect());
+            size = next;
+        }
+        Self::from_parent_maps(leaf_count, maps)
+    }
+
+    /// Builds a two-level taxonomy from named groups: `groups[g]` lists the
+    /// leaf codes generalising to group `g` (Figure 3's "workclass" style).
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidTaxonomy`] if groups do not partition the
+    /// domain or there are fewer than two groups.
+    pub fn from_groups(leaf_count: usize, groups: &[Vec<u32>]) -> Result<Self, DataError> {
+        if groups.len() < 2 {
+            return Err(DataError::InvalidTaxonomy("need at least two groups".into()));
+        }
+        let mut map = vec![u32::MAX; leaf_count];
+        for (g, members) in groups.iter().enumerate() {
+            for &leaf in members {
+                let slot = map.get_mut(leaf as usize).ok_or_else(|| {
+                    DataError::InvalidTaxonomy(format!("leaf {leaf} out of range"))
+                })?;
+                if *slot != u32::MAX {
+                    return Err(DataError::InvalidTaxonomy(format!("leaf {leaf} in two groups")));
+                }
+                *slot = g as u32;
+            }
+        }
+        if map.contains(&u32::MAX) {
+            return Err(DataError::InvalidTaxonomy("groups do not cover the domain".into()));
+        }
+        Self::from_parent_maps(leaf_count, vec![map])
+    }
+
+    /// The flat taxonomy: leaves only (vanilla encoding is the special case of
+    /// hierarchical encoding with this tree).
+    #[must_use]
+    pub fn flat(leaf_count: usize) -> Self {
+        Self {
+            parent: Vec::new(),
+            leaf_to_level: vec![(0..leaf_count as u32).collect()],
+            level_sizes: vec![leaf_count],
+        }
+    }
+
+    /// Number of generalisation levels (≥ 1); valid levels are `0..height()`.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.level_sizes.len()
+    }
+
+    /// Number of leaves (= attribute domain size).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.level_sizes[0]
+    }
+
+    /// Number of nodes at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level >= height()`.
+    #[must_use]
+    pub fn level_size(&self, level: usize) -> usize {
+        self.level_sizes[level]
+    }
+
+    /// Generalises a leaf code to its ancestor at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level >= height()` or `leaf` is out of range.
+    #[must_use]
+    pub fn generalize(&self, leaf: u32, level: usize) -> u32 {
+        self.leaf_to_level[level][leaf as usize]
+    }
+
+    /// The full leaf→`level` lookup table (used for bulk generalisation).
+    ///
+    /// # Panics
+    /// Panics if `level >= height()`.
+    #[must_use]
+    pub fn level_lookup(&self, level: usize) -> &[u32] {
+        &self.leaf_to_level[level]
+    }
+
+    /// Leaves mapping to node `node` at `level` (inverse of [`generalize`](Self::generalize)).
+    #[must_use]
+    pub fn leaves_of(&self, node: u32, level: usize) -> Vec<u32> {
+        self.leaf_to_level[level]
+            .iter()
+            .enumerate()
+            .filter_map(|(leaf, &anc)| (anc == node).then_some(leaf as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balanced_binary_16_matches_figure_2() {
+        // Figure 2: 8 age bins -> 4 pairs -> 2 halves (root excluded).
+        let t = TaxonomyTree::balanced_binary(8).unwrap();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.level_size(0), 8);
+        assert_eq!(t.level_size(1), 4);
+        assert_eq!(t.level_size(2), 2);
+        // (30,40] is bin 3; its level-1 ancestor is (20,40] = node 1; level-2 is (0,40] = node 0.
+        assert_eq!(t.generalize(3, 1), 1);
+        assert_eq!(t.generalize(3, 2), 0);
+        assert_eq!(t.generalize(7, 2), 1);
+    }
+
+    #[test]
+    fn from_groups_matches_figure_3() {
+        // workclass: 8 values into {self-employed, government, private, unemployed}.
+        let t = TaxonomyTree::from_groups(
+            8,
+            &[vec![0, 1], vec![2, 3, 4], vec![5], vec![6, 7]],
+        )
+        .unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.level_size(1), 4);
+        assert_eq!(t.generalize(3, 1), 1, "state-gov -> government");
+        assert_eq!(t.generalize(5, 1), 2, "private -> private group");
+        assert_eq!(t.leaves_of(1, 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn flat_taxonomy_has_single_level() {
+        let t = TaxonomyTree::flat(5);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.generalize(4, 0), 4);
+    }
+
+    #[test]
+    fn rejects_non_coarser_levels() {
+        // Identity map: level 1 same size as level 0.
+        let r = TaxonomyTree::from_parent_maps(3, vec![vec![0, 1, 2]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_root_level() {
+        let r = TaxonomyTree::from_parent_maps(3, vec![vec![0, 0, 0]]);
+        assert!(r.is_err(), "a level of size 1 is the root and must be excluded");
+    }
+
+    #[test]
+    fn rejects_sparse_codes() {
+        // Parent codes {0, 2} skip 1.
+        let r = TaxonomyTree::from_parent_maps(4, vec![vec![0, 0, 2, 2]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_overlapping_groups() {
+        assert!(TaxonomyTree::from_groups(4, &[vec![0, 1], vec![1, 2, 3]]).is_err());
+        assert!(TaxonomyTree::from_groups(4, &[vec![0, 1], vec![2]]).is_err());
+    }
+
+    proptest! {
+        /// Generalisation is monotone: ancestors at a coarser level are a
+        /// function of ancestors at a finer level.
+        #[test]
+        fn generalization_is_consistent(leaves in 4usize..64, seed in any::<u64>()) {
+            let t = TaxonomyTree::balanced_binary(leaves).unwrap();
+            let leaf = (seed % leaves as u64) as u32;
+            for l in 0..t.height() - 1 {
+                let fine = t.generalize(leaf, l);
+                let coarse = t.generalize(leaf, l + 1);
+                // Every leaf under `fine` maps to `coarse`.
+                for other in 0..leaves as u32 {
+                    if t.generalize(other, l) == fine {
+                        prop_assert_eq!(t.generalize(other, l + 1), coarse);
+                    }
+                }
+            }
+        }
+
+        /// Level sizes strictly decrease and each level's codes are dense.
+        #[test]
+        fn levels_strictly_decrease(leaves in 4usize..64) {
+            let t = TaxonomyTree::balanced_binary(leaves).unwrap();
+            for l in 1..t.height() {
+                prop_assert!(t.level_size(l) < t.level_size(l - 1));
+                let mut seen = vec![false; t.level_size(l)];
+                for leaf in 0..leaves as u32 {
+                    seen[t.generalize(leaf, l) as usize] = true;
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Synthetic ACS: 47,461 tuples × 23 binary person/household indicators from
+//! the 2013–2014 IPUMS-USA sample \[44\].
+
+use privbayes_data::{Attribute, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::random_network::GroundTruthNetwork;
+use crate::targets::{BenchmarkDataset, ClassificationTarget};
+
+/// The paper's cardinality for ACS (Table 5).
+pub const CARDINALITY: usize = 47_461;
+
+/// ACS indicator names; the four SVM targets of §6.1 come first
+/// (owns dwelling / has mortgage / multi-generation household / attends school).
+const ATTRIBUTES: [&str; 23] = [
+    "dwelling",
+    "mortgage",
+    "multi-gen",
+    "school",
+    "employed",
+    "veteran",
+    "disabled",
+    "married",
+    "citizen",
+    "metro",
+    "english",
+    "health-ins",
+    "food-stamps",
+    "broadband",
+    "vehicle",
+    "college",
+    "male",
+    "over-65",
+    "hispanic",
+    "poverty",
+    "self-care",
+    "moved",
+    "grandchild",
+];
+
+/// The ACS schema: 23 binary attributes.
+///
+/// # Panics
+/// Never (names are distinct).
+#[must_use]
+pub fn schema() -> Schema {
+    Schema::new(ATTRIBUTES.iter().map(|a| Attribute::binary(*a)).collect()).expect("valid schema")
+}
+
+/// Generates the synthetic ACS dataset at the paper's size.
+#[must_use]
+pub fn acs(seed: u64) -> BenchmarkDataset {
+    acs_sized(seed, CARDINALITY)
+}
+
+/// Generates a smaller ACS-shaped dataset (for tests and quick runs).
+#[must_use]
+pub fn acs_sized(seed: u64, n: usize) -> BenchmarkDataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(0x4143_5300 ^ seed);
+    let net = GroundTruthNetwork::random(&schema, 3, 1.0, &mut rng);
+    let data = net.sample(n, &mut rng);
+    let targets = vec![
+        ClassificationTarget::new("Y = dwelling", 0, vec![1]),
+        ClassificationTarget::new("Y = mortgage", 1, vec![1]),
+        ClassificationTarget::new("Y = multi-gen", 2, vec![1]),
+        ClassificationTarget::new("Y = school", 3, vec![1]),
+    ];
+    BenchmarkDataset { name: "ACS", data, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_5() {
+        let ds = acs_sized(1, 2000);
+        assert_eq!(ds.data.d(), 23);
+        assert!(ds.data.schema().all_binary());
+        assert!((ds.data.schema().total_domain_log2() - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn targets_not_degenerate() {
+        let ds = acs_sized(2, 1000);
+        for t in &ds.targets {
+            let rate = t.positive_rate(&ds.data);
+            assert!(rate > 0.0 && rate < 1.0, "{}: {rate}", t.name);
+        }
+    }
+}

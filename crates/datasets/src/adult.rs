@@ -1,0 +1,200 @@
+//! Synthetic Adult: 45,222 tuples × 15 mixed attributes mirroring the 1994
+//! US Census extract \[1\], total domain ≈ 2⁵², with taxonomy trees for the
+//! hierarchical encoding (Figures 2–3).
+
+use privbayes_data::{Attribute, Schema, TaxonomyTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::random_network::GroundTruthNetwork;
+use crate::targets::{BenchmarkDataset, ClassificationTarget};
+
+/// The paper's cardinality for Adult (Table 5).
+pub const CARDINALITY: usize = 45_222;
+
+/// Continuous attributes use the paper's 16 equi-width bins (§5.1 fn. 3).
+const BINS: usize = 16;
+
+fn continuous(name: &str, min: f64, max: f64) -> Attribute {
+    Attribute::continuous(name, min, max, BINS)
+        .expect("valid range")
+        .with_taxonomy(TaxonomyTree::balanced_binary(BINS).expect("16 leaves"))
+        .expect("matching leaf count")
+}
+
+fn grouped(name: &str, labels: &[&str], groups: &[Vec<u32>]) -> Attribute {
+    Attribute::categorical_labelled(name, labels.iter().copied())
+        .expect("valid labels")
+        .with_taxonomy(TaxonomyTree::from_groups(labels.len(), groups).expect("valid groups"))
+        .expect("matching leaf count")
+}
+
+/// The Adult schema (15 attributes, ≈ 2⁵² total domain).
+///
+/// # Panics
+/// Never (construction is static).
+#[must_use]
+pub fn schema() -> Schema {
+    let workclass = grouped(
+        "workclass",
+        &[
+            "self-emp-inc",
+            "self-emp-not-inc",
+            "federal-gov",
+            "state-gov",
+            "local-gov",
+            "private",
+            "without-pay",
+            "never-worked",
+        ],
+        // Figure 3: self-employed / government / private / unemployed.
+        &[vec![0, 1], vec![2, 3, 4], vec![5], vec![6, 7]],
+    );
+    let education = Attribute::categorical("education", 16)
+        .expect("valid domain")
+        .with_taxonomy(
+            // pre-HS / HS / some-college / post-secondary.
+            TaxonomyTree::from_groups(
+                16,
+                &[
+                    vec![0, 1, 2, 3],
+                    vec![4, 5, 6, 7],
+                    vec![8, 9, 10, 11],
+                    vec![12, 13, 14, 15],
+                ],
+            )
+            .expect("valid groups"),
+        )
+        .expect("matching leaf count");
+    let marital = grouped(
+        "marital",
+        &[
+            "married-civ",
+            "married-af",
+            "married-absent",
+            "never-married",
+            "divorced",
+            "separated",
+            "widowed",
+        ],
+        &[vec![0, 1, 2], vec![3], vec![4, 5], vec![6]],
+    );
+    let occupation = Attribute::categorical("occupation", 14)
+        .expect("valid domain")
+        .with_taxonomy(
+            TaxonomyTree::from_groups(
+                14,
+                &[vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9, 10], vec![11, 12, 13]],
+            )
+            .expect("valid groups"),
+        )
+        .expect("matching leaf count");
+    let relationship = Attribute::categorical("relationship", 6)
+        .expect("valid domain")
+        .with_taxonomy(TaxonomyTree::from_groups(6, &[vec![0, 1, 2], vec![3, 4, 5]]).expect("valid"))
+        .expect("matching leaf count");
+    let race = Attribute::categorical("race", 5)
+        .expect("valid domain")
+        .with_taxonomy(TaxonomyTree::from_groups(5, &[vec![0], vec![1, 2, 3, 4]]).expect("valid"))
+        .expect("matching leaf count");
+    let country = Attribute::categorical("country", 42)
+        .expect("valid domain")
+        .with_taxonomy(
+            // 42 countries → 6 regions → (regions are the top level; the
+            // CIA-Factbook continent level would be size 3 and is modelled
+            // by a second grouping).
+            TaxonomyTree::from_parent_maps(
+                42,
+                vec![
+                    (0..42u32).map(|c| c / 7).collect(), // 6 regions
+                    vec![0, 0, 1, 1, 2, 2],              // 3 continents
+                ],
+            )
+            .expect("valid maps"),
+        )
+        .expect("matching leaf count");
+
+    Schema::new(vec![
+        continuous("age", 17.0, 90.0),
+        workclass,
+        continuous("fnlwgt", 1e4, 1.5e6),
+        education,
+        continuous("education-num", 1.0, 17.0),
+        marital,
+        occupation,
+        relationship,
+        race,
+        Attribute::binary("sex"),
+        continuous("capital-gain", 0.0, 1e5),
+        continuous("capital-loss", 0.0, 5e3),
+        continuous("hours-per-week", 1.0, 99.0),
+        country,
+        Attribute::binary("salary"),
+    ])
+    .expect("valid schema")
+}
+
+/// Generates the synthetic Adult dataset at the paper's size.
+#[must_use]
+pub fn adult(seed: u64) -> BenchmarkDataset {
+    adult_sized(seed, CARDINALITY)
+}
+
+/// Generates a smaller Adult-shaped dataset (for tests and quick runs).
+#[must_use]
+pub fn adult_sized(seed: u64, n: usize) -> BenchmarkDataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(0x4144_554c_5400 ^ seed);
+    let net = GroundTruthNetwork::random(&schema, 2, 0.8, &mut rng);
+    let data = net.sample(n, &mut rng);
+    // §6.1: female / earns >50K / post-secondary degree / never married.
+    let targets = vec![
+        ClassificationTarget::new("Y = gender", 9, vec![1]),
+        ClassificationTarget::new("Y = salary", 14, vec![1]),
+        ClassificationTarget::new("Y = education", 3, vec![12, 13, 14, 15]),
+        ClassificationTarget::new("Y = marital", 5, vec![3]),
+    ];
+    BenchmarkDataset { name: "Adult", data, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_5() {
+        let ds = adult_sized(1, 1000);
+        assert_eq!(ds.data.d(), 15);
+        let log_dom = ds.data.schema().total_domain_log2();
+        assert!((log_dom - 52.0).abs() < 3.0, "domain ≈ 2^52, got 2^{log_dom:.1}");
+        assert!(!ds.data.schema().all_binary());
+    }
+
+    #[test]
+    fn every_non_binary_attribute_has_taxonomy() {
+        let s = schema();
+        for a in s.attributes() {
+            if a.domain_size() > 2 {
+                assert!(a.taxonomy().is_some(), "attribute `{}` lacks a taxonomy", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn country_taxonomy_has_two_levels_above_leaves() {
+        let s = schema();
+        let t = s.attribute(13).taxonomy().unwrap();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.level_size(1), 6);
+        assert_eq!(t.level_size(2), 3);
+    }
+
+    #[test]
+    fn targets_not_degenerate() {
+        let ds = adult_sized(2, 3000);
+        for t in &ds.targets {
+            let rate = t.positive_rate(&ds.data);
+            assert!(rate > 0.01 && rate < 0.99, "{}: {rate}", t.name);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic BR2000: 38,000 tuples × 14 mixed attributes mirroring the 2000
+//! Brazilian census extract from IPUMS-International \[44\], total domain
+//! ≈ 2³², with taxonomy trees.
+
+use privbayes_data::{Attribute, Schema, TaxonomyTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::random_network::GroundTruthNetwork;
+use crate::targets::{BenchmarkDataset, ClassificationTarget};
+
+/// The paper's cardinality for BR2000 (Table 5).
+pub const CARDINALITY: usize = 38_000;
+
+fn with_binary_taxonomy(attr: Attribute) -> Attribute {
+    let leaves = attr.domain_size();
+    attr.with_taxonomy(TaxonomyTree::balanced_binary(leaves).expect("≥2 leaves"))
+        .expect("matching leaf count")
+}
+
+/// The BR2000 schema (14 attributes, ≈ 2³² total domain).
+///
+/// # Panics
+/// Never (construction is static).
+#[must_use]
+pub fn schema() -> Schema {
+    let religion = Attribute::categorical_labelled(
+        "religion",
+        [
+            "catholic",
+            "evangelical",
+            "pentecostal",
+            "spiritist",
+            "afro-brazilian",
+            "other",
+            "none",
+            "undeclared",
+        ],
+    )
+    .expect("valid labels")
+    .with_taxonomy(
+        TaxonomyTree::from_groups(8, &[vec![0], vec![1, 2], vec![3, 4, 5], vec![6, 7]])
+            .expect("valid groups"),
+    )
+    .expect("matching leaf count");
+
+    Schema::new(vec![
+        with_binary_taxonomy(Attribute::continuous("age", 0.0, 80.0, 16).expect("valid")),
+        Attribute::binary("gender"),
+        religion,
+        Attribute::binary("car"),
+        with_binary_taxonomy(Attribute::categorical("children", 8).expect("valid")),
+        with_binary_taxonomy(Attribute::categorical("marital", 4).expect("valid")),
+        with_binary_taxonomy(Attribute::categorical("education", 8).expect("valid")),
+        with_binary_taxonomy(Attribute::continuous("income", 0.0, 1e4, 16).expect("valid")),
+        with_binary_taxonomy(Attribute::categorical("region", 16).expect("valid")),
+        Attribute::binary("urban"),
+        with_binary_taxonomy(Attribute::categorical("race", 4).expect("valid")),
+        with_binary_taxonomy(Attribute::categorical("occupation", 8).expect("valid")),
+        Attribute::binary("employed"),
+        Attribute::binary("migrant"),
+    ])
+    .expect("valid schema")
+}
+
+/// Generates the synthetic BR2000 dataset at the paper's size.
+#[must_use]
+pub fn br2000(seed: u64) -> BenchmarkDataset {
+    br2000_sized(seed, CARDINALITY)
+}
+
+/// Generates a smaller BR2000-shaped dataset (for tests and quick runs).
+#[must_use]
+pub fn br2000_sized(seed: u64, n: usize) -> BenchmarkDataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(0x4252_3230_3030 ^ seed);
+    let net = GroundTruthNetwork::random(&schema, 2, 0.8, &mut rng);
+    let data = net.sample(n, &mut rng);
+    // §6.1: Catholic / owns a car / has ≥1 child / older than 20.
+    let targets = vec![
+        ClassificationTarget::new("Y = religion", 2, vec![0]),
+        ClassificationTarget::new("Y = car", 3, vec![1]),
+        ClassificationTarget::new("Y = child", 4, (1..8).collect()),
+        // age bins are 5 years wide over (0, 80]; >20 is bins 4..16.
+        ClassificationTarget::new("Y = age", 0, (4..16).collect()),
+    ];
+    BenchmarkDataset { name: "BR2000", data, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_5() {
+        let ds = br2000_sized(1, 1000);
+        assert_eq!(ds.data.d(), 14);
+        let log_dom = ds.data.schema().total_domain_log2();
+        assert!((log_dom - 32.0).abs() < 3.0, "domain ≈ 2^32, got 2^{log_dom:.1}");
+    }
+
+    #[test]
+    fn non_binary_attributes_have_taxonomies() {
+        for a in schema().attributes() {
+            if a.domain_size() > 2 {
+                assert!(a.taxonomy().is_some(), "`{}` lacks a taxonomy", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn religion_taxonomy_groups_catholic_alone() {
+        let s = schema();
+        let t = s.attribute(2).taxonomy().unwrap();
+        assert_eq!(t.leaves_of(0, 1), vec![0], "catholic is its own group");
+    }
+
+    #[test]
+    fn targets_not_degenerate() {
+        let ds = br2000_sized(2, 3000);
+        for t in &ds.targets {
+            let rate = t.positive_rate(&ds.data);
+            assert!(rate > 0.01 && rate < 0.99, "{}: {rate}", t.name);
+        }
+    }
+}

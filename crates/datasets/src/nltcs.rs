@@ -1,0 +1,79 @@
+//! Synthetic NLTCS: 21,574 tuples × 16 binary disability indicators \[35\].
+
+use privbayes_data::{Attribute, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::random_network::GroundTruthNetwork;
+use crate::targets::{BenchmarkDataset, ClassificationTarget};
+
+/// The paper's cardinality for NLTCS (Table 5).
+pub const CARDINALITY: usize = 21_574;
+
+/// NLTCS activity-of-daily-living indicators (the four SVM targets of §6.1
+/// first: unable to get outside / manage money / bathe / travel).
+const ATTRIBUTES: [&str; 16] = [
+    "outside", "money", "bathing", "traveling", "dressing", "toileting", "bed", "housework",
+    "laundry", "cooking", "grocery", "walking", "eating", "medicine", "telephone", "wheelchair",
+];
+
+/// The NLTCS schema: 16 binary attributes.
+///
+/// # Panics
+/// Never (names are distinct).
+#[must_use]
+pub fn schema() -> Schema {
+    Schema::new(ATTRIBUTES.iter().map(|a| Attribute::binary(*a)).collect()).expect("valid schema")
+}
+
+/// Generates the synthetic NLTCS dataset at the paper's size.
+#[must_use]
+pub fn nltcs(seed: u64) -> BenchmarkDataset {
+    nltcs_sized(seed, CARDINALITY)
+}
+
+/// Generates a smaller NLTCS-shaped dataset (for tests and quick runs).
+#[must_use]
+pub fn nltcs_sized(seed: u64, n: usize) -> BenchmarkDataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(0x4e4c_5443_5300 ^ seed);
+    // Disability indicators are strongly cross-correlated: degree-3 network
+    // with skewed CPTs (most people answer "able" on most items).
+    let net = GroundTruthNetwork::random(&schema, 3, 1.0, &mut rng);
+    let data = net.sample(n, &mut rng);
+    let targets = vec![
+        ClassificationTarget::new("Y = outside", 0, vec![1]),
+        ClassificationTarget::new("Y = money", 1, vec![1]),
+        ClassificationTarget::new("Y = bathing", 2, vec![1]),
+        ClassificationTarget::new("Y = traveling", 3, vec![1]),
+    ];
+    BenchmarkDataset { name: "NLTCS", data, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_5() {
+        let ds = nltcs_sized(1, 2000);
+        assert_eq!(ds.data.d(), 16);
+        assert_eq!(ds.data.n(), 2000);
+        assert!(ds.data.schema().all_binary());
+        assert!((ds.data.schema().total_domain_log2() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn targets_are_binary_attributes() {
+        let ds = nltcs_sized(2, 500);
+        for t in &ds.targets {
+            let rate = t.positive_rate(&ds.data);
+            assert!(rate > 0.0 && rate < 1.0, "target {} degenerate: {rate}", t.name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(nltcs_sized(5, 100).data, nltcs_sized(5, 100).data);
+    }
+}

@@ -1,0 +1,80 @@
+//! Benchmark-dataset wrapper and classification targets (§6.1).
+//!
+//! Each evaluation dataset carries four binary classification targets: the
+//! label is 1 when the target attribute's value falls in a designated
+//! positive set (e.g. Adult's "holds a post-secondary degree" is a
+//! binarisation of `education`).
+
+use privbayes_data::Dataset;
+
+/// A binary classification target over one attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassificationTarget {
+    /// Human-readable task name matching the paper's figure captions
+    /// (e.g. `Y = outside`).
+    pub name: String,
+    /// Index of the predicted attribute.
+    pub attr: usize,
+    /// Attribute codes mapped to the positive label.
+    pub positive: Vec<u32>,
+}
+
+impl ClassificationTarget {
+    /// Creates a target.
+    #[must_use]
+    pub fn new(name: impl Into<String>, attr: usize, positive: Vec<u32>) -> Self {
+        Self { name: name.into(), attr, positive }
+    }
+
+    /// The ±1 label of a row.
+    #[must_use]
+    pub fn label(&self, dataset: &Dataset, row: usize) -> f64 {
+        if self.positive.contains(&dataset.value(row, self.attr)) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Fraction of positive rows (sanity metric for the generators).
+    #[must_use]
+    pub fn positive_rate(&self, dataset: &Dataset) -> f64 {
+        if dataset.n() == 0 {
+            return 0.0;
+        }
+        let pos = dataset
+            .column(self.attr)
+            .iter()
+            .filter(|v| self.positive.contains(v))
+            .count();
+        pos as f64 / dataset.n() as f64
+    }
+}
+
+/// A named dataset plus its four classification tasks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkDataset {
+    /// Dataset name as used in the paper ("NLTCS", "ACS", "Adult", "BR2000").
+    pub name: &'static str,
+    /// The generated data.
+    pub data: Dataset,
+    /// The paper's four SVM targets for this dataset.
+    pub targets: Vec<ClassificationTarget>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privbayes_data::{Attribute, Schema};
+
+    #[test]
+    fn labels_follow_positive_set() {
+        let schema = Schema::new(vec![Attribute::categorical("edu", 4).unwrap()]).unwrap();
+        let ds = Dataset::from_rows(schema, &[vec![0], vec![2], vec![3], vec![1]]).unwrap();
+        let t = ClassificationTarget::new("post-secondary", 0, vec![2, 3]);
+        assert_eq!(t.label(&ds, 0), -1.0);
+        assert_eq!(t.label(&ds, 1), 1.0);
+        assert_eq!(t.label(&ds, 2), 1.0);
+        assert!((t.positive_rate(&ds) - 0.5).abs() < 1e-12);
+    }
+}

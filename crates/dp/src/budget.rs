@@ -1,0 +1,189 @@
+//! Privacy-budget accounting via sequential composition.
+//!
+//! PrivBayes satisfies (ε₁+ε₂)-DP (Theorem 3.2); the split is governed by the
+//! β parameter: ε₁ = βε, ε₂ = (1−β)ε (§3). [`PrivacyBudget`] enforces that no
+//! pipeline spends more than its total, which the integration tests rely on to
+//! check end-to-end accounting.
+
+use crate::error::DpError;
+
+/// Tracks spending of an ε-differential-privacy budget under sequential
+/// composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget of `total` > 0.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidParameter`] for non-positive or non-finite totals.
+    pub fn new(total: f64) -> Result<Self, DpError> {
+        if !total.is_finite() || total <= 0.0 {
+            return Err(DpError::InvalidParameter(format!("budget must be positive, got {total}")));
+        }
+        Ok(Self { total, spent: 0.0 })
+    }
+
+    /// Total budget.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget spent so far.
+    #[must_use]
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget remaining.
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Consumes `epsilon` from the budget.
+    ///
+    /// # Errors
+    /// Returns [`DpError::BudgetExhausted`] if `epsilon` exceeds the remaining
+    /// budget (with a small tolerance for floating-point splits), or
+    /// [`DpError::InvalidParameter`] for non-positive requests.
+    pub fn consume(&mut self, epsilon: f64) -> Result<(), DpError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(DpError::InvalidParameter(format!(
+                "consumed epsilon must be positive, got {epsilon}"
+            )));
+        }
+        let tolerance = 1e-9 * self.total;
+        if epsilon > self.remaining() + tolerance {
+            return Err(DpError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent = (self.spent + epsilon).min(self.total);
+        Ok(())
+    }
+}
+
+/// The β budget split of §3: ε₁ = βε for network learning, ε₂ = (1−β)ε for
+/// distribution learning. The paper's default (justified in §6.4) is β = 0.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSplit {
+    beta: f64,
+}
+
+impl BudgetSplit {
+    /// The paper's default β = 0.3.
+    pub const DEFAULT_BETA: f64 = 0.3;
+
+    /// Creates a split with the given β ∈ (0, 1).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidParameter`] if β ∉ (0, 1).
+    pub fn new(beta: f64) -> Result<Self, DpError> {
+        if !(beta > 0.0 && beta < 1.0) {
+            return Err(DpError::InvalidParameter(format!("beta must lie in (0,1), got {beta}")));
+        }
+        Ok(Self { beta })
+    }
+
+    /// The paper's default split.
+    #[must_use]
+    pub fn default_paper() -> Self {
+        Self { beta: Self::DEFAULT_BETA }
+    }
+
+    /// β itself.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Splits `epsilon` into (ε₁, ε₂).
+    #[must_use]
+    pub fn split(&self, epsilon: f64) -> (f64, f64) {
+        (self.beta * epsilon, (1.0 - self.beta) * epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn consume_tracks_spending() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.consume(0.3).unwrap();
+        b.consume(0.7).unwrap();
+        assert!(b.remaining() < 1e-12);
+        assert!(matches!(b.consume(0.1), Err(DpError::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn consume_rejects_nonpositive() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        assert!(b.consume(0.0).is_err());
+        assert!(b.consume(-0.5).is_err());
+        assert!(b.consume(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn new_rejects_bad_totals() {
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(-1.0).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn many_small_consumptions_allowed_up_to_total() {
+        // d-1 exponential-mechanism invocations at ε₁/(d-1) each (§4.2).
+        let mut b = PrivacyBudget::new(0.3).unwrap();
+        let d = 23;
+        for _ in 0..d - 1 {
+            b.consume(0.3 / (d - 1) as f64).unwrap();
+        }
+        assert!(b.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn split_default_beta() {
+        let s = BudgetSplit::default_paper();
+        let (e1, e2) = s.split(1.6);
+        assert!((e1 - 0.48).abs() < 1e-12);
+        assert!((e2 - 1.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_beta() {
+        assert!(BudgetSplit::new(0.0).is_err());
+        assert!(BudgetSplit::new(1.0).is_err());
+        assert!(BudgetSplit::new(f64::NAN).is_err());
+    }
+
+    proptest! {
+        /// ε₁ + ε₂ = ε exactly (up to float rounding), both positive.
+        #[test]
+        fn prop_split_sums(beta in 0.01f64..0.99, eps in 0.01f64..10.0) {
+            let s = BudgetSplit::new(beta).unwrap();
+            let (e1, e2) = s.split(eps);
+            prop_assert!(e1 > 0.0 && e2 > 0.0);
+            prop_assert!(((e1 + e2) - eps).abs() < 1e-12 * eps.max(1.0));
+        }
+
+        /// A budget never reports negative remaining.
+        #[test]
+        fn prop_budget_non_negative(steps in proptest::collection::vec(0.01f64..0.5, 1..20)) {
+            let mut b = PrivacyBudget::new(1.0).unwrap();
+            for s in steps {
+                let _ = b.consume(s);
+                prop_assert!(b.remaining() >= 0.0);
+                prop_assert!(b.spent() <= b.total() + 1e-12);
+            }
+        }
+    }
+}

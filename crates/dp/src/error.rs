@@ -1,0 +1,43 @@
+//! Error type for the DP crate.
+
+use std::fmt;
+
+/// Errors raised by mechanisms and budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// Requested more budget than remains.
+    BudgetExhausted {
+        /// Amount requested.
+        requested: f64,
+        /// Amount remaining.
+        remaining: f64,
+    },
+    /// A mechanism parameter was non-positive or otherwise invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::BudgetExhausted { requested, remaining } => {
+                write!(f, "privacy budget exhausted: requested {requested}, remaining {remaining}")
+            }
+            DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = DpError::BudgetExhausted { requested: 0.5, remaining: 0.1 };
+        assert!(e.to_string().contains("0.5"));
+        let e = DpError::InvalidParameter("epsilon must be positive".into());
+        assert!(e.to_string().contains("epsilon"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The exponential mechanism (McSherry & Talwar \[39\]).
+//!
+//! Samples ω from a finite candidate set with probability proportional to
+//! `exp(f_s(D, ω) / 2Δ)`, which is ε-DP whenever `Δ ≥ S(f_s)/ε` (§2.1). The
+//! paper instantiates this with Δ = (d−1)·S/ε₁ for the d−1 network-learning
+//! selections (§4.2).
+
+use rand::{Rng, RngExt};
+
+use crate::error::DpError;
+
+/// Selects an index from `scores` with probability ∝ `exp(score/(2·delta))`.
+///
+/// This is the paper's parameterisation: `delta` is the scaling factor Δ, so
+/// callers pass `Δ = sensitivity / epsilon` (possibly already divided among
+/// composed invocations). Computation subtracts the maximum score for
+/// numerical stability.
+///
+/// # Errors
+/// Returns [`DpError::InvalidParameter`] if `scores` is empty, any score is
+/// non-finite, or `delta` is not strictly positive.
+pub fn select_with_scale<R: Rng + ?Sized>(
+    scores: &[f64],
+    delta: f64,
+    rng: &mut R,
+) -> Result<usize, DpError> {
+    if scores.is_empty() {
+        return Err(DpError::InvalidParameter("no candidates".into()));
+    }
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(DpError::InvalidParameter(format!("delta must be positive, got {delta}")));
+    }
+    if scores.iter().any(|s| !s.is_finite()) {
+        return Err(DpError::InvalidParameter("non-finite score".into()));
+    }
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores.iter().map(|&s| ((s - max) / (2.0 * delta)).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return Ok(i);
+        }
+    }
+    Ok(scores.len() - 1) // float round-off fallback
+}
+
+/// Convenience wrapper: ε-DP selection given the score function's sensitivity.
+///
+/// Equivalent to [`select_with_scale`] with `delta = sensitivity / epsilon`.
+///
+/// # Errors
+/// Same as [`select_with_scale`], plus invalid `epsilon`/`sensitivity`.
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    scores: &[f64],
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> Result<usize, DpError> {
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(DpError::InvalidParameter(format!("epsilon must be positive, got {epsilon}")));
+    }
+    if !(sensitivity > 0.0 && sensitivity.is_finite()) {
+        return Err(DpError::InvalidParameter(format!(
+            "sensitivity must be positive, got {sensitivity}"
+        )));
+    }
+    select_with_scale(scores, sensitivity / epsilon, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefers_high_scores() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores = [0.0, 0.0, 5.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[exponential_mechanism(&scores, 1.0, 2.0, &mut rng).unwrap()] += 1;
+        }
+        assert!(counts[2] > 1800, "high-score candidate should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn selection_ratio_matches_theory() {
+        // P(i)/P(j) = exp((s_i - s_j)·ε / (2S)). With s = [1, 0], ε = 2, S = 1:
+        // ratio = e ≈ 2.718.
+        let mut rng = StdRng::seed_from_u64(2);
+        let scores = [1.0, 0.0];
+        let trials = 300_000;
+        let mut c0 = 0usize;
+        for _ in 0..trials {
+            if exponential_mechanism(&scores, 1.0, 2.0, &mut rng).unwrap() == 0 {
+                c0 += 1;
+            }
+        }
+        let ratio = c0 as f64 / (trials - c0) as f64;
+        assert!((ratio - std::f64::consts::E).abs() < 0.08, "ratio {ratio} should be ~e");
+    }
+
+    #[test]
+    fn near_zero_epsilon_is_near_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = [10.0, 0.0];
+        let trials = 100_000;
+        let mut c0 = 0usize;
+        for _ in 0..trials {
+            if exponential_mechanism(&scores, 1.0, 1e-6, &mut rng).unwrap() == 0 {
+                c0 += 1;
+            }
+        }
+        let frac = c0 as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.01, "ε→0 should look uniform, got {frac}");
+    }
+
+    #[test]
+    fn handles_large_score_magnitudes() {
+        // Without max-subtraction this would overflow exp().
+        let mut rng = StdRng::seed_from_u64(4);
+        let scores = [1e6, 1e6 - 1.0];
+        let idx = select_with_scale(&scores, 0.5, &mut rng).unwrap();
+        assert!(idx < 2);
+    }
+
+    #[test]
+    fn single_candidate_always_selected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(exponential_mechanism(&[42.0], 1.0, 0.1, &mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(exponential_mechanism(&[], 1.0, 1.0, &mut rng).is_err());
+        assert!(exponential_mechanism(&[1.0], 1.0, 0.0, &mut rng).is_err());
+        assert!(exponential_mechanism(&[1.0], 0.0, 1.0, &mut rng).is_err());
+        assert!(exponential_mechanism(&[f64::NAN], 1.0, 1.0, &mut rng).is_err());
+        assert!(select_with_scale(&[1.0], 0.0, &mut rng).is_err());
+    }
+}

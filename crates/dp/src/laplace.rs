@@ -1,0 +1,141 @@
+//! The Laplace mechanism (Dwork et al. \[19\]).
+//!
+//! `Lap(λ)` has pdf `(1/2λ)·exp(−|x|/λ)`; adding `Lap(S(F)/ε)` noise to each
+//! coordinate of a function with L1-sensitivity `S(F)` yields ε-DP.
+
+use rand::{Rng, RngExt};
+
+use crate::error::DpError;
+
+/// Draws one sample from `Lap(scale)` by inverse-CDF transform.
+///
+/// # Panics
+/// Panics if `scale` is not strictly positive (programming error; public
+/// entry points validate first).
+pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    assert!(scale > 0.0 && scale.is_finite(), "Laplace scale must be positive, got {scale}");
+    // u uniform in (-0.5, 0.5]; the open lower end avoids ln(0).
+    let u: f64 = rng.random::<f64>() - 0.5;
+    let sign = if u < 0.0 { -1.0 } else { 1.0 };
+    -scale * sign * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Adds i.i.d. `Lap(sensitivity/epsilon)` noise to every value in place.
+///
+/// # Errors
+/// Returns [`DpError::InvalidParameter`] if `epsilon` or `sensitivity` is not
+/// strictly positive and finite.
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    values: &mut [f64],
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> Result<(), DpError> {
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(DpError::InvalidParameter(format!("epsilon must be positive, got {epsilon}")));
+    }
+    if !(sensitivity > 0.0 && sensitivity.is_finite()) {
+        return Err(DpError::InvalidParameter(format!(
+            "sensitivity must be positive, got {sensitivity}"
+        )));
+    }
+    let scale = sensitivity / epsilon;
+    for v in values {
+        *v += sample_laplace(scale, rng);
+    }
+    Ok(())
+}
+
+/// The pdf of `Lap(scale)` at `x` (used in tests and documentation).
+#[must_use]
+pub fn laplace_pdf(x: f64, scale: f64) -> f64 {
+    (-(x.abs()) / scale).exp() / (2.0 * scale)
+}
+
+/// Expected absolute value of `Lap(scale)` — the paper's "average scale of
+/// noise" in the θ-usefulness analysis (Lemma 4.8) is `E|η| = scale`.
+#[must_use]
+pub fn expected_abs(scale: f64) -> f64 {
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scale = 2.0;
+        let m = 200_000;
+        let samples: Vec<f64> = (0..m).map(|_| sample_laplace(scale, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / m as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} should be ~0");
+        // Var(Lap(λ)) = 2λ² = 8.
+        assert!((var - 8.0).abs() < 0.3, "variance {var} should be ~8");
+    }
+
+    #[test]
+    fn sample_mean_abs_matches_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scale = 0.5;
+        let m = 100_000;
+        let mean_abs: f64 =
+            (0..m).map(|_| sample_laplace(scale, &mut rng).abs()).sum::<f64>() / m as f64;
+        assert!((mean_abs - expected_abs(scale)).abs() < 0.02, "E|η| = λ, got {mean_abs}");
+    }
+
+    #[test]
+    fn mechanism_perturbs_every_cell() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = vec![0.0; 64];
+        laplace_mechanism(&mut v, 2.0 / 1000.0, 0.1, &mut rng).unwrap();
+        assert!(v.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn mechanism_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v = vec![0.0];
+        assert!(laplace_mechanism(&mut v, 1.0, 0.0, &mut rng).is_err());
+        assert!(laplace_mechanism(&mut v, 0.0, 1.0, &mut rng).is_err());
+        assert!(laplace_mechanism(&mut v, -1.0, 1.0, &mut rng).is_err());
+        assert!(laplace_mechanism(&mut v, 1.0, f64::INFINITY, &mut rng).is_err());
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        let s = 1.5;
+        assert!((laplace_pdf(1.0, s) - laplace_pdf(-1.0, s)).abs() < 1e-15);
+        assert!(laplace_pdf(0.0, s) > laplace_pdf(0.1, s));
+        assert!((laplace_pdf(0.0, s) - 1.0 / (2.0 * s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| sample_laplace(1.0, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| sample_laplace(1.0, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empirical_cdf_matches_theory_at_quartiles() {
+        // For Lap(λ), P(X ≤ 0) = 0.5 and P(X ≤ λ·ln2) = 0.75.
+        let mut rng = StdRng::seed_from_u64(5);
+        let scale = 1.0;
+        let m = 100_000;
+        let samples: Vec<f64> = (0..m).map(|_| sample_laplace(scale, &mut rng)).collect();
+        let frac_le = |t: f64| samples.iter().filter(|&&x| x <= t).count() as f64 / m as f64;
+        assert!((frac_le(0.0) - 0.5).abs() < 0.01);
+        assert!((frac_le(std::f64::consts::LN_2) - 0.75).abs() < 0.01);
+    }
+}

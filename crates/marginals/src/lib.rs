@@ -1,0 +1,19 @@
+//! Contingency-table engine for the PrivBayes reproduction.
+//!
+//! Materialises joint distributions over (possibly generalised) attribute
+//! subsets in O(n·k) time, projects them to sub-marginals, enumerates α-way
+//! marginal workloads (the paper's `Q_α` count-query task), computes
+//! total-variation accuracy metrics, and applies consistency post-processing:
+//! per-table non-negativity + renormalisation (used by both PrivBayes and the
+//! baselines) and cross-table [`consistency::mutual_consistency`] (the §3
+//! footnote-1 optimisation).
+
+pub mod consistency;
+pub mod metrics;
+pub mod query;
+pub mod table;
+
+pub use consistency::{clamp_and_normalize, mutual_consistency, shared_axes};
+pub use metrics::{average_workload_tvd, total_variation};
+pub use query::AlphaWayWorkload;
+pub use table::{Axis, ContingencyTable};

@@ -1,0 +1,149 @@
+//! α-way marginal workloads (`Q_α`, §6.1).
+
+/// The workload of **all** α-way marginals over `d` attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphaWayWorkload {
+    alpha: usize,
+    subsets: Vec<Vec<usize>>,
+}
+
+impl AlphaWayWorkload {
+    /// Enumerates all `C(d, α)` subsets in lexicographic order.
+    ///
+    /// # Panics
+    /// Panics if `alpha == 0` or `alpha > d`.
+    #[must_use]
+    pub fn new(d: usize, alpha: usize) -> Self {
+        assert!(alpha >= 1 && alpha <= d, "alpha must lie in 1..=d, got {alpha} for d={d}");
+        let mut subsets = Vec::new();
+        let mut current = Vec::with_capacity(alpha);
+        enumerate(d, alpha, 0, &mut current, &mut subsets);
+        Self { alpha, subsets }
+    }
+
+    /// α.
+    #[must_use]
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The attribute subsets.
+    #[must_use]
+    pub fn subsets(&self) -> &[Vec<usize>] {
+        &self.subsets
+    }
+
+    /// Number of marginals in the workload.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Whether the workload is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.subsets.is_empty()
+    }
+}
+
+fn enumerate(
+    d: usize,
+    alpha: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if current.len() == alpha {
+        out.push(current.clone());
+        return;
+    }
+    let needed = alpha - current.len();
+    for i in start..=d - needed {
+        current.push(i);
+        enumerate(d, alpha, i + 1, current, out);
+        current.pop();
+    }
+}
+
+/// Binomial coefficient (used to cross-check workload sizes; saturating).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    usize::try_from(acc).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn q2_over_4_attributes() {
+        let w = AlphaWayWorkload::new(4, 2);
+        assert_eq!(w.len(), 6);
+        assert_eq!(
+            w.subsets(),
+            &[
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_workload_sizes() {
+        // NLTCS (d=16): |Q3| = 560, |Q4| = 1820. ACS (d=23): |Q3| = 1771, |Q4| = 8855.
+        assert_eq!(AlphaWayWorkload::new(16, 3).len(), 560);
+        assert_eq!(AlphaWayWorkload::new(16, 4).len(), 1820);
+        assert_eq!(AlphaWayWorkload::new(23, 3).len(), 1771);
+        assert_eq!(AlphaWayWorkload::new(23, 4).len(), 8855);
+    }
+
+    #[test]
+    fn alpha_equals_d() {
+        let w = AlphaWayWorkload::new(3, 3);
+        assert_eq!(w.subsets(), &[vec![0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie")]
+    fn rejects_zero_alpha() {
+        let _ = AlphaWayWorkload::new(4, 0);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(23, 4), 8855);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(10, 0), 1);
+    }
+
+    proptest! {
+        /// Subsets are sorted, distinct, of size α, and count C(d, α).
+        #[test]
+        fn prop_workload_wellformed(d in 2usize..10, alpha in 1usize..5) {
+            prop_assume!(alpha <= d);
+            let w = AlphaWayWorkload::new(d, alpha);
+            prop_assert_eq!(w.len(), binomial(d, alpha));
+            let mut seen = std::collections::HashSet::new();
+            for s in w.subsets() {
+                prop_assert_eq!(s.len(), alpha);
+                prop_assert!(s.windows(2).all(|p| p[0] < p[1]));
+                prop_assert!(s.iter().all(|&a| a < d));
+                prop_assert!(seen.insert(s.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Classifier evaluation: the misclassification rate of §6.1.
+
+use crate::features::FeatureMatrix;
+use crate::svm::LinearSvm;
+
+/// Fraction of rows the classifier labels incorrectly.
+///
+/// # Panics
+/// Panics if `data` is empty.
+#[must_use]
+pub fn misclassification_rate(model: &LinearSvm, data: &FeatureMatrix) -> f64 {
+    assert!(data.rows() > 0, "empty evaluation set");
+    let wrong = (0..data.rows())
+        .filter(|&i| model.predict(data.row(i)) != data.y[i])
+        .count();
+    wrong as f64 / data.rows() as f64
+}
+
+/// Misclassification rate of a constant prediction (used by Majority).
+///
+/// # Panics
+/// Panics if `data` is empty.
+#[must_use]
+pub fn constant_misclassification_rate(prediction: f64, data: &FeatureMatrix) -> f64 {
+    assert!(data.rows() > 0, "empty evaluation set");
+    let wrong = data.y.iter().filter(|&&y| y != prediction).count();
+    wrong as f64 / data.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FeatureMatrix {
+        // Two rows: x = [1], labels +1 and −1.
+        FeatureMatrix { x: vec![1.0, 1.0], y: vec![1.0, -1.0], dim: 1 }
+    }
+
+    #[test]
+    fn rates() {
+        let m = toy();
+        let always_pos = LinearSvm::from_weights(vec![1.0]);
+        assert!((misclassification_rate(&always_pos, &m) - 0.5).abs() < 1e-12);
+        assert!((constant_misclassification_rate(1.0, &m) - 0.5).abs() < 1e-12);
+        assert!((constant_misclassification_rate(-1.0, &m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_zero() {
+        let m = FeatureMatrix { x: vec![1.0, -1.0], y: vec![1.0, -1.0], dim: 1 };
+        let svm = LinearSvm::from_weights(vec![1.0]);
+        assert_eq!(misclassification_rate(&svm, &m), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Feature extraction: one-hot encoding with unit-ball normalisation.
+//!
+//! Every attribute except the target is one-hot encoded; a constant bias
+//! feature is appended; each row is scaled so ‖x‖₂ ≤ 1, which PrivateERM's
+//! privacy analysis requires \[8\] and which does not affect the other
+//! learners.
+
+use privbayes_data::Dataset;
+
+/// A dense feature matrix with ±1 labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    /// Row-major features, `rows × dim`.
+    pub x: Vec<f64>,
+    /// ±1 labels.
+    pub y: Vec<f64>,
+    /// Feature dimensionality (including the bias column).
+    pub dim: usize,
+}
+
+impl FeatureMatrix {
+    /// Builds the matrix for predicting `target_attr`; rows whose target
+    /// value is in `positive` get label +1.
+    ///
+    /// # Panics
+    /// Panics if `target_attr` is out of range.
+    #[must_use]
+    pub fn build(dataset: &Dataset, target_attr: usize, positive: &[u32]) -> Self {
+        let schema = dataset.schema();
+        assert!(target_attr < schema.len(), "target attribute out of range");
+        let feature_attrs: Vec<usize> =
+            (0..schema.len()).filter(|&a| a != target_attr).collect();
+        let offsets: Vec<usize> = feature_attrs
+            .iter()
+            .scan(0usize, |acc, &a| {
+                let off = *acc;
+                *acc += schema.attribute(a).domain_size();
+                Some(off)
+            })
+            .collect();
+        let one_hot_dim: usize =
+            feature_attrs.iter().map(|&a| schema.attribute(a).domain_size()).sum();
+        let dim = one_hot_dim + 1; // + bias
+        // Each row has exactly (d−1) ones plus the bias: norm² = d.
+        let scale = 1.0 / (feature_attrs.len() as f64 + 1.0).sqrt();
+
+        let n = dataset.n();
+        let mut x = vec![0.0f64; n * dim];
+        let mut y = Vec::with_capacity(n);
+        for row in 0..n {
+            let base = row * dim;
+            for (slot, &attr) in feature_attrs.iter().enumerate() {
+                let code = dataset.value(row, attr) as usize;
+                x[base + offsets[slot] + code] = scale;
+            }
+            x[base + one_hot_dim] = scale; // bias
+            let label = if positive.contains(&dataset.value(row, target_attr)) { 1.0 } else { -1.0 };
+            y.push(label);
+        }
+        Self { x, y, dim }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Dot product helper shared by the learners.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privbayes_data::{Attribute, Schema};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::binary("t"),
+            Attribute::categorical("c", 3).unwrap(),
+            Attribute::binary("b"),
+        ])
+        .unwrap();
+        Dataset::from_rows(schema, &[vec![1, 2, 0], vec![0, 0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn one_hot_layout_and_labels() {
+        let m = FeatureMatrix::build(&dataset(), 0, &[1]);
+        // Features: c (3) + b (2) + bias = 6 dims.
+        assert_eq!(m.dim, 6);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.y, vec![1.0, -1.0]);
+        let s = 1.0 / 3f64.sqrt();
+        assert_eq!(m.row(0), &[0.0, 0.0, s, s, 0.0, s]);
+        assert_eq!(m.row(1), &[s, 0.0, 0.0, 0.0, s, s]);
+    }
+
+    #[test]
+    fn rows_have_unit_norm() {
+        let m = FeatureMatrix::build(&dataset(), 1, &[2]);
+        for i in 0..m.rows() {
+            let norm: f64 = m.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn empty_positive_set_labels_everything_negative() {
+        let m = FeatureMatrix::build(&dataset(), 0, &[]);
+        assert!(m.y.iter().all(|&l| l == -1.0));
+        let m = FeatureMatrix::build(&dataset(), 0, &[0, 1]);
+        assert!(m.y.iter().all(|&l| l == 1.0), "covering positives label all +1");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        fn random_dataset(d: usize, sizes: &[usize], n: usize, seed: u64) -> Dataset {
+            let schema = Schema::new(
+                (0..d)
+                    .map(|i| Attribute::categorical(format!("a{i}"), sizes[i % sizes.len()]).unwrap())
+                    .collect(),
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows: Vec<Vec<u32>> = (0..n)
+                .map(|_| {
+                    (0..d)
+                        .map(|i| rng.random_range(0..sizes[i % sizes.len()] as u32))
+                        .collect()
+                })
+                .collect();
+            Dataset::from_rows(schema, &rows).unwrap()
+        }
+
+        proptest! {
+            /// Every row of every feature matrix lies exactly on the unit
+            /// sphere (PrivateERM's ‖x‖ ≤ 1 requirement) and carries exactly
+            /// d non-zero coordinates (d−1 one-hots + bias).
+            #[test]
+            fn prop_unit_norm_and_sparsity(
+                d in 2usize..6,
+                n in 1usize..30,
+                target in 0usize..6,
+                seed in any::<u64>(),
+            ) {
+                let target = target % d;
+                let data = random_dataset(d, &[2, 3, 4], n, seed);
+                let m = FeatureMatrix::build(&data, target, &[0]);
+                prop_assert_eq!(m.rows(), n);
+                for i in 0..m.rows() {
+                    let norm: f64 = m.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+                    prop_assert!((norm - 1.0).abs() < 1e-12);
+                    let nonzero = m.row(i).iter().filter(|&&v| v != 0.0).count();
+                    prop_assert_eq!(nonzero, d, "d-1 one-hots plus bias");
+                }
+            }
+
+            /// Labels always match membership of the target value.
+            #[test]
+            fn prop_labels_track_target(
+                n in 1usize..30,
+                seed in any::<u64>(),
+            ) {
+                let data = random_dataset(3, &[4], n, seed);
+                let m = FeatureMatrix::build(&data, 1, &[1, 3]);
+                for row in 0..n {
+                    let v = data.value(row, 1);
+                    let expected = if v == 1 || v == 3 { 1.0 } else { -1.0 };
+                    prop_assert_eq!(m.y[row], expected);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The Majority baseline (§6.1): a noisy count of positive training labels
+//! decides a constant prediction for the whole test set.
+
+use privbayes_dp::laplace::sample_laplace;
+use rand::Rng;
+
+use crate::eval::constant_misclassification_rate;
+use crate::features::FeatureMatrix;
+
+/// A constant ±1 classifier chosen by a Laplace-noised majority vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorityClassifier {
+    /// The constant prediction.
+    pub prediction: f64,
+}
+
+impl MajorityClassifier {
+    /// Counts training rows with label +1, adds `Lap(1/ε)` (the count has
+    /// sensitivity 1), and predicts +1 iff the noisy count exceeds n/2.
+    ///
+    /// # Panics
+    /// Panics if `epsilon <= 0` or the training set is empty.
+    pub fn train<R: Rng + ?Sized>(train: &FeatureMatrix, epsilon: f64, rng: &mut R) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(train.rows() > 0, "empty training set");
+        let positives = train.y.iter().filter(|&&y| y > 0.0).count() as f64;
+        let noisy = positives + sample_laplace(1.0 / epsilon, rng);
+        let prediction = if noisy > train.rows() as f64 / 2.0 { 1.0 } else { -1.0 };
+        Self { prediction }
+    }
+
+    /// Misclassification rate on a test set.
+    #[must_use]
+    pub fn misclassification_rate(&self, test: &FeatureMatrix) -> f64 {
+        constant_misclassification_rate(self.prediction, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn matrix(pos: usize, neg: usize) -> FeatureMatrix {
+        let y: Vec<f64> =
+            std::iter::repeat_n(1.0, pos).chain(std::iter::repeat_n(-1.0, neg)).collect();
+        FeatureMatrix { x: vec![0.0; y.len()], y, dim: 1 }
+    }
+
+    #[test]
+    fn follows_clear_majorities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = matrix(900, 100);
+        // Large n makes the vote robust (the paper's observation).
+        for _ in 0..20 {
+            let c = MajorityClassifier::train(&m, 0.1, &mut rng);
+            assert_eq!(c.prediction, 1.0);
+        }
+        let m = matrix(50, 950);
+        for _ in 0..20 {
+            let c = MajorityClassifier::train(&m, 0.1, &mut rng);
+            assert_eq!(c.prediction, -1.0);
+        }
+    }
+
+    #[test]
+    fn error_equals_minority_fraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = matrix(800, 200);
+        let c = MajorityClassifier::train(&m, 1.0, &mut rng);
+        assert!((c.misclassification_rate(&m) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = MajorityClassifier::train(&matrix(1, 1), 0.0, &mut rng);
+    }
+}

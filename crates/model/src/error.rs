@@ -1,0 +1,80 @@
+//! Error type for model release artifacts.
+
+use std::fmt;
+
+use crate::json::JsonError;
+
+/// Errors raised while serializing, parsing, or validating a released model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Malformed JSON text.
+    Json(JsonError),
+    /// The artifact's `format` field is missing or names an unknown version.
+    UnsupportedFormat(String),
+    /// A required field is missing or has the wrong JSON type.
+    ///
+    /// The string is a dotted path into the document (e.g.
+    /// `schema[2].kind.type`).
+    Field(String),
+    /// The artifact parsed, but its contents are internally inconsistent
+    /// (dimension mismatches, non-normalised conditionals, invalid network).
+    Invalid(String),
+    /// Filesystem failure while saving or loading.
+    Io(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Json(e) => write!(f, "json: {e}"),
+            ModelError::UnsupportedFormat(found) => {
+                write!(f, "unsupported artifact format `{found}`")
+            }
+            ModelError::Field(path) => write!(f, "missing or mistyped field `{path}`"),
+            ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),
+            ModelError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<JsonError> for ModelError {
+    fn from(e: JsonError) -> Self {
+        ModelError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_details() {
+        let e = ModelError::UnsupportedFormat("privbayes-model/99".into());
+        assert!(e.to_string().contains("privbayes-model/99"));
+        let e = ModelError::Field("schema[2].kind".into());
+        assert!(e.to_string().contains("schema[2].kind"));
+        let e = ModelError::Invalid("probs do not sum to 1".into());
+        assert!(e.to_string().contains("sum to 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ModelError>();
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ModelError = io.into();
+        assert!(matches!(e, ModelError::Io(_)));
+    }
+}

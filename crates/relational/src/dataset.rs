@@ -1,0 +1,243 @@
+//! Relational datasets: an entity table plus a fact table with foreign keys.
+
+use privbayes_data::Dataset;
+
+use crate::error::RelationalError;
+use crate::schema::RelationalSchema;
+
+/// A two-table instance: entities, facts, and the fact→entity foreign key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationalDataset {
+    schema: RelationalSchema,
+    entities: Dataset,
+    facts: Dataset,
+    /// `fact_owner[f]` = entity row owning fact row `f`.
+    fact_owner: Vec<usize>,
+}
+
+impl RelationalDataset {
+    /// Assembles and validates a relational dataset.
+    ///
+    /// # Errors
+    /// * [`RelationalError::InvalidConfig`] if the tables' schemas do not
+    ///   match `schema` or the owner vector's length differs from the fact
+    ///   table;
+    /// * [`RelationalError::DanglingForeignKey`] for an owner out of range;
+    /// * [`RelationalError::FanoutExceeded`] if an individual owns more facts
+    ///   than the declared cap.
+    pub fn new(
+        schema: RelationalSchema,
+        entities: Dataset,
+        facts: Dataset,
+        fact_owner: Vec<usize>,
+    ) -> Result<Self, RelationalError> {
+        if entities.schema() != schema.entity() {
+            return Err(RelationalError::InvalidConfig(
+                "entity table schema does not match the relational schema".into(),
+            ));
+        }
+        if facts.schema() != schema.fact() {
+            return Err(RelationalError::InvalidConfig(
+                "fact table schema does not match the relational schema".into(),
+            ));
+        }
+        if fact_owner.len() != facts.n() {
+            return Err(RelationalError::InvalidConfig(format!(
+                "{} owners for {} fact rows",
+                fact_owner.len(),
+                facts.n()
+            )));
+        }
+        let mut owned = vec![0usize; entities.n()];
+        for (fact_row, &owner) in fact_owner.iter().enumerate() {
+            if owner >= entities.n() {
+                return Err(RelationalError::DanglingForeignKey {
+                    fact_row,
+                    owner,
+                    entities: entities.n(),
+                });
+            }
+            owned[owner] += 1;
+        }
+        if let Some((entity, &count)) =
+            owned.iter().enumerate().find(|(_, &c)| c > schema.max_fanout())
+        {
+            return Err(RelationalError::FanoutExceeded {
+                entity,
+                owned: count,
+                cap: schema.max_fanout(),
+            });
+        }
+        Ok(Self { schema, entities, facts, fact_owner })
+    }
+
+    /// The relational schema.
+    #[must_use]
+    pub fn schema(&self) -> &RelationalSchema {
+        &self.schema
+    }
+
+    /// The entity table.
+    #[must_use]
+    pub fn entities(&self) -> &Dataset {
+        &self.entities
+    }
+
+    /// The fact table.
+    #[must_use]
+    pub fn facts(&self) -> &Dataset {
+        &self.facts
+    }
+
+    /// The foreign-key column: `fact_owner()[f]` owns fact row `f`.
+    #[must_use]
+    pub fn fact_owner(&self) -> &[usize] {
+        &self.fact_owner
+    }
+
+    /// Number of individuals.
+    #[must_use]
+    pub fn n_entities(&self) -> usize {
+        self.entities.n()
+    }
+
+    /// Number of facts.
+    #[must_use]
+    pub fn n_facts(&self) -> usize {
+        self.facts.n()
+    }
+
+    /// Facts owned per individual.
+    #[must_use]
+    pub fn fanouts(&self) -> Vec<usize> {
+        let mut owned = vec![0usize; self.entities.n()];
+        for &owner in &self.fact_owner {
+            owned[owner] += 1;
+        }
+        owned
+    }
+
+    /// The flattened per-individual view: entity attributes plus the owned
+    /// fact count as a categorical attribute (`0..=m`). One row per
+    /// individual — so a change of one individual changes exactly one row,
+    /// restoring the paper's single-table sensitivity analysis.
+    #[must_use]
+    pub fn flatten_counts(&self) -> Dataset {
+        let fanouts = self.fanouts();
+        let rows: Vec<Vec<u32>> = (0..self.entities.n())
+            .map(|e| {
+                let mut row = self.entities.row(e);
+                row.push(fanouts[e] as u32);
+                row
+            })
+            .collect();
+        Dataset::from_rows(self.schema.flattened().clone(), &rows)
+            .expect("flattened rows are in-domain by construction")
+    }
+
+    /// The per-fact view: each fact row prefixed with its owner's entity
+    /// attributes. One individual influences up to `m` rows here — the view
+    /// PrivBayes must treat with group privacy.
+    #[must_use]
+    pub fn fact_view(&self) -> Dataset {
+        let rows: Vec<Vec<u32>> = self
+            .fact_owner
+            .iter()
+            .enumerate()
+            .map(|(f, &owner)| {
+                let mut row = self.entities.row(owner);
+                row.extend(self.facts.row(f));
+                row
+            })
+            .collect();
+        Dataset::from_rows(self.schema.fact_view().clone(), &rows)
+            .expect("fact-view rows are in-domain by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::EVENT_COUNT_ATTR;
+    use privbayes_data::{Attribute, Schema};
+
+    fn small() -> RelationalDataset {
+        let entity = Schema::new(vec![Attribute::binary("smoker")]).unwrap();
+        let fact = Schema::new(vec![Attribute::categorical("dx", 3).unwrap()]).unwrap();
+        let schema = RelationalSchema::new(entity.clone(), fact.clone(), 2).unwrap();
+        let entities = Dataset::from_rows(entity, &[vec![0], vec![1], vec![1]]).unwrap();
+        let facts = Dataset::from_rows(fact, &[vec![0], vec![2], vec![1]]).unwrap();
+        RelationalDataset::new(schema, entities, facts, vec![0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let data = small();
+        assert_eq!(data.n_entities(), 3);
+        assert_eq!(data.n_facts(), 3);
+        assert_eq!(data.fanouts(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn flatten_counts_appends_fanout() {
+        let data = small();
+        let flat = data.flatten_counts();
+        assert_eq!(flat.n(), 3);
+        let count_col = flat.schema().index_of(EVENT_COUNT_ATTR).unwrap();
+        assert_eq!(flat.column(count_col), &[1, 2, 0]);
+        assert_eq!(flat.column(0), data.entities().column(0));
+    }
+
+    #[test]
+    fn fact_view_prefixes_owner_attributes() {
+        let data = small();
+        let view = data.fact_view();
+        assert_eq!(view.n(), 3);
+        // Fact 0 owned by entity 0 (smoker=0); facts 1,2 by entity 1 (smoker=1).
+        assert_eq!(view.column(0), &[0, 1, 1]);
+        assert_eq!(view.column(1), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn rejects_dangling_foreign_keys() {
+        let entity = Schema::new(vec![Attribute::binary("smoker")]).unwrap();
+        let fact = Schema::new(vec![Attribute::binary("flag")]).unwrap();
+        let schema = RelationalSchema::new(entity.clone(), fact.clone(), 2).unwrap();
+        let entities = Dataset::from_rows(entity, &[vec![0]]).unwrap();
+        let facts = Dataset::from_rows(fact, &[vec![1]]).unwrap();
+        let e = RelationalDataset::new(schema, entities, facts, vec![5]).unwrap_err();
+        assert!(matches!(e, RelationalError::DanglingForeignKey { owner: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_fanout_violation() {
+        let entity = Schema::new(vec![Attribute::binary("smoker")]).unwrap();
+        let fact = Schema::new(vec![Attribute::binary("flag")]).unwrap();
+        let schema = RelationalSchema::new(entity.clone(), fact.clone(), 1).unwrap();
+        let entities = Dataset::from_rows(entity, &[vec![0]]).unwrap();
+        let facts = Dataset::from_rows(fact, &[vec![0], vec![1]]).unwrap();
+        let e = RelationalDataset::new(schema, entities, facts, vec![0, 0]).unwrap_err();
+        assert!(matches!(e, RelationalError::FanoutExceeded { owned: 2, cap: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_owner_arity_mismatch() {
+        let entity = Schema::new(vec![Attribute::binary("smoker")]).unwrap();
+        let fact = Schema::new(vec![Attribute::binary("flag")]).unwrap();
+        let schema = RelationalSchema::new(entity.clone(), fact.clone(), 1).unwrap();
+        let entities = Dataset::from_rows(entity, &[vec![0]]).unwrap();
+        let facts = Dataset::from_rows(fact, &[vec![0]]).unwrap();
+        assert!(RelationalDataset::new(schema, entities, facts, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_schema_mismatch() {
+        let entity = Schema::new(vec![Attribute::binary("smoker")]).unwrap();
+        let fact = Schema::new(vec![Attribute::binary("flag")]).unwrap();
+        let schema = RelationalSchema::new(entity.clone(), fact.clone(), 1).unwrap();
+        let wrong = Schema::new(vec![Attribute::binary("other")]).unwrap();
+        let entities = Dataset::from_rows(wrong, &[vec![0]]).unwrap();
+        let facts = Dataset::from_rows(fact, &[vec![0]]).unwrap();
+        assert!(RelationalDataset::new(schema, entities, facts, vec![0]).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the relational extension.
+
+use std::fmt;
+
+use privbayes::error::PrivBayesError;
+use privbayes_data::DataError;
+
+/// Errors raised while constructing relational schemas/datasets or running
+/// relational synthesis.
+#[derive(Debug)]
+pub enum RelationalError {
+    /// A foreign key referenced a nonexistent entity row.
+    DanglingForeignKey {
+        /// Index of the offending fact row.
+        fact_row: usize,
+        /// The owner index it referenced.
+        owner: usize,
+        /// Number of entity rows.
+        entities: usize,
+    },
+    /// An individual owned more facts than the declared fan-out cap.
+    FanoutExceeded {
+        /// Entity row index.
+        entity: usize,
+        /// Number of facts owned.
+        owned: usize,
+        /// The declared cap.
+        cap: usize,
+    },
+    /// Schema-level misconfiguration (empty schemas, name collisions,
+    /// zero fan-out cap, invalid budgets).
+    InvalidConfig(String),
+    /// An underlying data-model failure.
+    Data(DataError),
+    /// An underlying PrivBayes failure.
+    Core(PrivBayesError),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DanglingForeignKey { fact_row, owner, entities } => write!(
+                f,
+                "fact row {fact_row} references entity {owner}, but only {entities} entities exist"
+            ),
+            RelationalError::FanoutExceeded { entity, owned, cap } => {
+                write!(f, "entity {entity} owns {owned} facts, exceeding the fan-out cap {cap}")
+            }
+            RelationalError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RelationalError::Data(e) => write!(f, "data: {e}"),
+            RelationalError::Core(e) => write!(f, "privbayes: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationalError::Data(e) => Some(e),
+            RelationalError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for RelationalError {
+    fn from(e: DataError) -> Self {
+        RelationalError::Data(e)
+    }
+}
+
+impl From<PrivBayesError> for RelationalError {
+    fn from(e: PrivBayesError) -> Self {
+        RelationalError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_indices() {
+        let e = RelationalError::DanglingForeignKey { fact_row: 7, owner: 99, entities: 10 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("99") && s.contains("10"));
+
+        let e = RelationalError::FanoutExceeded { entity: 3, owned: 9, cap: 5 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let e = RelationalError::Data(DataError::UnknownAttribute("x".into()));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = RelationalError::InvalidConfig("boom".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Two-table relational schemas: one entity (individual) table plus one fact
+//! (event) table with a foreign key and a bounded fan-out.
+//!
+//! The privacy unit is the **individual**: neighboring relational databases
+//! differ in one entity row *and all facts owned by it*. The fan-out cap `m`
+//! bounds how many fact rows one individual can influence, which is exactly
+//! the quantity the paper's concluding remarks identify as driving the noise
+//! scale in multi-table settings.
+
+use privbayes_data::{Attribute, Schema};
+
+use crate::error::RelationalError;
+
+/// Name of the derived per-individual attribute counting owned facts.
+pub const EVENT_COUNT_ATTR: &str = "event_count";
+
+/// A two-table schema with a declared fan-out cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationalSchema {
+    entity: Schema,
+    fact: Schema,
+    max_fanout: usize,
+    flattened: Schema,
+    fact_view: Schema,
+}
+
+impl RelationalSchema {
+    /// Builds a relational schema.
+    ///
+    /// Both derived views are constructed eagerly so that invalid
+    /// combinations fail here rather than mid-synthesis:
+    ///
+    /// * the **flattened view**: entity attributes plus an
+    ///   [`EVENT_COUNT_ATTR`] categorical attribute over `{0, …, m}`;
+    /// * the **fact view**: entity attributes followed by fact attributes
+    ///   (one row per fact, owner attributes repeated).
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::InvalidConfig`] if either schema is empty,
+    /// `max_fanout == 0`, attribute names collide across the two tables, or
+    /// an entity attribute is named [`EVENT_COUNT_ATTR`].
+    pub fn new(entity: Schema, fact: Schema, max_fanout: usize) -> Result<Self, RelationalError> {
+        if entity.is_empty() {
+            return Err(RelationalError::InvalidConfig("entity schema is empty".into()));
+        }
+        if fact.is_empty() {
+            return Err(RelationalError::InvalidConfig("fact schema is empty".into()));
+        }
+        if max_fanout == 0 {
+            return Err(RelationalError::InvalidConfig(
+                "max_fanout must be at least 1 (0 would make the fact table unreachable)".into(),
+            ));
+        }
+        if entity.index_of(EVENT_COUNT_ATTR).is_some() {
+            return Err(RelationalError::InvalidConfig(format!(
+                "`{EVENT_COUNT_ATTR}` is reserved for the flattened view"
+            )));
+        }
+
+        let mut flattened_attrs: Vec<Attribute> = entity.attributes().to_vec();
+        flattened_attrs.push(
+            Attribute::categorical(EVENT_COUNT_ATTR, max_fanout + 1)
+                .map_err(RelationalError::Data)?,
+        );
+        let flattened = Schema::new(flattened_attrs)
+            .map_err(|e| RelationalError::InvalidConfig(format!("flattened view: {e}")))?;
+
+        let mut view_attrs: Vec<Attribute> = entity.attributes().to_vec();
+        view_attrs.extend(fact.attributes().iter().cloned());
+        let fact_view = Schema::new(view_attrs).map_err(|e| {
+            RelationalError::InvalidConfig(format!(
+                "fact view: {e} (entity and fact attribute names must be disjoint)"
+            ))
+        })?;
+
+        Ok(Self { entity, fact, max_fanout, flattened, fact_view })
+    }
+
+    /// The entity (per-individual) schema.
+    #[must_use]
+    pub fn entity(&self) -> &Schema {
+        &self.entity
+    }
+
+    /// The fact (per-event) schema.
+    #[must_use]
+    pub fn fact(&self) -> &Schema {
+        &self.fact
+    }
+
+    /// The declared fan-out cap `m`.
+    #[must_use]
+    pub fn max_fanout(&self) -> usize {
+        self.max_fanout
+    }
+
+    /// The flattened per-individual view: entity attributes plus
+    /// [`EVENT_COUNT_ATTR`].
+    #[must_use]
+    pub fn flattened(&self) -> &Schema {
+        &self.flattened
+    }
+
+    /// The per-fact view: entity attributes followed by fact attributes.
+    #[must_use]
+    pub fn fact_view(&self) -> &Schema {
+        &self.fact_view
+    }
+
+    /// Number of entity attributes (they occupy the first positions of the
+    /// fact view).
+    #[must_use]
+    pub fn entity_arity(&self) -> usize {
+        self.entity.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::binary("smoker"),
+            Attribute::categorical("region", 4).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn fact_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("diagnosis", 5).unwrap(),
+            Attribute::binary("inpatient"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn derived_views_have_expected_shape() {
+        let s = RelationalSchema::new(entity_schema(), fact_schema(), 3).unwrap();
+        assert_eq!(s.entity_arity(), 2);
+        assert_eq!(s.flattened().len(), 3);
+        assert_eq!(s.flattened().attribute(2).name(), EVENT_COUNT_ATTR);
+        assert_eq!(s.flattened().attribute(2).domain_size(), 4, "counts 0..=3");
+        assert_eq!(s.fact_view().len(), 4);
+        assert_eq!(s.fact_view().attribute(0).name(), "smoker");
+        assert_eq!(s.fact_view().attribute(2).name(), "diagnosis");
+    }
+
+    #[test]
+    fn rejects_zero_fanout_and_empty_schemas() {
+        assert!(RelationalSchema::new(entity_schema(), fact_schema(), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_name_collisions() {
+        let fact = Schema::new(vec![Attribute::binary("smoker")]).unwrap();
+        let e = RelationalSchema::new(entity_schema(), fact, 2).unwrap_err();
+        assert!(e.to_string().contains("disjoint"), "{e}");
+    }
+
+    #[test]
+    fn rejects_reserved_count_name() {
+        let entity = Schema::new(vec![Attribute::binary(EVENT_COUNT_ATTR)]).unwrap();
+        assert!(RelationalSchema::new(entity, fact_schema(), 2).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Count-query workload release (the paper's first task, §6.5): answer all
+//! 3-way marginals of an NLTCS-like survey under ε-DP, comparing PrivBayes
+//! against the Laplace and Uniform baselines.
+//!
+//! ```sh
+//! cargo run --release --example census_marginals
+//! ```
+
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_baselines::{laplace_marginals, uniform_marginals};
+use privbayes_data::encoding::EncodingKind;
+use privbayes_datasets::nltcs;
+use privbayes_marginals::metrics::average_workload_tvd_tables;
+use privbayes_marginals::{average_workload_tvd, AlphaWayWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = nltcs::nltcs_sized(7, 8000);
+    let data = &ds.data;
+    let alpha = 3;
+    let workload = AlphaWayWorkload::new(data.d(), alpha);
+    println!(
+        "dataset: {} ({} × {}), workload: all {} {alpha}-way marginals\n",
+        ds.name,
+        data.n(),
+        data.d(),
+        workload.len()
+    );
+
+    println!("{:>8} {:>12} {:>12} {:>12}", "epsilon", "PrivBayes", "Laplace", "Uniform");
+    for eps in [0.1, 0.4, 1.6] {
+        let mut rng = StdRng::seed_from_u64(1_000 + (eps * 100.0) as u64);
+
+        let pb = {
+            let opts = PrivBayesOptions::new(eps).with_encoding(EncodingKind::Binary);
+            let result = PrivBayes::new(opts).synthesize(data, &mut rng).expect("synthesis");
+            average_workload_tvd(data, &result.synthetic, alpha)
+        };
+        let lap = {
+            let tables = laplace_marginals(data, &workload, eps, &mut rng);
+            average_workload_tvd_tables(data, &tables, &workload)
+        };
+        let uni = {
+            let tables = uniform_marginals(data.schema(), &workload);
+            average_workload_tvd_tables(data, &tables, &workload)
+        };
+        println!("{eps:>8} {pb:>12.4} {lap:>12.4} {uni:>12.4}");
+    }
+    println!(
+        "\nExpected shape (paper Fig. 12): PrivBayes dominates Laplace at small ε,\n\
+         and both converge as ε grows; Uniform is the flat fallback."
+    );
+}

@@ -1,0 +1,60 @@
+//! Multi-classifier training from one private release (§6.6): PrivBayes
+//! generates a single synthetic dataset, then non-private SVMs trained on it
+//! are compared against per-classifier private learners.
+//!
+//! ```sh
+//! cargo run --release --example classification
+//! ```
+
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_data::encoding::EncodingKind;
+use privbayes_datasets::adult;
+use privbayes_ml::{
+    misclassification_rate, FeatureMatrix, LinearSvm, MajorityClassifier,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = adult::adult_sized(11, 8000);
+    let mut rng = StdRng::seed_from_u64(99);
+    let (train, test) = ds.data.split_train_test(0.8, &mut rng);
+    let epsilon = 0.8;
+    println!(
+        "dataset: {} ({} train / {} test), ε = {epsilon}\n",
+        ds.name,
+        train.n(),
+        test.n()
+    );
+
+    // One PrivBayes release at ε serves all four classifiers.
+    let opts = PrivBayesOptions::new(epsilon).with_encoding(EncodingKind::Hierarchical);
+    let release = PrivBayes::new(opts).synthesize(&train, &mut rng).expect("synthesis");
+
+    println!("{:<16} {:>12} {:>12} {:>12}", "target", "PrivBayes", "Majority", "NoPrivacy");
+    for target in &ds.targets {
+        let test_m = FeatureMatrix::build(&test, target.attr, &target.positive);
+
+        let pb = {
+            let m = FeatureMatrix::build(&release.synthetic, target.attr, &target.positive);
+            let svm = LinearSvm::train_hinge(&m, 1.0, 10, &mut rng);
+            misclassification_rate(&svm, &test_m)
+        };
+        let majority = {
+            let m = FeatureMatrix::build(&train, target.attr, &target.positive);
+            // Per-classifier methods split ε across the four tasks (§6.6).
+            MajorityClassifier::train(&m, epsilon / 4.0, &mut rng).misclassification_rate(&test_m)
+        };
+        let clear = {
+            let m = FeatureMatrix::build(&train, target.attr, &target.positive);
+            let svm = LinearSvm::train_hinge(&m, 1.0, 10, &mut rng);
+            misclassification_rate(&svm, &test_m)
+        };
+        println!("{:<16} {pb:>12.4} {majority:>12.4} {clear:>12.4}", target.name);
+    }
+    println!(
+        "\nPrivBayes pays ε once for the release; the other private methods must\n\
+         split ε across classifiers — the paper's core argument for generic\n\
+         synthetic data."
+    );
+}

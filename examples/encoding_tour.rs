@@ -1,0 +1,62 @@
+//! A tour of the four attribute encodings (§5.1, Figures 2–3): how binary,
+//! Gray, vanilla, and hierarchical encodings trade flexibility against
+//! semantic fidelity on a mixed-domain table.
+//!
+//! ```sh
+//! cargo run --release --example encoding_tour
+//! ```
+
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes::score::ScoreKind;
+use privbayes_data::encoding::{binarize, EncodingKind};
+use privbayes_datasets::br2000;
+use privbayes_marginals::average_workload_tvd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = br2000::br2000_sized(5, 6000);
+    let data = &ds.data;
+    println!("dataset: {} ({} × {}, domain ≈ 2^{:.0})\n", ds.name, data.n(), data.d(),
+        data.schema().total_domain_log2());
+
+    // What binarisation does to the schema (Figure 2/3's bit decomposition).
+    let (bits, _) = binarize(data, EncodingKind::Binary).expect("binarise");
+    println!(
+        "binary encoding turns {} attributes into {} bit attributes, e.g. `{}`, `{}`, ...\n",
+        data.d(),
+        bits.d(),
+        bits.schema().attribute(0).name(),
+        bits.schema().attribute(1).name(),
+    );
+
+    // Taxonomy levels available to the hierarchical encoding.
+    let age = data.schema().attribute(0);
+    let tax = age.taxonomy().expect("age has a taxonomy");
+    let levels: Vec<usize> = (0..tax.height()).map(|l| tax.level_size(l)).collect();
+    println!("hierarchical encoding can generalise `{}` through levels {levels:?}\n", age.name());
+
+    let eps = 0.4;
+    let encodings = [
+        ("Binary-F", EncodingKind::Binary, ScoreKind::F),
+        ("Gray-F", EncodingKind::Gray, ScoreKind::F),
+        ("Vanilla-R", EncodingKind::Vanilla, ScoreKind::R),
+        ("Hierarchical-R", EncodingKind::Hierarchical, ScoreKind::R),
+    ];
+    println!("{:<16} {:>18} {:>10}", "encoding", "avg 2-way TVD", "degree");
+    for (name, enc, score) in encodings {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut opts = PrivBayesOptions::new(eps).with_encoding(enc).with_score(score);
+        if enc.is_bitwise() {
+            opts.max_degree = 2; // wide binarised schema: keep Ω tractable
+        }
+        let result = PrivBayes::new(opts).synthesize(data, &mut rng).expect("synthesis");
+        let err = average_workload_tvd(data, &result.synthetic, 2);
+        println!("{name:<16} {err:>18.4} {:>10}", result.degree);
+    }
+    println!(
+        "\nExpected shape (paper Fig. 6): the non-binary encodings win at small ε\n\
+         because bit decomposition wastes budget on semantically meaningless\n\
+         bit attributes."
+    );
+}

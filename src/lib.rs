@@ -1,0 +1,15 @@
+//! Umbrella crate for the PrivBayes reproduction suite.
+//!
+//! Re-exports the individual crates so the root-level examples and integration
+//! tests can use a single dependency. Library users should depend on the
+//! individual crates (`privbayes`, `privbayes-data`, ...) directly.
+
+pub use privbayes as core;
+pub use privbayes_baselines as baselines;
+pub use privbayes_data as data;
+pub use privbayes_datasets as datasets;
+pub use privbayes_dp as dp;
+pub use privbayes_marginals as marginals;
+pub use privbayes_ml as ml;
+pub use privbayes_model as model;
+pub use privbayes_relational as relational;

@@ -1,0 +1,102 @@
+//! Integration tests: the count-query baselines against the shared marginal
+//! engine, reproducing the qualitative orderings of §6.5.
+
+use privbayes_suite::baselines::{
+    contingency_marginals, fourier_marginals, laplace_marginals, mwem_marginals,
+    uniform_marginals, MwemOptions,
+};
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::datasets::{adult, nltcs};
+use privbayes_suite::marginals::metrics::average_workload_tvd_tables;
+use privbayes_suite::marginals::{average_workload_tvd, AlphaWayWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_baselines_produce_one_table_per_query() {
+    let data = nltcs::nltcs_sized(1, 800).data;
+    let workload = AlphaWayWorkload::new(data.d(), 3);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mwem = MwemOptions { iterations: 4, max_candidates: Some(20), update_passes: 2 };
+
+    let all = [
+        laplace_marginals(&data, &workload, 0.4, &mut rng),
+        fourier_marginals(&data, &workload, 0.4, &mut rng),
+        contingency_marginals(&data, &workload, 0.4, &mut rng),
+        mwem_marginals(&data, &workload, 0.4, mwem, &mut rng),
+        uniform_marginals(data.schema(), &workload),
+    ];
+    for tables in &all {
+        assert_eq!(tables.len(), workload.len());
+        for (t, subset) in tables.iter().zip(workload.subsets()) {
+            let dims: Vec<usize> =
+                subset.iter().map(|&a| data.schema().attribute(a).domain_size()).collect();
+            assert_eq!(t.dims(), &dims[..]);
+            assert!((t.total() - 1.0).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn privbayes_beats_laplace_at_small_epsilon() {
+    // The paper's headline (Fig. 12): at small ε on a 3-way workload,
+    // PrivBayes' low-dimensional model beats per-marginal Laplace noise.
+    let data = nltcs::nltcs_sized(3, 4000).data;
+    let workload = AlphaWayWorkload::new(data.d(), 3);
+    let eps = 0.05;
+    let reps = 4;
+
+    let pb: f64 = (0..reps)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(10 + s);
+            let r = PrivBayes::new(PrivBayesOptions::new(eps))
+                .synthesize(&data, &mut rng)
+                .expect("synthesis");
+            average_workload_tvd(&data, &r.synthetic, 3)
+        })
+        .sum::<f64>()
+        / reps as f64;
+    let lap: f64 = (0..reps)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(20 + s);
+            let tables = laplace_marginals(&data, &workload, eps, &mut rng);
+            average_workload_tvd_tables(&data, &tables, &workload)
+        })
+        .sum::<f64>()
+        / reps as f64;
+    assert!(pb < lap, "PrivBayes ({pb:.4}) should beat Laplace ({lap:.4}) at ε = {eps}");
+}
+
+#[test]
+fn laplace_converges_to_truth_at_large_epsilon() {
+    let data = nltcs::nltcs_sized(4, 2000).data;
+    let workload = AlphaWayWorkload::new(data.d(), 2);
+    let mut rng = StdRng::seed_from_u64(5);
+    let tables = laplace_marginals(&data, &workload, 1e5, &mut rng);
+    let err = average_workload_tvd_tables(&data, &tables, &workload);
+    assert!(err < 1e-2, "Laplace at huge ε is near-exact, err = {err}");
+}
+
+#[test]
+fn fourier_handles_mixed_domains_via_binarisation() {
+    let data = adult::adult_sized(6, 600).data;
+    let workload = AlphaWayWorkload::new(data.d(), 2);
+    let mut rng = StdRng::seed_from_u64(7);
+    let tables = fourier_marginals(&data, &workload, 1.0, &mut rng);
+    assert_eq!(tables.len(), workload.len());
+    let err = average_workload_tvd_tables(&data, &tables, &workload);
+    assert!((0.0..=1.0).contains(&err));
+}
+
+#[test]
+fn uniform_is_the_epsilon_free_floor() {
+    let data = nltcs::nltcs_sized(8, 1000).data;
+    let workload = AlphaWayWorkload::new(data.d(), 3);
+    let uni = uniform_marginals(data.schema(), &workload);
+    let uni_err = average_workload_tvd_tables(&data, &uni, &workload);
+    // Heavily-noised Laplace degrades to (or beyond) the Uniform floor.
+    let mut rng = StdRng::seed_from_u64(9);
+    let lap = laplace_marginals(&data, &workload, 0.005, &mut rng);
+    let lap_err = average_workload_tvd_tables(&data, &lap, &workload);
+    assert!(lap_err > uni_err * 0.8, "tiny-ε Laplace ({lap_err}) ≳ uniform floor ({uni_err})");
+}

@@ -1,0 +1,107 @@
+//! Integration tests: the multi-SVM classification task of §6.6 across all
+//! methods.
+
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::datasets::nltcs;
+use privbayes_suite::ml::{
+    misclassification_rate, FeatureMatrix, LinearSvm, MajorityClassifier, PrivGene,
+    PrivGeneOptions, PrivateErm, PrivateErmOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_methods_produce_valid_error_rates() {
+    let ds = nltcs::nltcs_sized(1, 1200);
+    let mut rng = StdRng::seed_from_u64(1);
+    let (train, test) = ds.data.split_train_test(0.8, &mut rng);
+    let target = &ds.targets[0];
+    let train_m = FeatureMatrix::build(&train, target.attr, &target.positive);
+    let test_m = FeatureMatrix::build(&test, target.attr, &target.positive);
+    let eps = 0.8;
+
+    let rates = [
+        {
+            let r = PrivBayes::new(PrivBayesOptions::new(eps))
+                .synthesize(&train, &mut rng)
+                .expect("synthesis");
+            let m = FeatureMatrix::build(&r.synthetic, target.attr, &target.positive);
+            let svm = LinearSvm::train_hinge(&m, 1.0, 10, &mut rng);
+            misclassification_rate(&svm, &test_m)
+        },
+        {
+            let model =
+                PrivateErm::new(PrivateErmOptions::default()).train(&train_m, Some(eps / 4.0), &mut rng);
+            misclassification_rate(&model, &test_m)
+        },
+        {
+            let model = PrivGene::new(PrivGeneOptions::default()).train(&train_m, eps / 4.0, &mut rng);
+            misclassification_rate(&model, &test_m)
+        },
+        MajorityClassifier::train(&train_m, eps / 4.0, &mut rng).misclassification_rate(&test_m),
+        {
+            let svm = LinearSvm::train_hinge(&train_m, 1.0, 10, &mut rng);
+            misclassification_rate(&svm, &test_m)
+        },
+    ];
+    for (i, r) in rates.iter().enumerate() {
+        assert!((0.0..=1.0).contains(r), "method {i} rate {r}");
+    }
+}
+
+#[test]
+fn no_privacy_svm_beats_majority_on_learnable_target() {
+    let ds = nltcs::nltcs_sized(2, 4000);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (train, test) = ds.data.split_train_test(0.8, &mut rng);
+    // Pick the target with the most balanced labels (hardest for Majority).
+    let target = ds
+        .targets
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.positive_rate(&train) - 0.5).abs();
+            let db = (b.positive_rate(&train) - 0.5).abs();
+            da.partial_cmp(&db).expect("finite")
+        })
+        .expect("targets");
+    let train_m = FeatureMatrix::build(&train, target.attr, &target.positive);
+    let test_m = FeatureMatrix::build(&test, target.attr, &target.positive);
+
+    let svm = LinearSvm::train_hinge(&train_m, 1.0, 15, &mut rng);
+    let svm_err = misclassification_rate(&svm, &test_m);
+    let maj = MajorityClassifier::train(&train_m, 10.0, &mut rng).misclassification_rate(&test_m);
+    assert!(
+        svm_err <= maj + 0.02,
+        "SVM ({svm_err:.3}) should not lose to Majority ({maj:.3}) on {}",
+        target.name
+    );
+}
+
+#[test]
+fn privbayes_synthetic_preserves_learnability_at_high_epsilon() {
+    let ds = nltcs::nltcs_sized(4, 3000);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (train, test) = ds.data.split_train_test(0.8, &mut rng);
+    let target = &ds.targets[1];
+    let test_m = FeatureMatrix::build(&test, target.attr, &target.positive);
+
+    // Non-private reference.
+    let train_m = FeatureMatrix::build(&train, target.attr, &target.positive);
+    let reference = {
+        let svm = LinearSvm::train_hinge(&train_m, 1.0, 10, &mut rng);
+        misclassification_rate(&svm, &test_m)
+    };
+    // PrivBayes at a generous budget.
+    let r = PrivBayes::new(PrivBayesOptions::new(8.0))
+        .synthesize(&train, &mut rng)
+        .expect("synthesis");
+    let m = FeatureMatrix::build(&r.synthetic, target.attr, &target.positive);
+    let svm = LinearSvm::train_hinge(&m, 1.0, 10, &mut rng);
+    let synthetic_err = misclassification_rate(&svm, &test_m);
+
+    assert!(
+        synthetic_err <= reference + 0.12,
+        "high-ε synthetic training ({synthetic_err:.3}) should approach the real-data \
+         reference ({reference:.3})"
+    );
+}

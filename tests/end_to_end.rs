@@ -1,0 +1,107 @@
+//! Integration tests: the full PrivBayes pipeline across dataset shapes,
+//! encodings, and privacy regimes.
+
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::data::encoding::EncodingKind;
+use privbayes_suite::datasets::{acs, adult, br2000, nltcs};
+use privbayes_suite::marginals::average_workload_tvd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pipeline_runs_on_all_dataset_shapes() {
+    let datasets = [
+        nltcs::nltcs_sized(1, 600).data,
+        acs::acs_sized(2, 600).data,
+        adult::adult_sized(3, 600).data,
+        br2000::br2000_sized(4, 600).data,
+    ];
+    for data in &datasets {
+        let mut rng = StdRng::seed_from_u64(42);
+        let result = PrivBayes::new(PrivBayesOptions::new(1.0))
+            .synthesize(data, &mut rng)
+            .expect("synthesis");
+        assert_eq!(result.synthetic.n(), data.n());
+        assert_eq!(result.synthetic.schema().domain_sizes(), data.schema().domain_sizes());
+        // Sanity: every synthetic value is within its domain (from_columns
+        // validates, but assert the invariant explicitly).
+        for attr in 0..data.d() {
+            let dom = data.schema().attribute(attr).domain();
+            assert!(result.synthetic.column(attr).iter().all(|&v| dom.contains(v)));
+        }
+    }
+}
+
+#[test]
+fn every_encoding_works_on_mixed_data() {
+    let data = br2000::br2000_sized(5, 500).data;
+    for encoding in [
+        EncodingKind::Binary,
+        EncodingKind::Gray,
+        EncodingKind::Vanilla,
+        EncodingKind::Hierarchical,
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut opts = PrivBayesOptions::new(0.8).with_encoding(encoding);
+        opts.max_degree = 2;
+        let result = PrivBayes::new(opts).synthesize(&data, &mut rng).expect("synthesis");
+        assert_eq!(result.synthetic.n(), data.n(), "{encoding:?}");
+    }
+}
+
+#[test]
+fn error_decreases_with_epsilon_on_nltcs() {
+    let data = nltcs::nltcs_sized(6, 3000).data;
+    let avg = |eps: f64| -> f64 {
+        (0..4u64)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(100 + s);
+                let r = PrivBayes::new(PrivBayesOptions::new(eps))
+                    .synthesize(&data, &mut rng)
+                    .expect("synthesis");
+                average_workload_tvd(&data, &r.synthetic, 2)
+            })
+            .sum::<f64>()
+            / 4.0
+    };
+    let low = avg(0.05);
+    let high = avg(4.0);
+    assert!(high < low, "ε=4 error {high} should beat ε=0.05 error {low}");
+}
+
+#[test]
+fn degree_grows_with_epsilon() {
+    let data = nltcs::nltcs_sized(7, 4000).data;
+    let degree = |eps: f64| {
+        let mut rng = StdRng::seed_from_u64(3);
+        PrivBayes::new(PrivBayesOptions::new(eps).with_encoding(EncodingKind::Binary))
+            .synthesize(&data, &mut rng)
+            .expect("synthesis")
+            .degree
+    };
+    assert!(degree(0.05) <= degree(1.6), "θ-usefulness: degree is monotone in ε");
+}
+
+#[test]
+fn synthetic_output_is_deterministic_per_seed() {
+    let data = adult::adult_sized(8, 400).data;
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PrivBayes::new(PrivBayesOptions::new(0.5))
+            .synthesize(&data, &mut rng)
+            .expect("synthesis")
+            .synthetic
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12), "different seeds explore different networks/noise");
+}
+
+#[test]
+fn noise_free_ablation_tracks_data_closely() {
+    let data = nltcs::nltcs_sized(9, 3000).data;
+    let mut rng = StdRng::seed_from_u64(21);
+    let opts = PrivBayesOptions::new(1.0).best_network().best_marginal();
+    let r = PrivBayes::new(opts).synthesize(&data, &mut rng).expect("synthesis");
+    let err = average_workload_tvd(&data, &r.synthetic, 2);
+    assert!(err < 0.1, "noise-free synthesis error {err} should be small");
+}

@@ -1,0 +1,199 @@
+//! Differential testing of §7 model inference: [`model_marginal`]'s variable
+//! elimination must agree, to floating-point accuracy, with brute-force
+//! enumeration of the full joint `∏ᵢ Pr*[Xᵢ | Πᵢ]` on randomly generated
+//! models — networks, domain sizes, CPTs, and queries all drawn by proptest.
+
+use privbayes::conditionals::{Conditional, NoisyModel};
+use privbayes::inference::{model_marginal, DEFAULT_CELL_CAP};
+use privbayes::network::{ApPair, BayesianNetwork};
+use privbayes_data::{Attribute, Schema};
+use privbayes_marginals::{total_variation, Axis, ContingencyTable};
+use proptest::prelude::*;
+
+/// A randomly parameterised model over `dims.len()` attributes: each
+/// attribute picks up to two earlier parents; CPT entries come from the
+/// `raw` pool, normalised per parent slice.
+fn build_model(dims: &[usize], parent_picks: &[usize], raw: &[f64]) -> (Schema, NoisyModel) {
+    let schema = Schema::new(
+        dims.iter()
+            .enumerate()
+            .map(|(i, &s)| Attribute::categorical(format!("a{i}"), s).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let mut pairs = Vec::new();
+    let mut conditionals = Vec::new();
+    let mut raw_iter = raw.iter().copied().cycle();
+    for (i, &dim) in dims.iter().enumerate() {
+        // Deterministically derive up to two distinct earlier parents.
+        let mut parents: Vec<usize> = Vec::new();
+        if i > 0 {
+            let p1 = parent_picks[(2 * i) % parent_picks.len()] % i;
+            parents.push(p1);
+            if i > 1 {
+                let p2 = parent_picks[(2 * i + 1) % parent_picks.len()] % i;
+                if p2 != p1 {
+                    parents.push(p2);
+                }
+            }
+        }
+        let parent_dims: Vec<usize> = parents.iter().map(|&p| dims[p]).collect();
+        let parent_cells: usize = parent_dims.iter().product();
+        let mut probs = Vec::with_capacity(parent_cells * dim);
+        for _ in 0..parent_cells {
+            let mut slice: Vec<f64> = (0..dim).map(|_| raw_iter.next().unwrap() + 0.05).collect();
+            let total: f64 = slice.iter().sum();
+            for v in &mut slice {
+                *v /= total;
+            }
+            probs.extend(slice);
+        }
+        pairs.push(ApPair::new(i, parents.clone()));
+        conditionals.push(Conditional {
+            child: i,
+            parents: parents.into_iter().map(Axis::raw).collect(),
+            parent_dims,
+            child_dim: dim,
+            probs,
+        });
+    }
+    let network = BayesianNetwork::new(pairs, &schema).unwrap();
+    (schema, NoisyModel { network, conditionals })
+}
+
+/// Brute force: enumerate every tuple of the full domain, accumulate
+/// `∏ᵢ Pr*[xᵢ | πᵢ]` into the queried marginal.
+fn brute_force_marginal(model: &NoisyModel, dims: &[usize], attrs: &[usize]) -> Vec<f64> {
+    let q_dims: Vec<usize> = attrs.iter().map(|&a| dims[a]).collect();
+    let q_cells: usize = q_dims.iter().product();
+    let mut out = vec![0.0f64; q_cells];
+    let total: usize = dims.iter().product();
+    let mut tuple = vec![0usize; dims.len()];
+    for flat in 0..total {
+        // Decode `flat` into a tuple (last attribute fastest).
+        let mut rest = flat;
+        for i in (0..dims.len()).rev() {
+            tuple[i] = rest % dims[i];
+            rest /= dims[i];
+        }
+        let mut mass = 1.0;
+        for cond in &model.conditionals {
+            let codes: Vec<usize> = cond.parents.iter().map(|ax| tuple[ax.attr]).collect();
+            mass *= cond.child_distribution(cond.parent_index(&codes))[tuple[cond.child]];
+        }
+        let mut q = 0usize;
+        for (&a, &qd) in attrs.iter().zip(&q_dims) {
+            q = q * qd + tuple[a];
+        }
+        out[q] += mass;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// VE equals brute-force enumeration on arbitrary small models/queries.
+    #[test]
+    fn variable_elimination_matches_brute_force(
+        dims in proptest::collection::vec(2usize..4, 2..6),
+        parent_picks in proptest::collection::vec(0usize..8, 12),
+        raw in proptest::collection::vec(0.0f64..1.0, 24),
+        query_seed in 0usize..1000,
+    ) {
+        let (schema, model) = build_model(&dims, &parent_picks, &raw);
+        let d = dims.len();
+        // Derive a nonempty query subset from the seed.
+        let mut attrs: Vec<usize> = (0..d).filter(|i| (query_seed >> i) & 1 == 1).collect();
+        if attrs.is_empty() {
+            attrs.push(query_seed % d);
+        }
+        let got = model_marginal(&model, &schema, &attrs, DEFAULT_CELL_CAP).unwrap();
+        let want = brute_force_marginal(&model, &dims, &attrs);
+        prop_assert_eq!(got.values().len(), want.len());
+        let tvd = total_variation(got.values(), &want);
+        prop_assert!(tvd < 1e-10, "attrs {:?}: tvd {}", attrs, tvd);
+    }
+
+    /// Inference output is always a valid distribution in query order.
+    #[test]
+    fn inference_output_is_distribution(
+        dims in proptest::collection::vec(2usize..5, 2..5),
+        parent_picks in proptest::collection::vec(0usize..8, 12),
+        raw in proptest::collection::vec(0.0f64..1.0, 24),
+    ) {
+        let (schema, model) = build_model(&dims, &parent_picks, &raw);
+        let attrs: Vec<usize> = (0..dims.len()).rev().collect(); // reversed order
+        let t = model_marginal(&model, &schema, &attrs, DEFAULT_CELL_CAP).unwrap();
+        prop_assert!((t.total() - 1.0).abs() < 1e-9);
+        prop_assert!(t.values().iter().all(|&v| v >= -1e-12));
+        for (axis, &a) in t.axes().iter().zip(&attrs) {
+            prop_assert_eq!(axis.attr, a);
+        }
+    }
+}
+
+#[test]
+fn ve_agrees_with_brute_force_on_a_collider() {
+    // Deterministic spot-check: X0 → X2 ← X1 (a v-structure), queried on the
+    // two roots — marginalising the collider must restore independence.
+    let dims = vec![2usize, 3, 2];
+    let schema = Schema::new(vec![
+        Attribute::binary("x0"),
+        Attribute::categorical("x1", 3).unwrap(),
+        Attribute::binary("x2"),
+    ])
+    .unwrap();
+    let pairs =
+        vec![ApPair::new(0, vec![]), ApPair::new(1, vec![]), ApPair::new(2, vec![0, 1])];
+    let network = BayesianNetwork::new(pairs, &schema).unwrap();
+    // CPT of the collider: Pr[x2=1 | x0, x1] varies with both parents.
+    let mut probs = Vec::new();
+    for x0 in 0..2 {
+        for x1 in 0..3 {
+            let p1 = 0.1 + 0.3 * x0 as f64 + 0.15 * x1 as f64;
+            probs.extend([1.0 - p1, p1]);
+        }
+    }
+    let model = NoisyModel {
+        network,
+        conditionals: vec![
+            Conditional {
+                child: 0,
+                parents: vec![],
+                parent_dims: vec![],
+                child_dim: 2,
+                probs: vec![0.7, 0.3],
+            },
+            Conditional {
+                child: 1,
+                parents: vec![],
+                parent_dims: vec![],
+                child_dim: 3,
+                probs: vec![0.5, 0.2, 0.3],
+            },
+            Conditional {
+                child: 2,
+                parents: vec![Axis::raw(0), Axis::raw(1)],
+                parent_dims: vec![2, 3],
+                child_dim: 2,
+                probs,
+            },
+        ],
+    };
+    let got = model_marginal(&model, &schema, &[0, 1], DEFAULT_CELL_CAP).unwrap();
+    let want = brute_force_marginal(&model, &dims, &[0, 1]);
+    assert!(total_variation(got.values(), &want) < 1e-12);
+    // Roots are independent in the model: joint = product of marginals.
+    let p0 = model_marginal(&model, &schema, &[0], DEFAULT_CELL_CAP).unwrap();
+    let p1 = model_marginal(&model, &schema, &[1], DEFAULT_CELL_CAP).unwrap();
+    let table = ContingencyTable::from_parts(
+        vec![Axis::raw(0), Axis::raw(1)],
+        vec![2, 3],
+        (0..2)
+            .flat_map(|x| (0..3).map(move |y| (x, y)))
+            .map(|(x, y)| p0.values()[x] * p1.values()[y])
+            .collect(),
+    );
+    assert!(total_variation(got.values(), table.values()) < 1e-12);
+}

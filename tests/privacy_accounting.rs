@@ -1,0 +1,76 @@
+//! Integration tests: privacy-budget accounting across the pipeline
+//! (Theorem 3.2: PrivBayes is (ε₁+ε₂)-DP).
+
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::datasets::nltcs;
+use privbayes_suite::dp::{BudgetSplit, PrivacyBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pipeline_spending_matches_theorem_3_2() {
+    let data = nltcs::nltcs_sized(1, 500).data;
+    for eps in [0.05, 0.4, 1.6] {
+        for beta in [0.1, 0.3, 0.7] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let opts = PrivBayesOptions::new(eps).with_beta(beta);
+            let r = PrivBayes::new(opts).synthesize(&data, &mut rng).expect("synthesis");
+            let total = r.epsilon1_spent + r.epsilon2_spent;
+            assert!((total - eps).abs() < 1e-12, "ε₁+ε₂ = {total} ≠ ε = {eps}");
+            assert!((r.epsilon1_spent - beta * eps).abs() < 1e-12);
+
+            // The reported spending fits in a budget tracker.
+            let mut budget = PrivacyBudget::new(eps).expect("budget");
+            budget.consume(r.epsilon1_spent).expect("phase 1");
+            budget.consume(r.epsilon2_spent).expect("phase 2");
+            assert!(budget.remaining() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn ablations_do_not_charge_skipped_phases() {
+    let data = nltcs::nltcs_sized(2, 400).data;
+    let mut rng = StdRng::seed_from_u64(6);
+
+    let r = PrivBayes::new(PrivBayesOptions::new(1.0).best_network())
+        .synthesize(&data, &mut rng)
+        .expect("synthesis");
+    assert_eq!(r.epsilon1_spent, 0.0, "BestNetwork pays nothing for structure");
+    assert!(r.epsilon2_spent > 0.0);
+
+    let r = PrivBayes::new(PrivBayesOptions::new(1.0).best_marginal())
+        .synthesize(&data, &mut rng)
+        .expect("synthesis");
+    assert!(r.epsilon1_spent > 0.0);
+    assert_eq!(r.epsilon2_spent, 0.0, "BestMarginal pays nothing for marginals");
+}
+
+#[test]
+fn budget_split_is_exhaustive_and_exclusive() {
+    for beta in [0.01, 0.3, 0.99] {
+        let split = BudgetSplit::new(beta).expect("valid beta");
+        let (e1, e2) = split.split(2.0);
+        assert!(e1 > 0.0 && e2 > 0.0);
+        assert!((e1 + e2 - 2.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sequential_composition_over_multiple_releases() {
+    // Releasing k synthetic datasets at ε/k each composes to ε total.
+    let data = nltcs::nltcs_sized(3, 300).data;
+    let total = 1.2;
+    let k = 4;
+    let mut budget = PrivacyBudget::new(total).expect("budget");
+    for i in 0..k {
+        let mut rng = StdRng::seed_from_u64(100 + i);
+        let r = PrivBayes::new(PrivBayesOptions::new(total / k as f64))
+            .synthesize(&data, &mut rng)
+            .expect("synthesis");
+        budget.consume(r.epsilon1_spent + r.epsilon2_spent).expect("within budget");
+    }
+    assert!(budget.remaining() < 1e-9);
+    // A fifth release must be refused.
+    assert!(budget.consume(total / k as f64).is_err());
+}
