@@ -100,9 +100,7 @@ pub fn fourier_marginals<R: Rng + ?Sized>(
             walsh_hadamard(&mut coeffs);
             for (local_mask, c) in coeffs.iter_mut().enumerate() {
                 let key = global_key(local_mask as u64, bits);
-                let noisy = *released
-                    .entry(key)
-                    .or_insert_with(|| *c + sample_laplace(scale, rng));
+                let noisy = *released.entry(key).or_insert_with(|| *c + sample_laplace(scale, rng));
                 *c = noisy;
             }
             // Inverse WHT (self-inverse / 2^b).

@@ -141,8 +141,8 @@ pub fn mwem_marginals<R: Rng + ?Sized>(
                 scores.push((a - t).abs());
             }
         }
-        let chosen = exponential_mechanism(&scores, 1.0 / n, eps_select, rng)
-            .expect("valid scores");
+        let chosen =
+            exponential_mechanism(&scores, 1.0 / n, eps_select, rng).expect("valid scores");
         let (q, cell) = cell_ids[chosen];
 
         // Measure the chosen cell (sensitivity 1/n).
@@ -227,11 +227,15 @@ mod tests {
         let ds = correlated(2000, 5, 2);
         let w = AlphaWayWorkload::new(5, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        let tables =
-            mwem_marginals(&ds, &w, 50.0, MwemOptions { iterations: 12, ..MwemOptions::default() }, &mut rng);
+        let tables = mwem_marginals(
+            &ds,
+            &w,
+            50.0,
+            MwemOptions { iterations: 12, ..MwemOptions::default() },
+            &mut rng,
+        );
         let mwem_err = average_workload_tvd_tables(&ds, &tables, &w);
-        let uni_err =
-            average_workload_tvd_tables(&ds, &uniform_marginals(ds.schema(), &w), &w);
+        let uni_err = average_workload_tvd_tables(&ds, &uniform_marginals(ds.schema(), &w), &w);
         assert!(
             mwem_err < uni_err * 0.5,
             "MWEM ({mwem_err}) should beat uniform ({uni_err}) at ε=50"
@@ -246,8 +250,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let tables = mwem_marginals(&ds, &w, 0.001, MwemOptions::default(), &mut rng);
         let mwem_err = average_workload_tvd_tables(&ds, &tables, &w);
-        let uni_err =
-            average_workload_tvd_tables(&ds, &uniform_marginals(ds.schema(), &w), &w);
+        let uni_err = average_workload_tvd_tables(&ds, &uniform_marginals(ds.schema(), &w), &w);
         // The paper's observation (§6.5): at tiny ε MWEM does not surpass
         // Uniform (it may be substantially worse, drowned in noise).
         assert!(mwem_err > uni_err - 0.05, "mwem {mwem_err} vs uniform {uni_err}");

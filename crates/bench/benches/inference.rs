@@ -24,9 +24,7 @@ fn bench_inference(c: &mut Criterion) {
     for width in [1usize, 2, 3] {
         let attrs: Vec<usize> = (0..width).collect();
         group.bench_with_input(BenchmarkId::new("exact_marginal", width), &attrs, |b, attrs| {
-            b.iter(|| {
-                model_marginal(black_box(&model), schema, attrs, DEFAULT_CELL_CAP).unwrap()
-            });
+            b.iter(|| model_marginal(black_box(&model), schema, attrs, DEFAULT_CELL_CAP).unwrap());
         });
     }
     group.bench_function("sample_1000_rows", |b| {

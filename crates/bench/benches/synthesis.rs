@@ -15,13 +15,8 @@ use std::hint::black_box;
 fn bench_conditionals(c: &mut Criterion) {
     let data = nltcs::nltcs_sized(1, 8000).data;
     let mut rng = StdRng::seed_from_u64(1);
-    let net = greedy_bayes_fixed_k(
-        &data,
-        2,
-        &GreedySettings::private(ScoreKind::F, 0.3),
-        &mut rng,
-    )
-    .unwrap();
+    let net = greedy_bayes_fixed_k(&data, 2, &GreedySettings::private(ScoreKind::F, 0.3), &mut rng)
+        .unwrap();
     c.bench_function("noisy_conditionals_nltcs8000_k2", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
@@ -33,13 +28,8 @@ fn bench_conditionals(c: &mut Criterion) {
 fn bench_sampling_throughput(c: &mut Criterion) {
     let data = nltcs::nltcs_sized(3, 8000).data;
     let mut rng = StdRng::seed_from_u64(3);
-    let net = greedy_bayes_fixed_k(
-        &data,
-        2,
-        &GreedySettings::private(ScoreKind::F, 0.3),
-        &mut rng,
-    )
-    .unwrap();
+    let net = greedy_bayes_fixed_k(&data, 2, &GreedySettings::private(ScoreKind::F, 0.3), &mut rng)
+        .unwrap();
     let model = noisy_conditionals_general(&data, &net, Some(0.7), &mut rng).unwrap();
     let mut group = c.benchmark_group("ancestral_sampling");
     for rows in [1_000usize, 10_000] {

@@ -17,7 +17,9 @@ use privbayes_baselines::{geometric_marginals, laplace_marginals};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_data::Dataset;
 use privbayes_marginals::metrics::average_workload_tvd_tables;
-use privbayes_marginals::{average_workload_tvd, total_variation, AlphaWayWorkload, Axis, ContingencyTable};
+use privbayes_marginals::{
+    average_workload_tvd, total_variation, AlphaWayWorkload, Axis, ContingencyTable,
+};
 use privbayes_relational::{
     clinic_benchmark, RelationalDataset, RelationalOptions, RelationalPrivBayes,
 };
@@ -29,11 +31,8 @@ use crate::tasks::MAX_DEGREE;
 /// Paper-default options restricted to the non-bitwise encodings these
 /// ablations need (the model must live over the original schema).
 fn general_options(data: &Dataset, epsilon: f64) -> PrivBayesOptions {
-    let encoding = if data.schema().all_binary() {
-        EncodingKind::Vanilla
-    } else {
-        EncodingKind::Hierarchical
-    };
+    let encoding =
+        if data.schema().all_binary() { EncodingKind::Vanilla } else { EncodingKind::Hierarchical };
     let mut o = PrivBayesOptions::new(epsilon).with_encoding(encoding);
     o.max_degree = MAX_DEGREE;
     o
@@ -114,11 +113,7 @@ pub fn noise_mechanism_error(
 /// (first entity attribute × first fact attribute) fact-view joint, plus the
 /// TVD of the fan-out histogram.
 #[must_use]
-pub fn multitable_errors(
-    data: &RelationalDataset,
-    epsilon: f64,
-    seed: u64,
-) -> (f64, f64) {
+pub fn multitable_errors(data: &RelationalDataset, epsilon: f64, seed: u64) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let result = RelationalPrivBayes::new(RelationalOptions::new(epsilon))
         .synthesize(data, &mut rng)
@@ -175,10 +170,7 @@ mod tests {
             tiny += sample_size_count_error(&ds.data, 2, 1.6, 0.05, 40 + s);
             exact += inference_count_error(&ds.data, 2, 1.6, 40 + s);
         }
-        assert!(
-            exact <= tiny,
-            "exact answers must not lose to a 5% sample: {exact} vs {tiny}"
-        );
+        assert!(exact <= tiny, "exact answers must not lose to a 5% sample: {exact} vs {tiny}");
     }
 
     #[test]

@@ -51,9 +51,7 @@ impl HarnessConfig {
                     cfg.out_dir = Some(PathBuf::from(v));
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --quick | --reps N | --scale F (0,1] | --out DIR"
-                    );
+                    eprintln!("options: --quick | --reps N | --scale F (0,1] | --out DIR");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument `{other}` (try --help)"),

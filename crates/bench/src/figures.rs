@@ -157,7 +157,11 @@ pub fn fig_encodings_svm(cfg: &HarnessConfig, pick: DatasetPick) -> Vec<ResultTa
         .iter()
         .map(|target| {
             ResultTable::new(
-                format!("Fig 7/8 ({}, {}): encodings, misclassification rate", pick.name(), target.name),
+                format!(
+                    "Fig 7/8 ({}, {}): encodings, misclassification rate",
+                    pick.name(),
+                    target.name
+                ),
                 "epsilon",
                 encodings.iter().map(|(n, _, _)| (*n).into()).collect(),
             )
@@ -231,9 +235,19 @@ pub fn fig_parameter_sweep(
             count_row.push(mean_over_reps(cfg.reps, seed_for(fig, pick.name(), p + eps), |s| {
                 privbayes_count_error(&ds.data, alpha, opts(&ds.data), s)
             }));
-            svm_row.push(mean_over_reps(cfg.reps, seed_for(fig, target.name.as_str(), p + eps), |s| {
-                privbayes_svm_errors(&train, &test, std::slice::from_ref(target), opts(&train), s)[0]
-            }));
+            svm_row.push(mean_over_reps(
+                cfg.reps,
+                seed_for(fig, target.name.as_str(), p + eps),
+                |s| {
+                    privbayes_svm_errors(
+                        &train,
+                        &test,
+                        std::slice::from_ref(target),
+                        opts(&train),
+                        s,
+                    )[0]
+                },
+            ));
         }
         count_t.push_row(format!("{p}"), count_row);
         svm_t.push_row(format!("{p}"), svm_row);
@@ -272,7 +286,12 @@ pub fn fig11_panels(cfg: &HarnessConfig, pick: DatasetPick) -> Vec<ResultTable> 
             .iter()
             .map(|(name, wrap)| {
                 mean_over_reps(cfg.reps, seed_for(name, pick.name(), eps), |s| {
-                    privbayes_count_error(&ds.data, alpha, wrap(privbayes_options(&ds.data, eps)), s)
+                    privbayes_count_error(
+                        &ds.data,
+                        alpha,
+                        wrap(privbayes_options(&ds.data, eps)),
+                        s,
+                    )
                 })
             })
             .collect();
@@ -302,8 +321,7 @@ pub fn fig11_panels(cfg: &HarnessConfig, pick: DatasetPick) -> Vec<ResultTable> 
 pub fn fig_marginals_panel(cfg: &HarnessConfig, pick: DatasetPick, alpha: usize) -> ResultTable {
     let ds = pick.load(cfg, 6);
     let binary = ds.data.schema().all_binary();
-    let mut methods: Vec<(String, Option<BaselineCount>)> =
-        vec![("PrivBayes".into(), None)];
+    let mut methods: Vec<(String, Option<BaselineCount>)> = vec![("PrivBayes".into(), None)];
     for b in [BaselineCount::Laplace, BaselineCount::Fourier] {
         methods.push((b.name().into(), Some(b)));
     }
@@ -330,7 +348,9 @@ pub fn fig_marginals_panel(cfg: &HarnessConfig, pick: DatasetPick, alpha: usize)
             .iter()
             .map(|(name, method)| {
                 mean_over_reps(cfg.reps, seed_for(name, pick.name(), eps), |s| match method {
-                    None => privbayes_count_error(&ds.data, alpha, privbayes_options(&ds.data, eps), s),
+                    None => {
+                        privbayes_count_error(&ds.data, alpha, privbayes_options(&ds.data, eps), s)
+                    }
                     Some(m) => baseline_count_error(&ds.data, alpha, *m, eps, s),
                 })
             })
@@ -372,19 +392,25 @@ pub fn fig_svm_panels(cfg: &HarnessConfig, pick: DatasetPick) -> Vec<ResultTable
     for &eps in &cfg.epsilons() {
         for (ti, target) in ds.targets.iter().enumerate() {
             let mut row = Vec::with_capacity(columns.len());
-            row.push(mean_over_reps(cfg.reps, seed_for("pb-svm", target.name.as_str(), eps), |s| {
-                privbayes_svm_errors(
-                    &train,
-                    &test,
-                    &ds.targets,
-                    privbayes_options(&train, eps),
-                    s,
-                )[ti]
-            }));
+            row.push(mean_over_reps(
+                cfg.reps,
+                seed_for("pb-svm", target.name.as_str(), eps),
+                |s| {
+                    privbayes_svm_errors(
+                        &train,
+                        &test,
+                        &ds.targets,
+                        privbayes_options(&train, eps),
+                        s,
+                    )[ti]
+                },
+            ));
             for b in &baselines {
-                row.push(mean_over_reps(cfg.reps, seed_for(b.name(), target.name.as_str(), eps), |s| {
-                    baseline_svm_error(&train, &test, target, *b, eps, s)
-                }));
+                row.push(mean_over_reps(
+                    cfg.reps,
+                    seed_for(b.name(), target.name.as_str(), eps),
+                    |s| baseline_svm_error(&train, &test, target, *b, eps, s),
+                ));
             }
             tables[ti].push_row(format!("{eps}"), row);
         }

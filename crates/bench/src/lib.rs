@@ -40,19 +40,18 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(reps > 0, "need at least one repetition");
-    let results = parking_lot::Mutex::new(vec![0.0f64; reps]);
-    crossbeam::thread::scope(|scope| {
+    let results = std::sync::Mutex::new(vec![0.0f64; reps]);
+    std::thread::scope(|scope| {
         for r in 0..reps {
             let results = &results;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let v = f(base_seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                results.lock()[r] = v;
+                results.lock().unwrap()[r] = v;
             });
         }
-    })
-    .expect("experiment worker panicked");
-    let results = results.into_inner();
+    });
+    let results = results.into_inner().expect("experiment worker panicked");
     results.iter().sum::<f64>() / reps as f64
 }
 
@@ -64,10 +63,9 @@ mod tests {
     fn mean_over_reps_averages() {
         // Seeds differ, so feed back a deterministic function of the seed.
         let v = mean_over_reps(4, 0, |seed| (seed % 7) as f64);
-        let expected: f64 = (0..4u64)
-            .map(|r| (r.wrapping_mul(0x9e37_79b9_7f4a_7c15) % 7) as f64)
-            .sum::<f64>()
-            / 4.0;
+        let expected: f64 =
+            (0..4u64).map(|r| (r.wrapping_mul(0x9e37_79b9_7f4a_7c15) % 7) as f64).sum::<f64>()
+                / 4.0;
         assert!((v - expected).abs() < 1e-12);
     }
 

@@ -7,8 +7,8 @@ use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes::score::ScoreKind;
 use privbayes::theta::choose_degree_binary;
 use privbayes_baselines::{
-    contingency_marginals, fourier_marginals, laplace_marginals, mwem_marginals,
-    uniform_marginals, MwemOptions,
+    contingency_marginals, fourier_marginals, laplace_marginals, mwem_marginals, uniform_marginals,
+    MwemOptions,
 };
 use privbayes_data::encoding::{binarize, EncodingKind};
 use privbayes_data::Dataset;
@@ -128,16 +128,17 @@ pub fn network_quality(data: &Dataset, epsilon: f64, score: Option<ScoreKind>, s
     let mut rng = StdRng::seed_from_u64(seed);
     let settings = match score {
         Some(s) => GreedySettings::private(s, eps1).with_max_degree(MAX_DEGREE),
-        None => GreedySettings::non_private(ScoreKind::MutualInformation)
-            .with_max_degree(MAX_DEGREE),
+        None => {
+            GreedySettings::non_private(ScoreKind::MutualInformation).with_max_degree(MAX_DEGREE)
+        }
     };
     if data.schema().all_binary() {
         let k = choose_degree_binary(data.n(), data.d(), eps2, theta).min(MAX_DEGREE);
         let net = greedy_bayes_fixed_k(data, k, &settings, &mut rng).expect("greedy");
         sum_mutual_information(data, &net)
     } else {
-        let net = greedy_bayes_adaptive(data, theta, eps2, false, &settings, &mut rng)
-            .expect("greedy");
+        let net =
+            greedy_bayes_adaptive(data, theta, eps2, false, &settings, &mut rng).expect("greedy");
         sum_mutual_information(data, &net)
     }
 }
@@ -244,7 +245,8 @@ pub fn baseline_svm_error(
     let eps = method.per_classifier_epsilon(epsilon);
     match method {
         SvmBaseline::PrivateErm | SvmBaseline::PrivateErmSingle => {
-            let model = PrivateErm::new(PrivateErmOptions::default()).train(&train_m, eps, &mut rng);
+            let model =
+                PrivateErm::new(PrivateErmOptions::default()).train(&train_m, eps, &mut rng);
             misclassification_rate(&model, &test_m)
         }
         SvmBaseline::PrivGene => {
@@ -256,7 +258,8 @@ pub fn baseline_svm_error(
             misclassification_rate(&model, &test_m)
         }
         SvmBaseline::Majority => {
-            let c = MajorityClassifier::train(&train_m, eps.expect("Majority is private"), &mut rng);
+            let c =
+                MajorityClassifier::train(&train_m, eps.expect("Majority is private"), &mut rng);
             c.misclassification_rate(&test_m)
         }
         SvmBaseline::NoPrivacy => {
@@ -292,7 +295,11 @@ mod tests {
             BaselineCount::Laplace,
             BaselineCount::Fourier,
             BaselineCount::Contingency,
-            BaselineCount::Mwem(MwemOptions { iterations: 3, max_candidates: Some(10), update_passes: 2 }),
+            BaselineCount::Mwem(MwemOptions {
+                iterations: 3,
+                max_candidates: Some(10),
+                update_passes: 2,
+            }),
             BaselineCount::Uniform,
         ] {
             let err = baseline_count_error(&ds.data, 2, method, 0.5, 11);
@@ -317,13 +324,8 @@ mod tests {
         let ds = nltcs_sized(4, 800);
         let mut rng = StdRng::seed_from_u64(1);
         let (train, test) = ds.data.split_train_test(0.8, &mut rng);
-        let errs = privbayes_svm_errors(
-            &train,
-            &test,
-            &ds.targets,
-            privbayes_options(&train, 1.0),
-            13,
-        );
+        let errs =
+            privbayes_svm_errors(&train, &test, &ds.targets, privbayes_options(&train, 1.0), 13);
         assert_eq!(errs.len(), 4);
         assert!(errs.iter().all(|e| (0.0..=1.0).contains(e)));
         for method in [

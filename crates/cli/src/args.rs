@@ -26,9 +26,8 @@ impl ParsedArgs {
         I: IntoIterator<Item = String>,
     {
         let mut it = args.into_iter();
-        let command = it
-            .next()
-            .ok_or_else(|| CliError::Usage("missing command (try `help`)".into()))?;
+        let command =
+            it.next().ok_or_else(|| CliError::Usage("missing command (try `help`)".into()))?;
         if let Some(stripped) = command.strip_prefix("--") {
             // `--help` with no command is accepted for discoverability.
             if stripped == "help" || stripped == "h" {
@@ -90,9 +89,9 @@ impl ParsedArgs {
     pub fn parse_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{raw}`"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{raw}`")))
+            }
         }
     }
 

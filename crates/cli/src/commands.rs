@@ -78,7 +78,15 @@ where
 
 fn fit(args: &ParsedArgs) -> Result<String, CliError> {
     args.expect_only(&[
-        "data", "schema", "out", "epsilon", "beta", "theta", "encoding", "consistency", "seed",
+        "data",
+        "schema",
+        "out",
+        "epsilon",
+        "beta",
+        "theta",
+        "encoding",
+        "consistency",
+        "seed",
         "comment",
     ])?;
     // Validate flags before touching the filesystem, so usage mistakes are
@@ -222,14 +230,7 @@ fn inspect(args: &ParsedArgs) -> Result<String, CliError> {
     let artifact = ReleasedModel::from_json_string(&text)
         .map_err(|e| CliError::Invalid(format!("{model_path}: {e}")))?;
     let meta = &artifact.metadata;
-    let degree = artifact
-        .model
-        .network
-        .pairs()
-        .iter()
-        .map(|p| p.parents.len())
-        .max()
-        .unwrap_or(0);
+    let degree = artifact.model.network.pairs().iter().map(|p| p.parents.len()).max().unwrap_or(0);
     Ok(format!(
         "format:    {}\nepsilon:   {}\nbeta:      {}\ntheta:     {}\nscore:     {}\n\
          encoding:  {}\nsource:    {} rows\ncomment:   {}\nattributes: {}\ndegree:    {degree}\n\
@@ -279,16 +280,14 @@ fn make_rng(seed: Option<u64>) -> StdRng {
 fn load_schema(path: &str) -> Result<Schema, CliError> {
     let text = fs::read_to_string(path)
         .map_err(|e| CliError::Io { path: path.into(), message: e.to_string() })?;
-    let json = Json::parse(&text)
-        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
     schema_from_json(&json).map_err(|e| CliError::Invalid(format!("{path}: {e}")))
 }
 
 fn load_csv(schema: &Schema, path: &str) -> Result<Dataset, CliError> {
     let file = fs::File::open(path)
         .map_err(|e| CliError::Io { path: path.into(), message: e.to_string() })?;
-    read_csv(schema, BufReader::new(file))
-        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+    read_csv(schema, BufReader::new(file)).map_err(|e| CliError::Invalid(format!("{path}: {e}")))
 }
 
 fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), CliError> {
@@ -340,10 +339,7 @@ mod tests {
         let data = Dataset::from_rows(schema, &rows).unwrap();
         let data_path = dir.join("data.csv");
         save_csv(&data, &data_path).unwrap();
-        (
-            schema_path.to_str().unwrap().to_string(),
-            data_path.to_str().unwrap().to_string(),
-        )
+        (schema_path.to_str().unwrap().to_string(), data_path.to_str().unwrap().to_string())
     }
 
     #[test]
@@ -354,22 +350,47 @@ mod tests {
         let synth_path = dir.join("synth.csv").to_str().unwrap().to_string();
 
         let out = run_cli(&[
-            "fit", "--data", &data_path, "--schema", &schema_path, "--epsilon", "2.0",
-            "--seed", "1", "--out", &model_path, "--comment", "workflow test",
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "2.0",
+            "--seed",
+            "1",
+            "--out",
+            &model_path,
+            "--comment",
+            "workflow test",
         ])
         .unwrap();
         assert!(out.contains("fitted 3-attribute model on 400 rows"), "{out}");
 
         let out = run_cli(&[
-            "synth", "--model", &model_path, "--rows", "200", "--seed", "2", "--out",
+            "synth",
+            "--model",
+            &model_path,
+            "--rows",
+            "200",
+            "--seed",
+            "2",
+            "--out",
             &synth_path,
         ])
         .unwrap();
         assert!(out.contains("sampled 200 rows"), "{out}");
 
         let out = run_cli(&[
-            "eval", "--schema", &schema_path, "--truth", &data_path, "--synthetic",
-            &synth_path, "--alpha", "2",
+            "eval",
+            "--schema",
+            &schema_path,
+            "--truth",
+            &data_path,
+            "--synthetic",
+            &synth_path,
+            "--alpha",
+            "2",
         ])
         .unwrap();
         assert!(out.starts_with("alpha,avg_total_variation"), "{out}");
@@ -393,13 +414,21 @@ mod tests {
         let model_path = dir.join("model.json").to_str().unwrap().to_string();
         let synth_path = dir.join("synth.csv").to_str().unwrap().to_string();
         run_cli(&[
-            "fit", "--data", &data_path, "--schema", &schema_path, "--epsilon", "1.0",
-            "--seed", "3", "--out", &model_path,
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--seed",
+            "3",
+            "--out",
+            &model_path,
         ])
         .unwrap();
-        let out =
-            run_cli(&["synth", "--model", &model_path, "--seed", "4", "--out", &synth_path])
-                .unwrap();
+        let out = run_cli(&["synth", "--model", &model_path, "--seed", "4", "--out", &synth_path])
+            .unwrap();
         assert!(out.contains("sampled 400 rows"), "{out}");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -416,8 +445,19 @@ mod tests {
         assert!(matches!(run_cli(&["transmogrify"]), Err(CliError::Usage(_))));
         assert!(matches!(run_cli(&["fit", "--epsilon", "1.0"]), Err(CliError::Usage(_))));
         assert!(matches!(
-            run_cli(&["fit", "--data", "d", "--schema", "s", "--out", "o", "--epsilon",
-                      "1.0", "--encoding", "gray"]),
+            run_cli(&[
+                "fit",
+                "--data",
+                "d",
+                "--schema",
+                "s",
+                "--out",
+                "o",
+                "--epsilon",
+                "1.0",
+                "--encoding",
+                "gray"
+            ]),
             Err(CliError::Usage(_))
         ));
     }
@@ -427,8 +467,15 @@ mod tests {
         let dir = temp_dir("missing");
         let (schema_path, _) = write_fixture_data(&dir);
         let e = run_cli(&[
-            "fit", "--data", "/nonexistent.csv", "--schema", &schema_path, "--epsilon",
-            "1.0", "--out", "/tmp/x.json",
+            "fit",
+            "--data",
+            "/nonexistent.csv",
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--out",
+            "/tmp/x.json",
         ])
         .unwrap_err();
         assert!(matches!(e, CliError::Io { .. }), "{e}");
@@ -442,8 +489,15 @@ mod tests {
         let dir = temp_dir("alpha");
         let (schema_path, data_path) = write_fixture_data(&dir);
         let e = run_cli(&[
-            "eval", "--schema", &schema_path, "--truth", &data_path, "--synthetic",
-            &data_path, "--alpha", "9",
+            "eval",
+            "--schema",
+            &schema_path,
+            "--truth",
+            &data_path,
+            "--synthetic",
+            &data_path,
+            "--alpha",
+            "9",
         ])
         .unwrap_err();
         assert!(matches!(e, CliError::Usage(_)), "{e}");
@@ -455,13 +509,19 @@ mod tests {
         let dir = temp_dir("self-eval");
         let (schema_path, data_path) = write_fixture_data(&dir);
         let out = run_cli(&[
-            "eval", "--schema", &schema_path, "--truth", &data_path, "--synthetic",
-            &data_path, "--alpha", "1",
+            "eval",
+            "--schema",
+            &schema_path,
+            "--truth",
+            &data_path,
+            "--synthetic",
+            &data_path,
+            "--alpha",
+            "1",
         ])
         .unwrap();
-        let tvd: f64 = out.trim().lines().nth(1).unwrap().split(',').nth(1).unwrap()
-            .parse()
-            .unwrap();
+        let tvd: f64 =
+            out.trim().lines().nth(1).unwrap().split(',').nth(1).unwrap().parse().unwrap();
         assert!(tvd < 1e-9, "identical tables must have zero distance, got {tvd}");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -490,8 +550,17 @@ mod tests {
         let out_e = dir.join("entities.csv").to_str().unwrap().to_string();
         let out_f = dir.join("facts.csv").to_str().unwrap().to_string();
         let out = run_cli(&[
-            "synth-relational", "--model", &model_path, "--entities", "150", "--seed", "3",
-            "--out-entities", &out_e, "--out-facts", &out_f,
+            "synth-relational",
+            "--model",
+            &model_path,
+            "--entities",
+            "150",
+            "--seed",
+            "3",
+            "--out-entities",
+            &out_e,
+            "--out-facts",
+            &out_f,
         ])
         .unwrap();
         assert!(out.contains("synthesised 150 entities"), "{out}");
@@ -520,8 +589,15 @@ mod tests {
         let schema_path = dir.join("schema.json");
         fs::write(&schema_path, "{not json").unwrap();
         let e = run_cli(&[
-            "fit", "--data", "d.csv", "--schema", schema_path.to_str().unwrap(),
-            "--epsilon", "1.0", "--out", "m.json",
+            "fit",
+            "--data",
+            "d.csv",
+            "--schema",
+            schema_path.to_str().unwrap(),
+            "--epsilon",
+            "1.0",
+            "--out",
+            "m.json",
         ])
         .unwrap_err();
         assert!(matches!(e, CliError::Invalid(_)), "{e}");

@@ -133,7 +133,9 @@ pub fn noisy_conditionals_general<R: Rng + ?Sized>(
     let scale = match epsilon2 {
         Some(e) if e > 0.0 => Some(2.0 * d / (n as f64 * e)),
         Some(e) => {
-            return Err(PrivBayesError::InvalidConfig(format!("epsilon2 must be positive, got {e}")))
+            return Err(PrivBayesError::InvalidConfig(format!(
+                "epsilon2 must be positive, got {e}"
+            )))
         }
         None => None,
     };
@@ -178,7 +180,9 @@ pub fn noisy_conditionals_consistent<R: Rng + ?Sized>(
     let scale = match epsilon2 {
         Some(e) if e > 0.0 => Some(2.0 * d / (n as f64 * e)),
         Some(e) => {
-            return Err(PrivBayesError::InvalidConfig(format!("epsilon2 must be positive, got {e}")))
+            return Err(PrivBayesError::InvalidConfig(format!(
+                "epsilon2 must be positive, got {e}"
+            )))
         }
         None => None,
     };
@@ -202,6 +206,13 @@ pub fn noisy_conditionals_consistent<R: Rng + ?Sized>(
     if rounds > 0 {
         let variances = vec![1.0; tables.len()];
         mutual_consistency(&mut tables, &variances, rounds);
+    } else if scale.is_some() {
+        // No reconciliation requested: replay Algorithm 3's per-joint
+        // clamp+renormalise so rounds=0 is bit-identical to
+        // `noisy_conditionals_general`.
+        for table in &mut tables {
+            clamp_and_normalize(table.values_mut(), 1.0);
+        }
     }
     let conditionals = tables
         .iter()
@@ -238,7 +249,9 @@ pub fn noisy_conditionals_binary_k<R: Rng + ?Sized>(
     let scale = match epsilon2 {
         Some(e) if e > 0.0 => Some(2.0 * (d - k) as f64 / (n as f64 * e)),
         Some(e) => {
-            return Err(PrivBayesError::InvalidConfig(format!("epsilon2 must be positive, got {e}")))
+            return Err(PrivBayesError::InvalidConfig(format!(
+                "epsilon2 must be positive, got {e}"
+            )))
         }
         None => None,
     };

@@ -91,7 +91,12 @@ impl BitColumns {
     /// exactly like `ContingencyTable::from_dataset` with those axes (last
     /// attribute fastest). Uses the subset-AND lattice plus a Möbius
     /// transform from "all-ones" counts to exact cell counts.
-    fn joint(&self, attrs: &[usize], scratch: &mut Vec<Vec<u64>>, counts: &mut Vec<i64>) -> Vec<f64> {
+    fn joint(
+        &self,
+        attrs: &[usize],
+        scratch: &mut Vec<Vec<u64>>,
+        counts: &mut Vec<i64>,
+    ) -> Vec<f64> {
         let m = attrs.len();
         assert!(m <= 16, "bit-path joints limited to 16 attributes");
         let cells = 1usize << m;
@@ -156,7 +161,13 @@ pub fn score_candidate(
 
 /// All size-`k` subsets of `items` (the paper's `(V choose k)`).
 fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
-    fn rec(items: &[usize], k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if cur.len() == k {
             out.push(cur.clone());
             return;
@@ -493,11 +504,8 @@ mod tests {
         let bound = crate::theta::max_joint_cells(data.n(), data.d(), 0.7, 4.0);
         for pair in net.pairs() {
             let child_dim = data.schema().attribute(pair.child).domain_size() as f64;
-            let parent_dim: f64 = pair
-                .parents
-                .iter()
-                .map(|ax| ax.size(data.schema()) as f64)
-                .product();
+            let parent_dim: f64 =
+                pair.parents.iter().map(|ax| ax.size(data.schema()) as f64).product();
             assert!(
                 pair.parents.is_empty() || child_dim * parent_dim <= bound + 1e-9,
                 "AP pair exceeds θ bound"

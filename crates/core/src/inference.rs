@@ -154,7 +154,9 @@ pub fn model_conditional(
     }
     for (i, &(a, code)) in evidence.iter().enumerate() {
         if a >= d {
-            return Err(PrivBayesError::InvalidConfig(format!("evidence attribute {a} out of range")));
+            return Err(PrivBayesError::InvalidConfig(format!(
+                "evidence attribute {a} out of range"
+            )));
         }
         if !schema.attribute(a).domain().contains(code) {
             return Err(PrivBayesError::InvalidConfig(format!(
@@ -521,14 +523,10 @@ mod tests {
             Attribute::binary("y"),
         ])
         .unwrap();
-        let rows: Vec<Vec<u32>> =
-            (0..400u32).map(|i| vec![i % 4, u32::from(i % 4 >= 2)]).collect();
+        let rows: Vec<Vec<u32>> = (0..400u32).map(|i| vec![i % 4, u32::from(i % 4 >= 2)]).collect();
         let data = Dataset::from_rows(schema, &rows).unwrap();
         let net = BayesianNetwork::new(
-            vec![
-                ApPair::new(0, vec![]),
-                ApPair::generalized(1, vec![Axis { attr: 0, level: 1 }]),
-            ],
+            vec![ApPair::new(0, vec![]), ApPair::generalized(1, vec![Axis { attr: 0, level: 1 }])],
             data.schema(),
         )
         .unwrap();
@@ -590,9 +588,9 @@ mod tests {
             Attribute::categorical("c", 3).unwrap(),
         ])
         .unwrap();
-        let rows: Vec<Vec<u32>> =
-            (0..300u32).map(|i| vec![i % 2, (i / 2) % 2, ((i / 2) % 2) + (i % 3 == 0) as u32])
-                .collect();
+        let rows: Vec<Vec<u32>> = (0..300u32)
+            .map(|i| vec![i % 2, (i / 2) % 2, ((i / 2) % 2) + (i % 3 == 0) as u32])
+            .collect();
         let data = Dataset::from_rows(schema, &rows).unwrap();
         let net = BayesianNetwork::new(
             vec![ApPair::new(0, vec![]), ApPair::new(1, vec![]), ApPair::new(2, vec![1])],
@@ -605,10 +603,7 @@ mod tests {
             let t = model_marginal(&model, data.schema(), &attrs, DEFAULT_CELL_CAP).unwrap();
             let axes: Vec<Axis> = attrs.iter().map(|&a| Axis::raw(a)).collect();
             let empirical = ContingencyTable::from_dataset(&data, &axes);
-            assert!(
-                total_variation(t.values(), empirical.values()) < 1e-9,
-                "attrs {attrs:?}"
-            );
+            assert!(total_variation(t.values(), empirical.values()) < 1e-9, "attrs {attrs:?}");
         }
     }
 
@@ -623,11 +618,7 @@ mod tests {
 
     /// Empirical conditional Pr[target | evidence] from the data, for
     /// comparison with `model_conditional` on a noise-free model.
-    fn empirical_conditional(
-        data: &Dataset,
-        target: usize,
-        evidence: &[(usize, u32)],
-    ) -> Vec<f64> {
+    fn empirical_conditional(data: &Dataset, target: usize, evidence: &[(usize, u32)]) -> Vec<f64> {
         let dim = data.schema().attribute(target).domain_size();
         let mut counts = vec![0.0f64; dim];
         for row in 0..data.n() {
@@ -643,9 +634,8 @@ mod tests {
     fn conditional_matches_empirical_when_noise_free() {
         let (data, model) = chain_model();
         for evidence in [vec![(0usize, 1u32)], vec![(0, 0)], vec![(0, 1), (1, 0)]] {
-            let got =
-                model_conditional(&model, data.schema(), &[2], &evidence, DEFAULT_CELL_CAP)
-                    .unwrap();
+            let got = model_conditional(&model, data.schema(), &[2], &evidence, DEFAULT_CELL_CAP)
+                .unwrap();
             let want = empirical_conditional(&data, 2, &evidence);
             let tvd = total_variation(got.values(), &want);
             assert!(tvd < 1e-9, "evidence {evidence:?}: tvd {tvd}");
@@ -657,8 +647,8 @@ mod tests {
         // Evidence on a *descendant* (c) conditions its ancestor (a) — the
         // Bayes-inversion direction ancestral sampling cannot answer.
         let (data, model) = chain_model();
-        let got = model_conditional(&model, data.schema(), &[0], &[(2, 2)], DEFAULT_CELL_CAP)
-            .unwrap();
+        let got =
+            model_conditional(&model, data.schema(), &[0], &[(2, 2)], DEFAULT_CELL_CAP).unwrap();
         let want = empirical_conditional(&data, 0, &[(2, 2)]);
         assert!(total_variation(got.values(), &want) < 1e-9);
     }
@@ -668,18 +658,16 @@ mod tests {
         // Evidence on an attribute independent of the target must not change
         // the answer; also conditioning with empty evidence IS the marginal.
         let (data, model) = chain_model();
-        let marginal =
-            model_marginal(&model, data.schema(), &[1], DEFAULT_CELL_CAP).unwrap();
-        let cond =
-            model_conditional(&model, data.schema(), &[1], &[], DEFAULT_CELL_CAP).unwrap();
+        let marginal = model_marginal(&model, data.schema(), &[1], DEFAULT_CELL_CAP).unwrap();
+        let cond = model_conditional(&model, data.schema(), &[1], &[], DEFAULT_CELL_CAP).unwrap();
         assert!(total_variation(marginal.values(), cond.values()) < 1e-12);
     }
 
     #[test]
     fn conditional_output_is_a_distribution_in_target_order() {
         let (data, model) = chain_model();
-        let t = model_conditional(&model, data.schema(), &[2, 1], &[(0, 1)], DEFAULT_CELL_CAP)
-            .unwrap();
+        let t =
+            model_conditional(&model, data.schema(), &[2, 1], &[(0, 1)], DEFAULT_CELL_CAP).unwrap();
         assert_eq!(t.dims(), &[3, 2]);
         assert_eq!(t.axes()[0].attr, 2);
         assert!((t.total() - 1.0).abs() < 1e-9);
@@ -704,8 +692,7 @@ mod tests {
     #[test]
     fn zero_probability_evidence_is_an_error() {
         // Build a model where Pr[a = 1] = 0 exactly.
-        let schema =
-            Schema::new(vec![Attribute::binary("a"), Attribute::binary("b")]).unwrap();
+        let schema = Schema::new(vec![Attribute::binary("a"), Attribute::binary("b")]).unwrap();
         let rows: Vec<Vec<u32>> = (0..50u32).map(|i| vec![0, i % 2]).collect();
         let data = Dataset::from_rows(schema, &rows).unwrap();
         let net = BayesianNetwork::new(

@@ -124,10 +124,7 @@ impl BayesianNetwork {
     /// Directed edges `(parent, child)` at the attribute level.
     #[must_use]
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        self.pairs
-            .iter()
-            .flat_map(|p| p.parents.iter().map(move |q| (q.attr, p.child)))
-            .collect()
+        self.pairs.iter().flat_map(|p| p.parents.iter().map(move |q| (q.attr, p.child))).collect()
     }
 
     /// Renders the network like the paper's Table 1 (attribute names).
@@ -236,10 +233,8 @@ mod tests {
 
     #[test]
     fn rejects_invalid_level() {
-        let pairs = vec![
-            ApPair::new(0, vec![]),
-            ApPair::generalized(1, vec![Axis { attr: 0, level: 3 }]),
-        ];
+        let pairs =
+            vec![ApPair::new(0, vec![]), ApPair::generalized(1, vec![Axis { attr: 0, level: 3 }])];
         assert!(BayesianNetwork::new(pairs, &schema5()).is_err());
     }
 

@@ -64,11 +64,9 @@ mod tests {
     #[test]
     fn independent_network_scores_zero() {
         let data = chain_data(100);
-        let net = BayesianNetwork::new(
-            (0..3).map(|i| ApPair::new(i, vec![])).collect(),
-            data.schema(),
-        )
-        .unwrap();
+        let net =
+            BayesianNetwork::new((0..3).map(|i| ApPair::new(i, vec![])).collect(), data.schema())
+                .unwrap();
         assert_eq!(sum_mutual_information(&data, &net), 0.0);
     }
 

@@ -284,10 +284,7 @@ mod tests {
             assert!(s.len() <= cap);
             for (j, t) in sets.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !s.iter().all(|a| t.contains(a)),
-                        "set {s:?} is contained in {t:?}"
-                    );
+                    assert!(!s.iter().all(|a| t.contains(a)), "set {s:?} is contained in {t:?}");
                 }
             }
             if s.len() < cap {

@@ -252,9 +252,7 @@ impl PrivBayes {
             }
             let k = o
                 .fixed_k
-                .unwrap_or_else(|| {
-                    choose_degree_binary(bin_data.n(), bin_data.d(), eps2, o.theta)
-                })
+                .unwrap_or_else(|| choose_degree_binary(bin_data.n(), bin_data.d(), eps2, o.theta))
                 .min(o.max_degree)
                 .min(bin_data.d() - 1);
             let network = greedy_bayes_fixed_k(&bin_data, k, &settings, rng)?;
@@ -277,8 +275,7 @@ impl PrivBayes {
             })
         } else {
             let use_taxonomy = o.encoding == EncodingKind::Hierarchical;
-            let network =
-                greedy_bayes_adaptive(data, o.theta, eps2, use_taxonomy, &settings, rng)?;
+            let network = greedy_bayes_adaptive(data, o.theta, eps2, use_taxonomy, &settings, rng)?;
             let model = if o.consistency_rounds > 0 {
                 noisy_conditionals_consistent(
                     data,
@@ -430,10 +427,7 @@ mod tests {
         };
         let low = avg_err(0.05);
         let high = avg_err(5.0);
-        assert!(
-            high < low,
-            "ε=5 error ({high}) should be below ε=0.05 error ({low})"
-        );
+        assert!(high < low, "ε=5 error ({high}) should be below ε=0.05 error ({low})");
     }
 
     #[test]
@@ -482,9 +476,7 @@ mod tests {
             ScoreKind::R
         );
         assert_eq!(
-            PrivBayesOptions::new(1.0)
-                .with_encoding(EncodingKind::Hierarchical)
-                .effective_score(),
+            PrivBayesOptions::new(1.0).with_encoding(EncodingKind::Hierarchical).effective_score(),
             ScoreKind::R
         );
         assert_eq!(

@@ -137,14 +137,10 @@ mod tests {
             Attribute::binary("b"),
         ])
         .unwrap();
-        let rows: Vec<Vec<u32>> =
-            (0..200u32).map(|i| vec![i % 4, u32::from(i % 4 >= 2)]).collect();
+        let rows: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i % 4, u32::from(i % 4 >= 2)]).collect();
         let data = Dataset::from_rows(schema, &rows).unwrap();
         let net = BayesianNetwork::new(
-            vec![
-                ApPair::new(0, vec![]),
-                ApPair::generalized(1, vec![Axis { attr: 0, level: 1 }]),
-            ],
+            vec![ApPair::new(0, vec![]), ApPair::generalized(1, vec![Axis { attr: 0, level: 1 }])],
             data.schema(),
         )
         .unwrap();

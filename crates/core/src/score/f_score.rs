@@ -138,9 +138,7 @@ pub fn f_score_exhaustive(
     n: usize,
 ) -> Result<f64, PrivBayesError> {
     if child_dim != 2 {
-        return Err(PrivBayesError::UnsupportedScore(
-            "F requires a binary child attribute".into(),
-        ));
+        return Err(PrivBayesError::UnsupportedScore("F requires a binary child attribute".into()));
     }
     let cols = column_counts(values, n);
     assert!(cols.len() <= 20, "exhaustive F only feasible for small parents");
@@ -168,10 +166,7 @@ mod tests {
 
     /// Builds a probability joint from counts, child-fastest.
     fn joint(counts: &[(u64, u64)], n: u64) -> Vec<f64> {
-        counts
-            .iter()
-            .flat_map(|&(c0, c1)| [c0 as f64 / n as f64, c1 as f64 / n as f64])
-            .collect()
+        counts.iter().flat_map(|&(c0, c1)| [c0 as f64 / n as f64, c1 as f64 / n as f64]).collect()
     }
 
     #[test]

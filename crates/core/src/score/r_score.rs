@@ -90,8 +90,16 @@ mod tests {
         for (fc, fr) in [(0usize, 0usize), (1, 0), (2, 1)] {
             for (tc, tr) in [(1usize, 1usize), (2, 0), (0, 1)] {
                 let mut c = base;
-                if fr == 0 { c[fc].0 -= 1 } else { c[fc].1 -= 1 };
-                if tr == 0 { c[tc].0 += 1 } else { c[tc].1 += 1 };
+                if fr == 0 {
+                    c[fc].0 -= 1
+                } else {
+                    c[fc].1 -= 1
+                };
+                if tr == 0 {
+                    c[tc].0 += 1
+                } else {
+                    c[tc].1 += 1
+                };
                 let r2 = r_score(&to_joint(&c), 2);
                 assert!(
                     (r1 - r2).abs() <= r_sensitivity(n as usize) + 1e-12,

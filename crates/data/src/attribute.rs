@@ -83,7 +83,9 @@ impl Attribute {
         bins: usize,
     ) -> Result<Self, DataError> {
         if min >= max {
-            return Err(DataError::InvalidDomain(format!("continuous range [{min}, {max}] is empty")));
+            return Err(DataError::InvalidDomain(format!(
+                "continuous range [{min}, {max}] is empty"
+            )));
         }
         Ok(Self {
             name: name.into(),

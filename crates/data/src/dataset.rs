@@ -120,11 +120,8 @@ impl Dataset {
     /// Panics if an index is out of range.
     #[must_use]
     pub fn select_rows(&self, indices: &[usize]) -> Self {
-        let columns: Vec<Box<[u32]>> = self
-            .columns
-            .iter()
-            .map(|col| indices.iter().map(|&i| col[i]).collect())
-            .collect();
+        let columns: Vec<Box<[u32]>> =
+            self.columns.iter().map(|col| indices.iter().map(|&i| col[i]).collect()).collect();
         Self { schema: self.schema.clone(), columns, n: indices.len() }
     }
 
@@ -167,7 +164,8 @@ impl Dataset {
                 return Err(DataError::UnknownAttribute(format!("attribute index {a}")));
             }
         }
-        let schema = Schema::new(attrs.iter().map(|&a| self.schema.attribute(a).clone()).collect())?;
+        let schema =
+            Schema::new(attrs.iter().map(|&a| self.schema.attribute(a).clone()).collect())?;
         let columns: Vec<Box<[u32]>> = attrs.iter().map(|&a| self.columns[a].clone()).collect();
         Ok(Self { schema, columns, n: self.n })
     }
@@ -192,13 +190,7 @@ mod tests {
     fn sample() -> Dataset {
         Dataset::from_rows(
             schema3(),
-            &[
-                vec![0, 0, 1],
-                vec![1, 2, 0],
-                vec![0, 1, 1],
-                vec![1, 1, 0],
-                vec![0, 2, 0],
-            ],
+            &[vec![0, 0, 1], vec![1, 2, 0], vec![0, 1, 1], vec![1, 1, 0], vec![0, 2, 0]],
         )
         .unwrap()
     }

@@ -80,10 +80,7 @@ impl Domain {
     /// Looks up the code of a label (only for labelled domains).
     #[must_use]
     pub fn code_of(&self, label: &str) -> Option<u32> {
-        self.labels
-            .as_ref()
-            .and_then(|ls| ls.iter().position(|l| l == label))
-            .map(|i| i as u32)
+        self.labels.as_ref().and_then(|ls| ls.iter().position(|l| l == label)).map(|i| i as u32)
     }
 
     /// The explicit labels, if the domain was built with [`Domain::with_labels`].

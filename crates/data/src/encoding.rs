@@ -146,7 +146,10 @@ impl BinarizationMap {
 ///
 /// # Panics
 /// Panics if `kind` is not a bitwise encoding.
-pub fn binarize(dataset: &Dataset, kind: EncodingKind) -> Result<(Dataset, BinarizationMap), DataError> {
+pub fn binarize(
+    dataset: &Dataset,
+    kind: EncodingKind,
+) -> Result<(Dataset, BinarizationMap), DataError> {
     assert!(kind.is_bitwise(), "binarize called with non-bitwise encoding {kind:?}");
     let gray = kind == EncodingKind::Gray;
     let schema = dataset.schema();
@@ -236,16 +239,8 @@ mod tests {
             Attribute::continuous("age", 0.0, 80.0, 8).unwrap(),
         ])
         .unwrap();
-        Dataset::from_rows(
-            schema,
-            &[
-                vec![0, 4, 7],
-                vec![1, 0, 0],
-                vec![1, 3, 5],
-                vec![0, 2, 2],
-            ],
-        )
-        .unwrap()
+        Dataset::from_rows(schema, &[vec![0, 4, 7], vec![1, 0, 0], vec![1, 3, 5], vec![0, 2, 2]])
+            .unwrap()
     }
 
     #[test]

@@ -70,11 +70,7 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_fields() {
-        let e = DataError::CodeOutOfDomain {
-            attribute: "age".into(),
-            code: 9,
-            domain_size: 4,
-        };
+        let e = DataError::CodeOutOfDomain { attribute: "age".into(), code: 9, domain_size: 4 };
         let s = e.to_string();
         assert!(s.contains("age") && s.contains('9') && s.contains('4'));
 

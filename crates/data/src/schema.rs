@@ -87,10 +87,7 @@ impl Schema {
     /// Panics if an index is out of range.
     #[must_use]
     pub fn subset_domain_size(&self, subset: &[usize]) -> usize {
-        subset
-            .iter()
-            .map(|&i| self.attributes[i].domain_size())
-            .fold(1usize, usize::saturating_mul)
+        subset.iter().map(|&i| self.attributes[i].domain_size()).fold(1usize, usize::saturating_mul)
     }
 }
 

@@ -34,7 +34,10 @@ impl TaxonomyTree {
     /// # Errors
     /// Returns [`DataError::InvalidTaxonomy`] if any map is empty, non-dense,
     /// non-monotone, or reaches a single node before the last level.
-    pub fn from_parent_maps(leaf_count: usize, parent_maps: Vec<Vec<u32>>) -> Result<Self, DataError> {
+    pub fn from_parent_maps(
+        leaf_count: usize,
+        parent_maps: Vec<Vec<u32>>,
+    ) -> Result<Self, DataError> {
         if leaf_count == 0 {
             return Err(DataError::InvalidTaxonomy("no leaves".into()));
         }
@@ -220,11 +223,8 @@ mod tests {
     #[test]
     fn from_groups_matches_figure_3() {
         // workclass: 8 values into {self-employed, government, private, unemployed}.
-        let t = TaxonomyTree::from_groups(
-            8,
-            &[vec![0, 1], vec![2, 3, 4], vec![5], vec![6, 7]],
-        )
-        .unwrap();
+        let t = TaxonomyTree::from_groups(8, &[vec![0, 1], vec![2, 3, 4], vec![5], vec![6, 7]])
+            .unwrap();
         assert_eq!(t.height(), 2);
         assert_eq!(t.level_size(1), 4);
         assert_eq!(t.generalize(3, 1), 1, "state-gov -> government");

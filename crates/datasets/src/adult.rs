@@ -56,12 +56,7 @@ pub fn schema() -> Schema {
             // pre-HS / HS / some-college / post-secondary.
             TaxonomyTree::from_groups(
                 16,
-                &[
-                    vec![0, 1, 2, 3],
-                    vec![4, 5, 6, 7],
-                    vec![8, 9, 10, 11],
-                    vec![12, 13, 14, 15],
-                ],
+                &[vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9, 10, 11], vec![12, 13, 14, 15]],
             )
             .expect("valid groups"),
         )
@@ -91,7 +86,9 @@ pub fn schema() -> Schema {
         .expect("matching leaf count");
     let relationship = Attribute::categorical("relationship", 6)
         .expect("valid domain")
-        .with_taxonomy(TaxonomyTree::from_groups(6, &[vec![0, 1, 2], vec![3, 4, 5]]).expect("valid"))
+        .with_taxonomy(
+            TaxonomyTree::from_groups(6, &[vec![0, 1, 2], vec![3, 4, 5]]).expect("valid"),
+        )
         .expect("matching leaf count");
     let race = Attribute::categorical("race", 5)
         .expect("valid domain")

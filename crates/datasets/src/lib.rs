@@ -54,10 +54,7 @@ mod tests {
             assert_eq!(ds.data.n(), n, "{name} cardinality");
             assert_eq!(ds.data.d(), d, "{name} dimensionality");
             let got = ds.data.schema().total_domain_log2();
-            assert!(
-                (got - log_dom).abs() < 3.0,
-                "{name} domain ≈ 2^{log_dom}, got 2^{got:.1}"
-            );
+            assert!((got - log_dom).abs() < 3.0, "{name} domain ≈ 2^{log_dom}, got 2^{got:.1}");
             assert_eq!(ds.targets.len(), 4, "{name} has 4 classification targets");
         }
     }

@@ -13,8 +13,22 @@ pub const CARDINALITY: usize = 21_574;
 /// NLTCS activity-of-daily-living indicators (the four SVM targets of §6.1
 /// first: unable to get outside / manage money / bathe / travel).
 const ATTRIBUTES: [&str; 16] = [
-    "outside", "money", "bathing", "traveling", "dressing", "toileting", "bed", "housework",
-    "laundry", "cooking", "grocery", "walking", "eating", "medicine", "telephone", "wheelchair",
+    "outside",
+    "money",
+    "bathing",
+    "traveling",
+    "dressing",
+    "toileting",
+    "bed",
+    "housework",
+    "laundry",
+    "cooking",
+    "grocery",
+    "walking",
+    "eating",
+    "medicine",
+    "telephone",
+    "wheelchair",
 ];
 
 /// The NLTCS schema: 16 binary attributes.

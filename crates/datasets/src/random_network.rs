@@ -50,7 +50,8 @@ impl GroundTruthNetwork {
         for (pos, &attr) in order.iter().enumerate() {
             let available = &order[..pos];
             let parent_count = max_parents.min(available.len());
-            let parent_count = if parent_count == 0 { 0 } else { rng.random_range(1..=parent_count) };
+            let parent_count =
+                if parent_count == 0 { 0 } else { rng.random_range(1..=parent_count) };
             let mut pool: Vec<usize> = available.to_vec();
             pool.shuffle(rng);
             let parents: Vec<usize> = pool.into_iter().take(parent_count).collect();
@@ -197,8 +198,8 @@ mod tests {
                 prop_assert!(net.degree() <= max_parents);
                 let ds = net.sample(40, &mut rng);
                 prop_assert_eq!(ds.n(), 40);
-                for attr in 0..d {
-                    let dom = sizes[attr] as u32;
+                for (attr, &size) in sizes.iter().enumerate().take(d) {
+                    let dom = size as u32;
                     prop_assert!(ds.column(attr).iter().all(|&v| v < dom));
                 }
                 prop_assert_eq!(net.sample(0, &mut rng).n(), 0);

@@ -42,11 +42,7 @@ impl ClassificationTarget {
         if dataset.n() == 0 {
             return 0.0;
         }
-        let pos = dataset
-            .column(self.attr)
-            .iter()
-            .filter(|v| self.positive.contains(v))
-            .count();
+        let pos = dataset.column(self.attr).iter().filter(|v| self.positive.contains(v)).count();
         pos as f64 / dataset.n() as f64
     }
 }

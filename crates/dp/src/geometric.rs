@@ -37,9 +37,9 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> i
     // geometric tail.
     let v = (u - p0) / (1.0 - p0); // uniform in [0,1)
     let sign = if v < 0.5 { -1 } else { 1 };
-    let w = if v < 0.5 { v * 2.0 } else { (v - 0.5) * 2.0 }; // uniform again
-    // |η| = k ≥ 1 with Pr[k] ∝ α^k(1−α): shifted geometric.
-    // P(|η| > k | |η| ≥ 1) = α^k  ⇒  k = 1 + floor(ln(w)/ln(α)).
+    // Fold v back onto [0,1); then |η| = k ≥ 1 with Pr[k] ∝ α^k(1−α) is a
+    // shifted geometric: P(|η| > k | |η| ≥ 1) = α^k ⇒ k = 1 + floor(ln(w)/ln(α)).
+    let w = if v < 0.5 { v * 2.0 } else { (v - 0.5) * 2.0 };
     let tail = 1 + (w.max(f64::MIN_POSITIVE).ln() / alpha.ln()).floor() as i64;
     sign * tail.max(1)
 }
@@ -186,9 +186,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let spread = |eps: f64, rng: &mut StdRng| {
             let alpha = (-eps).exp();
-            (0..20_000)
-                .map(|_| sample_two_sided_geometric(alpha, rng).unsigned_abs())
-                .sum::<u64>() as f64
+            (0..20_000).map(|_| sample_two_sided_geometric(alpha, rng).unsigned_abs()).sum::<u64>()
+                as f64
                 / 20_000.0
         };
         let noisy = spread(0.1, &mut rng);

@@ -1,0 +1,154 @@
+//! Seeded statistical acceptance tests for the DP mechanisms.
+//!
+//! Each test draws a large, deterministically seeded sample and checks the
+//! empirical moments (or selection frequencies) against the closed-form
+//! values the privacy analysis relies on. Tolerances are set several
+//! standard errors wide so the tests are stable under the fixed seeds.
+
+use privbayes_dp::budget::{BudgetSplit, PrivacyBudget};
+use privbayes_dp::error::DpError;
+use privbayes_dp::exponential::select_with_scale;
+use privbayes_dp::geometric::{geometric_std, sample_two_sided_geometric};
+use privbayes_dp::laplace::sample_laplace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[test]
+fn laplace_moments_across_scales() {
+    // Lap(λ): mean 0, variance 2λ², E|η| = λ.
+    let m = 200_000;
+    for (seed, scale) in [(101u64, 0.25f64), (102, 1.0), (103, 4.0)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..m).map(|_| sample_laplace(scale, &mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        let expected_var = 2.0 * scale * scale;
+        // std of the sample mean is sqrt(2λ²/m); allow ~6 standard errors.
+        let mean_tol = 6.0 * (expected_var / m as f64).sqrt();
+        assert!(mean.abs() < mean_tol, "scale {scale}: mean {mean} (tol {mean_tol})");
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.03,
+            "scale {scale}: var {var} vs {expected_var}"
+        );
+        let mean_abs = samples.iter().map(|x| x.abs()).sum::<f64>() / m as f64;
+        assert!(
+            (mean_abs - scale).abs() / scale < 0.02,
+            "scale {scale}: E|η| {mean_abs} vs {scale}"
+        );
+    }
+}
+
+#[test]
+fn geometric_moments_across_epsilons() {
+    // Two-sided geometric with α = e^{−ε}: mean 0, std sqrt(2α)/(1−α).
+    let m = 200_000;
+    for (seed, epsilon) in [(201u64, 0.2f64), (202, 0.5), (203, 1.5)] {
+        let alpha = (-epsilon).exp();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> =
+            (0..m).map(|_| sample_two_sided_geometric(alpha, &mut rng) as f64).collect();
+        let (mean, var) = mean_and_var(&samples);
+        let expected_std = geometric_std(alpha);
+        let mean_tol = 6.0 * expected_std / (m as f64).sqrt();
+        assert!(mean.abs() < mean_tol, "ε={epsilon}: mean {mean} (tol {mean_tol})");
+        assert!(
+            (var.sqrt() - expected_std).abs() / expected_std < 0.03,
+            "ε={epsilon}: std {} vs {expected_std}",
+            var.sqrt()
+        );
+    }
+}
+
+#[test]
+fn exponential_mechanism_frequencies_match_weights() {
+    // Selection probability must be ∝ exp(score/2Δ).
+    let scores = [0.0f64, 1.0, 2.0, 3.5];
+    let delta = 0.75;
+    let weights: Vec<f64> = scores.iter().map(|&s| (s / (2.0 * delta)).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let m = 300_000;
+    let mut rng = StdRng::seed_from_u64(301);
+    let mut counts = [0usize; 4];
+    for _ in 0..m {
+        counts[select_with_scale(&scores, delta, &mut rng).unwrap()] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let emp = c as f64 / m as f64;
+        let theory = weights[i] / total;
+        // Binomial std error is sqrt(p(1−p)/m) < 1e-3 here; allow 6×.
+        assert!(
+            (emp - theory).abs() < 6.0 * (theory * (1.0 - theory) / m as f64).sqrt() + 1e-4,
+            "candidate {i}: empirical {emp:.4} vs theory {theory:.4}"
+        );
+    }
+}
+
+#[test]
+fn exponential_mechanism_uniform_when_scores_tie() {
+    let scores = [7.0f64; 5];
+    let m = 100_000;
+    let mut rng = StdRng::seed_from_u64(302);
+    let mut counts = [0usize; 5];
+    for _ in 0..m {
+        counts[select_with_scale(&scores, 1.0, &mut rng).unwrap()] += 1;
+    }
+    for &c in &counts {
+        let frac = c as f64 / m as f64;
+        assert!((frac - 0.2).abs() < 0.01, "tied scores must select uniformly, got {frac}");
+    }
+}
+
+#[test]
+fn budget_split_rejects_degenerate_beta_zero_and_one() {
+    // β ∈ {0, 1} would silence one of the two phases entirely; the paper's
+    // split is defined on the open interval.
+    for beta in [0.0, 1.0, -0.3, 1.3, f64::NAN, f64::INFINITY] {
+        assert!(
+            matches!(BudgetSplit::new(beta), Err(DpError::InvalidParameter(_))),
+            "β={beta} must be rejected"
+        );
+    }
+    // The open interval itself is fully usable, even arbitrarily close to
+    // the endpoints.
+    for beta in [f64::MIN_POSITIVE, 1e-9, 0.5, 1.0 - 1e-9] {
+        let split = BudgetSplit::new(beta).unwrap();
+        let (e1, e2) = split.split(2.0);
+        assert!(e1 >= 0.0 && e2 >= 0.0);
+        assert!(((e1 + e2) - 2.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn budget_accounting_boundary_cases() {
+    // Spending the exact total is allowed; one float-visible step past it is
+    // not, and a failed consume must not burn budget.
+    let mut b = PrivacyBudget::new(1.0).unwrap();
+    b.consume(1.0).unwrap();
+    assert!(b.remaining() < 1e-12);
+    assert!(matches!(b.consume(1e-6), Err(DpError::BudgetExhausted { .. })));
+
+    let mut b = PrivacyBudget::new(0.5).unwrap();
+    assert!(b.consume(0.5000001).is_err(), "over-budget request must fail");
+    assert!((b.spent() - 0.0).abs() < 1e-15, "failed consume must not spend");
+    b.consume(0.25).unwrap();
+    b.consume(0.25).unwrap();
+    assert!(b.remaining() < 1e-12);
+}
+
+#[test]
+fn budget_tolerates_accumulated_float_splits() {
+    // ε/k consumed k times must land exactly on empty for awkward k.
+    for k in [3usize, 7, 11, 13] {
+        let mut b = PrivacyBudget::new(0.1).unwrap();
+        for _ in 0..k {
+            b.consume(0.1 / k as f64).unwrap();
+        }
+        assert!(b.remaining() < 1e-9, "k={k}: remaining {}", b.remaining());
+    }
+}

@@ -84,11 +84,7 @@ pub fn shared_axes(a: &ContingencyTable, b: &ContingencyTable) -> Vec<Axis> {
 /// # Panics
 /// Panics if `cell_variance.len() != tables.len()` or any variance is not
 /// positive.
-pub fn mutual_consistency(
-    tables: &mut [ContingencyTable],
-    cell_variance: &[f64],
-    rounds: usize,
-) {
+pub fn mutual_consistency(tables: &mut [ContingencyTable], cell_variance: &[f64], rounds: usize) {
     assert_eq!(tables.len(), cell_variance.len(), "one variance per table");
     assert!(cell_variance.iter().all(|&v| v > 0.0), "variances must be positive");
     for _ in 0..rounds {
@@ -110,11 +106,7 @@ fn margin_of(table: &ContingencyTable, shared: &[Axis]) -> (Vec<f64>, Vec<usize>
     let positions: Vec<usize> = shared
         .iter()
         .map(|axis| {
-            table
-                .axes()
-                .iter()
-                .position(|a| a == axis)
-                .expect("shared axis present in table")
+            table.axes().iter().position(|a| a == axis).expect("shared axis present in table")
         })
         .collect();
     let margin_dims: Vec<usize> = positions.iter().map(|&p| table.dims()[p]).collect();
@@ -152,11 +144,8 @@ fn reconcile_pair(
     let w_i = 1.0 / var_i;
     let w_j = 1.0 / var_j;
 
-    let target: Vec<f64> = margin_i
-        .iter()
-        .zip(&margin_j)
-        .map(|(&a, &b)| (w_i * a + w_j * b) / (w_i + w_j))
-        .collect();
+    let target: Vec<f64> =
+        margin_i.iter().zip(&margin_j).map(|(&a, &b)| (w_i * a + w_j * b) / (w_i + w_j)).collect();
 
     // Least-squares absorption: spread each margin correction evenly over
     // the cells aggregating into it.
@@ -249,7 +238,11 @@ mod tests {
     fn total_mass_is_preserved() {
         let mut tables = vec![
             table(vec![Axis::raw(0), Axis::raw(1)], vec![2, 2], vec![0.1, 0.2, 0.3, 0.4]),
-            table(vec![Axis::raw(1), Axis::raw(2)], vec![2, 3], vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.25]),
+            table(
+                vec![Axis::raw(1), Axis::raw(2)],
+                vec![2, 3],
+                vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.25],
+            ),
         ];
         mutual_consistency(&mut tables, &[1.0, 1.0], 3);
         for t in &tables {
@@ -281,10 +274,7 @@ mod tests {
     #[test]
     fn disjoint_tables_are_untouched() {
         let original = table(vec![Axis::raw(0)], vec![2], vec![0.7, 0.3]);
-        let mut tables = vec![
-            original.clone(),
-            table(vec![Axis::raw(1)], vec![2], vec![0.5, 0.5]),
-        ];
+        let mut tables = vec![original.clone(), table(vec![Axis::raw(1)], vec![2], vec![0.5, 0.5])];
         mutual_consistency(&mut tables, &[1.0, 1.0], 5);
         assert_eq!(tables[0], original);
     }

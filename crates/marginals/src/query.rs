@@ -90,14 +90,7 @@ mod tests {
         assert_eq!(w.len(), 6);
         assert_eq!(
             w.subsets(),
-            &[
-                vec![0, 1],
-                vec![0, 2],
-                vec![0, 3],
-                vec![1, 2],
-                vec![1, 3],
-                vec![2, 3]
-            ]
+            &[vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
         );
     }
 

@@ -35,7 +35,11 @@ impl Axis {
             attribute
                 .taxonomy()
                 .unwrap_or_else(|| {
-                    panic!("attribute `{}` has no taxonomy for level {}", attribute.name(), self.level)
+                    panic!(
+                        "attribute `{}` has no taxonomy for level {}",
+                        attribute.name(),
+                        self.level
+                    )
                 })
                 .level_size(self.level)
         }
@@ -281,13 +285,7 @@ mod tests {
         .unwrap();
         Dataset::from_rows(
             schema,
-            &[
-                vec![0, 0, 0],
-                vec![0, 0, 1],
-                vec![1, 2, 1],
-                vec![1, 1, 0],
-                vec![1, 2, 1],
-            ],
+            &[vec![0, 0, 0], vec![0, 0, 1], vec![1, 2, 1], vec![1, 1, 0], vec![1, 2, 1]],
         )
         .unwrap()
     }
@@ -317,7 +315,8 @@ mod tests {
     #[test]
     fn projection_equals_direct_materialisation() {
         let ds = dataset();
-        let joint = ContingencyTable::from_dataset(&ds, &[Axis::raw(0), Axis::raw(1), Axis::raw(2)]);
+        let joint =
+            ContingencyTable::from_dataset(&ds, &[Axis::raw(0), Axis::raw(1), Axis::raw(2)]);
         let direct = ContingencyTable::from_dataset(&ds, &[Axis::raw(0), Axis::raw(2)]);
         let projected = joint.project(&[0, 2]);
         assert_eq!(projected.dims(), direct.dims());
@@ -338,7 +337,8 @@ mod tests {
     #[test]
     fn project_attrs_by_attribute_index() {
         let ds = dataset();
-        let joint = ContingencyTable::from_dataset(&ds, &[Axis::raw(0), Axis::raw(1), Axis::raw(2)]);
+        let joint =
+            ContingencyTable::from_dataset(&ds, &[Axis::raw(0), Axis::raw(1), Axis::raw(2)]);
         let p = joint.project_attrs(&[2, 1]);
         assert_eq!(p.axes()[0].attr, 2);
         assert_eq!(p.dims(), &[2, 3]);
@@ -354,11 +354,8 @@ mod tests {
             Attribute::binary("f"),
         ])
         .unwrap();
-        let ds = Dataset::from_rows(
-            schema,
-            &[vec![0, 0], vec![1, 0], vec![2, 1], vec![3, 1]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(schema, &[vec![0, 0], vec![1, 0], vec![2, 1], vec![3, 1]]).unwrap();
         let t = ContingencyTable::from_dataset(&ds, &[Axis { attr: 0, level: 1 }, Axis::raw(1)]);
         assert_eq!(t.dims(), &[2, 2]);
         assert!((t.get(&[0, 0]) - 0.5).abs() < 1e-12, "leaves 0,1 -> node 0, both f=0");

@@ -10,9 +10,7 @@ use crate::svm::LinearSvm;
 #[must_use]
 pub fn misclassification_rate(model: &LinearSvm, data: &FeatureMatrix) -> f64 {
     assert!(data.rows() > 0, "empty evaluation set");
-    let wrong = (0..data.rows())
-        .filter(|&i| model.predict(data.row(i)) != data.y[i])
-        .count();
+    let wrong = (0..data.rows()).filter(|&i| model.predict(data.row(i)) != data.y[i]).count();
     wrong as f64 / data.rows() as f64
 }
 

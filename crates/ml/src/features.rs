@@ -28,8 +28,7 @@ impl FeatureMatrix {
     pub fn build(dataset: &Dataset, target_attr: usize, positive: &[u32]) -> Self {
         let schema = dataset.schema();
         assert!(target_attr < schema.len(), "target attribute out of range");
-        let feature_attrs: Vec<usize> =
-            (0..schema.len()).filter(|&a| a != target_attr).collect();
+        let feature_attrs: Vec<usize> = (0..schema.len()).filter(|&a| a != target_attr).collect();
         let offsets: Vec<usize> = feature_attrs
             .iter()
             .scan(0usize, |acc, &a| {
@@ -40,8 +39,9 @@ impl FeatureMatrix {
             .collect();
         let one_hot_dim: usize =
             feature_attrs.iter().map(|&a| schema.attribute(a).domain_size()).sum();
-        let dim = one_hot_dim + 1; // + bias
-        // Each row has exactly (d−1) ones plus the bias: norm² = d.
+        // One-hot features plus the bias coordinate; each row then has
+        // exactly (d−1) ones plus the bias, so norm² = d.
+        let dim = one_hot_dim + 1;
         let scale = 1.0 / (feature_attrs.len() as f64 + 1.0).sqrt();
 
         let n = dataset.n();
@@ -54,7 +54,8 @@ impl FeatureMatrix {
                 x[base + offsets[slot] + code] = scale;
             }
             x[base + one_hot_dim] = scale; // bias
-            let label = if positive.contains(&dataset.value(row, target_attr)) { 1.0 } else { -1.0 };
+            let label =
+                if positive.contains(&dataset.value(row, target_attr)) { 1.0 } else { -1.0 };
             y.push(label);
         }
         Self { x, y, dim }
@@ -141,16 +142,16 @@ mod tests {
         fn random_dataset(d: usize, sizes: &[usize], n: usize, seed: u64) -> Dataset {
             let schema = Schema::new(
                 (0..d)
-                    .map(|i| Attribute::categorical(format!("a{i}"), sizes[i % sizes.len()]).unwrap())
+                    .map(|i| {
+                        Attribute::categorical(format!("a{i}"), sizes[i % sizes.len()]).unwrap()
+                    })
                     .collect(),
             )
             .unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             let rows: Vec<Vec<u32>> = (0..n)
                 .map(|_| {
-                    (0..d)
-                        .map(|i| rng.random_range(0..sizes[i % sizes.len()] as u32))
-                        .collect()
+                    (0..d).map(|i| rng.random_range(0..sizes[i % sizes.len()] as u32)).collect()
                 })
                 .collect();
             Dataset::from_rows(schema, &rows).unwrap()

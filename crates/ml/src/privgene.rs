@@ -51,9 +51,9 @@ impl PrivGene {
     }
 
     fn generations_for(&self, epsilon: f64, n: usize) -> usize {
-        self.options.generations.unwrap_or_else(|| {
-            ((epsilon * n as f64 / 800.0).round() as usize).clamp(2, 30)
-        })
+        self.options
+            .generations
+            .unwrap_or_else(|| ((epsilon * n as f64 / 800.0).round() as usize).clamp(2, 30))
     }
 
     /// Trains an ε-DP linear classifier.
@@ -92,8 +92,8 @@ impl PrivGene {
 
         for _ in 0..generations {
             let scores: Vec<f64> = population.iter().map(|w| fitness(w)).collect();
-            let chosen = exponential_mechanism(&scores, 1.0, eps_per_gen, rng)
-                .expect("valid scores");
+            let chosen =
+                exponential_mechanism(&scores, 1.0, eps_per_gen, rng).expect("valid scores");
             best = population[chosen].clone();
 
             // Breed the next generation: crossover best with random
@@ -156,10 +156,8 @@ mod tests {
 
     #[test]
     fn explicit_generations_respected() {
-        let pg = PrivGene::new(PrivGeneOptions {
-            generations: Some(7),
-            ..PrivGeneOptions::default()
-        });
+        let pg =
+            PrivGene::new(PrivGeneOptions { generations: Some(7), ..PrivGeneOptions::default() });
         assert_eq!(pg.generations_for(0.1, 10), 7);
     }
 

@@ -550,9 +550,27 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "nul", "tru", "{", "[", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a: 1}",
-            "1 2", "[1],", "\"unterminated", "01", "1.", "1e", "+1", "--1", ".5",
-            "{\"a\":1,}", "[1,]",
+            "",
+            "nul",
+            "tru",
+            "{",
+            "[",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a: 1}",
+            "1 2",
+            "[1],",
+            "\"unterminated",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "--1",
+            ".5",
+            "{\"a\":1,}",
+            "[1,]",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }

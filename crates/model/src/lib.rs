@@ -67,5 +67,5 @@ pub mod schema_io;
 pub use error::ModelError;
 pub use json::{Json, JsonError};
 pub use model_io::{ModelMetadata, ReleasedModel, FORMAT};
-pub use relational_io::{ReleasedRelationalModel, RelationalMetadata, RELATIONAL_FORMAT};
+pub use relational_io::{RelationalMetadata, ReleasedRelationalModel, RELATIONAL_FORMAT};
 pub use schema_io::{schema_from_json, schema_to_json};

@@ -247,8 +247,7 @@ impl ReleasedModel {
             "network",
         )?;
         let conditionals = conditionals_from_json(
-            json.get("conditionals")
-                .ok_or_else(|| ModelError::Field("conditionals".into()))?,
+            json.get("conditionals").ok_or_else(|| ModelError::Field("conditionals".into()))?,
             "conditionals",
         )?;
 
@@ -310,8 +309,7 @@ pub(crate) fn network_from_json(
     schema: &Schema,
     context: &str,
 ) -> Result<BayesianNetwork, ModelError> {
-    let pairs_json =
-        json.as_array().ok_or_else(|| ModelError::Field(context.to_string()))?;
+    let pairs_json = json.as_array().ok_or_else(|| ModelError::Field(context.to_string()))?;
     let mut pairs = Vec::with_capacity(pairs_json.len());
     for (i, pair) in pairs_json.iter().enumerate() {
         let path = |field: &str| ModelError::Field(format!("{context}[{i}].{field}"));
@@ -322,8 +320,7 @@ pub(crate) fn network_from_json(
         )?;
         pairs.push(ApPair::generalized(child, parents));
     }
-    BayesianNetwork::new(pairs, schema)
-        .map_err(|e| ModelError::Invalid(format!("{context}: {e}")))
+    BayesianNetwork::new(pairs, schema).map_err(|e| ModelError::Invalid(format!("{context}: {e}")))
 }
 
 /// Serializes conditionals as an array of CPT objects.
@@ -342,10 +339,7 @@ pub(crate) fn conditionals_to_json(conditionals: &[Conditional]) -> Json {
                         ),
                     ),
                     ("child_dim", Json::from_usize(cond.child_dim)),
-                    (
-                        "probs",
-                        Json::Array(cond.probs.iter().map(|&p| Json::Number(p)).collect()),
-                    ),
+                    ("probs", Json::Array(cond.probs.iter().map(|&p| Json::Number(p)).collect())),
                 ])
             })
             .collect(),
@@ -358,8 +352,7 @@ pub(crate) fn conditionals_from_json(
     json: &Json,
     context: &str,
 ) -> Result<Vec<Conditional>, ModelError> {
-    let conds_json =
-        json.as_array().ok_or_else(|| ModelError::Field(context.to_string()))?;
+    let conds_json = json.as_array().ok_or_else(|| ModelError::Field(context.to_string()))?;
     let mut conditionals = Vec::with_capacity(conds_json.len());
     for (i, cond) in conds_json.iter().enumerate() {
         let path = |field: &str| ModelError::Field(format!("{context}[{i}].{field}"));
@@ -570,10 +563,7 @@ mod tests {
         // Inject a string where a probability belongs.
         let text = text.replacen("\"probs\": [\n", "\"probs\": [\n\"oops\",", 1);
         let e = ReleasedModel::from_json_string(&text).unwrap_err();
-        assert!(
-            matches!(e, ModelError::Field(ref p) if p.contains("probs")),
-            "got {e}"
-        );
+        assert!(matches!(e, ModelError::Field(ref p) if p.contains("probs")), "got {e}");
     }
 
     #[test]

@@ -158,8 +158,7 @@ impl ReleasedRelationalModel {
             if cond.child_dim != expected {
                 return Err(ModelError::Invalid(format!(
                     "fact conditional for attribute {}: child_dim {} vs domain {expected}",
-                    cond.child,
-                    cond.child_dim
+                    cond.child, cond.child_dim
                 )));
             }
         }
@@ -224,11 +223,11 @@ impl ReleasedRelationalModel {
             json.get("fact_view_schema")
                 .ok_or_else(|| ModelError::Field("fact_view_schema".into()))?,
         )?;
-        let schema = relational_schema_from_views(&flattened, &fact_view, entity_arity, max_fanout)?;
+        let schema =
+            relational_schema_from_views(&flattened, &fact_view, entity_arity, max_fanout)?;
 
         let entity_network = network_from_json(
-            json.get("entity_network")
-                .ok_or_else(|| ModelError::Field("entity_network".into()))?,
+            json.get("entity_network").ok_or_else(|| ModelError::Field("entity_network".into()))?,
             &flattened,
             "entity_network",
         )?;
@@ -238,8 +237,7 @@ impl ReleasedRelationalModel {
             "entity_conditionals",
         )?;
         let fact_network = network_from_json(
-            json.get("fact_network")
-                .ok_or_else(|| ModelError::Field("fact_network".into()))?,
+            json.get("fact_network").ok_or_else(|| ModelError::Field("fact_network".into()))?,
             &fact_view,
             "fact_network",
         )?;
@@ -255,10 +253,7 @@ impl ReleasedRelationalModel {
         let artifact = Self {
             metadata,
             schema,
-            entity_model: NoisyModel {
-                network: entity_network,
-                conditionals: entity_conditionals,
-            },
+            entity_model: NoisyModel { network: entity_network, conditionals: entity_conditionals },
             fact_model,
         };
         artifact.validate()?;
@@ -295,13 +290,9 @@ impl ReleasedRelationalModel {
         rng: &mut R,
     ) -> Result<RelationalDataset, ModelError> {
         let flattened = self.schema.flattened();
-        let flat = privbayes::sampler::sample_synthetic(
-            &self.entity_model,
-            flattened,
-            n_entities,
-            rng,
-        )
-        .map_err(|e| ModelError::Invalid(e.to_string()))?;
+        let flat =
+            privbayes::sampler::sample_synthetic(&self.entity_model, flattened, n_entities, rng)
+                .map_err(|e| ModelError::Invalid(e.to_string()))?;
         let e_arity = self.schema.entity_arity();
         let m = self.schema.max_fanout();
         let mut entity_rows = Vec::with_capacity(n_entities);
@@ -421,8 +412,7 @@ mod tests {
     fn consumer_synthesis_matches_owner_given_seed() {
         let (_, artifact) = fitted();
         let back =
-            ReleasedRelationalModel::from_json_string(&artifact.to_json_string().unwrap())
-                .unwrap();
+            ReleasedRelationalModel::from_json_string(&artifact.to_json_string().unwrap()).unwrap();
         let mut rng_a = StdRng::seed_from_u64(4);
         let mut rng_b = StdRng::seed_from_u64(4);
         let a = artifact.synthesize(200, &mut rng_a).unwrap();
@@ -434,9 +424,11 @@ mod tests {
     fn rejects_wrong_format_and_missing_fields() {
         let (_, artifact) = fitted();
         let text = artifact.to_json_string().unwrap();
-        let e = ReleasedRelationalModel::from_json_string(
-            &text.replacen(RELATIONAL_FORMAT, "privbayes-model/1", 1),
-        )
+        let e = ReleasedRelationalModel::from_json_string(&text.replacen(
+            RELATIONAL_FORMAT,
+            "privbayes-model/1",
+            1,
+        ))
         .unwrap_err();
         assert!(matches!(e, ModelError::UnsupportedFormat(_)));
         for field in ["entity_network", "fact_conditionals", "max_fanout"] {

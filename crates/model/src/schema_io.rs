@@ -144,9 +144,7 @@ fn taxonomy_from_json(json: &Json, index: usize) -> Result<TaxonomyTree, ModelEr
         let entries = level.as_array().ok_or_else(|| path("parent_maps[*]"))?;
         let map: Vec<u32> = entries
             .iter()
-            .map(|e| {
-                e.as_usize().map(|v| v as u32).ok_or_else(|| path("parent_maps[*][*]"))
-            })
+            .map(|e| e.as_usize().map(|v| v as u32).ok_or_else(|| path("parent_maps[*][*]")))
             .collect::<Result<_, _>>()?;
         maps.push(map);
     }
@@ -161,8 +159,16 @@ mod tests {
     fn mixed_schema() -> Schema {
         let workclass = Attribute::categorical_labelled(
             "workclass",
-            ["self-emp-inc", "self-emp-not-inc", "federal-gov", "state-gov", "local-gov",
-             "private", "without-pay", "never-worked"],
+            [
+                "self-emp-inc",
+                "self-emp-not-inc",
+                "federal-gov",
+                "state-gov",
+                "local-gov",
+                "private",
+                "without-pay",
+                "never-worked",
+            ],
         )
         .unwrap()
         .with_taxonomy(

@@ -246,7 +246,8 @@ pub fn fit_fact_model<R: Rng + ?Sized>(
             let tau = match eps2 {
                 // θ-usefulness with the group-scaled noise (module docs).
                 Some(e2) => {
-                    n_f as f64 * e2 / (2.0 * d_f as f64 * m * options.theta)
+                    n_f as f64 * e2
+                        / (2.0 * d_f as f64 * m * options.theta)
                         / domain_sizes[x] as f64
                 }
                 None => f64::INFINITY,
@@ -428,11 +429,8 @@ mod tests {
         // With the same budget, a fan-out cap of 64 must forbid the parent
         // sets a cap of 1 would allow (θ-usefulness divides τ by m).
         let view = correlated_view(600, 5);
-        let options_small = FactModelOptions {
-            epsilon: Some(0.5),
-            max_parents: 3,
-            ..FactModelOptions::default()
-        };
+        let options_small =
+            FactModelOptions { epsilon: Some(0.5), max_parents: 3, ..FactModelOptions::default() };
         let fit_degree = |cap: usize, rng: &mut StdRng| {
             fit_fact_model(&view, 1, cap, &options_small, rng).unwrap().network().degree()
         };
@@ -454,8 +452,7 @@ mod tests {
         .unwrap();
         let view = Dataset::empty(schema);
         let mut rng = StdRng::seed_from_u64(7);
-        let model =
-            fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
+        let model = fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
         let cond = &model.conditionals()[0];
         assert!(cond.probs.iter().all(|&p| (p - 0.25).abs() < 1e-12));
     }
@@ -478,8 +475,7 @@ mod tests {
     fn from_parts_round_trips_a_fitted_model() {
         let view = correlated_view(500, 12);
         let mut rng = StdRng::seed_from_u64(13);
-        let model =
-            fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
+        let model = fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
         let rebuilt = ConditionalFactModel::from_parts(
             model.entity_arity(),
             model.network().clone(),
@@ -493,8 +489,7 @@ mod tests {
     fn from_parts_rejects_inconsistent_parts() {
         let view = correlated_view(300, 14);
         let mut rng = StdRng::seed_from_u64(15);
-        let model =
-            fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
+        let model = fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
         // Wrong arity.
         assert!(ConditionalFactModel::from_parts(
             2,
@@ -512,17 +507,14 @@ mod tests {
         // Mangled probability table.
         let mut conds = model.conditionals().to_vec();
         conds[0].probs.pop();
-        assert!(
-            ConditionalFactModel::from_parts(1, model.network().clone(), conds).is_err()
-        );
+        assert!(ConditionalFactModel::from_parts(1, model.network().clone(), conds).is_err());
     }
 
     #[test]
     fn evidence_roots_are_never_modelled() {
         let view = correlated_view(500, 10);
         let mut rng = StdRng::seed_from_u64(11);
-        let model =
-            fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
+        let model = fit_fact_model(&view, 1, 2, &FactModelOptions::default(), &mut rng).unwrap();
         // Network pair 0 is the evidence root with no parents; conditionals
         // cover only the two fact attributes.
         assert_eq!(model.network().pairs()[0].parents.len(), 0);

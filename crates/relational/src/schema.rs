@@ -120,11 +120,8 @@ mod tests {
     use super::*;
 
     fn entity_schema() -> Schema {
-        Schema::new(vec![
-            Attribute::binary("smoker"),
-            Attribute::categorical("region", 4).unwrap(),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::binary("smoker"), Attribute::categorical("region", 4).unwrap()])
+            .unwrap()
     }
 
     fn fact_schema() -> Schema {

@@ -135,8 +135,7 @@ impl RelationalPrivBayes {
             theta: self.options.theta,
             max_parents: self.options.max_parents,
         };
-        let fact_model =
-            fit_fact_model(&view, schema.entity_arity(), m, &fact_options, rng)?;
+        let fact_model = fit_fact_model(&view, schema.entity_arity(), m, &fact_options, rng)?;
 
         // Phase 3: compose (pure post-processing).
         let flat_synth = &entity_result.synthetic;
@@ -199,10 +198,8 @@ mod tests {
             .unwrap();
         // Compare the (smoker × diagnosis) joint in the real vs synthetic
         // fact views — the cross-table correlation synthesis must preserve.
-        let truth = ContingencyTable::from_dataset(
-            &data.fact_view(),
-            &[Axis::raw(0), Axis::raw(2)],
-        );
+        let truth =
+            ContingencyTable::from_dataset(&data.fact_view(), &[Axis::raw(0), Axis::raw(2)]);
         let synth = ContingencyTable::from_dataset(
             &result.synthetic.fact_view(),
             &[Axis::raw(0), Axis::raw(2)],

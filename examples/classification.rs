@@ -9,9 +9,7 @@
 use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_datasets::adult;
-use privbayes_ml::{
-    misclassification_rate, FeatureMatrix, LinearSvm, MajorityClassifier,
-};
+use privbayes_ml::{misclassification_rate, FeatureMatrix, LinearSvm, MajorityClassifier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,12 +18,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let (train, test) = ds.data.split_train_test(0.8, &mut rng);
     let epsilon = 0.8;
-    println!(
-        "dataset: {} ({} train / {} test), ε = {epsilon}\n",
-        ds.name,
-        train.n(),
-        test.n()
-    );
+    println!("dataset: {} ({} train / {} test), ε = {epsilon}\n", ds.name, train.n(), test.n());
 
     // One PrivBayes release at ε serves all four classifiers.
     let opts = PrivBayesOptions::new(epsilon).with_encoding(EncodingKind::Hierarchical);

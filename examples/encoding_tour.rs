@@ -17,8 +17,13 @@ use rand::SeedableRng;
 fn main() {
     let ds = br2000::br2000_sized(5, 6000);
     let data = &ds.data;
-    println!("dataset: {} ({} × {}, domain ≈ 2^{:.0})\n", ds.name, data.n(), data.d(),
-        data.schema().total_domain_log2());
+    println!(
+        "dataset: {} ({} × {}, domain ≈ 2^{:.0})\n",
+        ds.name,
+        data.n(),
+        data.d(),
+        data.schema().total_domain_log2()
+    );
 
     // What binarisation does to the schema (Figure 2/3's bit decomposition).
     let (bits, _) = binarize(data, EncodingKind::Binary).expect("binarise");

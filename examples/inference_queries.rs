@@ -56,8 +56,8 @@ fn main() {
 
     // Inference also answers queries the sample would answer noisily even at
     // huge sizes — e.g. a single attribute's distribution, bit-exact.
-    let age = model_marginal(&result.model, data.schema(), &[0], DEFAULT_CELL_CAP)
-        .expect("1-way query");
+    let age =
+        model_marginal(&result.model, data.schema(), &[0], DEFAULT_CELL_CAP).expect("1-way query");
     println!(
         "\nmodel's exact Pr*[{}]: {:?}",
         data.schema().attribute(0).name(),

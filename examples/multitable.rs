@@ -63,8 +63,7 @@ fn main() {
 
     // (c) the per-table marginals?
     let smoker_rate = |d: &privbayes_relational::RelationalDataset| {
-        d.entities().column(0).iter().filter(|&&v| v == 1).count() as f64
-            / d.n_entities() as f64
+        d.entities().column(0).iter().filter(|&&v| v == 1).count() as f64 / d.n_entities() as f64
     };
     println!(
         "smoker rate:                      {:.3} (source) vs {:.3} (synthetic)",
@@ -88,8 +87,7 @@ fn main() {
     .expect("artifact consistency");
     let path = std::env::temp_dir().join("privbayes-clinic-model.json");
     artifact.save(&path).expect("write artifact");
-    let consumer =
-        privbayes_model::ReleasedRelationalModel::load(&path).expect("read artifact");
+    let consumer = privbayes_model::ReleasedRelationalModel::load(&path).expect("read artifact");
     let fresh = consumer.synthesize(2_000, &mut rng).expect("resynthesize");
     println!(
         "released model to {} ({} bytes); consumer regenerated {} patients / {} facts",

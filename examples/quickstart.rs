@@ -49,7 +49,11 @@ fn main() {
     println!("degree k = {}", result.network.degree());
 
     let err_2way = average_workload_tvd(&data, &result.synthetic, 2);
-    println!("\nsynthetic table: {} tuples (ε₂ = {:.2})", result.synthetic.n(), result.epsilon2_spent);
+    println!(
+        "\nsynthetic table: {} tuples (ε₂ = {:.2})",
+        result.synthetic.n(),
+        result.epsilon2_spent
+    );
     println!("average 2-way marginal total-variation distance: {err_2way:.4}");
 
     // Show a few synthetic rows with labels.

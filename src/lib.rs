@@ -1,8 +1,23 @@
 //! Umbrella crate for the PrivBayes reproduction suite.
 //!
-//! Re-exports the individual crates so the root-level examples and integration
-//! tests can use a single dependency. Library users should depend on the
-//! individual crates (`privbayes`, `privbayes-data`, ...) directly.
+//! Re-exports the individual crates under short module names so the
+//! root-level examples and integration tests can use a single dependency:
+//!
+//! | module | crate |
+//! |---|---|
+//! | [`core`] | `privbayes` (network learning, conditionals, sampling) |
+//! | [`baselines`] | `privbayes-baselines` |
+//! | [`data`] | `privbayes-data` |
+//! | [`datasets`] | `privbayes-datasets` |
+//! | [`dp`] | `privbayes-dp` |
+//! | [`marginals`] | `privbayes-marginals` |
+//! | [`ml`] | `privbayes-ml` |
+//! | [`model`] | `privbayes-model` |
+//! | [`relational`] | `privbayes-relational` |
+//!
+//! Library users should depend on the individual crates directly; this crate
+//! exists for the workspace's own `tests/` and `examples/` targets (see
+//! `tests/README.md` for the test-tier layout).
 
 pub use privbayes as core;
 pub use privbayes_baselines as baselines;

@@ -2,8 +2,8 @@
 //! engine, reproducing the qualitative orderings of §6.5.
 
 use privbayes_suite::baselines::{
-    contingency_marginals, fourier_marginals, laplace_marginals, mwem_marginals,
-    uniform_marginals, MwemOptions,
+    contingency_marginals, fourier_marginals, laplace_marginals, mwem_marginals, uniform_marginals,
+    MwemOptions,
 };
 use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes_suite::datasets::{adult, nltcs};

@@ -30,12 +30,16 @@ fn all_methods_produce_valid_error_rates() {
             misclassification_rate(&svm, &test_m)
         },
         {
-            let model =
-                PrivateErm::new(PrivateErmOptions::default()).train(&train_m, Some(eps / 4.0), &mut rng);
+            let model = PrivateErm::new(PrivateErmOptions::default()).train(
+                &train_m,
+                Some(eps / 4.0),
+                &mut rng,
+            );
             misclassification_rate(&model, &test_m)
         },
         {
-            let model = PrivGene::new(PrivGeneOptions::default()).train(&train_m, eps / 4.0, &mut rng);
+            let model =
+                PrivGene::new(PrivGeneOptions::default()).train(&train_m, eps / 4.0, &mut rng);
             misclassification_rate(&model, &test_m)
         },
         MajorityClassifier::train(&train_m, eps / 4.0, &mut rng).misclassification_rate(&test_m),
@@ -92,9 +96,8 @@ fn privbayes_synthetic_preserves_learnability_at_high_epsilon() {
         misclassification_rate(&svm, &test_m)
     };
     // PrivBayes at a generous budget.
-    let r = PrivBayes::new(PrivBayesOptions::new(8.0))
-        .synthesize(&train, &mut rng)
-        .expect("synthesis");
+    let r =
+        PrivBayes::new(PrivBayesOptions::new(8.0)).synthesize(&train, &mut rng).expect("synthesis");
     let m = FeatureMatrix::build(&r.synthetic, target.attr, &target.positive);
     let svm = LinearSvm::train_hinge(&m, 1.0, 10, &mut rng);
     let synthetic_err = misclassification_rate(&svm, &test_m);

@@ -48,9 +48,7 @@ fn assert_dp_ratio(p1: &[f64], p2: &[f64], epsilon: f64, slack: f64, label: &str
 /// Returns true if some well-populated bucket breaches the ε ratio bound.
 fn dp_ratio_violated(p1: &[f64], p2: &[f64], epsilon: f64, slack: f64) -> bool {
     let bound = epsilon.exp() * slack;
-    p1.iter()
-        .zip(p2)
-        .any(|(&a, &b)| a >= 5e-3 && b >= 5e-3 && (a / b > bound || b / a > bound))
+    p1.iter().zip(p2).any(|(&a, &b)| a >= 5e-3 && b >= 5e-3 && (a / b > bound || b / a > bound))
 }
 
 #[test]
@@ -91,11 +89,9 @@ fn broken_laplace_scale_is_detected() {
     let broken_scale = 1.0 / (3.0 * epsilon);
     let trials = 400_000;
     let mut rng = StdRng::seed_from_u64(5);
-    let p1 =
-        histogram(trials, 40, 95.0, 107.0, || 100.0 + sample_laplace(broken_scale, &mut rng));
+    let p1 = histogram(trials, 40, 95.0, 107.0, || 100.0 + sample_laplace(broken_scale, &mut rng));
     let mut rng = StdRng::seed_from_u64(6);
-    let p2 =
-        histogram(trials, 40, 95.0, 107.0, || 101.0 + sample_laplace(broken_scale, &mut rng));
+    let p2 = histogram(trials, 40, 95.0, 107.0, || 101.0 + sample_laplace(broken_scale, &mut rng));
     assert!(
         dp_ratio_violated(&p1, &p2, epsilon, 1.15),
         "an under-scaled mechanism must be flagged by the ratio test"

@@ -144,8 +144,7 @@ fn ve_agrees_with_brute_force_on_a_collider() {
         Attribute::binary("x2"),
     ])
     .unwrap();
-    let pairs =
-        vec![ApPair::new(0, vec![]), ApPair::new(1, vec![]), ApPair::new(2, vec![0, 1])];
+    let pairs = vec![ApPair::new(0, vec![]), ApPair::new(1, vec![]), ApPair::new(2, vec![0, 1])];
     let network = BayesianNetwork::new(pairs, &schema).unwrap();
     // CPT of the collider: Pr[x2=1 | x0, x1] varies with both parents.
     let mut probs = Vec::new();

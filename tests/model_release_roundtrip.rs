@@ -75,13 +75,12 @@ fn text_round_trip_is_bit_exact_for_both_general_encodings() {
 fn restored_model_answers_queries_identically() {
     let data = census_like(800, 3);
     let artifact = release(&data, 2.0, EncodingKind::Hierarchical, 4);
-    let restored =
-        ReleasedModel::from_json_string(&artifact.to_json_string().unwrap()).unwrap();
+    let restored = ReleasedModel::from_json_string(&artifact.to_json_string().unwrap()).unwrap();
     for attrs in [vec![0usize], vec![1], vec![0, 2], vec![2, 1], vec![0, 1, 2]] {
-        let a = model_marginal(&artifact.model, &artifact.schema, &attrs, DEFAULT_CELL_CAP)
-            .unwrap();
-        let b = model_marginal(&restored.model, &restored.schema, &attrs, DEFAULT_CELL_CAP)
-            .unwrap();
+        let a =
+            model_marginal(&artifact.model, &artifact.schema, &attrs, DEFAULT_CELL_CAP).unwrap();
+        let b =
+            model_marginal(&restored.model, &restored.schema, &attrs, DEFAULT_CELL_CAP).unwrap();
         assert_eq!(a, b, "attrs {attrs:?}");
     }
 }

@@ -1,0 +1,58 @@
+//! Fast smoke test mirroring `examples/quickstart.rs`.
+//!
+//! Runs the same pipeline as the quickstart example — census-like schema,
+//! ground-truth sampling, PrivBayes synthesis, workload evaluation, CSV
+//! preview — at a reduced row count so the whole check stays sub-second.
+//! Exercises the `privbayes_suite` umbrella re-exports end to end; the
+//! example binary itself is kept compiling by CI's `cargo build --examples`.
+
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::data::encoding::EncodingKind;
+use privbayes_suite::data::{Attribute, Dataset, Schema, TaxonomyTree};
+use privbayes_suite::datasets::GroundTruthNetwork;
+use privbayes_suite::marginals::average_workload_tvd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quickstart_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::continuous("age", 17.0, 90.0, 16)
+            .expect("valid range")
+            .with_taxonomy(TaxonomyTree::balanced_binary(16).expect("tree"))
+            .expect("leaves match"),
+        Attribute::categorical_labelled("education", ["hs", "college", "msc", "phd"])
+            .expect("labels"),
+        Attribute::categorical_labelled("workclass", ["private", "gov", "self", "none"])
+            .expect("labels"),
+        Attribute::categorical_labelled("title", ["junior", "senior", "lead", "manager"])
+            .expect("labels"),
+        Attribute::binary("income>50k"),
+    ])
+    .expect("valid schema")
+}
+
+#[test]
+fn quickstart_pipeline_runs_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(2014);
+    let truth = GroundTruthNetwork::random(&quickstart_schema(), 2, 0.4, &mut rng);
+    let data: Dataset = truth.sample(2_000, &mut rng);
+    assert_eq!(data.n(), 2_000);
+    assert_eq!(data.d(), 5);
+
+    let options = PrivBayesOptions::new(1.0).with_encoding(EncodingKind::Hierarchical);
+    let result = PrivBayes::new(options).synthesize(&data, &mut rng).expect("synthesis");
+
+    // The release must spend the whole budget and nothing more.
+    assert!((result.epsilon1_spent + result.epsilon2_spent - 1.0).abs() < 1e-9);
+    assert_eq!(result.synthetic.n(), data.n());
+
+    // Same signal check as the example, at the reduced scale.
+    let err_2way = average_workload_tvd(&data, &result.synthetic, 2);
+    assert!(err_2way < 0.5, "release should carry signal, got tvd {err_2way}");
+
+    // The CSV preview path the example prints must round through UTF-8.
+    let mut csv = Vec::new();
+    privbayes_suite::data::csv::write_csv(&result.synthetic, &mut csv).expect("csv");
+    let text = String::from_utf8(csv).expect("utf8");
+    assert!(text.lines().count() > result.synthetic.n(), "header plus one line per row");
+}

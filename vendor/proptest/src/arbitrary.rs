@@ -1,0 +1,116 @@
+//! `any::<T>()` — default strategies per type.
+
+use rand::{Rng, RngExt};
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// A strategy generating arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Arbitrary bit patterns: covers subnormals, huge magnitudes, NaN and
+    /// infinities (callers filter what they need).
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.random_range(0u32..=0x10FFFF)) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_eventually_generates_finite_and_nonfinite() {
+        let mut rng = TestRng::from_seed(31);
+        let mut finite = false;
+        let mut nonfinite = false;
+        // Non-finite patterns (exponent all ones) are ~1/2048 of the space;
+        // 100k draws make missing them astronomically unlikely.
+        for _ in 0..100_000 {
+            let x = any::<f64>().gen_value(&mut rng);
+            if x.is_finite() {
+                finite = true;
+            } else {
+                nonfinite = true;
+            }
+        }
+        assert!(finite && nonfinite);
+    }
+
+    #[test]
+    fn u64_spans_wide_range() {
+        let mut rng = TestRng::from_seed(32);
+        let mut high = false;
+        let mut low = false;
+        for _ in 0..1000 {
+            let v = any::<u64>().gen_value(&mut rng);
+            if v > u64::MAX / 2 {
+                high = true;
+            } else {
+                low = true;
+            }
+        }
+        assert!(high && low);
+    }
+}

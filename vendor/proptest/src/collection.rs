@@ -1,0 +1,84 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for collection strategies: an exact length, a
+/// half-open range, or an inclusive range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_all_size_forms() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            assert_eq!(vec(0u32..5, 4).gen_value(&mut rng).len(), 4);
+            let l = vec(0u32..5, 1..4).gen_value(&mut rng).len();
+            assert!((1..4).contains(&l));
+            let l = vec(0u32..5, 2..=6).gen_value(&mut rng).len();
+            assert!((2..=6).contains(&l));
+        }
+    }
+
+    #[test]
+    fn elements_come_from_element_strategy() {
+        let mut rng = TestRng::from_seed(10);
+        for v in vec(10u32..12, 0..8).gen_value(&mut rng) {
+            assert!((10..12).contains(&v));
+        }
+    }
+}

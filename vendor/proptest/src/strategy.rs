@@ -1,0 +1,329 @@
+//! The [`Strategy`] trait, combinators, and primitive strategies.
+//!
+//! A strategy here is simply a value generator: `gen_value` draws one value
+//! from the strategy's distribution using the deterministic [`TestRng`].
+//! Shrinking is intentionally not implemented.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::RngExt;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (regenerating on mismatch).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for the
+    /// substructure and returns a strategy for one level above it. `depth`
+    /// bounds the nesting; the other two parameters (upstream's desired size
+    /// and expected branch factor) are accepted for signature compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At every level, mix leaves back in so shallow values stay common.
+            let deeper = recurse(current).boxed();
+            current =
+                WeightedUnion { choices: vec![(2, leaf.clone()), (3, deeper)], total: 5 }.boxed();
+        }
+        current
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.gen_value(rng)))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 consecutive values", self.whence);
+    }
+}
+
+/// Uniform choice among strategies of the same value type (`prop_oneof!`).
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    #[must_use]
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { choices }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { choices: self.choices.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.choices.len());
+        self.choices[i].gen_value(rng)
+    }
+}
+
+/// Weighted choice (used internally by `prop_recursive`).
+struct WeightedUnion<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.choices {
+            if pick < *w {
+                return s.gen_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, booleans, tuples, regex-pattern strings.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl Strategy for bool {
+    type Value = bool;
+
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        // `bool` as a strategy means "any bool" (matches proptest's Arbitrary).
+        rng.random::<bool>()
+    }
+}
+
+/// A string literal is a regex-style pattern strategy producing matching
+/// strings (see [`crate::string`] for the supported subset).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_matching(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (3usize..9).gen_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).gen_value(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (2u32..=4).gen_value(&mut rng);
+            assert!((2..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0).prop_map(|v| v + 1);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!(v % 2 == 1 && v < 101);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::from_seed(3);
+        let s = Union::new(vec![Just(0u32).boxed(), Just(1u32).boxed()]);
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[s.gen_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn recursive_bounds_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = TestRng::from_seed(4);
+        let strat = Just(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 4);
+            if matches!(t, Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion should sometimes branch");
+    }
+}

@@ -1,0 +1,265 @@
+//! String generation from a small regex subset.
+//!
+//! String literals used as strategies (e.g. `"k[0-9a-f]{1,6}"`) are parsed
+//! as patterns built from:
+//!
+//! - literal characters;
+//! - `.` (any printable, non-newline character);
+//! - character classes `[a-z0-9_]` (ranges and singletons, no negation);
+//! - escapes `\d` `\w` `\s` `\PC` (printable, i.e. not a control character)
+//!   and escaped metacharacters (`\.`, `\\`, ...);
+//! - quantifiers `{n}`, `{m,n}`, `*` (0–16), `+` (1–16), `?`.
+//!
+//! Unsupported constructs (groups, alternation, anchors, negated classes)
+//! panic, so misuse is loud rather than silently wrong.
+
+use rand::RngExt;
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    Literal(char),
+    /// `.`: printable, excluding line terminators.
+    AnyPrintable,
+    /// `\PC`: any character that is not a control character.
+    NotControl,
+    Digit,
+    Word,
+    Space,
+    /// Explicit `[...]` class: (lo, hi) inclusive ranges.
+    Ranges(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let reps = rng.random_range(atom.min..=atom.max);
+        for _ in 0..reps {
+            out.push(sample_char(&atom.set, rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::AnyPrintable
+            }
+            '\\' => {
+                i += 1;
+                let c =
+                    *chars.get(i).unwrap_or_else(|| panic!("trailing backslash in {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => CharSet::Digit,
+                    'w' => CharSet::Word,
+                    's' => CharSet::Space,
+                    'P' | 'p' => {
+                        // Unicode category: we support \PC / \p{C}-style "not
+                        // control" only, the single form the suite uses.
+                        let class = if chars.get(i) == Some(&'{') {
+                            let end = chars[i..]
+                                .iter()
+                                .position(|&c| c == '}')
+                                .unwrap_or_else(|| panic!("unclosed {{ in {pattern:?}"));
+                            let name: String = chars[i + 1..i + end].iter().collect();
+                            i += end + 1;
+                            name
+                        } else {
+                            let c = *chars
+                                .get(i)
+                                .unwrap_or_else(|| panic!("truncated \\P in {pattern:?}"));
+                            i += 1;
+                            c.to_string()
+                        };
+                        assert!(
+                            class == "C" || class == "Cc",
+                            "unsupported unicode class \\P{{{class}}} in {pattern:?}"
+                        );
+                        CharSet::NotControl
+                    }
+                    // Escaped literal / metacharacter.
+                    other => CharSet::Literal(other),
+                }
+            }
+            '[' => {
+                i += 1;
+                assert!(
+                    chars.get(i) != Some(&'^'),
+                    "negated classes are unsupported in {pattern:?}"
+                );
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(chars.get(i) == Some(&']'), "unclosed [ in {pattern:?}");
+                i += 1;
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                CharSet::Ranges(ranges)
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex construct {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in {pattern:?}"));
+                let body: String = chars[i + 1..i + end].iter().collect();
+                i += end + 1;
+                match body.split_once(',') {
+                    None => {
+                        let n: u32 = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                        let hi: u32 = if hi.is_empty() {
+                            lo + 16
+                        } else {
+                            hi.parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{body}}} in {pattern:?}")
+                            })
+                        };
+                        assert!(lo <= hi, "inverted quantifier {{{body}}} in {pattern:?}");
+                        (lo, hi)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Literal(c) => *c,
+        CharSet::Digit => char::from(rng.random_range(b'0'..=b'9')),
+        CharSet::Space => *[' ', '\t'].get(rng.random_range(0..2usize)).unwrap(),
+        CharSet::Word => {
+            let pools: [(char, char); 4] = [('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')];
+            let (lo, hi) = pools[rng.random_range(0..pools.len())];
+            char::from_u32(rng.random_range(lo as u32..=hi as u32)).unwrap()
+        }
+        CharSet::AnyPrintable | CharSet::NotControl => {
+            // Mostly printable ASCII, with occasional wider unicode scalars to
+            // exercise escaping paths.
+            if rng.random_range(0..10u32) < 8 {
+                char::from(rng.random_range(0x20u8..0x7F))
+            } else {
+                loop {
+                    let v = rng.random_range(0xA0u32..=0x2FFFF);
+                    if let Some(c) = char::from_u32(v) {
+                        if !c.is_control() {
+                            return c;
+                        }
+                    }
+                }
+            }
+        }
+        CharSet::Ranges(ranges) => {
+            let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+            loop {
+                if let Some(c) = char::from_u32(rng.random_range(lo as u32..=hi as u32)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_prefix_matches() {
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..200 {
+            let s = generate_matching("k[0-9a-f]{1,6}", &mut rng);
+            assert!(s.starts_with('k'));
+            assert!((2..=7).contains(&s.len()));
+            assert!(s[1..].chars().all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+        }
+    }
+
+    #[test]
+    fn dot_quantifier_bounds_length() {
+        let mut rng = TestRng::from_seed(22);
+        for _ in 0..200 {
+            let s = generate_matching(".{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn not_control_star_generates_clean_strings() {
+        let mut rng = TestRng::from_seed(23);
+        let mut nonempty = false;
+        for _ in 0..200 {
+            let s = generate_matching("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+            nonempty |= !s.is_empty();
+        }
+        assert!(nonempty);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn groups_are_rejected() {
+        let mut rng = TestRng::from_seed(24);
+        generate_matching("(ab)+", &mut rng);
+    }
+}
