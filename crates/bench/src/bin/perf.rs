@@ -1,0 +1,227 @@
+//! `perf`: wall-clock benchmark of the two hot paths — network learning and
+//! synthesis — against the pre-engine reference implementations, emitting
+//! machine-readable `BENCH_PR2.json` so future PRs can track the perf
+//! trajectory.
+//!
+//! Two workloads cover both engine strategies:
+//!
+//! * **adult-vanilla** — the quickstart-scale general-domain path (Adult,
+//!   Algorithm 4, score `R`): the baseline re-scans rows once per candidate;
+//!   the engine memoises joints across rounds.
+//! * **nltcs-binary** — the all-binary path (NLTCS, Algorithm 2, score `I`):
+//!   the baseline recomputes popcount joints; the engine caches them.
+//!
+//! Each learning measurement also *asserts* that the engine network is
+//! identical to the reference network, so the speedup numbers can never come
+//! from silently diverging semantics.
+//!
+//! Usage: `perf [--quick] [--reps N] [--scale F] [--out DIR]`. The JSON is
+//! written to `--out` (or the working directory).
+
+use std::time::Instant;
+
+use privbayes::conditionals::noisy_conditionals_general;
+use privbayes::greedy::{greedy_bayes_adaptive, greedy_bayes_fixed_k, GreedySettings};
+use privbayes::network::BayesianNetwork;
+use privbayes::sampler::sample_synthetic_with_threads;
+use privbayes::ScoreKind;
+use privbayes_bench::reference::{
+    reference_greedy_adaptive, reference_greedy_fixed_k, reference_sample_synthetic,
+};
+use privbayes_bench::HarnessConfig;
+use privbayes_data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Best-of-`reps` wall-clock in milliseconds, plus the last result.
+fn time_min_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+struct Stage {
+    name: &'static str,
+    baseline_ms: f64,
+    engine_ms: f64,
+    rows: usize,
+}
+
+impl Stage {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.engine_ms
+    }
+
+    fn rows_per_sec(&self, ms: f64) -> f64 {
+        self.rows as f64 / (ms / 1e3)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"baseline_ms\": {:.2}, \"engine_ms\": {:.2}, ",
+                "\"baseline_rows_per_sec\": {:.0}, \"engine_rows_per_sec\": {:.0}, ",
+                "\"speedup\": {:.2}}}"
+            ),
+            self.baseline_ms,
+            self.engine_ms,
+            self.rows_per_sec(self.baseline_ms),
+            self.rows_per_sec(self.engine_ms),
+            self.speedup()
+        )
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    rows: usize,
+    attrs: usize,
+    stages: Vec<Stage>,
+}
+
+/// Times one workload: baseline vs engine learning (asserting the networks
+/// are identical so speedups can never come from diverging semantics), then
+/// baseline vs engine synthesis from the same noisy model. Seeds are derived
+/// from `seed_base` so the two learners consume identical RNG streams.
+fn measure_workload(
+    name: &'static str,
+    cfg: &HarnessConfig,
+    data: &Dataset,
+    eps2: f64,
+    seed_base: u64,
+    reference_learn: impl Fn(&mut StdRng) -> BayesianNetwork,
+    engine_learn: impl Fn(&mut StdRng) -> BayesianNetwork,
+) -> Workload {
+    let n = data.n();
+    let (baseline_ms, baseline_net) =
+        time_min_ms(cfg.reps, || reference_learn(&mut StdRng::seed_from_u64(seed_base)));
+    let (engine_ms, net) =
+        time_min_ms(cfg.reps, || engine_learn(&mut StdRng::seed_from_u64(seed_base)));
+    assert_eq!(net, baseline_net, "engine must reproduce the reference network bit-for-bit");
+    let learn = Stage { name: "network_learning", baseline_ms, engine_ms, rows: n };
+
+    let model = noisy_conditionals_general(
+        data,
+        &net,
+        Some(eps2),
+        &mut StdRng::seed_from_u64(seed_base + 1),
+    )
+    .unwrap();
+    let (baseline_ms, _) = time_min_ms(cfg.reps, || {
+        reference_sample_synthetic(
+            &model,
+            data.schema(),
+            n,
+            &mut StdRng::seed_from_u64(seed_base + 2),
+        )
+        .unwrap()
+    });
+    let (engine_ms, _) = time_min_ms(cfg.reps, || {
+        sample_synthetic_with_threads(
+            &model,
+            data.schema(),
+            n,
+            None,
+            &mut StdRng::seed_from_u64(seed_base + 2),
+        )
+        .unwrap()
+    });
+    let synth = Stage { name: "synthesis", baseline_ms, engine_ms, rows: n };
+
+    Workload { name, rows: n, attrs: data.d(), stages: vec![learn, synth] }
+}
+
+/// Adult under the vanilla encoding (Algorithm 4 + score R): the paper's
+/// general-domain configuration and the quickstart default.
+fn run_adult(cfg: &HarnessConfig) -> Workload {
+    let data = privbayes_datasets::adult::adult_sized(7, cfg.scaled(45_222)).data;
+    let (theta, eps1, eps2) = (4.0, 0.3, 0.7);
+    let settings = GreedySettings::private(ScoreKind::R, eps1).with_max_degree(4);
+    measure_workload(
+        "adult-vanilla",
+        cfg,
+        &data,
+        eps2,
+        42,
+        |rng| reference_greedy_adaptive(&data, theta, eps2, false, &settings, rng).unwrap(),
+        |rng| greedy_bayes_adaptive(&data, theta, eps2, false, &settings, rng).unwrap(),
+    )
+}
+
+/// NLTCS under the binary encoding (Algorithm 2, fixed k = 3, score I): the
+/// all-binary popcount configuration.
+fn run_nltcs(cfg: &HarnessConfig) -> Workload {
+    let data = privbayes_datasets::nltcs::nltcs_sized(8, cfg.scaled(21_574)).data;
+    let (k, eps1, eps2) = (3, 0.3, 0.7);
+    let settings = GreedySettings::private(ScoreKind::MutualInformation, eps1);
+    measure_workload(
+        "nltcs-binary",
+        cfg,
+        &data,
+        eps2,
+        52,
+        |rng| reference_greedy_fixed_k(&data, k, &settings, rng).unwrap(),
+        |rng| greedy_bayes_fixed_k(&data, k, &settings, rng).unwrap(),
+    )
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let workloads = vec![run_adult(&cfg), run_nltcs(&cfg)];
+
+    for w in &workloads {
+        println!("== {} (n = {}, d = {}) ==", w.name, w.rows, w.attrs);
+        for s in &w.stages {
+            println!(
+                "  {:<17} baseline {:>9.1} ms | engine {:>9.1} ms | {:>5.1}x | {:>9.0} rows/s",
+                s.name,
+                s.baseline_ms,
+                s.engine_ms,
+                s.speedup(),
+                s.rows_per_sec(s.engine_ms),
+            );
+        }
+    }
+
+    let workload_json: Vec<String> = workloads
+        .iter()
+        .map(|w| {
+            let stages: Vec<String> =
+                w.stages.iter().map(|s| format!("\"{}\": {}", s.name, s.json())).collect();
+            format!(
+                "    {{\"name\": \"{}\", \"rows\": {}, \"attrs\": {}, {}}}",
+                w.name,
+                w.rows,
+                w.attrs,
+                stages.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"quick\": {},\n  \"reps\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        cfg.quick,
+        cfg.reps,
+        threads,
+        workload_json.join(",\n")
+    );
+
+    let path = cfg
+        .out_dir
+        .clone()
+        .map_or_else(|| std::path::PathBuf::from("BENCH_PR2.json"), |d| d.join("BENCH_PR2.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, json).expect("write BENCH_PR2.json");
+    println!("wrote {}", path.display());
+}

@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod cli;
 pub mod figures;
+pub mod reference;
 pub mod table;
 pub mod tasks;
 
@@ -33,6 +34,11 @@ pub const THETAS: [f64; 8] = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0];
 
 /// Runs `f` for `reps` seeds in parallel and averages the results.
 ///
+/// Workers are capped at [`std::thread::available_parallelism`] (each handles
+/// a contiguous block of repetitions) and results flow back through the
+/// scoped-join return values, so no shared mutable state is needed. The mean
+/// is accumulated in repetition order, independent of the worker count.
+///
 /// # Panics
 /// Panics if `reps == 0` or a worker panics.
 pub fn mean_over_reps<F>(reps: usize, base_seed: u64, f: F) -> f64
@@ -40,19 +46,26 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(reps > 0, "need at least one repetition");
-    let results = std::sync::Mutex::new(vec![0.0f64; reps]);
-    std::thread::scope(|scope| {
-        for r in 0..reps {
-            let results = &results;
-            let f = &f;
-            scope.spawn(move || {
-                let v = f(base_seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                results.lock().unwrap()[r] = v;
-            });
-        }
+    let seed_of = |r: usize| base_seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let workers =
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get).min(reps).max(1);
+    if workers == 1 {
+        return (0..reps).map(|r| f(seed_of(r))).sum::<f64>() / reps as f64;
+    }
+    let block = reps.div_ceil(workers);
+    let per_worker: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..reps)
+            .step_by(block)
+            .map(|start| {
+                let f = &f;
+                scope.spawn(move || {
+                    (start..(start + block).min(reps)).map(|r| f(seed_of(r))).collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("experiment worker panicked")).collect()
     });
-    let results = results.into_inner().expect("experiment worker panicked");
-    results.iter().sum::<f64>() / reps as f64
+    per_worker.iter().flatten().sum::<f64>() / reps as f64
 }
 
 #[cfg(test)]

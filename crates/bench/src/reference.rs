@@ -1,0 +1,353 @@
+//! Reference (pre-engine) implementations of the two hot paths, kept as the
+//! baseline for the `perf` binary and as the oracle for the equivalence test
+//! tier.
+//!
+//! These reproduce, through public APIs only, the exact semantics the suite
+//! had before the shared `CountEngine` and the compiled sampler: one fresh
+//! contingency-table scan per candidate (with the bit-packed popcount path
+//! for all-binary data), sequential scoring, and tuple-at-a-time ancestral
+//! sampling via a linear scan per draw. Given the same seed they must select
+//! identical networks and — for the samplers' *statistical* behaviour, not
+//! the byte stream — equivalent synthetic data.
+
+use privbayes::conditionals::NoisyModel;
+use privbayes::greedy::{score_candidate, GreedySettings};
+use privbayes::network::{ApPair, BayesianNetwork};
+use privbayes::parent_sets::{maximal_parent_sets, maximal_parent_sets_generalized};
+use privbayes::theta::tau_for_child;
+use privbayes::PrivBayesError;
+use privbayes_data::{Dataset, Schema};
+use privbayes_dp::exponential::select_with_scale;
+use privbayes_dp::stats::sample_discrete;
+use privbayes_marginals::Axis;
+use rand::{Rng, RngExt};
+
+struct Candidate {
+    child: usize,
+    parents: Vec<Axis>,
+}
+
+/// Bit-packed columns of an all-binary dataset (the pre-engine fast path for
+/// Algorithm 2 joints: AND + popcount chains plus a Möbius transform).
+struct BitColumns {
+    cols: Vec<Vec<u64>>,
+    n: usize,
+}
+
+impl BitColumns {
+    fn build(data: &Dataset) -> Self {
+        let n = data.n();
+        let words = n.div_ceil(64);
+        let cols = (0..data.d())
+            .map(|a| {
+                let mut mask = vec![0u64; words];
+                for (row, &v) in data.column(a).iter().enumerate() {
+                    if v == 1 {
+                        mask[row / 64] |= 1 << (row % 64);
+                    }
+                }
+                mask
+            })
+            .collect();
+        Self { cols, n }
+    }
+
+    fn joint(
+        &self,
+        attrs: &[usize],
+        scratch: &mut Vec<Vec<u64>>,
+        counts: &mut Vec<i64>,
+    ) -> Vec<f64> {
+        let m = attrs.len();
+        assert!(m <= 16, "bit-path joints limited to 16 attributes");
+        let cells = 1usize << m;
+        scratch.resize(cells, Vec::new());
+        counts.clear();
+        counts.resize(cells, 0);
+
+        counts[0] = self.n as i64;
+        for s in 1..cells {
+            let low = s.trailing_zeros() as usize;
+            let rest = s & (s - 1);
+            let col = &self.cols[attrs[m - 1 - low]];
+            let (count, vec) = if rest == 0 {
+                (col.iter().map(|w| i64::from(w.count_ones())).sum(), col.clone())
+            } else {
+                let prev = std::mem::take(&mut scratch[rest]);
+                let mut out = vec![0u64; col.len()];
+                let mut c = 0i64;
+                for ((o, &a), &b) in out.iter_mut().zip(&prev).zip(col) {
+                    *o = a & b;
+                    c += i64::from(o.count_ones());
+                }
+                scratch[rest] = prev;
+                (c, out)
+            };
+            counts[s] = count;
+            scratch[s] = vec;
+        }
+        for p in 0..m {
+            let bit = 1usize << p;
+            for s in 0..cells {
+                if s & bit == 0 {
+                    counts[s] -= counts[s | bit];
+                }
+            }
+        }
+        let scale = 1.0 / self.n as f64;
+        counts.iter().map(|&c| c as f64 * scale).collect()
+    }
+}
+
+fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        let needed = k - cur.len();
+        for i in start..=items.len().saturating_sub(needed) {
+            cur.push(items[i]);
+            rec(items, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    rec(items, k, 0, &mut cur, &mut out);
+    out
+}
+
+fn select<R: Rng + ?Sized>(
+    scores: &[f64],
+    settings: &GreedySettings,
+    d: usize,
+    n: usize,
+    all_binary: bool,
+    rng: &mut R,
+) -> Result<usize, PrivBayesError> {
+    match settings.epsilon1 {
+        Some(eps1) => {
+            let sensitivity = settings.score.sensitivity(n, all_binary);
+            let delta = (d as f64 - 1.0) * sensitivity / eps1;
+            Ok(select_with_scale(scores, delta, rng)?)
+        }
+        None => {
+            let (mut best, mut best_score) = (0usize, f64::NEG_INFINITY);
+            for (i, &s) in scores.iter().enumerate() {
+                if s > best_score {
+                    best = i;
+                    best_score = s;
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+/// Pre-engine Algorithm 2: per-candidate joints from the popcount path
+/// (all-binary data) or a fresh row scan, scored sequentially.
+///
+/// # Errors
+/// As `privbayes::greedy::greedy_bayes_fixed_k`.
+pub fn reference_greedy_fixed_k<R: Rng + ?Sized>(
+    data: &Dataset,
+    k: usize,
+    settings: &GreedySettings,
+    rng: &mut R,
+) -> Result<BayesianNetwork, PrivBayesError> {
+    let d = data.d();
+    if d < 2 {
+        return Err(PrivBayesError::InvalidConfig("need at least two attributes".into()));
+    }
+    let k = k.min(settings.max_degree).min(d - 1);
+    let n = data.n();
+    let all_binary = data.schema().all_binary();
+
+    let first = rng.random_range(0..d);
+    let mut pairs = vec![ApPair::new(first, vec![])];
+    let mut in_v = vec![false; d];
+    in_v[first] = true;
+    let mut v = vec![first];
+
+    let bit_cols = all_binary.then(|| BitColumns::build(data));
+    let mut scratch: Vec<Vec<u64>> = Vec::new();
+    let mut count_buf: Vec<i64> = Vec::new();
+    let mut attr_buf: Vec<usize> = Vec::new();
+
+    for _ in 2..=d {
+        let mut candidates = Vec::new();
+        let mut scores = Vec::new();
+        let subset_size = k.min(v.len());
+        let parent_sets = combinations(&v, subset_size);
+        for child in (0..d).filter(|&x| !in_v[x]) {
+            for parents in &parent_sets {
+                let score = match &bit_cols {
+                    Some(bits) => {
+                        attr_buf.clear();
+                        attr_buf.extend_from_slice(parents);
+                        attr_buf.push(child);
+                        let joint = bits.joint(&attr_buf, &mut scratch, &mut count_buf);
+                        settings.score.compute(&joint, 2, n)?
+                    }
+                    None => {
+                        let axes: Vec<Axis> = parents.iter().copied().map(Axis::raw).collect();
+                        score_candidate(data, child, &axes, settings.score)?
+                    }
+                };
+                scores.push(score);
+                candidates.push(Candidate {
+                    child,
+                    parents: parents.iter().copied().map(Axis::raw).collect(),
+                });
+            }
+        }
+        let chosen = select(&scores, settings, d, n, all_binary, rng)?;
+        let c = candidates.swap_remove(chosen);
+        in_v[c.child] = true;
+        v.push(c.child);
+        pairs.push(ApPair::generalized(c.child, c.parents));
+    }
+    BayesianNetwork::new(pairs, data.schema())
+}
+
+/// Pre-engine Algorithm 4: one fresh contingency-table scan per candidate,
+/// scored sequentially.
+///
+/// # Errors
+/// As `privbayes::greedy::greedy_bayes_adaptive`.
+pub fn reference_greedy_adaptive<R: Rng + ?Sized>(
+    data: &Dataset,
+    theta: f64,
+    epsilon2: f64,
+    use_taxonomy: bool,
+    settings: &GreedySettings,
+    rng: &mut R,
+) -> Result<BayesianNetwork, PrivBayesError> {
+    let d = data.d();
+    if d < 2 {
+        return Err(PrivBayesError::InvalidConfig("need at least two attributes".into()));
+    }
+    let n = data.n();
+    let schema = data.schema();
+    let all_binary = schema.all_binary();
+    let domain_sizes = schema.domain_sizes();
+    let level_sizes: Vec<Vec<usize>> = schema
+        .attributes()
+        .iter()
+        .map(|a| match (use_taxonomy, a.taxonomy()) {
+            (true, Some(t)) => (0..t.height()).map(|l| t.level_size(l)).collect(),
+            _ => vec![a.domain_size()],
+        })
+        .collect();
+
+    let first = rng.random_range(0..d);
+    let mut pairs = vec![ApPair::new(first, vec![])];
+    let mut in_v = vec![false; d];
+    in_v[first] = true;
+    let mut v = vec![first];
+
+    for _ in 2..=d {
+        let mut candidates = Vec::new();
+        let mut scores = Vec::new();
+        for child in (0..d).filter(|&x| !in_v[x]) {
+            let tau = tau_for_child(n, d, epsilon2, theta, domain_sizes[child]);
+            let tops: Vec<Vec<Axis>> = if use_taxonomy {
+                maximal_parent_sets_generalized(&v, &level_sizes, tau, settings.max_degree)
+            } else {
+                maximal_parent_sets(&v, &domain_sizes, tau, settings.max_degree)
+                    .into_iter()
+                    .map(|s| s.into_iter().map(Axis::raw).collect())
+                    .collect()
+            };
+            if tops.is_empty() {
+                scores.push(score_candidate(data, child, &[], settings.score)?);
+                candidates.push(Candidate { child, parents: Vec::new() });
+            } else {
+                for parents in tops {
+                    scores.push(score_candidate(data, child, &parents, settings.score)?);
+                    candidates.push(Candidate { child, parents });
+                }
+            }
+        }
+        let chosen = select(&scores, settings, d, n, all_binary, rng)?;
+        let c = candidates.swap_remove(chosen);
+        in_v[c.child] = true;
+        v.push(c.child);
+        pairs.push(ApPair::generalized(c.child, c.parents));
+    }
+    BayesianNetwork::new(pairs, data.schema())
+}
+
+/// Pre-engine ancestral sampling: tuple at a time, one linear weight scan per
+/// draw (`sample_discrete`), no compilation, no chunking.
+///
+/// # Errors
+/// As `privbayes::sampler::sample_synthetic`.
+pub fn reference_sample_synthetic<R: Rng + ?Sized>(
+    model: &NoisyModel,
+    schema: &Schema,
+    rows: usize,
+    rng: &mut R,
+) -> Result<Dataset, PrivBayesError> {
+    let d = schema.len();
+    if model.conditionals.len() != d {
+        return Err(PrivBayesError::InvalidNetwork(format!(
+            "model covers {} attributes, schema has {d}",
+            model.conditionals.len()
+        )));
+    }
+
+    let mut columns: Vec<Vec<u32>> = vec![vec![0u32; rows]; d];
+    let mut tuple = vec![0u32; d];
+    let mut parent_codes: Vec<usize> = Vec::with_capacity(8);
+
+    #[allow(clippy::needless_range_loop)] // `row` indexes every column
+    for row in 0..rows {
+        for cond in &model.conditionals {
+            parent_codes.clear();
+            for axis in &cond.parents {
+                let raw = tuple[axis.attr];
+                let code = if axis.level == 0 {
+                    raw
+                } else {
+                    schema
+                        .attribute(axis.attr)
+                        .taxonomy()
+                        .expect("validated by BayesianNetwork::new")
+                        .generalize(raw, axis.level)
+                };
+                parent_codes.push(code as usize);
+            }
+            let slice = cond.child_distribution(cond.parent_index(&parent_codes));
+            let value = sample_discrete(slice, rng) as u32;
+            tuple[cond.child] = value;
+            columns[cond.child][row] = value;
+        }
+    }
+    Ok(Dataset::from_columns(schema.clone(), columns)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privbayes::ScoreKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_fixed_k_learns_a_valid_network() {
+        let data = privbayes_datasets::nltcs::nltcs_sized(1, 500).data;
+        let mut rng = StdRng::seed_from_u64(2);
+        let settings = GreedySettings::private(ScoreKind::F, 1.0);
+        let net = reference_greedy_fixed_k(&data, 2, &settings, &mut rng).unwrap();
+        assert_eq!(net.len(), data.d());
+        assert!(net.degree() <= 2);
+    }
+}

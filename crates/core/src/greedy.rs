@@ -6,10 +6,19 @@
 //! from the θ-usefulness-constrained maximal parent sets. The selection is
 //! either the exponential mechanism at ε₁/(d−1) per round (private) or an
 //! argmax (the paper's NoPrivacy / BestNetwork reference lines).
+//!
+//! All candidate joints are served by a per-run
+//! [`CountEngine`](privbayes_marginals::CountEngine) (radix-coded columns, a
+//! popcount fast path for binary axes, and cross-round joint memoisation),
+//! and each round's candidate list is scored by a pool of scoped threads.
+//! Scoring is deterministic — only [`select`] consumes randomness — and the
+//! engine's integer-count contract makes every score bit-identical to the
+//! sequential path, so the learned network does not depend on the worker
+//! count.
 
 use privbayes_data::Dataset;
 use privbayes_dp::exponential::select_with_scale;
-use privbayes_marginals::{Axis, ContingencyTable};
+use privbayes_marginals::{Axis, ContingencyTable, CountEngine};
 use rand::{Rng, RngExt};
 
 use crate::error::PrivBayesError;
@@ -30,19 +39,24 @@ pub struct GreedySettings {
     /// setting; the experiment harness uses a small cap for tractability
     /// (documented in DESIGN.md §4).
     pub max_degree: usize,
+    /// Scoring worker threads; `None` uses
+    /// [`std::thread::available_parallelism`]. The learned network is
+    /// bit-identical for every thread count (scores are deterministic and
+    /// candidate order is preserved).
+    pub threads: Option<usize>,
 }
 
 impl GreedySettings {
     /// Private learning with the given budget and score.
     #[must_use]
     pub fn private(score: ScoreKind, epsilon1: f64) -> Self {
-        Self { score, epsilon1: Some(epsilon1), max_degree: usize::MAX }
+        Self { score, epsilon1: Some(epsilon1), max_degree: usize::MAX, threads: None }
     }
 
     /// Non-private argmax learning (NoPrivacy / BestNetwork).
     #[must_use]
     pub fn non_private(score: ScoreKind) -> Self {
-        Self { score, epsilon1: None, max_degree: usize::MAX }
+        Self { score, epsilon1: None, max_degree: usize::MAX, threads: None }
     }
 
     /// Returns a copy with the degree cap set.
@@ -51,6 +65,21 @@ impl GreedySettings {
         self.max_degree = cap;
         self
     }
+
+    /// Returns a copy with an explicit scoring worker count (tests and
+    /// benchmarks; `1` forces the sequential path).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+}
+
+/// Resolves an optional thread override against the machine's parallelism.
+pub(crate) fn resolve_threads(threads: Option<usize>) -> usize {
+    threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .max(1)
 }
 
 /// One candidate AP pair under consideration.
@@ -60,89 +89,9 @@ struct Candidate {
     parents: Vec<Axis>,
 }
 
-/// Bit-packed columns of an all-binary dataset: joint counts over a small
-/// attribute set come from AND + popcount chains instead of row scans, which
-/// is what makes full-size NLTCS/ACS network learning tractable (the paper's
-/// cost is `d·C(d+1, k+1)` candidate joints, §4.1).
-struct BitColumns {
-    cols: Vec<Vec<u64>>,
-    n: usize,
-}
-
-impl BitColumns {
-    fn build(data: &Dataset) -> Self {
-        let n = data.n();
-        let words = n.div_ceil(64);
-        let cols = (0..data.d())
-            .map(|a| {
-                let mut mask = vec![0u64; words];
-                for (row, &v) in data.column(a).iter().enumerate() {
-                    if v == 1 {
-                        mask[row / 64] |= 1 << (row % 64);
-                    }
-                }
-                mask
-            })
-            .collect();
-        Self { cols, n }
-    }
-
-    /// Joint distribution over `attrs` (≤ 16), probability scale, laid out
-    /// exactly like `ContingencyTable::from_dataset` with those axes (last
-    /// attribute fastest). Uses the subset-AND lattice plus a Möbius
-    /// transform from "all-ones" counts to exact cell counts.
-    fn joint(
-        &self,
-        attrs: &[usize],
-        scratch: &mut Vec<Vec<u64>>,
-        counts: &mut Vec<i64>,
-    ) -> Vec<f64> {
-        let m = attrs.len();
-        assert!(m <= 16, "bit-path joints limited to 16 attributes");
-        let cells = 1usize << m;
-        scratch.resize(cells, Vec::new());
-        counts.clear();
-        counts.resize(cells, 0);
-
-        // ones[s] = #rows where every attribute in s is 1. Bit p of `s`
-        // corresponds to attrs[m-1-p], so `s` doubles as the cell index of
-        // the all-ones pattern restricted to s.
-        counts[0] = self.n as i64;
-        for s in 1..cells {
-            let low = s.trailing_zeros() as usize;
-            let rest = s & (s - 1);
-            let col = &self.cols[attrs[m - 1 - low]];
-            let (count, vec) = if rest == 0 {
-                (col.iter().map(|w| w.count_ones() as i64).sum(), col.clone())
-            } else {
-                let prev = std::mem::take(&mut scratch[rest]);
-                let mut out = vec![0u64; col.len()];
-                let mut c = 0i64;
-                for ((o, &a), &b) in out.iter_mut().zip(&prev).zip(col) {
-                    *o = a & b;
-                    c += o.count_ones() as i64;
-                }
-                scratch[rest] = prev;
-                (c, out)
-            };
-            counts[s] = count;
-            scratch[s] = vec;
-        }
-        // Möbius: convert "attr unconstrained" to "attr = 0", bit by bit.
-        for p in 0..m {
-            let bit = 1usize << p;
-            for s in 0..cells {
-                if s & bit == 0 {
-                    counts[s] -= counts[s | bit];
-                }
-            }
-        }
-        let scale = 1.0 / self.n as f64;
-        counts.iter().map(|&c| c as f64 * scale).collect()
-    }
-}
-
-/// Scores `Pr[X, Π]` for a candidate.
+/// Scores `Pr[X, Π]` for a candidate with a one-shot row scan. The greedy
+/// loops use a shared [`CountEngine`] instead; this entry point remains for
+/// callers scoring a single ad-hoc pair.
 ///
 /// # Errors
 /// Propagates score errors (e.g. `F` on a non-binary child).
@@ -157,6 +106,52 @@ pub fn score_candidate(
     let table = ContingencyTable::from_dataset(data, &axes);
     let child_dim = data.schema().attribute(child).domain_size();
     score.compute(table.values(), child_dim, data.n())
+}
+
+/// Scores every candidate through the engine, preserving candidate order.
+/// With `threads > 1` the list is split into contiguous chunks scored by
+/// scoped workers; results are collected via the join handles, so the output
+/// is the in-order concatenation regardless of scheduling.
+fn score_candidates(
+    engine: &CountEngine,
+    data: &Dataset,
+    candidates: &[Candidate],
+    score: ScoreKind,
+    threads: usize,
+) -> Result<Vec<f64>, PrivBayesError> {
+    let score_chunk = |chunk: &[Candidate]| -> Result<Vec<f64>, PrivBayesError> {
+        let mut axes: Vec<Axis> = Vec::new();
+        let mut joint: Vec<f64> = Vec::new();
+        chunk
+            .iter()
+            .map(|cand| {
+                axes.clear();
+                axes.extend_from_slice(&cand.parents);
+                axes.push(Axis::raw(cand.child));
+                engine.joint_into(&axes, &mut joint);
+                let child_dim = data.schema().attribute(cand.child).domain_size();
+                score.compute(&joint, child_dim, engine.n())
+            })
+            .collect()
+    };
+
+    let workers = threads.min(candidates.len()).max(1);
+    if workers == 1 {
+        return score_chunk(candidates);
+    }
+    let chunk_len = candidates.len().div_ceil(workers);
+    let per_chunk: Vec<Result<Vec<f64>, PrivBayesError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || score_chunk(chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scoring worker panicked")).collect()
+    });
+    let mut scores = Vec::with_capacity(candidates.len());
+    for chunk in per_chunk {
+        scores.extend(chunk?);
+    }
+    Ok(scores)
 }
 
 /// All size-`k` subsets of `items` (the paper's `(V choose k)`).
@@ -231,6 +226,8 @@ pub fn greedy_bayes_fixed_k<R: Rng + ?Sized>(
     let k = k.min(settings.max_degree).min(d - 1);
     let n = data.n();
     let all_binary = data.schema().all_binary();
+    let threads = resolve_threads(settings.threads);
+    let engine = CountEngine::new(data);
 
     let first = rng.random_range(0..d);
     let mut pairs = vec![ApPair::new(first, vec![])];
@@ -238,38 +235,19 @@ pub fn greedy_bayes_fixed_k<R: Rng + ?Sized>(
     in_v[first] = true;
     let mut v = vec![first];
 
-    let bit_cols = all_binary.then(|| BitColumns::build(data));
-    let mut scratch: Vec<Vec<u64>> = Vec::new();
-    let mut count_buf: Vec<i64> = Vec::new();
-    let mut attr_buf: Vec<usize> = Vec::new();
-
     for _ in 2..=d {
-        let mut candidates = Vec::new();
-        let mut scores = Vec::new();
         let subset_size = k.min(v.len());
         let parent_sets = combinations(&v, subset_size);
+        let mut candidates = Vec::new();
         for child in (0..d).filter(|&x| !in_v[x]) {
             for parents in &parent_sets {
-                let score = match &bit_cols {
-                    Some(bits) => {
-                        attr_buf.clear();
-                        attr_buf.extend_from_slice(parents);
-                        attr_buf.push(child);
-                        let joint = bits.joint(&attr_buf, &mut scratch, &mut count_buf);
-                        settings.score.compute(&joint, 2, n)?
-                    }
-                    None => {
-                        let axes: Vec<Axis> = parents.iter().copied().map(Axis::raw).collect();
-                        score_candidate(data, child, &axes, settings.score)?
-                    }
-                };
-                scores.push(score);
                 candidates.push(Candidate {
                     child,
                     parents: parents.iter().copied().map(Axis::raw).collect(),
                 });
             }
         }
+        let scores = score_candidates(&engine, data, &candidates, settings.score, threads)?;
         let chosen = select(&scores, settings, d, n, all_binary, rng)?;
         let c = candidates.swap_remove(chosen);
         in_v[c.child] = true;
@@ -300,6 +278,8 @@ pub fn greedy_bayes_adaptive<R: Rng + ?Sized>(
     let n = data.n();
     let schema = data.schema();
     let all_binary = schema.all_binary();
+    let threads = resolve_threads(settings.threads);
+    let engine = CountEngine::new(data);
     let domain_sizes = schema.domain_sizes();
     let level_sizes: Vec<Vec<usize>> = schema
         .attributes()
@@ -318,7 +298,6 @@ pub fn greedy_bayes_adaptive<R: Rng + ?Sized>(
 
     for _ in 2..=d {
         let mut candidates = Vec::new();
-        let mut scores = Vec::new();
         for child in (0..d).filter(|&x| !in_v[x]) {
             let tau = tau_for_child(n, d, epsilon2, theta, domain_sizes[child]);
             let tops: Vec<Vec<Axis>> = if use_taxonomy {
@@ -332,15 +311,14 @@ pub fn greedy_bayes_adaptive<R: Rng + ?Sized>(
             if tops.is_empty() {
                 // Algorithm 4 lines 7–8: even Pr[X] violates θ-usefulness;
                 // model X as independent so every attribute is covered.
-                scores.push(score_candidate(data, child, &[], settings.score)?);
                 candidates.push(Candidate { child, parents: Vec::new() });
             } else {
                 for parents in tops {
-                    scores.push(score_candidate(data, child, &parents, settings.score)?);
                     candidates.push(Candidate { child, parents });
                 }
             }
         }
+        let scores = score_candidates(&engine, data, &candidates, settings.score, threads)?;
         let chosen = select(&scores, settings, d, n, all_binary, rng)?;
         let c = candidates.swap_remove(chosen);
         in_v[c.child] = true;
@@ -380,23 +358,6 @@ mod tests {
     }
 
     #[test]
-    fn bit_columns_joint_matches_contingency_table() {
-        let data = correlated_binary(321, 99); // non-multiple of 64 rows
-        let bits = BitColumns::build(&data);
-        let mut scratch = Vec::new();
-        let mut counts = Vec::new();
-        for attrs in [vec![0usize], vec![1, 0], vec![2, 3, 1], vec![0, 1, 2, 3]] {
-            let fast = bits.joint(&attrs, &mut scratch, &mut counts);
-            let axes: Vec<Axis> = attrs.iter().copied().map(Axis::raw).collect();
-            let slow = privbayes_marginals::ContingencyTable::from_dataset(&data, &axes);
-            assert_eq!(fast.len(), slow.values().len());
-            for (a, b) in fast.iter().zip(slow.values()) {
-                assert!((a - b).abs() < 1e-12, "attrs {attrs:?}: {a} vs {b}");
-            }
-        }
-    }
-
-    #[test]
     fn combinations_enumeration() {
         assert_eq!(combinations(&[5, 7, 9], 2), vec![vec![5, 7], vec![5, 9], vec![7, 9]]);
         assert_eq!(combinations(&[1, 2], 0), vec![Vec::<usize>::new()]);
@@ -428,6 +389,22 @@ mod tests {
             let net = greedy_bayes_fixed_k(&data, 2, &settings, &mut rng).unwrap();
             assert_eq!(net.len(), 4);
             assert!(net.degree() <= 2);
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_to_sequential() {
+        let data = correlated_binary(800, 21);
+        for score in [ScoreKind::MutualInformation, ScoreKind::F, ScoreKind::R] {
+            let run = |threads: usize| {
+                let mut rng = StdRng::seed_from_u64(77);
+                let settings = GreedySettings::private(score, 0.6).with_threads(threads);
+                greedy_bayes_fixed_k(&data, 2, &settings, &mut rng).unwrap()
+            };
+            let sequential = run(1);
+            for threads in [2, 3, 8] {
+                assert_eq!(run(threads), sequential, "{score:?} threads={threads}");
+            }
         }
     }
 
@@ -514,6 +491,22 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_parallel_matches_sequential() {
+        let data = mixed_dataset(600, 31);
+        for (use_taxonomy, score) in
+            [(false, ScoreKind::R), (true, ScoreKind::R), (false, ScoreKind::MutualInformation)]
+        {
+            let run = |threads: usize| {
+                let mut rng = StdRng::seed_from_u64(32);
+                let settings = GreedySettings::private(score, 0.4).with_threads(threads);
+                greedy_bayes_adaptive(&data, 4.0, 0.6, use_taxonomy, &settings, &mut rng).unwrap()
+            };
+            let sequential = run(1);
+            assert_eq!(run(4), sequential, "taxonomy={use_taxonomy} {score:?}");
+        }
+    }
+
+    #[test]
     fn adaptive_with_taxonomy_can_generalize() {
         let data = mixed_dataset(1000, 13);
         let mut rng = StdRng::seed_from_u64(14);
@@ -546,5 +539,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let settings = GreedySettings::private(ScoreKind::F, 1.0);
         assert!(greedy_bayes_fixed_k(&data, 1, &settings, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resolve_threads_floors_at_one() {
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
     }
 }

@@ -24,7 +24,7 @@ use crate::conditionals::{
 use crate::error::PrivBayesError;
 use crate::greedy::{greedy_bayes_adaptive, greedy_bayes_fixed_k, GreedySettings};
 use crate::network::BayesianNetwork;
-use crate::sampler::sample_synthetic;
+use crate::sampler::sample_synthetic_with_threads;
 use crate::score::ScoreKind;
 use crate::theta::choose_degree_binary;
 
@@ -61,6 +61,10 @@ pub struct PrivBayesOptions {
     ///
     /// [`mutual_consistency`]: privbayes_marginals::mutual_consistency
     pub consistency_rounds: usize,
+    /// Worker threads for candidate scoring and synthesis; `None` uses
+    /// [`std::thread::available_parallelism`]. The output for a fixed seed is
+    /// identical for every setting (see `greedy` and `sampler` docs).
+    pub threads: Option<usize>,
 }
 
 impl PrivBayesOptions {
@@ -79,7 +83,16 @@ impl PrivBayesOptions {
             private_network: true,
             private_marginals: true,
             consistency_rounds: 0,
+            threads: None,
         }
+    }
+
+    /// Pins the worker-thread count (tests and benchmarks; `1` forces the
+    /// sequential paths).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Sets the encoding.
@@ -241,6 +254,7 @@ impl PrivBayes {
             score,
             epsilon1: o.private_network.then_some(eps1),
             max_degree: o.max_degree,
+            threads: o.threads,
         };
 
         if o.encoding.is_bitwise() {
@@ -263,7 +277,8 @@ impl PrivBayes {
                 o.private_marginals.then_some(eps2),
                 rng,
             )?;
-            let bin_synth = sample_synthetic(&model, bin_data.schema(), rows, rng)?;
+            let bin_synth =
+                sample_synthetic_with_threads(&model, bin_data.schema(), rows, o.threads, rng)?;
             let synthetic = debinarize(&bin_synth, &map, data.schema())?;
             Ok(SynthesisResult {
                 synthetic,
@@ -292,7 +307,8 @@ impl PrivBayes {
                     rng,
                 )?
             };
-            let synthetic = sample_synthetic(&model, data.schema(), rows, rng)?;
+            let synthetic =
+                sample_synthetic_with_threads(&model, data.schema(), rows, o.threads, rng)?;
             let degree = network.degree();
             Ok(SynthesisResult {
                 synthetic,

@@ -4,18 +4,195 @@
 //! parent is sampled before its child, so the full-dimensional distribution
 //! `Pr*_N[A]` is never materialised — the step that lets PrivBayes sidestep
 //! the output-scalability problem.
+//!
+//! The model is first **compiled** ([`NoisyModel::compile`]): every
+//! conditional slice becomes an [`AliasTable`] (O(1) draws instead of a
+//! linear scan) and generalised parents become flat leaf→code lookups. Rows
+//! are then generated in fixed-size chunks, each chunk from its own RNG
+//! stream derived from the caller's seed, so the output is **identical for
+//! every worker count** — including the sequential path.
 
 use privbayes_data::{Dataset, Schema};
-use privbayes_dp::stats::sample_discrete;
-use rand::Rng;
+use privbayes_dp::AliasTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::conditionals::NoisyModel;
 use crate::error::PrivBayesError;
+use crate::greedy::resolve_threads;
+
+/// Rows per sampling chunk. Each chunk owns an RNG stream seeded from
+/// `(base, chunk index)` only, which makes the output independent of how
+/// chunks are distributed over workers. Fixed: changing it changes which
+/// stream generates which row.
+const CHUNK_ROWS: usize = 1024;
+
+/// One conditional compiled for the sampling hot loop.
+#[derive(Debug, Clone)]
+struct CompiledConditional {
+    child: usize,
+    /// Parent attribute indices (raw values come from the tuple).
+    parent_attrs: Vec<usize>,
+    /// Per parent: leaf→generalised-code lookup (`None` for level-0 parents).
+    generalisers: Vec<Option<Vec<u32>>>,
+    /// Per parent: domain size at its generalisation level.
+    parent_dims: Vec<usize>,
+    /// One alias table per flat parent index. `None` marks a degenerate
+    /// slice (zero-sum / negative / non-finite weights): compilation
+    /// tolerates it — a hand-built model may contain structurally
+    /// unreachable parent combinations — and sampling panics only if the
+    /// slice is actually drawn from, matching the lazy `sample_discrete`
+    /// behaviour.
+    tables: Vec<Option<AliasTable>>,
+}
+
+/// A [`NoisyModel`] compiled into alias tables, reusable across sampling
+/// calls and shareable across sampling workers.
+#[derive(Debug, Clone)]
+pub struct CompiledSampler {
+    schema: Schema,
+    conditionals: Vec<CompiledConditional>,
+}
+
+impl NoisyModel {
+    /// Compiles the model for `schema`: one [`AliasTable`] per conditional
+    /// slice plus flattened parent-generalisation lookups.
+    ///
+    /// # Errors
+    /// Returns [`PrivBayesError::InvalidNetwork`] if the model does not cover
+    /// all attributes of `schema`.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledSampler, PrivBayesError> {
+        let d = schema.len();
+        if self.conditionals.len() != d {
+            return Err(PrivBayesError::InvalidNetwork(format!(
+                "model covers {} attributes, schema has {d}",
+                self.conditionals.len()
+            )));
+        }
+        let conditionals = self
+            .conditionals
+            .iter()
+            .map(|cond| CompiledConditional {
+                child: cond.child,
+                parent_attrs: cond.parents.iter().map(|a| a.attr).collect(),
+                generalisers: cond
+                    .parents
+                    .iter()
+                    .map(|axis| {
+                        (axis.level > 0).then(|| {
+                            schema
+                                .attribute(axis.attr)
+                                .taxonomy()
+                                .expect("validated by BayesianNetwork::new")
+                                .level_lookup(axis.level)
+                                .to_vec()
+                        })
+                    })
+                    .collect(),
+                parent_dims: cond.parent_dims.clone(),
+                tables: cond.probs.chunks_exact(cond.child_dim).map(AliasTable::try_new).collect(),
+            })
+            .collect();
+        Ok(CompiledSampler { schema: schema.clone(), conditionals })
+    }
+}
+
+impl CompiledSampler {
+    /// Fills `tuple` with one synthetic row (network order).
+    #[inline]
+    fn sample_row<R: Rng + ?Sized>(&self, tuple: &mut [u32], rng: &mut R) {
+        for cond in &self.conditionals {
+            let mut idx = 0usize;
+            for ((&attr, generaliser), &dim) in
+                cond.parent_attrs.iter().zip(&cond.generalisers).zip(&cond.parent_dims)
+            {
+                let raw = tuple[attr];
+                let code = match generaliser {
+                    Some(lookup) => lookup[raw as usize],
+                    None => raw,
+                };
+                idx = idx * dim + code as usize;
+            }
+            let table = cond.tables[idx]
+                .as_ref()
+                .expect("sampled a degenerate conditional slice (invalid weights)");
+            tuple[cond.child] = table.sample(rng) as u32;
+        }
+    }
+
+    /// Samples `rows` synthetic tuples. `threads = None` uses
+    /// [`std::thread::available_parallelism`]; the output depends only on
+    /// `rng`'s state, never on the worker count.
+    ///
+    /// # Errors
+    /// Returns [`PrivBayesError`] if the assembled columns violate the schema
+    /// (cannot happen for a model compiled against the same schema).
+    pub fn sample_dataset<R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        threads: Option<usize>,
+        rng: &mut R,
+    ) -> Result<Dataset, PrivBayesError> {
+        let d = self.schema.len();
+        // One draw fixes every chunk stream; the caller's generator advances
+        // by exactly one step regardless of `rows`.
+        let base = rng.next_u64();
+        let mut columns: Vec<Vec<u32>> = vec![vec![0u32; rows]; d];
+
+        if rows > 0 && d > 0 {
+            let chunk_count = rows.div_ceil(CHUNK_ROWS);
+            // Regroup the column-major output into per-chunk slice bundles so
+            // each chunk owns a disjoint row range of every column.
+            let mut chunk_slices: Vec<Vec<&mut [u32]>> =
+                (0..chunk_count).map(|_| Vec::with_capacity(d)).collect();
+            for column in &mut columns {
+                for (c, slice) in column.chunks_mut(CHUNK_ROWS).enumerate() {
+                    chunk_slices[c].push(slice);
+                }
+            }
+            let mut tasks: Vec<(usize, Vec<&mut [u32]>)> =
+                chunk_slices.into_iter().enumerate().collect();
+            let workers = resolve_threads(threads).min(chunk_count).max(1);
+            let per_worker = tasks.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                while !tasks.is_empty() {
+                    let batch: Vec<_> = tasks.drain(..per_worker.min(tasks.len())).collect();
+                    scope.spawn(move || {
+                        for (c, mut slices) in batch {
+                            // Fresh per chunk: attributes a (hand-built)
+                            // model never writes must hold the same value —
+                            // zero — in every chunk, regardless of which
+                            // worker batch the chunk landed in.
+                            let mut tuple = vec![0u32; d];
+                            let mut rng = StdRng::seed_from_u64(chunk_seed(base, c));
+                            for row in 0..slices[0].len() {
+                                self.sample_row(&mut tuple, &mut rng);
+                                for (col, &value) in slices.iter_mut().zip(tuple.iter()) {
+                                    col[row] = value;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        Ok(Dataset::from_columns(self.schema.clone(), columns)?)
+    }
+}
+
+/// The RNG seed of chunk `c`: SplitMix-style spacing under the base seed,
+/// then expanded by `StdRng::seed_from_u64`'s own SplitMix64 pass.
+fn chunk_seed(base: u64, c: usize) -> u64 {
+    base.wrapping_add((c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// Samples `rows` synthetic tuples from `model`.
 ///
 /// Generalised parents are handled by generalising the already-sampled raw
 /// parent value through the attribute's taxonomy at sampling time (§5.2).
+/// Sampling is chunk-parallel; see [`sample_synthetic_with_threads`] to pin
+/// the worker count. Given a fixed `rng` state the output is identical for
+/// every worker count.
 ///
 /// # Errors
 /// Returns [`PrivBayesError::InvalidNetwork`] if the model does not cover all
@@ -26,42 +203,22 @@ pub fn sample_synthetic<R: Rng + ?Sized>(
     rows: usize,
     rng: &mut R,
 ) -> Result<Dataset, PrivBayesError> {
-    let d = schema.len();
-    if model.conditionals.len() != d {
-        return Err(PrivBayesError::InvalidNetwork(format!(
-            "model covers {} attributes, schema has {d}",
-            model.conditionals.len()
-        )));
-    }
+    sample_synthetic_with_threads(model, schema, rows, None, rng)
+}
 
-    let mut columns: Vec<Vec<u32>> = vec![vec![0u32; rows]; d];
-    let mut tuple = vec![0u32; d];
-    let mut parent_codes: Vec<usize> = Vec::with_capacity(8);
-
-    #[allow(clippy::needless_range_loop)] // `row` indexes every column
-    for row in 0..rows {
-        for cond in &model.conditionals {
-            parent_codes.clear();
-            for axis in &cond.parents {
-                let raw = tuple[axis.attr];
-                let code = if axis.level == 0 {
-                    raw
-                } else {
-                    schema
-                        .attribute(axis.attr)
-                        .taxonomy()
-                        .expect("validated by BayesianNetwork::new")
-                        .generalize(raw, axis.level)
-                };
-                parent_codes.push(code as usize);
-            }
-            let slice = cond.child_distribution(cond.parent_index(&parent_codes));
-            let value = sample_discrete(slice, rng) as u32;
-            tuple[cond.child] = value;
-            columns[cond.child][row] = value;
-        }
-    }
-    Ok(Dataset::from_columns(schema.clone(), columns)?)
+/// As [`sample_synthetic`], with an explicit worker count (`None` uses
+/// [`std::thread::available_parallelism`]).
+///
+/// # Errors
+/// As [`sample_synthetic`].
+pub fn sample_synthetic_with_threads<R: Rng + ?Sized>(
+    model: &NoisyModel,
+    schema: &Schema,
+    rows: usize,
+    threads: Option<usize>,
+    rng: &mut R,
+) -> Result<Dataset, PrivBayesError> {
+    model.compile(schema)?.sample_dataset(rows, threads, rng)
 }
 
 #[cfg(test)]
@@ -126,6 +283,32 @@ mod tests {
     }
 
     #[test]
+    fn output_is_invariant_to_worker_count() {
+        let data = copy_chain_data(600);
+        let net = BayesianNetwork::new(
+            vec![ApPair::new(0, vec![]), ApPair::new(1, vec![0]), ApPair::new(2, vec![1])],
+            data.schema(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = noisy_conditionals_general(&data, &net, Some(0.5), &mut rng).unwrap();
+        // More rows than one chunk, not a multiple of the chunk size.
+        let rows = 2 * CHUNK_ROWS + 137;
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(99);
+            sample_synthetic_with_threads(&model, data.schema(), rows, Some(threads), &mut rng)
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 3, 7] {
+            let got = run(threads);
+            for attr in 0..data.d() {
+                assert_eq!(got.column(attr), reference.column(attr), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn generalized_parent_sampling_uses_taxonomy() {
         // Attribute c has 4 values with a binary taxonomy; child b depends on
         // c's level-1 generalisation (c < 2 vs c >= 2).
@@ -178,5 +361,97 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let model = noisy_conditionals_general(&data, &net, None, &mut rng).unwrap();
         assert!(sample_synthetic(&model, data.schema(), 10, &mut rng).is_err());
+        assert!(model.compile(data.schema()).is_err());
+    }
+
+    #[test]
+    fn unreachable_degenerate_slice_does_not_break_compilation() {
+        // A hand-built model (fields are public) where parent value a = 1 is
+        // structurally impossible and its conditional slice is all-zero. The
+        // lazy pre-compile sampler tolerated this; compilation must too.
+        let schema = Schema::new(vec![Attribute::binary("a"), Attribute::binary("b")]).unwrap();
+        let net =
+            BayesianNetwork::new(vec![ApPair::new(0, vec![]), ApPair::new(1, vec![0])], &schema)
+                .unwrap();
+        let model = crate::conditionals::NoisyModel {
+            network: net,
+            conditionals: vec![
+                crate::conditionals::Conditional {
+                    child: 0,
+                    parents: vec![],
+                    parent_dims: vec![],
+                    child_dim: 2,
+                    probs: vec![1.0, 0.0], // a is always 0
+                },
+                crate::conditionals::Conditional {
+                    child: 1,
+                    parents: vec![Axis::raw(0)],
+                    parent_dims: vec![2],
+                    child_dim: 2,
+                    probs: vec![0.5, 0.5, 0.0, 0.0], // a = 1 slice is degenerate
+                },
+            ],
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let synth = sample_synthetic(&model, &schema, 300, &mut rng).unwrap();
+        assert!(synth.column(0).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn uncovered_attribute_is_zero_and_worker_invariant() {
+        // A hand-built model whose conditionals never write attribute 1
+        // (both cover child 0). The pre-compile sampler emitted zeros for
+        // the uncovered column; the chunked sampler must do the same for
+        // every worker count — the tuple buffer is reset per chunk.
+        let schema = Schema::new(vec![Attribute::binary("a"), Attribute::binary("b")]).unwrap();
+        let net =
+            BayesianNetwork::new(vec![ApPair::new(0, vec![]), ApPair::new(1, vec![0])], &schema)
+                .unwrap();
+        let root = crate::conditionals::Conditional {
+            child: 0,
+            parents: vec![],
+            parent_dims: vec![],
+            child_dim: 2,
+            probs: vec![0.5, 0.5],
+        };
+        let model = crate::conditionals::NoisyModel {
+            network: net,
+            conditionals: vec![root.clone(), root],
+        };
+        let rows = 3 * CHUNK_ROWS + 17;
+        let run = |threads: usize| {
+            sample_synthetic_with_threads(
+                &model,
+                &schema,
+                rows,
+                Some(threads),
+                &mut StdRng::seed_from_u64(9),
+            )
+            .unwrap()
+        };
+        let sequential = run(1);
+        assert!(sequential.column(1).iter().all(|&v| v == 0), "uncovered column must be zero");
+        for threads in [2usize, 5] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compiled_sampler_is_reusable() {
+        let data = copy_chain_data(50);
+        let net = BayesianNetwork::new(
+            vec![ApPair::new(0, vec![]), ApPair::new(1, vec![0]), ApPair::new(2, vec![1])],
+            data.schema(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = noisy_conditionals_general(&data, &net, None, &mut rng).unwrap();
+        let compiled = model.compile(data.schema()).unwrap();
+        let a = compiled.sample_dataset(100, Some(1), &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = compiled.sample_dataset(100, Some(4), &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a.n(), 100);
+        for attr in 0..data.d() {
+            assert_eq!(a.column(attr), b.column(attr));
+        }
     }
 }

@@ -1,0 +1,206 @@
+//! Walker/Vose alias tables: O(1) sampling from a fixed discrete
+//! distribution after O(k) preprocessing.
+//!
+//! [`crate::stats::sample_discrete`] walks the weight vector on every draw —
+//! fine for one-off selections, but ancestral sampling draws from the *same*
+//! conditional slices n times. Compiling each slice into an [`AliasTable`]
+//! turns every draw into one uniform variate, one comparison, and at most one
+//! table lookup, independent of the domain size.
+
+use rand::{Rng, RngExt};
+
+/// A compiled discrete distribution (Vose's alias method).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance threshold per bucket, premultiplied by the bucket count:
+    /// bucket `i` keeps a draw `u ∈ [i, i+1)` iff `u − i < prob[i]`.
+    prob: Vec<f64>,
+    /// Redirect target per bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Compiles non-negative `weights` (need not be normalised), or `None`
+    /// if the weights are not a samplable distribution (empty, negative,
+    /// non-finite, or zero-sum) — for callers that must tolerate degenerate
+    /// slices instead of panicking.
+    #[must_use]
+    pub fn try_new(weights: &[f64]) -> Option<Self> {
+        let samplable = !weights.is_empty()
+            && weights.iter().all(|&w| w >= 0.0 && w.is_finite())
+            && weights.iter().sum::<f64>() > 0.0;
+        samplable.then(|| Self::new(weights))
+    }
+
+    /// Compiles non-negative `weights` (need not be normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, longer than `u32::MAX`, contains
+    /// negatives/NaN, or sums to 0 — the same contract as
+    /// [`crate::stats::sample_discrete`].
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        let k = weights.len();
+        assert!(k > 0, "no weights");
+        assert!(u32::try_from(k).is_ok(), "too many weights");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights sum to zero");
+
+        // Scaled weights: mean 1. Buckets below 1 are "small" and get topped
+        // up by an alias drawn from a "large" bucket.
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..k as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(&l)) = (small.pop(), large.last()) {
+            alias[s as usize] = l;
+            // The large bucket donates the deficit of the small one.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical residue: leftover buckets are exactly full.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no outcomes (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index: a single uniform variate selects both the bucket and
+    /// the accept/redirect branch.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.random::<f64>() * self.prob.len() as f64;
+        let i = (u as usize).min(self.prob.len() - 1);
+        if u - (i as f64) < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::sample_discrete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies<F: FnMut() -> usize>(k: usize, trials: usize, mut draw: F) -> Vec<f64> {
+        let mut counts = vec![0usize; k];
+        for _ in 0..trials {
+            counts[draw()] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let w = [1.0, 3.0, 6.0, 0.0, 10.0];
+        let table = AliasTable::new(&w);
+        let mut rng = StdRng::seed_from_u64(1);
+        let freq = frequencies(w.len(), 200_000, || table.sample(&mut rng));
+        for (i, f) in freq.iter().enumerate() {
+            let expected = w[i] / 20.0;
+            assert!((f - expected).abs() < 0.01, "index {i}: {f} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn matches_sample_discrete_statistically() {
+        let w = [0.05, 0.2, 0.3, 0.45];
+        let table = AliasTable::new(&w);
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let fa = frequencies(w.len(), 100_000, || table.sample(&mut rng_a));
+        let fb = frequencies(w.len(), 100_000, || sample_discrete(&w, &mut rng_b));
+        for (i, (a, b)) in fa.iter().zip(&fb).enumerate() {
+            assert!((a - b).abs() < 0.01, "index {i}: alias {a} vs scan {b}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[0.7]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_near_one_hot() {
+        // Tiny but non-zero mass must survive compilation.
+        let w = [1e-12, 1.0];
+        let table = AliasTable::new(&w);
+        let mut rng = StdRng::seed_from_u64(6);
+        let freq = frequencies(2, 100_000, || table.sample(&mut rng));
+        assert!(freq[1] > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_new_rejects_exactly_what_new_panics_on() {
+        for degenerate in [&[][..], &[0.0, 0.0][..], &[0.5, -0.1][..], &[f64::NAN][..]] {
+            assert!(AliasTable::try_new(degenerate).is_none(), "{degenerate:?}");
+        }
+        assert!(AliasTable::try_new(&[0.3, 0.7]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[0.5, -0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no weights")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+}

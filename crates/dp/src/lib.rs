@@ -10,11 +10,13 @@
 //!   Laplace for count-scale releases, used by the noise-distribution
 //!   ablation;
 //!
-//! plus [`budget`] (sequential-composition accounting, Theorem 3.2) and
+//! plus [`budget`] (sequential-composition accounting, Theorem 3.2),
 //! [`stats`] (Gaussian/Gamma/Dirichlet samplers needed by substrates such as
 //! PrivateERM's noise vector and the synthetic-dataset generators — the
-//! offline crate set has no `rand_distr`).
+//! offline crate set has no `rand_distr`), and [`alias`] (compiled O(1)
+//! discrete sampling for the synthesis hot loop).
 
+pub mod alias;
 pub mod budget;
 pub mod error;
 pub mod exponential;
@@ -22,6 +24,7 @@ pub mod geometric;
 pub mod laplace;
 pub mod stats;
 
+pub use alias::AliasTable;
 pub use budget::{BudgetSplit, PrivacyBudget};
 pub use error::DpError;
 pub use exponential::exponential_mechanism;

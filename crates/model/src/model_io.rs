@@ -10,9 +10,11 @@
 use std::fs;
 use std::path::Path;
 
+use std::sync::OnceLock;
+
 use privbayes::conditionals::{Conditional, NoisyModel};
 use privbayes::network::{ApPair, BayesianNetwork};
-use privbayes::sampler::sample_synthetic;
+use privbayes::sampler::CompiledSampler;
 use privbayes_data::{Dataset, Schema};
 use privbayes_marginals::Axis;
 use rand::Rng;
@@ -93,7 +95,7 @@ impl ModelMetadata {
 
 /// A released PrivBayes model: metadata, the schema of the (possibly encoded)
 /// attribute space the model lives in, and the noisy model itself.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ReleasedModel {
     /// Fitting provenance.
     pub metadata: ModelMetadata,
@@ -101,6 +103,20 @@ pub struct ReleasedModel {
     pub schema: Schema,
     /// The private network and noisy conditionals.
     pub model: NoisyModel,
+    /// Alias-table form of the model, compiled on first [`sample`] call and
+    /// reused by every subsequent one (repeat consumers don't pay the
+    /// per-slice compilation again).
+    ///
+    /// [`sample`]: ReleasedModel::sample
+    sampler: OnceLock<CompiledSampler>,
+}
+
+/// Equality is over the released artifact (metadata, schema, model); the
+/// lazily-compiled sampler cache is derived state and does not participate.
+impl PartialEq for ReleasedModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.metadata == other.metadata && self.schema == other.schema && self.model == other.model
+    }
 }
 
 impl ReleasedModel {
@@ -114,7 +130,7 @@ impl ReleasedModel {
         schema: Schema,
         model: NoisyModel,
     ) -> Result<Self, ModelError> {
-        let artifact = Self { metadata, schema, model };
+        let artifact = Self { metadata, schema, model, sampler: OnceLock::new() };
         artifact.validate()?;
         Ok(artifact)
     }
@@ -276,13 +292,25 @@ impl ReleasedModel {
     }
 
     /// Samples `rows` synthetic tuples from the released model — the same
-    /// ancestral sampler PrivBayes uses internally; no privacy cost.
+    /// ancestral sampler PrivBayes uses internally; no privacy cost. The
+    /// model is compiled into alias tables on the first call and the
+    /// compiled form is cached for subsequent draws.
     ///
     /// # Errors
     /// Propagates sampler errors as [`ModelError::Invalid`] (these indicate
     /// artifact corruption that validation could not detect).
     pub fn sample<R: Rng + ?Sized>(&self, rows: usize, rng: &mut R) -> Result<Dataset, ModelError> {
-        sample_synthetic(&self.model, &self.schema, rows, rng)
+        if self.sampler.get().is_none() {
+            let compiled =
+                self.model.compile(&self.schema).map_err(|e| ModelError::Invalid(e.to_string()))?;
+            // A racing caller may have compiled the same model meanwhile;
+            // either value is equivalent, keep the first.
+            let _ = self.sampler.set(compiled);
+        }
+        self.sampler
+            .get()
+            .expect("sampler initialised above")
+            .sample_dataset(rows, None, rng)
             .map_err(|e| ModelError::Invalid(e.to_string()))
     }
 }
