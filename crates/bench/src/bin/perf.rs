@@ -1,9 +1,8 @@
-//! `perf`: wall-clock benchmark of the two hot paths — network learning and
-//! synthesis — against the pre-engine reference implementations, emitting
-//! machine-readable `BENCH_PR2.json` so future PRs can track the perf
-//! trajectory.
+//! `perf`: wall-clock benchmark of the hot paths — network learning,
+//! synthesis, and the serving layer — emitting machine-readable
+//! `BENCH_PR3.json` so future PRs can track the perf trajectory.
 //!
-//! Two workloads cover both engine strategies:
+//! Two batch workloads cover both engine strategies:
 //!
 //! * **adult-vanilla** — the quickstart-scale general-domain path (Adult,
 //!   Algorithm 4, score `R`): the baseline re-scans rows once per candidate;
@@ -15,9 +14,16 @@
 //! identical to the reference network, so the speedup numbers can never come
 //! from silently diverging semantics.
 //!
+//! The **serve** workload then starts an in-process `privbayes-server` over
+//! the Adult model and measures streamed synthesis throughput (rows/sec)
+//! at 1, 4, and 8 concurrent clients — asserting first that the streamed
+//! CSV is byte-identical to the direct batch sampling path for the same
+//! seed, so the throughput numbers can never come from a diverging stream.
+//!
 //! Usage: `perf [--quick] [--reps N] [--scale F] [--out DIR]`. The JSON is
 //! written to `--out` (or the working directory).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use privbayes::conditionals::noisy_conditionals_general;
@@ -29,7 +35,10 @@ use privbayes_bench::reference::{
     reference_greedy_adaptive, reference_greedy_fixed_k, reference_sample_synthetic,
 };
 use privbayes_bench::HarnessConfig;
+use privbayes_data::csv::write_csv;
 use privbayes_data::Dataset;
+use privbayes_model::{ModelMetadata, ReleasedModel};
+use privbayes_server::{BudgetLedger, Client, ModelRegistry, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -171,11 +180,113 @@ fn run_nltcs(cfg: &HarnessConfig) -> Workload {
     )
 }
 
+/// Serve-path throughput at one concurrency level.
+struct ServePoint {
+    clients: usize,
+    requests_per_client: usize,
+    rows_per_request: usize,
+    rows_per_sec: f64,
+}
+
+/// Measured serve-path results.
+struct ServeBench {
+    model_rows: usize,
+    attrs: usize,
+    points: Vec<ServePoint>,
+}
+
+/// Starts an in-process server over a model fit on Adult and measures
+/// streamed-synthesis throughput at 1/4/8 concurrent clients. Before
+/// timing, asserts the streamed CSV equals the direct batch path byte for
+/// byte — the serving layer must add overhead only, never divergence.
+fn run_serve(cfg: &HarnessConfig) -> ServeBench {
+    let data = privbayes_datasets::adult::adult_sized(7, cfg.scaled(45_222)).data;
+    let settings = GreedySettings::private(ScoreKind::R, 0.3).with_max_degree(4);
+    let mut rng = StdRng::seed_from_u64(1042);
+    let net = greedy_bayes_adaptive(&data, 4.0, 0.7, false, &settings, &mut rng).unwrap();
+    let model = noisy_conditionals_general(&data, &net, Some(0.7), &mut rng).unwrap();
+    let artifact = ReleasedModel::new(
+        ModelMetadata {
+            epsilon: 1.0,
+            beta: 0.3,
+            theta: 4.0,
+            score: "R".into(),
+            encoding: "vanilla".into(),
+            source_rows: data.n(),
+            comment: "perf serve workload".into(),
+        },
+        data.schema().clone(),
+        model,
+    )
+    .unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("adult", artifact).unwrap();
+    let entry = registry.get("adult").unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 8, fit_threads: None, ..ServerConfig::default() },
+        Arc::clone(&registry),
+        Arc::new(BudgetLedger::in_memory()),
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let client = Client::new(handle.addr().to_string());
+
+    // Correctness gate: the streamed body must be byte-identical to the
+    // direct batch path for the same seed.
+    let check_rows = 3000.min(data.n());
+    let streamed = client.synth("adult", check_rows, 7, "csv").unwrap();
+    let direct = entry
+        .sampler()
+        .unwrap()
+        .sample_dataset(check_rows, None, &mut StdRng::seed_from_u64(7))
+        .unwrap();
+    let mut expected = Vec::new();
+    write_csv(&direct, &mut expected).unwrap();
+    assert_eq!(
+        streamed.as_bytes(),
+        &expected[..],
+        "served stream must match the batch sampler byte-for-byte"
+    );
+
+    let rows_per_request = if cfg.quick { 5_000 } else { 20_000 };
+    let requests_per_client = if cfg.quick { 2 } else { 4 };
+    let mut points = Vec::new();
+    for clients in [1usize, 4, 8] {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let client = Client::new(handle.addr().to_string());
+                scope.spawn(move || {
+                    for r in 0..requests_per_client {
+                        let seed = (c * requests_per_client + r) as u64;
+                        let body = client.synth("adult", rows_per_request, seed, "csv").unwrap();
+                        assert_eq!(body.lines().count(), rows_per_request + 1);
+                    }
+                });
+            }
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let total_rows = clients * requests_per_client * rows_per_request;
+        points.push(ServePoint {
+            clients,
+            requests_per_client,
+            rows_per_request,
+            rows_per_sec: total_rows as f64 / secs,
+        });
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    ServeBench { model_rows: data.n(), attrs: data.d(), points }
+}
+
 fn main() {
     let cfg = HarnessConfig::from_env();
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let workloads = vec![run_adult(&cfg), run_nltcs(&cfg)];
+    let serve = run_serve(&cfg);
 
     for w in &workloads {
         println!("== {} (n = {}, d = {}) ==", w.name, w.rows, w.attrs);
@@ -189,6 +300,14 @@ fn main() {
                 s.rows_per_sec(s.engine_ms),
             );
         }
+    }
+
+    println!("== serve (model: adult, n = {}, d = {}) ==", serve.model_rows, serve.attrs);
+    for p in &serve.points {
+        println!(
+            "  {} client(s) x {} req x {} rows   {:>9.0} rows/s",
+            p.clients, p.requests_per_client, p.rows_per_request, p.rows_per_sec,
+        );
     }
 
     let workload_json: Vec<String> = workloads
@@ -205,23 +324,39 @@ fn main() {
             )
         })
         .collect();
+    let serve_points: Vec<String> = serve
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "      {{\"clients\": {}, \"requests_per_client\": {}, ",
+                    "\"rows_per_request\": {}, \"rows_per_sec\": {:.0}}}"
+                ),
+                p.clients, p.requests_per_client, p.rows_per_request, p.rows_per_sec
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"quick\": {},\n  \"reps\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"pr\": 3,\n  \"quick\": {},\n  \"reps\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"serve\": {{\n    \"model_rows\": {},\n    \"attrs\": {},\n    \"format\": \"csv\",\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
         cfg.quick,
         cfg.reps,
         threads,
-        workload_json.join(",\n")
+        workload_json.join(",\n"),
+        serve.model_rows,
+        serve.attrs,
+        serve_points.join(",\n")
     );
 
     let path = cfg
         .out_dir
         .clone()
-        .map_or_else(|| std::path::PathBuf::from("BENCH_PR2.json"), |d| d.join("BENCH_PR2.json"));
+        .map_or_else(|| std::path::PathBuf::from("BENCH_PR3.json"), |d| d.join("BENCH_PR3.json"));
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
     }
-    std::fs::write(&path, json).expect("write BENCH_PR2.json");
+    std::fs::write(&path, json).expect("write BENCH_PR3.json");
     println!("wrote {}", path.display());
 }

@@ -1,8 +1,10 @@
-//! The four subcommands: `fit`, `synth`, `eval`, `inspect`.
+//! The subcommands: `fit`, `synth`, `synth-relational`, `eval`, `inspect`,
+//! and `serve`.
 
 use std::fs;
-use std::io::BufReader;
+use std::io::{BufReader, Write as _};
 use std::path::Path;
+use std::sync::Arc;
 
 use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes_data::csv::{read_csv, write_csv};
@@ -12,6 +14,7 @@ use privbayes_marginals::average_workload_tvd;
 use privbayes_model::{
     schema_from_json, Json, ModelMetadata, ReleasedModel, ReleasedRelationalModel,
 };
+use privbayes_server::{BudgetLedger, ModelRegistry, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,10 +28,10 @@ privbayes-cli — differentially private synthetic data via Bayesian networks
 commands:
   fit      --data D.csv --schema S.json --epsilon F --out MODEL.json
            [--beta F=0.3] [--theta F=4] [--encoding vanilla|hierarchical]
-           [--consistency N=0] [--seed N] [--comment TEXT]
+           [--consistency N=0] [--seed N] [--threads N] [--comment TEXT]
            Fit a private model on a CSV table and write the release artifact.
 
-  synth    --model MODEL.json --out D.csv [--rows N] [--seed N]
+  synth    --model MODEL.json --out D.csv [--rows N] [--seed N] [--threads N]
            Sample a synthetic CSV from a released model (no privacy cost).
 
   synth-relational
@@ -45,6 +48,19 @@ commands:
   inspect  --model MODEL.json
            Print a released model's provenance and network structure
            (handles both single-table and relational artifacts).
+
+  serve    [--addr A=127.0.0.1:0] [--workers N=4] [--threads N]
+           [--max-rows N=10000000] [--ledger LEDGER.json]
+           [--model MODEL.json [--model-id ID=default]]
+           [--tenant NAME --budget F]
+           Run the synthesis service: model registry, per-tenant privacy
+           ledger (persisted at --ledger), and streaming synthesis
+           endpoints. Prints the bound address, then blocks until a client
+           sends POST /shutdown. --threads bounds the worker threads used
+           inside fit requests.
+
+The --threads flag on fit/synth pins the scoring/sampling worker count
+(default: all cores); outputs are identical for every value.
 
 The schema file is a JSON array of attributes, e.g.
   [{\"name\": \"age\", \"kind\": \"continuous\", \"min\": 0, \"max\": 90, \"bins\": 16},
@@ -72,6 +88,7 @@ where
         "synth-relational" => synth_relational(&parsed),
         "eval" => eval(&parsed),
         "inspect" => inspect(&parsed),
+        "serve" => serve(&parsed),
         other => Err(CliError::Usage(format!("unknown command `{other}` (try `help`)"))),
     }
 }
@@ -87,6 +104,7 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
         "encoding",
         "consistency",
         "seed",
+        "threads",
         "comment",
     ])?;
     // Validate flags before touching the filesystem, so usage mistakes are
@@ -108,11 +126,14 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let schema = load_schema(args.required("schema")?)?;
     let data = load_csv(&schema, args.required("data")?)?;
-    let options = PrivBayesOptions::new(epsilon)
+    let mut options = PrivBayesOptions::new(epsilon)
         .with_beta(args.parse_or("beta", 0.3)?)
         .with_theta(args.parse_or("theta", 4.0)?)
         .with_encoding(encoding)
         .with_consistency_rounds(args.parse_or("consistency", 0usize)?);
+    if let Some(threads) = args.parse_opt::<usize>("threads")? {
+        options = options.with_threads(threads);
+    }
 
     let mut rng = make_rng(args.parse_opt("seed")?);
     let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng)?;
@@ -141,7 +162,7 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn synth(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["model", "out", "rows", "seed"])?;
+    args.expect_only(&["model", "out", "rows", "seed", "threads"])?;
     let model_path = args.required("model")?;
     let out = args.required("out")?;
     let artifact = ReleasedModel::load(model_path)
@@ -151,7 +172,8 @@ fn synth(args: &ParsedArgs) -> Result<String, CliError> {
         return Err(CliError::Usage("--rows must be at least 1".into()));
     }
     let mut rng = make_rng(args.parse_opt("seed")?);
-    let synthetic = artifact.sample(rows, &mut rng)?;
+    let synthetic =
+        artifact.sample_with_threads(rows, args.parse_opt::<usize>("threads")?, &mut rng)?;
     save_csv(&synthetic, out)?;
     Ok(format!("sampled {rows} rows from {model_path}\nwrote {out}"))
 }
@@ -267,6 +289,69 @@ fn inspect_relational(text: &str) -> Result<String, CliError> {
         artifact.entity_model.network.describe(artifact.schema.flattened()),
         artifact.fact_model.network().describe(artifact.schema.fact_view()),
     ))
+}
+
+/// `serve`: run the synthesis service until a client posts `/shutdown`.
+///
+/// The bound address is printed (and flushed) to stdout *before* the accept
+/// loop starts, so wrapper scripts can connect as soon as the line appears;
+/// the returned summary prints after a clean shutdown.
+fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[
+        "addr", "workers", "threads", "max-rows", "ledger", "model", "model-id", "tenant", "budget",
+    ])?;
+    let registry = Arc::new(ModelRegistry::new());
+    match (args.optional("model"), args.optional("model-id")) {
+        (Some(path), id) => {
+            let artifact = ReleasedModel::load(path)
+                .map_err(|e| CliError::Io { path: path.into(), message: e.to_string() })?;
+            registry.load(id.unwrap_or("default"), artifact)?;
+        }
+        (None, Some(_)) => {
+            return Err(CliError::Usage("--model-id needs --model".into()));
+        }
+        (None, None) => {}
+    }
+    let ledger = match args.optional("ledger") {
+        Some(path) => BudgetLedger::with_persistence(path)?,
+        None => BudgetLedger::in_memory(),
+    };
+    match (args.optional("tenant"), args.parse_opt::<f64>("budget")?) {
+        (Some(tenant), Some(budget)) => {
+            // A persisted ledger may already know the tenant; keep its
+            // recorded spending rather than re-registering — but refuse a
+            // conflicting total instead of silently ignoring the flag.
+            match ledger.budget(tenant) {
+                None => ledger.register(tenant, budget)?,
+                Some(existing) if existing.total == budget => {}
+                Some(existing) => {
+                    return Err(CliError::Usage(format!(
+                        "tenant `{tenant}` already has total ε = {} in the ledger (spent {}); \
+                         budgets cannot be changed via --budget — edit the ledger file instead",
+                        existing.total, existing.spent
+                    )));
+                }
+            }
+        }
+        (Some(_), None) => return Err(CliError::Usage("--tenant needs --budget".into())),
+        (None, Some(_)) => return Err(CliError::Usage("--budget needs --tenant".into())),
+        (None, None) => {}
+    }
+    let config = ServerConfig {
+        workers: args.parse_or("workers", ServerConfig::default().workers)?,
+        fit_threads: args.parse_opt::<usize>("threads")?,
+        max_rows: args.parse_or("max-rows", ServerConfig::default().max_rows)?,
+    };
+    let server = Server::bind(
+        args.optional("addr").unwrap_or("127.0.0.1:0"),
+        config,
+        registry,
+        Arc::new(ledger),
+    )?;
+    println!("privbayes-server listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let stats = server.run()?;
+    Ok(format!("server shut down cleanly after {} requests", stats.requests))
 }
 
 fn make_rng(seed: Option<u64>) -> StdRng {
@@ -431,6 +516,130 @@ mod tests {
             .unwrap();
         assert!(out.contains("sampled 400 rows"), "{out}");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_output() {
+        let dir = temp_dir("threads");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let run_pair = |threads: &str, tag: &str| {
+            let model = dir.join(format!("model-{tag}.json")).to_str().unwrap().to_string();
+            let synth = dir.join(format!("synth-{tag}.csv")).to_str().unwrap().to_string();
+            let mut fit_args = vec![
+                "fit",
+                "--data",
+                &data_path,
+                "--schema",
+                &schema_path,
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "11",
+                "--out",
+                &model,
+            ];
+            let mut synth_args =
+                vec!["synth", "--model", &model, "--rows", "150", "--seed", "12", "--out", &synth];
+            if !threads.is_empty() {
+                fit_args.extend(["--threads", threads]);
+                synth_args.extend(["--threads", threads]);
+            }
+            run_cli(&fit_args).unwrap();
+            run_cli(&synth_args).unwrap();
+            (fs::read_to_string(&model).unwrap(), fs::read_to_string(&synth).unwrap())
+        };
+        let sequential = run_pair("1", "t1");
+        assert_eq!(run_pair("3", "t3"), sequential, "worker count must not change bytes");
+        assert_eq!(run_pair("", "auto"), sequential, "default threads must match too");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_round_trip_with_shutdown() {
+        use privbayes_server::Client;
+
+        let dir = temp_dir("serve");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.5",
+            "--seed",
+            "7",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+
+        // Reserve an ephemeral port, then hand it to `serve`.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let ledger_path = dir.join("ledger.json").to_str().unwrap().to_string();
+        let serve_args: Vec<String> = [
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--model",
+            &model_path,
+            "--model-id",
+            "fixture",
+            "--ledger",
+            &ledger_path,
+            "--tenant",
+            "acme",
+            "--budget",
+            "2.0",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let server = std::thread::spawn(move || run(serve_args));
+
+        let client = Client::new(addr);
+        // The server may still be binding; retry briefly.
+        let mut health = None;
+        for _ in 0..100 {
+            match client.health() {
+                Ok(h) => {
+                    health = Some(h);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let health = health.expect("server must come up");
+        assert_eq!(health.get("models").and_then(Json::as_usize), Some(1));
+        let body = client.synth("fixture", 64, 9, "csv").unwrap();
+        assert_eq!(body.lines().count(), 65, "header + 64 rows");
+        let tenant = client.tenant("acme").unwrap();
+        assert_eq!(tenant.get("total").and_then(Json::as_f64), Some(2.0));
+        client.shutdown().unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("shut down cleanly"), "{out}");
+        assert!(fs::read_to_string(&ledger_path).unwrap().contains("acme"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_flag_pairs_are_validated() {
+        assert!(matches!(run_cli(&["serve", "--model-id", "x"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_cli(&["serve", "--tenant", "t"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_cli(&["serve", "--budget", "1.0"]), Err(CliError::Usage(_))));
+        // A bad address is a server error (exit code 5), not a usage error.
+        assert!(matches!(
+            run_cli(&["serve", "--addr", "999.999.999.999:1"]),
+            Err(CliError::Server(_))
+        ));
     }
 
     #[test]

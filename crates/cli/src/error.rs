@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-/// Errors surfaced to the CLI user (printed to stderr, exit code 1).
+/// Errors surfaced to the CLI user. Messages go to stderr; each variant
+/// maps to a distinct process exit code ([`CliError::exit_code`]) so
+/// scripts can tell a typo from a missing file from bad data without
+/// parsing messages.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line: unknown command, missing flag, unparsable value.
@@ -16,6 +19,23 @@ pub enum CliError {
     },
     /// Input files parsed but were semantically invalid.
     Invalid(String),
+    /// The `serve` subcommand failed (bind failure, ledger corruption, …).
+    Server(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: `2` usage, `3` I/O, `4`
+    /// invalid input, `5` server. (`0` is success; `1` is reserved for
+    /// panics.)
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Invalid(_) => 4,
+            CliError::Server(_) => 5,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -24,11 +44,18 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io { path, message } => write!(f, "{path}: {message}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
+            CliError::Server(msg) => write!(f, "server error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<privbayes_server::ServerError> for CliError {
+    fn from(e: privbayes_server::ServerError) -> Self {
+        CliError::Server(e.to_string())
+    }
+}
 
 impl From<privbayes_model::ModelError> for CliError {
     fn from(e: privbayes_model::ModelError) -> Self {
@@ -58,5 +85,22 @@ mod tests {
         let e = CliError::Io { path: "/x/y".into(), message: "not found".into() };
         assert!(e.to_string().contains("/x/y"));
         assert!(CliError::Invalid("bad model".into()).to_string().contains("bad model"));
+        assert!(CliError::Server("bind failed".into()).to_string().contains("bind failed"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errors = [
+            CliError::Usage(String::new()),
+            CliError::Io { path: String::new(), message: String::new() },
+            CliError::Invalid(String::new()),
+            CliError::Server(String::new()),
+        ];
+        let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes must be distinct: {codes:?}");
+        assert!(codes.iter().all(|&c| c > 1), "0 is success, 1 is reserved for panics");
     }
 }

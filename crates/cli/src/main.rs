@@ -1,11 +1,13 @@
-//! Binary entry point: parse, run, print (or fail with exit code 1).
+//! Binary entry point: parse, run, print. Success output goes to stdout;
+//! errors go to stderr with a variant-specific exit code (2 usage, 3 I/O,
+//! 4 invalid input, 5 server — see `CliError::exit_code`).
 
 fn main() {
     match privbayes_cli::run(std::env::args().skip(1)) {
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -62,5 +62,7 @@ pub mod theta;
 pub use error::PrivBayesError;
 pub use network::{ApPair, BayesianNetwork};
 pub use pipeline::{PrivBayes, PrivBayesOptions, SynthesisResult};
-pub use sampler::{sample_synthetic, sample_synthetic_with_threads, CompiledSampler};
+pub use sampler::{
+    sample_synthetic, sample_synthetic_with_threads, CompiledSampler, RowStream, CHUNK_ROWS,
+};
 pub use score::ScoreKind;

@@ -23,9 +23,11 @@ use crate::greedy::resolve_threads;
 
 /// Rows per sampling chunk. Each chunk owns an RNG stream seeded from
 /// `(base, chunk index)` only, which makes the output independent of how
-/// chunks are distributed over workers. Fixed: changing it changes which
-/// stream generates which row.
-const CHUNK_ROWS: usize = 1024;
+/// chunks are distributed over workers — and of whether chunks are
+/// materialised at once ([`CompiledSampler::sample_dataset`]) or streamed
+/// one by one ([`CompiledSampler::stream_rows`]). Fixed: changing it changes
+/// which stream generates which row.
+pub const CHUNK_ROWS: usize = 1024;
 
 /// One conditional compiled for the sampling hot loop.
 #[derive(Debug, Clone)]
@@ -98,6 +100,12 @@ impl NoisyModel {
 }
 
 impl CompiledSampler {
+    /// The schema the sampler was compiled against.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
     /// Fills `tuple` with one synthetic row (network order).
     #[inline]
     fn sample_row<R: Rng + ?Sized>(&self, tuple: &mut [u32], rng: &mut R) {
@@ -177,6 +185,63 @@ impl CompiledSampler {
             });
         }
         Ok(Dataset::from_columns(self.schema.clone(), columns)?)
+    }
+
+    /// Streams `rows` synthetic tuples as row-major chunks of (at most)
+    /// [`CHUNK_ROWS`] rows each, without materialising the full dataset.
+    ///
+    /// The stream consumes exactly one `next_u64` from `rng` — the same base
+    /// draw as [`CompiledSampler::sample_dataset`] — and derives every chunk's
+    /// RNG stream from `(base, chunk index)`, so for a given `rng` state the
+    /// concatenated chunks hold exactly the rows `sample_dataset` would
+    /// return, in the same order. This is the contract the serving layer
+    /// relies on: a streamed response is byte-identical to the batch path for
+    /// a fixed seed, regardless of how many requests run concurrently.
+    pub fn stream_rows<R: Rng + ?Sized>(&self, rows: usize, rng: &mut R) -> RowStream<'_> {
+        RowStream { sampler: self, base: rng.next_u64(), rows, next_row: 0 }
+    }
+}
+
+/// Iterator over row-major chunks of synthetic tuples; see
+/// [`CompiledSampler::stream_rows`].
+#[derive(Debug)]
+pub struct RowStream<'a> {
+    sampler: &'a CompiledSampler,
+    base: u64,
+    rows: usize,
+    next_row: usize,
+}
+
+impl RowStream<'_> {
+    /// Total rows the stream will yield across all chunks.
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    /// One chunk: `len ≤ CHUNK_ROWS` rows, each of schema width.
+    type Item = Vec<Vec<u32>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_row >= self.rows {
+            return None;
+        }
+        let d = self.sampler.schema.len();
+        let chunk_index = self.next_row / CHUNK_ROWS;
+        let len = CHUNK_ROWS.min(self.rows - self.next_row);
+        // Identical per-chunk setup to `sample_dataset`: fresh zeroed tuple,
+        // fresh RNG stream from (base, chunk index).
+        let mut tuple = vec![0u32; d];
+        let mut rng = StdRng::seed_from_u64(chunk_seed(self.base, chunk_index));
+        let mut chunk = Vec::with_capacity(len);
+        for _ in 0..len {
+            self.sampler.sample_row(&mut tuple, &mut rng);
+            chunk.push(tuple.clone());
+        }
+        self.next_row += len;
+        Some(chunk)
     }
 }
 
@@ -434,6 +499,53 @@ mod tests {
         for threads in [2usize, 5] {
             assert_eq!(run(threads), sequential, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn stream_rows_matches_sample_dataset_exactly() {
+        let data = copy_chain_data(400);
+        let net = BayesianNetwork::new(
+            vec![ApPair::new(0, vec![]), ApPair::new(1, vec![0]), ApPair::new(2, vec![1])],
+            data.schema(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = noisy_conditionals_general(&data, &net, Some(0.8), &mut rng).unwrap();
+        let compiled = model.compile(data.schema()).unwrap();
+        // More rows than one chunk, not a multiple of the chunk size.
+        let rows = 2 * CHUNK_ROWS + 311;
+        let batch = compiled.sample_dataset(rows, Some(3), &mut StdRng::seed_from_u64(77)).unwrap();
+        let stream = compiled.stream_rows(rows, &mut StdRng::seed_from_u64(77));
+        assert_eq!(stream.total_rows(), rows);
+        let mut row = 0;
+        for chunk in stream {
+            assert!(chunk.len() <= CHUNK_ROWS);
+            for tuple in chunk {
+                assert_eq!(tuple, batch.row(row), "row {row}");
+                row += 1;
+            }
+        }
+        assert_eq!(row, rows, "stream must yield every row exactly once");
+        // Both paths consume exactly one base draw from the caller's RNG.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let _ = compiled.sample_dataset(10, None, &mut a).unwrap();
+        let _ = compiled.stream_rows(10, &mut b).count();
+        assert_eq!(a.next_u64(), b.next_u64(), "RNG must advance identically");
+    }
+
+    #[test]
+    fn stream_rows_zero_rows_is_empty() {
+        let data = copy_chain_data(10);
+        let net = BayesianNetwork::new(
+            vec![ApPair::new(0, vec![]), ApPair::new(1, vec![0]), ApPair::new(2, vec![1])],
+            data.schema(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = noisy_conditionals_general(&data, &net, None, &mut rng).unwrap();
+        let compiled = model.compile(data.schema()).unwrap();
+        assert_eq!(compiled.stream_rows(0, &mut rng).count(), 0);
     }
 
     #[test]

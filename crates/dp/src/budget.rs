@@ -45,13 +45,19 @@ impl PrivacyBudget {
         (self.total - self.spent).max(0.0)
     }
 
-    /// Consumes `epsilon` from the budget.
+    /// Checks whether `epsilon` could be consumed, without consuming it —
+    /// the `try_spend` probe used by serving-layer ledgers to pre-validate a
+    /// request before committing to it.
+    ///
+    /// Uses exactly the same tolerance rule as [`PrivacyBudget::consume`], so
+    /// `check(ε).is_ok()` if and only if `consume(ε)` would succeed on the
+    /// current state.
     ///
     /// # Errors
-    /// Returns [`DpError::BudgetExhausted`] if `epsilon` exceeds the remaining
-    /// budget (with a small tolerance for floating-point splits), or
-    /// [`DpError::InvalidParameter`] for non-positive requests.
-    pub fn consume(&mut self, epsilon: f64) -> Result<(), DpError> {
+    /// Returns [`DpError::BudgetExhausted`] if `epsilon` exceeds the
+    /// remaining budget, or [`DpError::InvalidParameter`] for non-positive
+    /// requests.
+    pub fn check(&self, epsilon: f64) -> Result<(), DpError> {
         if !epsilon.is_finite() || epsilon <= 0.0 {
             return Err(DpError::InvalidParameter(format!(
                 "consumed epsilon must be positive, got {epsilon}"
@@ -64,8 +70,51 @@ impl PrivacyBudget {
                 remaining: self.remaining(),
             });
         }
+        Ok(())
+    }
+
+    /// Consumes `epsilon` from the budget.
+    ///
+    /// # Errors
+    /// Returns [`DpError::BudgetExhausted`] if `epsilon` exceeds the remaining
+    /// budget (with a small tolerance for floating-point splits), or
+    /// [`DpError::InvalidParameter`] for non-positive requests. On error the
+    /// budget state is unchanged.
+    pub fn consume(&mut self, epsilon: f64) -> Result<(), DpError> {
+        self.check(epsilon)?;
         self.spent = (self.spent + epsilon).min(self.total);
         Ok(())
+    }
+
+    /// Returns `epsilon` to the budget (compensation for an operation that
+    /// was charged but then failed before touching sensitive data). Never
+    /// drives `spent` below zero; requests of garbage amounts are clamped
+    /// rather than rejected because refunds run on error paths.
+    pub fn refund(&mut self, epsilon: f64) {
+        if epsilon.is_finite() && epsilon > 0.0 {
+            self.spent = (self.spent - epsilon).max(0.0);
+        }
+    }
+
+    /// Reconstructs a budget with `spent` of `total` already consumed — the
+    /// restore half of ledger persistence ([`spent`] / [`total`] being the
+    /// save half).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidParameter`] if `total` is not a valid budget
+    /// total, or `spent` is negative, non-finite, or exceeds `total`.
+    ///
+    /// [`spent`]: PrivacyBudget::spent
+    /// [`total`]: PrivacyBudget::total
+    pub fn with_spent(total: f64, spent: f64) -> Result<Self, DpError> {
+        let mut budget = Self::new(total)?;
+        if !spent.is_finite() || spent < 0.0 || spent > total {
+            return Err(DpError::InvalidParameter(format!(
+                "spent must lie in [0, {total}], got {spent}"
+            )));
+        }
+        budget.spent = spent;
+        Ok(budget)
     }
 }
 
@@ -130,6 +179,46 @@ mod tests {
         assert!(b.consume(0.0).is_err());
         assert!(b.consume(-0.5).is_err());
         assert!(b.consume(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn check_matches_consume_without_mutating() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.consume(0.9).unwrap();
+        let before = b.clone();
+        assert!(b.check(0.1).is_ok(), "exactly the remaining budget is allowed");
+        assert!(matches!(b.check(0.2), Err(DpError::BudgetExhausted { .. })));
+        assert!(b.check(0.0).is_err());
+        assert!(b.check(f64::NAN).is_err());
+        assert_eq!(b, before, "check must not mutate");
+        // A passing check is a guarantee that consume succeeds.
+        b.consume(0.1).unwrap();
+    }
+
+    #[test]
+    fn refund_restores_spent_and_clamps() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.consume(0.6).unwrap();
+        b.refund(0.2);
+        assert!((b.spent() - 0.4).abs() < 1e-12);
+        b.refund(10.0); // clamps at zero
+        assert_eq!(b.spent(), 0.0);
+        b.refund(f64::NAN); // garbage is ignored
+        assert_eq!(b.spent(), 0.0);
+    }
+
+    #[test]
+    fn with_spent_round_trips() {
+        let mut b = PrivacyBudget::new(2.5).unwrap();
+        b.consume(1.0).unwrap();
+        let restored = PrivacyBudget::with_spent(b.total(), b.spent()).unwrap();
+        assert_eq!(restored, b);
+        assert!(PrivacyBudget::with_spent(1.0, -0.1).is_err());
+        assert!(PrivacyBudget::with_spent(1.0, 1.1).is_err());
+        assert!(PrivacyBudget::with_spent(1.0, f64::NAN).is_err());
+        assert!(PrivacyBudget::with_spent(0.0, 0.0).is_err(), "total still validated");
+        // A fully spent budget is restorable.
+        assert!(PrivacyBudget::with_spent(1.0, 1.0).is_ok());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Serde-free JSON (de)serialization for [`PrivacyBudget`].
+//!
+//! A serving layer that accounts privacy spending per tenant must survive
+//! restarts without forgetting what was already spent — otherwise a crash
+//! would silently reset every tenant's ε to zero and break the composition
+//! guarantee. These helpers give `privbayes-dp`'s budget a JSON form using
+//! the same dependency-free [`Json`] document type as the release artifacts,
+//! with the same property: `f64` totals round-trip bit-exactly, so a
+//! persisted ledger restores to *exactly* the budget state it saved
+//! (`budget_from_json(budget_to_json(b)) == b`).
+
+use privbayes_dp::PrivacyBudget;
+
+use crate::error::ModelError;
+use crate::json::Json;
+
+/// Serializes a budget as `{"total": …, "spent": …}`.
+#[must_use]
+pub fn budget_to_json(budget: &PrivacyBudget) -> Json {
+    Json::object(vec![
+        ("total", Json::Number(budget.total())),
+        ("spent", Json::Number(budget.spent())),
+    ])
+}
+
+/// Restores a budget from the [`budget_to_json`] form.
+///
+/// # Errors
+/// Returns [`ModelError::Field`] for missing or mistyped fields and
+/// [`ModelError::Invalid`] if the amounts do not form a valid budget state
+/// (non-positive total, `spent` outside `[0, total]`).
+pub fn budget_from_json(json: &Json) -> Result<PrivacyBudget, ModelError> {
+    let total = json
+        .get("total")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ModelError::Field("budget.total".into()))?;
+    let spent = json
+        .get("spent")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ModelError::Field("budget.spent".into()))?;
+    PrivacyBudget::with_spent(total, spent).map_err(|e| ModelError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly() {
+        let mut budget = PrivacyBudget::new(1.6).unwrap();
+        budget.consume(0.1).unwrap();
+        budget.consume(0.07).unwrap();
+        let json = budget_to_json(&budget);
+        let restored = budget_from_json(&json).unwrap();
+        assert_eq!(restored.total().to_bits(), budget.total().to_bits());
+        assert_eq!(restored.spent().to_bits(), budget.spent().to_bits());
+        // And through serialized text, as the ledger file does.
+        let text = json.to_string_pretty().unwrap();
+        let reparsed = budget_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, budget);
+    }
+
+    #[test]
+    fn fresh_and_exhausted_budgets_round_trip() {
+        for spent in [0.0, 2.0] {
+            let budget = PrivacyBudget::with_spent(2.0, spent).unwrap();
+            assert_eq!(budget_from_json(&budget_to_json(&budget)).unwrap(), budget);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_and_invalid_fields() {
+        assert!(matches!(
+            budget_from_json(&Json::parse(r#"{"spent": 0}"#).unwrap()),
+            Err(ModelError::Field(_))
+        ));
+        assert!(matches!(
+            budget_from_json(&Json::parse(r#"{"total": 1.0, "spent": "x"}"#).unwrap()),
+            Err(ModelError::Field(_))
+        ));
+        assert!(matches!(
+            budget_from_json(&Json::parse(r#"{"total": 1.0, "spent": 1.5}"#).unwrap()),
+            Err(ModelError::Invalid(_))
+        ));
+        assert!(matches!(
+            budget_from_json(&Json::parse(r#"{"total": -1.0, "spent": 0.0}"#).unwrap()),
+            Err(ModelError::Invalid(_))
+        ));
+    }
+}

@@ -15,6 +15,9 @@
 //!   cost no additional privacy budget.
 //! * [`json`] is the small, dependency-free JSON reader/writer behind the
 //!   format; it round-trips `f64` probabilities bit-exactly.
+//! * [`budget_io`] round-trips `privbayes-dp` privacy budgets through the
+//!   same JSON type, so serving-layer ledgers can persist per-tenant ε
+//!   accounting across restarts without losing precision.
 //! * [`ReleasedRelationalModel`] does the same for the multi-table extension:
 //!   both phase models of a `privbayes-relational` synthesis in one artifact,
 //!   from which consumers regenerate complete two-table databases.
@@ -58,12 +61,14 @@
 //! assert_eq!(restored, artifact);
 //! ```
 
+pub mod budget_io;
 pub mod error;
 pub mod json;
 pub mod model_io;
 pub mod relational_io;
 pub mod schema_io;
 
+pub use budget_io::{budget_from_json, budget_to_json};
 pub use error::ModelError;
 pub use json::{Json, JsonError};
 pub use model_io::{ModelMetadata, ReleasedModel, FORMAT};

@@ -300,6 +300,37 @@ impl ReleasedModel {
     /// Propagates sampler errors as [`ModelError::Invalid`] (these indicate
     /// artifact corruption that validation could not detect).
     pub fn sample<R: Rng + ?Sized>(&self, rows: usize, rng: &mut R) -> Result<Dataset, ModelError> {
+        self.sample_with_threads(rows, None, rng)
+    }
+
+    /// As [`ReleasedModel::sample`], with an explicit sampling worker count
+    /// (`None` uses [`std::thread::available_parallelism`]). The output
+    /// depends only on `rng`'s state, never on the worker count.
+    ///
+    /// # Errors
+    /// As [`ReleasedModel::sample`].
+    pub fn sample_with_threads<R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        threads: Option<usize>,
+        rng: &mut R,
+    ) -> Result<Dataset, ModelError> {
+        self.compiled()?
+            .sample_dataset(rows, threads, rng)
+            .map_err(|e| ModelError::Invalid(e.to_string()))
+    }
+
+    /// The model's cached [`CompiledSampler`], compiling it on the first
+    /// call. This is the hook serving layers use to share one set of alias
+    /// tables across every request against the same released model: the
+    /// registry holds the `ReleasedModel` and all synthesis paths — batch
+    /// sampling and chunked row streaming alike — draw from this one
+    /// compiled form.
+    ///
+    /// # Errors
+    /// Propagates compilation failures as [`ModelError::Invalid`] (these
+    /// indicate artifact corruption that validation could not detect).
+    pub fn compiled(&self) -> Result<&CompiledSampler, ModelError> {
         if self.sampler.get().is_none() {
             let compiled =
                 self.model.compile(&self.schema).map_err(|e| ModelError::Invalid(e.to_string()))?;
@@ -307,11 +338,7 @@ impl ReleasedModel {
             // either value is equivalent, keep the first.
             let _ = self.sampler.set(compiled);
         }
-        self.sampler
-            .get()
-            .expect("sampler initialised above")
-            .sample_dataset(rows, None, rng)
-            .map_err(|e| ModelError::Invalid(e.to_string()))
+        Ok(self.sampler.get().expect("sampler initialised above"))
     }
 }
 

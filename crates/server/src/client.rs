@@ -1,0 +1,194 @@
+//! A tiny std-only client for the service — used by the integration tests,
+//! the perf harness, the `serve_and_query` example, and scripting against a
+//! running server. One TCP connection per request, mirroring the server's
+//! `Connection: close` policy.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use privbayes_model::{Json, ReleasedModel};
+
+use crate::error::ServerError;
+use crate::http::Response;
+
+/// Connect/read timeout for client sockets.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (anything `ToSocketAddrs` accepts as text, e.g.
+    /// `127.0.0.1:8321`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// The address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request and reads the full response (chunked bodies are
+    /// reassembled).
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Io`] on socket failure and
+    /// [`ServerError::Protocol`] on malformed response framing. Error
+    /// *statuses* are returned as ordinary [`Response`]s — use
+    /// [`Client::expect_success`] to convert them.
+    pub fn request(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> Result<Response, ServerError> {
+        // `connect_timeout` needs a resolved address; plain `connect` would
+        // block on the OS SYN-retry schedule (minutes) for dead hosts.
+        let addr =
+            self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                ServerError::Io(format!("`{}` resolves to no address", self.addr))
+            })?;
+        let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        let mut writer = stream.try_clone()?;
+        match body {
+            Some((content_type, data)) => {
+                write!(
+                    writer,
+                    "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    self.addr,
+                    data.len()
+                )?;
+                writer.write_all(data)?;
+            }
+            None => {
+                write!(
+                    writer,
+                    "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+                    self.addr
+                )?;
+            }
+        }
+        writer.flush()?;
+        Response::read_from(&mut BufReader::new(stream))
+    }
+
+    /// Unwraps a 2xx response, converting error statuses into
+    /// [`ServerError::Status`].
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Status`] carrying the code and body for any
+    /// non-2xx response.
+    pub fn expect_success(response: Response) -> Result<Response, ServerError> {
+        if (200..300).contains(&response.code) {
+            Ok(response)
+        } else {
+            Err(ServerError::Status { code: response.code, body: response.text() })
+        }
+    }
+
+    /// `GET /healthz`, parsed.
+    ///
+    /// # Errors
+    /// Socket/protocol errors, or [`ServerError::Status`] on non-2xx.
+    pub fn health(&self) -> Result<Json, ServerError> {
+        self.get_json("/healthz")
+    }
+
+    /// `GET` returning parsed JSON.
+    ///
+    /// # Errors
+    /// Socket/protocol errors, [`ServerError::Status`] on non-2xx, and
+    /// [`ServerError::Protocol`] if the body is not JSON.
+    pub fn get_json(&self, path_and_query: &str) -> Result<Json, ServerError> {
+        let response = Self::expect_success(self.request("GET", path_and_query, None)?)?;
+        Json::parse(&response.text()).map_err(|e| ServerError::Protocol(e.to_string()))
+    }
+
+    /// `PUT /models/{id}` with a release artifact.
+    ///
+    /// # Errors
+    /// Serialization, socket, and status errors.
+    pub fn load_model(&self, id: &str, artifact: &ReleasedModel) -> Result<Json, ServerError> {
+        let text = artifact.to_json_string().map_err(|e| ServerError::Model(e.to_string()))?;
+        let response = Self::expect_success(self.request(
+            "PUT",
+            &format!("/models/{id}"),
+            Some(("application/json", text.as_bytes())),
+        )?)?;
+        Json::parse(&response.text()).map_err(|e| ServerError::Protocol(e.to_string()))
+    }
+
+    /// `DELETE /models/{id}`.
+    ///
+    /// # Errors
+    /// Socket and status errors (404 if the model is not loaded).
+    pub fn evict_model(&self, id: &str) -> Result<(), ServerError> {
+        Self::expect_success(self.request("DELETE", &format!("/models/{id}"), None)?)?;
+        Ok(())
+    }
+
+    /// `GET /models/{id}/synth` — the full streamed body as text.
+    ///
+    /// # Errors
+    /// Socket and status errors.
+    pub fn synth(
+        &self,
+        id: &str,
+        rows: usize,
+        seed: u64,
+        format: &str,
+    ) -> Result<String, ServerError> {
+        let path = format!("/models/{id}/synth?rows={rows}&seed={seed}&format={format}");
+        Ok(Self::expect_success(self.request("GET", &path, None)?)?.text())
+    }
+
+    /// `PUT /tenants/{tenant}?budget=…`.
+    ///
+    /// # Errors
+    /// Socket and status errors (409 if the tenant exists).
+    pub fn register_tenant(&self, tenant: &str, budget: f64) -> Result<(), ServerError> {
+        Self::expect_success(self.request(
+            "PUT",
+            &format!("/tenants/{tenant}?budget={budget}"),
+            None,
+        )?)?;
+        Ok(())
+    }
+
+    /// `GET /tenants/{tenant}`, parsed.
+    ///
+    /// # Errors
+    /// Socket/protocol/status errors.
+    pub fn tenant(&self, tenant: &str) -> Result<Json, ServerError> {
+        self.get_json(&format!("/tenants/{tenant}"))
+    }
+
+    /// `POST /fit` with a raw JSON body (see the server docs for fields).
+    /// Returns the raw [`Response`] so callers can inspect structured 4xx
+    /// bodies (budget exhaustion) without error mapping.
+    ///
+    /// # Errors
+    /// Socket/protocol errors only; HTTP error statuses come back as
+    /// responses.
+    pub fn fit_raw(&self, body: &Json) -> Result<Response, ServerError> {
+        let text = body.to_string_compact().map_err(|e| ServerError::Protocol(e.to_string()))?;
+        self.request("POST", "/fit", Some(("application/json", text.as_bytes())))
+    }
+
+    /// `POST /shutdown`.
+    ///
+    /// # Errors
+    /// Socket and status errors.
+    pub fn shutdown(&self) -> Result<(), ServerError> {
+        Self::expect_success(self.request("POST", "/shutdown", None)?)?;
+        Ok(())
+    }
+}

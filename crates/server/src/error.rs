@@ -1,0 +1,70 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors raised while configuring, starting, or driving the server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (bind, accept, read, write).
+    Io(String),
+    /// A request or response violated the supported HTTP/1.1 subset.
+    Protocol(String),
+    /// A client-side call completed but the server answered with an error
+    /// status; carries the status code and the (JSON) body.
+    Status {
+        /// The HTTP status code.
+        code: u16,
+        /// The response body (structured JSON for every server-side error).
+        body: String,
+    },
+    /// The persisted ledger file could not be parsed or written.
+    Ledger(String),
+    /// The request conflicts with existing state (e.g. re-registering a
+    /// tenant); the server answers 409.
+    Conflict(String),
+    /// A model artifact was rejected (parse or validation failure).
+    Model(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(msg) => write!(f, "io: {msg}"),
+            ServerError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServerError::Status { code, body } => write!(f, "server returned {code}: {body}"),
+            ServerError::Ledger(msg) => write!(f, "ledger: {msg}"),
+            ServerError::Conflict(msg) => write!(f, "conflict: {msg}"),
+            ServerError::Model(msg) => write!(f, "model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e.to_string())
+    }
+}
+
+impl From<privbayes_model::ModelError> for ServerError {
+    fn from(e: privbayes_model::ModelError) -> Self {
+        ServerError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServerError::Io("refused".into()).to_string().contains("refused"));
+        assert!(ServerError::Protocol("bad request line".into()).to_string().contains("bad"));
+        let e = ServerError::Status { code: 402, body: "{\"error\":\"x\"}".into() };
+        assert!(e.to_string().contains("402"));
+        assert!(ServerError::Ledger("corrupt".into()).to_string().contains("corrupt"));
+        assert!(ServerError::Conflict("tenant exists".into()).to_string().contains("exists"));
+        assert!(ServerError::Model("not normalised".into()).to_string().contains("normalised"));
+    }
+}

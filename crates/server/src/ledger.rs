@@ -1,0 +1,394 @@
+//! The per-tenant privacy-budget ledger.
+//!
+//! Every tenant owns one [`PrivacyBudget`]; endpoints that *fit* models
+//! debit ε from it atomically (check + spend under one lock, so two racing
+//! requests can never jointly overspend), while synthesis from an already
+//! released model is post-processing and costs nothing. A rejected charge
+//! leaves the ledger byte-for-byte unchanged — the structured
+//! [`LedgerError::Exhausted`] carries the requested and remaining amounts so
+//! the serving layer can surface them to the caller.
+//!
+//! With a persistence path configured, every mutation rewrites the ledger
+//! file (`privbayes-ledger/1` JSON via `privbayes-model`'s budget IO), and
+//! construction restores it, so accounting survives restarts exactly:
+//! budgets round-trip bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use privbayes_dp::{DpError, PrivacyBudget};
+use privbayes_model::{budget_from_json, budget_to_json, Json};
+
+use crate::error::ServerError;
+use crate::registry::validate_id;
+
+/// The ledger file format identifier.
+pub const LEDGER_FORMAT: &str = "privbayes-ledger/1";
+
+/// Structured failures from ledger operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// The tenant has never been registered.
+    UnknownTenant(String),
+    /// The charge would exceed the tenant's remaining budget. State is
+    /// unchanged.
+    Exhausted {
+        /// The tenant involved.
+        tenant: String,
+        /// ε requested by the rejected operation.
+        requested: f64,
+        /// ε still available to the tenant.
+        remaining: f64,
+    },
+    /// The amount itself was invalid (non-positive or non-finite).
+    InvalidAmount(String),
+    /// The ledger file could not be written; the in-memory state was rolled
+    /// back, so nothing was spent.
+    Persistence(String),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            LedgerError::Exhausted { tenant, requested, remaining } => write!(
+                f,
+                "tenant `{tenant}` budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            LedgerError::InvalidAmount(msg) => write!(f, "invalid amount: {msg}"),
+            LedgerError::Persistence(msg) => write!(f, "ledger persistence failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// One row of a ledger snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantBudget {
+    /// Tenant name.
+    pub tenant: String,
+    /// Total ε granted.
+    pub total: f64,
+    /// ε spent so far.
+    pub spent: f64,
+}
+
+impl TenantBudget {
+    /// ε still available.
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+}
+
+/// A thread-safe map from tenant name to privacy budget, optionally backed
+/// by a JSON file.
+#[derive(Debug)]
+pub struct BudgetLedger {
+    tenants: Mutex<BTreeMap<String, PrivacyBudget>>,
+    path: Option<PathBuf>,
+}
+
+impl BudgetLedger {
+    /// An empty, purely in-memory ledger.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self { tenants: Mutex::new(BTreeMap::new()), path: None }
+    }
+
+    /// A ledger persisted at `path`. If the file exists it is restored;
+    /// otherwise the ledger starts empty and the file is created on the
+    /// first mutation.
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Ledger`] if an existing file cannot be read or
+    /// parsed (a corrupt ledger must never be silently reset — that would
+    /// forget spending).
+    pub fn with_persistence(path: impl Into<PathBuf>) -> Result<Self, ServerError> {
+        let path = path.into();
+        let tenants = if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| ServerError::Ledger(format!("{}: {e}", path.display())))?;
+            Self::parse(&text)
+                .map_err(|e| ServerError::Ledger(format!("{}: {e}", path.display())))?
+        } else {
+            BTreeMap::new()
+        };
+        Ok(Self { tenants: Mutex::new(tenants), path: Some(path) })
+    }
+
+    fn parse(text: &str) -> Result<BTreeMap<String, PrivacyBudget>, ServerError> {
+        let json = Json::parse(text).map_err(|e| ServerError::Ledger(e.to_string()))?;
+        match json.get("format").and_then(Json::as_str) {
+            Some(LEDGER_FORMAT) => {}
+            other => {
+                return Err(ServerError::Ledger(format!(
+                    "unsupported ledger format {other:?}, expected `{LEDGER_FORMAT}`"
+                )))
+            }
+        }
+        let fields = json
+            .get("tenants")
+            .and_then(Json::as_object)
+            .ok_or_else(|| ServerError::Ledger("missing `tenants` object".into()))?;
+        let mut tenants = BTreeMap::new();
+        for (name, value) in fields {
+            let budget = budget_from_json(value)
+                .map_err(|e| ServerError::Ledger(format!("tenant `{name}`: {e}")))?;
+            tenants.insert(name.clone(), budget);
+        }
+        Ok(tenants)
+    }
+
+    fn render(tenants: &BTreeMap<String, PrivacyBudget>) -> String {
+        let fields: Vec<(String, Json)> =
+            tenants.iter().map(|(name, b)| (name.clone(), budget_to_json(b))).collect();
+        Json::object(vec![
+            ("format", Json::String(LEDGER_FORMAT.to_string())),
+            ("tenants", Json::Object(fields)),
+        ])
+        .to_string_pretty()
+        .expect("budgets are finite")
+    }
+
+    /// Persists under the lock so file contents always match a consistent
+    /// in-memory state. Writes a sibling temp file and renames it over the
+    /// target, so a crash mid-write leaves either the old complete ledger
+    /// or the new one — never a truncated file that would brick the next
+    /// startup.
+    fn persist(
+        &self,
+        tenants: &BTreeMap<String, PrivacyBudget>,
+        path: &Path,
+    ) -> Result<(), ServerError> {
+        let io_err = |e: std::io::Error| ServerError::Ledger(format!("{}: {e}", path.display()));
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, Self::render(tenants)).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Registers `tenant` with a total budget of `total` ε. Re-registering
+    /// an existing tenant is rejected — it would reset spending.
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Protocol`] for an invalid name or amount,
+    /// [`ServerError::Conflict`] if the tenant already exists, and
+    /// [`ServerError::Ledger`] if persistence fails (the in-memory insert is
+    /// rolled back, so memory and file stay in sync).
+    pub fn register(&self, tenant: &str, total: f64) -> Result<(), ServerError> {
+        validate_id(tenant)?;
+        let budget = PrivacyBudget::new(total).map_err(|e| ServerError::Protocol(e.to_string()))?;
+        let mut tenants = self.tenants.lock().expect("ledger lock poisoned");
+        if tenants.contains_key(tenant) {
+            return Err(ServerError::Conflict(format!("tenant `{tenant}` is already registered")));
+        }
+        tenants.insert(tenant.to_string(), budget);
+        if let Some(path) = &self.path {
+            if let Err(e) = self.persist(&tenants, path) {
+                tenants.remove(tenant);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-consuming probe: would a charge of `epsilon` against `tenant`
+    /// succeed right now?
+    ///
+    /// # Errors
+    /// The same [`LedgerError`]s as [`BudgetLedger::charge`], without any
+    /// state change either way.
+    pub fn check(&self, tenant: &str, epsilon: f64) -> Result<(), LedgerError> {
+        let tenants = self.tenants.lock().expect("ledger lock poisoned");
+        let budget =
+            tenants.get(tenant).ok_or_else(|| LedgerError::UnknownTenant(tenant.to_string()))?;
+        map_dp_error(budget.check(epsilon), tenant, budget)
+    }
+
+    /// Atomically debits `epsilon` from `tenant`, returning the remaining
+    /// budget. On any error the ledger (and its file) is unchanged: a
+    /// persistence failure rolls the in-memory debit back and is reported as
+    /// [`LedgerError::Persistence`], so memory and file never disagree and a
+    /// charge is only considered spent once it is durably recorded.
+    ///
+    /// # Errors
+    /// [`LedgerError::UnknownTenant`] for an unregistered tenant,
+    /// [`LedgerError::Exhausted`] if the charge exceeds the remainder,
+    /// [`LedgerError::InvalidAmount`] for non-positive ε, and
+    /// [`LedgerError::Persistence`] if the ledger file cannot be written.
+    pub fn charge(&self, tenant: &str, epsilon: f64) -> Result<f64, LedgerError> {
+        let mut tenants = self.tenants.lock().expect("ledger lock poisoned");
+        let budget = tenants
+            .get_mut(tenant)
+            .ok_or_else(|| LedgerError::UnknownTenant(tenant.to_string()))?;
+        map_dp_error(budget.consume(epsilon), tenant, budget)?;
+        let remaining = budget.remaining();
+        if let Some(path) = &self.path {
+            if let Err(e) = self.persist(&tenants, path) {
+                // Never hand out budget that is not durably recorded.
+                tenants.get_mut(tenant).expect("present above").refund(epsilon);
+                return Err(LedgerError::Persistence(e.to_string()));
+            }
+        }
+        Ok(remaining)
+    }
+
+    /// Returns `epsilon` to `tenant` — compensation when an operation was
+    /// charged but failed before touching sensitive data. Unknown tenants
+    /// are ignored, and a persistence failure undoes the in-memory refund
+    /// (the tenant keeps the spend — the conservative direction for a
+    /// privacy ledger): the refund path runs on error paths and must not
+    /// introduce new failures, only stay consistent.
+    pub fn refund(&self, tenant: &str, epsilon: f64) {
+        let mut tenants = self.tenants.lock().expect("ledger lock poisoned");
+        if let Some(budget) = tenants.get_mut(tenant) {
+            budget.refund(epsilon);
+            if let Some(path) = &self.path {
+                if self.persist(&tenants, path).is_err() {
+                    let _ = tenants.get_mut(tenant).expect("present above").consume(epsilon);
+                }
+            }
+        }
+    }
+
+    /// The tenant's current budget, if registered.
+    #[must_use]
+    pub fn budget(&self, tenant: &str) -> Option<TenantBudget> {
+        let tenants = self.tenants.lock().expect("ledger lock poisoned");
+        tenants.get(tenant).map(|b| TenantBudget {
+            tenant: tenant.to_string(),
+            total: b.total(),
+            spent: b.spent(),
+        })
+    }
+
+    /// All tenants, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TenantBudget> {
+        let tenants = self.tenants.lock().expect("ledger lock poisoned");
+        tenants
+            .iter()
+            .map(|(name, b)| TenantBudget {
+                tenant: name.clone(),
+                total: b.total(),
+                spent: b.spent(),
+            })
+            .collect()
+    }
+}
+
+/// Translates a [`DpError`] into the tenant-scoped ledger error.
+fn map_dp_error(
+    result: Result<(), DpError>,
+    tenant: &str,
+    budget: &PrivacyBudget,
+) -> Result<(), LedgerError> {
+    result.map_err(|e| match e {
+        DpError::BudgetExhausted { requested, .. } => LedgerError::Exhausted {
+            tenant: tenant.to_string(),
+            requested,
+            remaining: budget.remaining(),
+        },
+        DpError::InvalidParameter(msg) => LedgerError::InvalidAmount(msg),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("privbayes-ledger-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn charge_and_check_share_the_boundary() {
+        let ledger = BudgetLedger::in_memory();
+        ledger.register("acme", 1.0).unwrap();
+        ledger.charge("acme", 0.4).unwrap();
+        assert!(ledger.check("acme", 0.6).is_ok(), "exactly the remainder passes");
+        assert!(matches!(ledger.check("acme", 0.7), Err(LedgerError::Exhausted { .. })));
+        let before = ledger.budget("acme").unwrap();
+        let err = ledger.charge("acme", 0.7).unwrap_err();
+        assert!(matches!(err, LedgerError::Exhausted { ref tenant, .. } if tenant == "acme"));
+        assert_eq!(ledger.budget("acme").unwrap(), before, "rejected charge must not mutate");
+        // Spending exactly the remainder drains the budget.
+        let remaining = ledger.charge("acme", 0.6).unwrap();
+        assert!(remaining < 1e-9);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let ledger = BudgetLedger::in_memory();
+        ledger.register("a", 1.0).unwrap();
+        ledger.register("b", 2.0).unwrap();
+        ledger.charge("a", 1.0).unwrap();
+        assert!(matches!(ledger.charge("a", 0.1), Err(LedgerError::Exhausted { .. })));
+        assert!(ledger.charge("b", 0.1).is_ok(), "tenant b is unaffected");
+        assert!(matches!(ledger.charge("nobody", 0.1), Err(LedgerError::UnknownTenant(_))));
+    }
+
+    #[test]
+    fn refund_compensates_failed_operations() {
+        let ledger = BudgetLedger::in_memory();
+        ledger.register("t", 1.0).unwrap();
+        ledger.charge("t", 0.8).unwrap();
+        ledger.refund("t", 0.8);
+        assert_eq!(ledger.budget("t").unwrap().spent, 0.0);
+        ledger.refund("ghost", 1.0); // ignored, no panic
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let ledger = BudgetLedger::in_memory();
+        ledger.register("t", 1.0).unwrap();
+        ledger.charge("t", 0.5).unwrap();
+        assert!(ledger.register("t", 9.0).is_err(), "re-registering would reset spending");
+        assert_eq!(ledger.budget("t").unwrap().total, 1.0);
+        assert!(ledger.register("bad name", 1.0).is_err());
+        assert!(ledger.register("x", 0.0).is_err());
+    }
+
+    #[test]
+    fn persistence_round_trips_exactly() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ledger = BudgetLedger::with_persistence(&path).unwrap();
+            ledger.register("acme", 1.6).unwrap();
+            ledger.register("globex", 0.5).unwrap();
+            ledger.charge("acme", 0.48).unwrap();
+        }
+        let restored = BudgetLedger::with_persistence(&path).unwrap();
+        let rows = restored.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tenant, "acme");
+        assert_eq!(rows[0].total.to_bits(), 1.6f64.to_bits());
+        assert_eq!(rows[0].spent.to_bits(), 0.48f64.to_bits());
+        assert_eq!(rows[1].tenant, "globex");
+        assert_eq!(rows[1].spent, 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_ledger_file_is_rejected() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(BudgetLedger::with_persistence(&path).is_err());
+        std::fs::write(&path, r#"{"format": "other/9", "tenants": {}}"#).unwrap();
+        assert!(BudgetLedger::with_persistence(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reports_remaining() {
+        let ledger = BudgetLedger::in_memory();
+        ledger.register("t", 2.0).unwrap();
+        ledger.charge("t", 0.5).unwrap();
+        let row = ledger.budget("t").unwrap();
+        assert!((row.remaining() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! `privbayes-server`: a concurrent synthesis service over released
+//! PrivBayes models.
+//!
+//! The library crates fit, release, and sample models in-process; this crate
+//! turns them into a *system*: a std-only HTTP/1.1 service (no async
+//! runtime — a hand-rolled accept loop and worker pool on
+//! [`std::net::TcpListener`], in the same spirit as the scoped-thread
+//! parallelism in `privbayes`'s greedy learner and sampler) with three
+//! pieces:
+//!
+//! * **Model registry** ([`ModelRegistry`]): released models are loaded
+//!   once, their alias-table [`CompiledSampler`]s compiled once, and shared
+//!   (via [`std::sync::Arc`]) by every request. Eviction removes a model
+//!   from the map without touching requests already streaming from it.
+//! * **Budget ledger** ([`BudgetLedger`]): one `privbayes-dp`
+//!   [`PrivacyBudget`] per tenant, debited atomically by fit requests and
+//!   persisted as JSON so accounting survives restarts bit-for-bit. An
+//!   over-budget request is rejected with a structured `402` body and no
+//!   state change.
+//! * **Streaming synthesis**: `GET /models/{id}/synth` streams CSV or JSONL
+//!   rows with chunked transfer encoding, one HTTP chunk per sampler chunk.
+//!
+//! # The determinism contract
+//!
+//! A synthesis response is a pure function of `(model, seed, rows, format)`.
+//! Rows are generated in the sampler's fixed 1024-row chunk scheme
+//! ([`privbayes::CHUNK_ROWS`]), each chunk's RNG stream derived from
+//! `(seed, chunk index)` alone, so the streamed bytes are **identical** to
+//! the batch `sample_synthetic` path for the same seed — regardless of how
+//! many requests are in flight, which worker serves the connection, how
+//! many workers the server runs, or whether the model was evicted and
+//! reloaded in between. The registry and ledger never participate in row
+//! generation; they only decide *whether* a request runs.
+//!
+//! [`CompiledSampler`]: privbayes::CompiledSampler
+//! [`PrivacyBudget`]: privbayes_dp::PrivacyBudget
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use privbayes_server::{BudgetLedger, Client, ModelRegistry, Server, ServerConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! let ledger = Arc::new(BudgetLedger::in_memory());
+//! ledger.register("acme", 1.0).unwrap();
+//! let server = Server::bind(
+//!     "127.0.0.1:0",
+//!     ServerConfig::default(),
+//!     Arc::clone(&registry),
+//!     Arc::clone(&ledger),
+//! )
+//! .unwrap();
+//! let handle = server.spawn();
+//!
+//! let client = Client::new(handle.addr().to_string());
+//! let health = client.health().unwrap();
+//! assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ok"));
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod ledger;
+pub mod registry;
+pub mod server;
+pub mod stream;
+
+pub use client::Client;
+pub use error::ServerError;
+pub use http::{Request, Response};
+pub use ledger::{BudgetLedger, LedgerError, TenantBudget, LEDGER_FORMAT};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use stream::RowFormat;

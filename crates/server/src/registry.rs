@@ -1,0 +1,200 @@
+//! The model registry: released models, loaded once, shared by every request.
+//!
+//! Each entry wraps a [`ReleasedModel`] in an [`Arc`]. Loading compiles the
+//! model's alias tables **once** (via the `ReleasedModel` sampler cache), so
+//! concurrent synthesis requests against the same model share one compiled
+//! form instead of rebuilding it per request. Eviction only removes the
+//! entry from the map: any request that already cloned the `Arc` keeps
+//! streaming from the (still-alive) compiled model — an in-flight request is
+//! never dropped by an eviction racing with it.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use privbayes::CompiledSampler;
+use privbayes_model::ReleasedModel;
+
+use crate::error::ServerError;
+
+/// Maximum accepted length of a model id or tenant name.
+pub const MAX_ID_LEN: usize = 64;
+
+/// Validates a registry/ledger identifier: 1..=64 chars from
+/// `[A-Za-z0-9._-]`, so ids embed safely in paths, queries, and JSON.
+///
+/// # Errors
+/// Returns [`ServerError::Protocol`] describing the violation.
+pub fn validate_id(id: &str) -> Result<(), ServerError> {
+    if id.is_empty() || id.len() > MAX_ID_LEN {
+        return Err(ServerError::Protocol(format!(
+            "id must have 1..={MAX_ID_LEN} characters, got {}",
+            id.len()
+        )));
+    }
+    if !id.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-')) {
+        return Err(ServerError::Protocol(format!(
+            "id `{id}` contains characters outside [A-Za-z0-9._-]"
+        )));
+    }
+    Ok(())
+}
+
+/// One registered model: the artifact plus its id.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The registry id the model was loaded under.
+    pub id: String,
+    /// The released artifact (owns the cached [`CompiledSampler`]).
+    pub artifact: ReleasedModel,
+}
+
+impl ModelEntry {
+    /// The compiled sampler, built on first use and shared afterwards.
+    ///
+    /// # Errors
+    /// Propagates compilation failures as [`ServerError::Model`].
+    pub fn sampler(&self) -> Result<&CompiledSampler, ServerError> {
+        self.artifact.compiled().map_err(ServerError::from)
+    }
+}
+
+/// A concurrent map from model id to loaded model.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `artifact` under `id`, eagerly compiling its sampler so the
+    /// cost is paid at load time, not on the first synthesis request.
+    /// Replaces any previous entry with the same id; returns `true` if the
+    /// id was new.
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Protocol`] for an invalid id and
+    /// [`ServerError::Model`] if the artifact fails to compile.
+    pub fn load(&self, id: &str, artifact: ReleasedModel) -> Result<bool, ServerError> {
+        validate_id(id)?;
+        let entry = ModelEntry { id: id.to_string(), artifact };
+        entry.sampler()?; // compile once, up front
+        let mut entries = self.entries.write().expect("registry lock poisoned");
+        Ok(entries.insert(id.to_string(), Arc::new(entry)).is_none())
+    }
+
+    /// The entry for `id`, if loaded. The returned [`Arc`] keeps the model
+    /// alive across a later eviction.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<Arc<ModelEntry>> {
+        self.entries.read().expect("registry lock poisoned").get(id).cloned()
+    }
+
+    /// Removes `id`; returns whether it was present. In-flight requests
+    /// holding the entry's [`Arc`] are unaffected.
+    #[must_use]
+    pub fn evict(&self, id: &str) -> bool {
+        self.entries.write().expect("registry lock poisoned").remove(id).is_some()
+    }
+
+    /// All entries, sorted by id.
+    #[must_use]
+    pub fn list(&self) -> Vec<Arc<ModelEntry>> {
+        self.entries.read().expect("registry lock poisoned").values().cloned().collect()
+    }
+
+    /// Number of loaded models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+    use privbayes_data::{Attribute, Dataset, Schema};
+    use privbayes_model::ModelMetadata;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> ReleasedModel {
+        let schema = Schema::new(vec![Attribute::binary("a"), Attribute::binary("b")]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..120).map(|i| vec![i % 2, (i + 1) % 2]).collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let options = PrivBayesOptions::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng).unwrap();
+        ReleasedModel::new(
+            ModelMetadata {
+                epsilon: options.epsilon,
+                beta: options.beta,
+                theta: options.theta,
+                score: options.effective_score().name().to_string(),
+                encoding: options.encoding.name().to_string(),
+                source_rows: data.n(),
+                comment: String::new(),
+            },
+            data.schema().clone(),
+            result.model,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn load_get_evict_cycle() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.load("m1", tiny_model()).unwrap(), "first load is new");
+        assert!(!registry.load("m1", tiny_model()).unwrap(), "reload replaces");
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("m1").is_some());
+        assert!(registry.get("m2").is_none());
+        assert!(registry.evict("m1"));
+        assert!(!registry.evict("m1"));
+        assert!(registry.get("m1").is_none());
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_held_entries() {
+        let registry = ModelRegistry::new();
+        registry.load("m", tiny_model()).unwrap();
+        let held = registry.get("m").unwrap();
+        assert!(registry.evict("m"));
+        // The held Arc still samples fine after eviction.
+        let sampler = held.sampler().unwrap();
+        let data = sampler.sample_dataset(32, Some(1), &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(data.n(), 32);
+    }
+
+    #[test]
+    fn list_is_sorted_by_id() {
+        let registry = ModelRegistry::new();
+        registry.load("zeta", tiny_model()).unwrap();
+        registry.load("alpha", tiny_model()).unwrap();
+        let ids: Vec<String> = registry.list().iter().map(|e| e.id.clone()).collect();
+        assert_eq!(ids, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn id_validation() {
+        assert!(validate_id("adult-v1.2_final").is_ok());
+        assert!(validate_id("").is_err());
+        assert!(validate_id("has space").is_err());
+        assert!(validate_id("slash/y").is_err());
+        assert!(validate_id(&"x".repeat(MAX_ID_LEN + 1)).is_err());
+        let registry = ModelRegistry::new();
+        assert!(registry.load("bad id", tiny_model()).is_err());
+    }
+}

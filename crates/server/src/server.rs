@@ -1,0 +1,571 @@
+//! The HTTP service: accept loop, worker pool, and route handlers.
+//!
+//! # Endpoints
+//!
+//! | method & path | effect |
+//! |---|---|
+//! | `GET /healthz` | liveness + registry/ledger counts |
+//! | `GET /models` | list loaded models |
+//! | `PUT /models/{id}` | load a release artifact (body: `privbayes-model/1` JSON) |
+//! | `GET /models/{id}` | one model's metadata |
+//! | `DELETE /models/{id}` | evict from the registry |
+//! | `GET /models/{id}/synth?rows=N&seed=S&format=csv\|jsonl` | stream synthetic rows |
+//! | `POST /fit` | fit + register a model, debiting the tenant's ε |
+//! | `GET /tenants` | ledger snapshot |
+//! | `PUT /tenants/{id}?budget=E` | register a tenant |
+//! | `GET /tenants/{id}` | one tenant's budget |
+//! | `POST /shutdown` | drain in-flight requests and stop |
+//!
+//! # Concurrency and determinism
+//!
+//! One acceptor thread feeds a channel drained by `workers` handler threads;
+//! each connection carries exactly one request. A synthesis response is
+//! computed entirely from `(model, seed, rows, format)` — the per-request
+//! RNG is seeded from the query, rows are generated in the sampler's fixed
+//! 1024-row chunk scheme, and each chunk is written as one HTTP chunk — so
+//! a fixed request is **byte-identical** no matter how many other streams
+//! are in flight, which worker serves it, or how often the model was
+//! evicted and reloaded in between. Shutdown closes the accept loop first,
+//! then lets every queued and in-flight request complete.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_data::csv::read_csv;
+use privbayes_model::{schema_from_json, Json, ModelMetadata, ReleasedModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::ServerError;
+use crate::http::{write_response, ChunkedResponse, Request};
+use crate::ledger::{BudgetLedger, LedgerError, TenantBudget};
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::stream::RowFormat;
+
+/// Per-connection socket timeout — a stalled peer must not pin a worker
+/// forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Tunables for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request-handler threads (the accept loop runs on the caller's
+    /// thread). Minimum 1.
+    pub workers: usize,
+    /// Worker threads used *inside* a fit request (candidate scoring and
+    /// synthesis); `None` uses [`std::thread::available_parallelism`].
+    pub fit_threads: Option<usize>,
+    /// Upper bound on `rows` per synthesis request; larger requests get a
+    /// structured 400. Bounds how long one request can pin a worker.
+    pub max_rows: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 4, fit_threads: None, max_rows: 10_000_000 }
+    }
+}
+
+/// Counters reported by [`Server::run`] after a clean shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests fully handled (including the shutdown request itself).
+    pub requests: u64,
+}
+
+/// Shared state visible to every worker.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    ledger: Arc<BudgetLedger>,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+}
+
+/// A bound-but-not-yet-running synthesis service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over the
+    /// given registry and ledger. Callers keep their `Arc`s to pre-load
+    /// models or inspect the ledger while the server runs.
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Io`] if the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        registry: Arc<ModelRegistry>,
+        ledger: Arc<BudgetLedger>,
+    ) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            ledger,
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a `POST /shutdown` request arrives, then drains every
+    /// queued and in-flight request and returns. Blocks the calling thread;
+    /// use [`Server::spawn`] to run in the background.
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Io`] if the accept loop fails fatally.
+    pub fn run(self) -> Result<ServerStats, ServerError> {
+        let shared = self.shared;
+        let workers = shared.config.workers.max(1);
+        std::thread::scope(|scope| -> Result<(), ServerError> {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only while popping, so workers
+                    // drain the queue concurrently.
+                    let next = rx.lock().expect("worker queue lock poisoned").recv();
+                    match next {
+                        Ok(stream) => handle_connection(&shared, stream),
+                        Err(_) => break, // acceptor closed the channel: drain done
+                    }
+                });
+            }
+            loop {
+                let (stream, _) = match self.listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+                    Err(_) => {
+                        // Transient accept failure (e.g. fd exhaustion):
+                        // back off briefly instead of hot-looping; the
+                        // condition clears as in-flight connections close.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                };
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection from the shutdown handler (or a
+                    // straggler racing it): stop accepting. Dropping the
+                    // stream closes it; queued requests still complete.
+                    break;
+                }
+                tx.send(stream).expect("workers outlive the acceptor");
+            }
+            drop(tx);
+            Ok(())
+        })?;
+        Ok(ServerStats { requests: shared.requests.load(Ordering::SeqCst) })
+    }
+
+    /// Runs the server on a background thread, returning a handle with the
+    /// bound address and the eventual stats.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle { addr, join }
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<Result<ServerStats, ServerError>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down (something must send
+    /// `POST /shutdown`, e.g. [`crate::client::Client::shutdown`]).
+    ///
+    /// # Errors
+    /// Propagates the server's exit error; panics if the server thread
+    /// panicked.
+    pub fn join(self) -> Result<ServerStats, ServerError> {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+/// Reads, routes, and answers one request, counting it once done.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    match Request::read_from(&mut reader) {
+        Ok(request) => {
+            // Socket-level failures mid-response are the client's problem
+            // (it hung up); nothing to answer on a dead connection.
+            let _ = route(shared, &request, &mut writer);
+        }
+        Err(e) => {
+            let _ = respond_error(&mut writer, 400, "bad-request", &e.to_string());
+        }
+    }
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Dispatches on `(method, path)`.
+fn route<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result<()> {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond_json(
+            out,
+            200,
+            &Json::object(vec![
+                ("status", Json::String("ok".into())),
+                ("models", Json::from_usize(shared.registry.len())),
+                ("tenants", Json::from_usize(shared.ledger.snapshot().len())),
+            ]),
+        ),
+        ("GET", ["models"]) => {
+            let models: Vec<Json> = shared.registry.list().iter().map(|e| model_json(e)).collect();
+            respond_json(out, 200, &Json::Array(models))
+        }
+        ("PUT", ["models", id]) => load_model(shared, id, &req.body, out),
+        ("GET", ["models", id]) => match shared.registry.get(id) {
+            Some(entry) => respond_json(out, 200, &model_json(&entry)),
+            None => respond_error(out, 404, "model-not-found", id),
+        },
+        ("DELETE", ["models", id]) => {
+            if shared.registry.evict(id) {
+                respond_json(
+                    out,
+                    200,
+                    &Json::object(vec![("evicted", Json::String((*id).to_string()))]),
+                )
+            } else {
+                respond_error(out, 404, "model-not-found", id)
+            }
+        }
+        ("GET", ["models", id, "synth"]) => synth(shared, id, req, out),
+        ("POST", ["fit"]) => fit(shared, req, out),
+        ("GET", ["tenants"]) => {
+            let tenants: Vec<Json> = shared.ledger.snapshot().iter().map(tenant_json).collect();
+            respond_json(out, 200, &Json::Array(tenants))
+        }
+        ("PUT", ["tenants", id]) => {
+            let Some(raw) = req.query("budget") else {
+                return respond_error(out, 400, "bad-request", "missing `budget` query parameter");
+            };
+            let Ok(total) = raw.parse::<f64>() else {
+                return respond_error(out, 400, "bad-request", "unparsable `budget`");
+            };
+            match shared.ledger.register(id, total) {
+                Ok(()) => {
+                    let row = shared.ledger.budget(id).expect("registered above");
+                    respond_json(out, 201, &tenant_json(&row))
+                }
+                Err(ServerError::Conflict(msg)) => respond_error(out, 409, "tenant-exists", &msg),
+                Err(e @ ServerError::Ledger(_)) => {
+                    respond_error(out, 500, "ledger-error", &e.to_string())
+                }
+                Err(e) => respond_error(out, 400, "bad-request", &e.to_string()),
+            }
+        }
+        ("GET", ["tenants", id]) => match shared.ledger.budget(id) {
+            Some(row) => respond_json(out, 200, &tenant_json(&row)),
+            None => respond_error(out, 404, "tenant-not-found", id),
+        },
+        ("POST", ["shutdown"]) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let result = respond_json(
+                out,
+                200,
+                &Json::object(vec![("status", Json::String("shutting-down".into()))]),
+            );
+            // Wake the acceptor, which is blocked in `accept`; it sees the
+            // flag and stops. Errors are moot — if the connect fails the
+            // listener is already gone.
+            let _ = TcpStream::connect(shared.addr);
+            result
+        }
+        // A known path with the wrong method is 405; an unknown path is 404.
+        (
+            _,
+            ["healthz"]
+            | ["models"]
+            | ["models", _]
+            | ["models", _, "synth"]
+            | ["fit"]
+            | ["tenants"]
+            | ["tenants", _]
+            | ["shutdown"],
+        ) => respond_error(out, 405, "method-not-allowed", &req.method),
+        _ => respond_error(out, 404, "not-found", &req.path),
+    }
+}
+
+/// `PUT /models/{id}`: parse, validate, compile, register.
+fn load_model<W: Write>(
+    shared: &Shared,
+    id: &str,
+    body: &[u8],
+    out: &mut W,
+) -> std::io::Result<()> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return respond_error(out, 400, "bad-request", "artifact body is not UTF-8");
+    };
+    let artifact = match ReleasedModel::from_json_string(text) {
+        Ok(artifact) => artifact,
+        Err(e) => return respond_error(out, 400, "invalid-model", &e.to_string()),
+    };
+    match shared.registry.load(id, artifact) {
+        Ok(created) => {
+            let entry = shared.registry.get(id).expect("loaded above");
+            respond_json(out, if created { 201 } else { 200 }, &model_json(&entry))
+        }
+        Err(e) => respond_error(out, 400, "invalid-model", &e.to_string()),
+    }
+}
+
+/// `GET /models/{id}/synth`: stream rows in the fixed chunk scheme.
+fn synth<W: Write>(shared: &Shared, id: &str, req: &Request, out: &mut W) -> std::io::Result<()> {
+    let Some(entry) = shared.registry.get(id) else {
+        return respond_error(out, 404, "model-not-found", id);
+    };
+    let format = match RowFormat::parse(req.query("format")) {
+        Ok(format) => format,
+        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+    };
+    let rows = match req.query("rows").map(str::parse::<usize>) {
+        None => entry.artifact.metadata.source_rows,
+        Some(Ok(rows)) => rows,
+        Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `rows`"),
+    };
+    if rows > shared.config.max_rows {
+        return respond_error(
+            out,
+            400,
+            "too-many-rows",
+            &format!("rows = {rows} exceeds the per-request cap of {}", shared.config.max_rows),
+        );
+    }
+    let mut rng = match req.query("seed").map(str::parse::<u64>) {
+        Some(Ok(seed)) => StdRng::seed_from_u64(seed),
+        Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `seed`"),
+        None => match StdRng::try_from_rng(&mut rand::rngs::SysRng) {
+            Ok(rng) => rng,
+            Err(_) => return respond_error(out, 500, "internal", "entropy source unavailable"),
+        },
+    };
+    let sampler = match entry.sampler() {
+        Ok(sampler) => sampler,
+        Err(e) => return respond_error(out, 500, "internal", &e.to_string()),
+    };
+    let schema = sampler.schema();
+    let mut chunked = ChunkedResponse::begin(out, 200, format.content_type())?;
+    chunked.write(format.header(schema).as_bytes())?;
+    for chunk in sampler.stream_rows(rows, &mut rng) {
+        chunked.write(format.render(schema, &chunk).as_bytes())?;
+    }
+    chunked.finish()
+}
+
+/// `POST /fit`: debit the tenant, fit on the uploaded table, register the
+/// resulting model. The charge happens first (atomically), and is refunded
+/// if the input turns out to be invalid — so a rejected or failed request
+/// never leaks budget, and an over-budget request never touches the data.
+fn fit<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result<()> {
+    let parsed = match parse_fit_body(&req.body) {
+        Ok(parsed) => parsed,
+        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+    };
+    match shared.ledger.charge(&parsed.tenant, parsed.epsilon) {
+        Ok(_) => {}
+        Err(e @ LedgerError::Exhausted { .. }) => {
+            let message = e.to_string();
+            let LedgerError::Exhausted { tenant, requested, remaining } = e else {
+                return respond_error(out, 500, "internal", &message);
+            };
+            let body = Json::object(vec![
+                ("error", Json::String("budget-exhausted".into())),
+                ("message", Json::String(message)),
+                ("tenant", Json::String(tenant)),
+                ("requested", Json::Number(requested)),
+                ("remaining", Json::Number(remaining)),
+            ]);
+            return respond_json(out, 402, &body);
+        }
+        Err(LedgerError::UnknownTenant(t)) => {
+            return respond_error(out, 404, "tenant-not-found", &t);
+        }
+        Err(LedgerError::InvalidAmount(msg)) => {
+            return respond_error(out, 400, "bad-request", &msg);
+        }
+        Err(e @ LedgerError::Persistence(_)) => {
+            return respond_error(out, 500, "ledger-error", &e.to_string());
+        }
+    }
+    // Charged: any failure from here on refunds before reporting.
+    match run_fit(shared, &parsed) {
+        Ok(entry) => {
+            let remaining = shared.ledger.budget(&parsed.tenant).map_or(0.0, |row| row.remaining());
+            let mut body = model_json(&entry);
+            if let Json::Object(fields) = &mut body {
+                fields.push(("tenant".into(), Json::String(parsed.tenant.clone())));
+                fields.push(("remaining".into(), Json::Number(remaining)));
+            }
+            respond_json(out, 201, &body)
+        }
+        Err(e) => {
+            shared.ledger.refund(&parsed.tenant, parsed.epsilon);
+            respond_error(out, 400, "fit-failed", &e.to_string())
+        }
+    }
+}
+
+/// A parsed `POST /fit` body.
+struct FitRequest {
+    tenant: String,
+    model_id: String,
+    epsilon: f64,
+    beta: Option<f64>,
+    theta: Option<f64>,
+    seed: Option<u64>,
+    schema: Json,
+    csv: String,
+}
+
+fn parse_fit_body(body: &[u8]) -> Result<FitRequest, ServerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServerError::Protocol("fit body is not UTF-8".into()))?;
+    let json = Json::parse(text).map_err(|e| ServerError::Protocol(e.to_string()))?;
+    let field = |name: &str| ServerError::Protocol(format!("missing or mistyped `{name}`"));
+    let str_field = |name: &str| -> Result<String, ServerError> {
+        Ok(json.get(name).and_then(Json::as_str).ok_or_else(|| field(name))?.to_string())
+    };
+    let opt_number = |name: &str| -> Result<Option<f64>, ServerError> {
+        match json.get(name) {
+            None => Ok(None),
+            Some(v) => Ok(Some(v.as_f64().ok_or_else(|| field(name))?)),
+        }
+    };
+    // Validate the id *here*, before the caller charges the ledger and
+    // runs the fit — a request that can only fail at registration must
+    // never spend CPU on the DP mechanism.
+    let model_id = str_field("model_id")?;
+    crate::registry::validate_id(&model_id)?;
+    Ok(FitRequest {
+        tenant: str_field("tenant")?,
+        model_id,
+        epsilon: json.get("epsilon").and_then(Json::as_f64).ok_or_else(|| field("epsilon"))?,
+        beta: opt_number("beta")?,
+        theta: opt_number("theta")?,
+        seed: match json.get("seed") {
+            None => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| field("seed"))? as u64),
+        },
+        schema: json.get("schema").ok_or_else(|| field("schema"))?.clone(),
+        csv: str_field("csv")?,
+    })
+}
+
+/// Fits the model and registers it; every failure is reported (and the
+/// caller refunds).
+fn run_fit(shared: &Shared, fit: &FitRequest) -> Result<Arc<ModelEntry>, ServerError> {
+    let schema = schema_from_json(&fit.schema).map_err(|e| ServerError::Model(e.to_string()))?;
+    let data = read_csv(&schema, fit.csv.as_bytes())
+        .map_err(|e| ServerError::Model(format!("csv: {e}")))?;
+    let mut options = PrivBayesOptions::new(fit.epsilon);
+    if let Some(beta) = fit.beta {
+        options = options.with_beta(beta);
+    }
+    if let Some(theta) = fit.theta {
+        options = options.with_theta(theta);
+    }
+    if let Some(threads) = shared.config.fit_threads {
+        options = options.with_threads(threads);
+    }
+    let mut rng = match fit.seed {
+        Some(seed) => StdRng::seed_from_u64(seed),
+        None => StdRng::try_from_rng(&mut rand::rngs::SysRng)
+            .map_err(|_| ServerError::Io("entropy source unavailable".into()))?,
+    };
+    let result = PrivBayes::new(options.clone())
+        .synthesize(&data, &mut rng)
+        .map_err(|e| ServerError::Model(e.to_string()))?;
+    let artifact = ReleasedModel::new(
+        ModelMetadata {
+            epsilon: fit.epsilon,
+            beta: options.beta,
+            theta: options.theta,
+            score: options.effective_score().name().to_string(),
+            encoding: options.encoding.name().to_string(),
+            source_rows: data.n(),
+            comment: format!("fit via privbayes-server for tenant {}", fit.tenant),
+        },
+        data.schema().clone(),
+        result.model,
+    )?;
+    shared.registry.load(&fit.model_id, artifact)?;
+    Ok(shared.registry.get(&fit.model_id).expect("loaded above"))
+}
+
+/// A model's public metadata (no conditionals — those are the artifact).
+fn model_json(entry: &ModelEntry) -> Json {
+    let meta = &entry.artifact.metadata;
+    Json::object(vec![
+        ("id", Json::String(entry.id.clone())),
+        ("attributes", Json::from_usize(entry.artifact.schema.len())),
+        ("epsilon", Json::Number(meta.epsilon)),
+        ("source_rows", Json::from_usize(meta.source_rows)),
+        ("score", Json::String(meta.score.clone())),
+        ("encoding", Json::String(meta.encoding.clone())),
+    ])
+}
+
+fn tenant_json(row: &TenantBudget) -> Json {
+    Json::object(vec![
+        ("tenant", Json::String(row.tenant.clone())),
+        ("total", Json::Number(row.total)),
+        ("spent", Json::Number(row.spent)),
+        ("remaining", Json::Number(row.remaining())),
+    ])
+}
+
+/// Writes a complete JSON response.
+fn respond_json<W: Write>(out: &mut W, code: u16, body: &Json) -> std::io::Result<()> {
+    let text = body.to_string_compact().expect("response bodies are finite");
+    write_response(out, code, "application/json", text.as_bytes())
+}
+
+/// Writes a structured error: `{"error": CODE, "message": …}`.
+fn respond_error<W: Write>(
+    out: &mut W,
+    code: u16,
+    error: &str,
+    message: &str,
+) -> std::io::Result<()> {
+    let body = Json::object(vec![
+        ("error", Json::String(error.to_string())),
+        ("message", Json::String(message.to_string())),
+    ]);
+    respond_json(out, code, &body)
+}

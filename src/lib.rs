@@ -14,6 +14,7 @@
 //! | [`ml`] | `privbayes-ml` |
 //! | [`model`] | `privbayes-model` |
 //! | [`relational`] | `privbayes-relational` |
+//! | [`server`] | `privbayes-server` (serving layer: registry, ledger, streaming) |
 //!
 //! Library users should depend on the individual crates directly; this crate
 //! exists for the workspace's own `tests/` and `examples/` targets (see
@@ -28,3 +29,4 @@ pub use privbayes_marginals as marginals;
 pub use privbayes_ml as ml;
 pub use privbayes_model as model;
 pub use privbayes_relational as relational;
+pub use privbayes_server as server;

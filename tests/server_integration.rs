@@ -1,0 +1,303 @@
+//! The server tier: the serving layer's three contracts under concurrency.
+//!
+//! 1. **Determinism** — concurrent clients hammering one model receive
+//!    byte-identical streams for fixed seeds, equal to the direct
+//!    `sample_synthetic` path.
+//! 2. **Ledger** — budget exhaustion returns the structured 402 exactly at
+//!    the ε boundary, and a rejected request mutates nothing.
+//! 3. **Registry** — eviction under load never drops an in-flight request.
+
+use std::sync::Arc;
+
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::data::csv::write_csv;
+use privbayes_suite::data::{Attribute, Dataset, Schema};
+use privbayes_suite::model::{Json, ModelMetadata, ReleasedModel};
+use privbayes_suite::server::{
+    BudgetLedger, Client, ModelRegistry, Server, ServerConfig, ServerError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small but non-trivial fixture model (3 attributes, 500 source rows).
+fn fixture_model(seed: u64) -> ReleasedModel {
+    let schema = Schema::new(vec![
+        Attribute::binary("smoker"),
+        Attribute::categorical("region", 3).unwrap(),
+        Attribute::binary("disease"),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<u32>> =
+        (0..500u32).map(|i| vec![i % 2, (i / 2) % 3, u32::from(i % 2 == 1)]).collect();
+    let data = Dataset::from_rows(schema, &rows).unwrap();
+    let options = PrivBayesOptions::new(1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng).unwrap();
+    ReleasedModel::new(
+        ModelMetadata {
+            epsilon: options.epsilon,
+            beta: options.beta,
+            theta: options.theta,
+            score: options.effective_score().name().to_string(),
+            encoding: options.encoding.name().to_string(),
+            source_rows: data.n(),
+            comment: "server integration fixture".to_string(),
+        },
+        data.schema().clone(),
+        result.model,
+    )
+    .unwrap()
+}
+
+/// Starts a server with the fixture model loaded as `m` and a fresh
+/// registry/ledger; returns (handle, client, registry, ledger).
+fn start_server(
+    workers: usize,
+) -> (privbayes_suite::server::ServerHandle, Client, Arc<ModelRegistry>, Arc<BudgetLedger>) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("m", fixture_model(1)).unwrap();
+    let ledger = Arc::new(BudgetLedger::in_memory());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers, fit_threads: Some(1), ..ServerConfig::default() },
+        Arc::clone(&registry),
+        Arc::clone(&ledger),
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let client = Client::new(handle.addr().to_string());
+    (handle, client, registry, ledger)
+}
+
+#[test]
+fn concurrent_streams_are_byte_identical_to_the_batch_path() {
+    let (handle, client, registry, _ledger) = start_server(6);
+    // 2 chunks + a remainder, so chunk framing is exercised.
+    let rows = 2 * privbayes_suite::core::CHUNK_ROWS + 137;
+    let seed = 42u64;
+
+    // The reference bytes come from the direct batch sampler.
+    let entry = registry.get("m").unwrap();
+    let direct = entry
+        .sampler()
+        .unwrap()
+        .sample_dataset(rows, None, &mut StdRng::seed_from_u64(seed))
+        .unwrap();
+    let mut expected = Vec::new();
+    write_csv(&direct, &mut expected).unwrap();
+    let expected = String::from_utf8(expected).unwrap();
+
+    // 8 concurrent clients, same request: every stream must be identical.
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || client.synth("m", rows, seed, "csv").unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, body) in bodies.iter().enumerate() {
+        assert_eq!(body, &expected, "stream {i} diverged from the batch path");
+    }
+
+    // Distinct seeds under concurrency: each equals its own batch output.
+    let per_seed: Vec<(u64, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6u64)
+            .map(|s| {
+                let client = client.clone();
+                scope.spawn(move || (s, client.synth("m", 300, s, "csv").unwrap()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (s, body) in per_seed {
+        let direct = entry
+            .sampler()
+            .unwrap()
+            .sample_dataset(300, None, &mut StdRng::seed_from_u64(s))
+            .unwrap();
+        let mut expected = Vec::new();
+        write_csv(&direct, &mut expected).unwrap();
+        assert_eq!(body.as_bytes(), &expected[..], "seed {s}");
+    }
+
+    // JSONL carries the same tuples: spot-check the line count.
+    let jsonl = client.synth("m", 300, seed, "jsonl").unwrap();
+    assert_eq!(jsonl.lines().count(), 300);
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.requests >= 16, "every request must be counted, got {}", stats.requests);
+}
+
+#[test]
+fn budget_exhaustion_is_structured_and_exact() {
+    let (handle, client, _registry, ledger) = start_server(4);
+    client.register_tenant("acme", 1.0).unwrap();
+
+    let schema_json =
+        Json::parse(r#"[{"name": "a", "kind": "binary"}, {"name": "b", "kind": "binary"}]"#)
+            .unwrap();
+    let csv: String = std::iter::once("a,b".to_string())
+        .chain((0..200).map(|i| format!("{},{}", i % 2, i % 2)))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let fit_body = |id: &str, epsilon: f64| {
+        Json::object(vec![
+            ("tenant", Json::String("acme".into())),
+            ("model_id", Json::String(id.into())),
+            ("epsilon", Json::Number(epsilon)),
+            ("seed", Json::from_usize(5)),
+            ("schema", schema_json.clone()),
+            ("csv", Json::String(csv.clone())),
+        ])
+    };
+
+    // Two fits of 0.4 succeed (spent: 0.8).
+    for (i, id) in ["f1", "f2"].iter().enumerate() {
+        let resp = client.fit_raw(&fit_body(id, 0.4)).unwrap();
+        assert_eq!(resp.code, 201, "fit {i}: {}", resp.text());
+    }
+    // 0.3 exceeds the remaining 0.2: structured 402, nothing mutated.
+    let before = ledger.budget("acme").unwrap();
+    let resp = client.fit_raw(&fit_body("f3", 0.3)).unwrap();
+    assert_eq!(resp.code, 402, "{}", resp.text());
+    let body = Json::parse(&resp.text()).unwrap();
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("budget-exhausted"));
+    assert_eq!(body.get("tenant").and_then(Json::as_str), Some("acme"));
+    assert_eq!(body.get("requested").and_then(Json::as_f64), Some(0.3));
+    let remaining = body.get("remaining").and_then(Json::as_f64).unwrap();
+    assert!((remaining - 0.2).abs() < 1e-9, "remaining = {remaining}");
+    assert_eq!(ledger.budget("acme").unwrap(), before, "rejected fit must not spend");
+    let rejected_model = client.request("GET", "/models/f3", None).unwrap();
+    assert_eq!(rejected_model.code, 404, "rejected fit must not register a model");
+
+    // Exactly the remaining 0.2 still fits — the boundary is inclusive.
+    let resp = client.fit_raw(&fit_body("f3", 0.2)).unwrap();
+    assert_eq!(resp.code, 201, "{}", resp.text());
+    assert!(ledger.budget("acme").unwrap().remaining() < 1e-9);
+
+    // And the very next request, however small, is rejected.
+    let resp = client.fit_raw(&fit_body("f4", 0.01)).unwrap();
+    assert_eq!(resp.code, 402);
+
+    // Unknown tenants and invalid amounts have their own structured errors.
+    let mut unknown = fit_body("f5", 0.1);
+    if let Json::Object(fields) = &mut unknown {
+        fields[0].1 = Json::String("ghost".into());
+    }
+    assert_eq!(client.fit_raw(&unknown).unwrap().code, 404);
+    assert_eq!(client.fit_raw(&fit_body("f6", -1.0)).unwrap().code, 400);
+
+    // Synthesis from an already fitted model is post-processing: free.
+    let body = client.synth("f1", 50, 3, "csv").unwrap();
+    assert_eq!(body.lines().count(), 51);
+    assert!(ledger.budget("acme").unwrap().remaining() < 1e-9, "synth must not charge");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn eviction_under_load_never_drops_inflight_requests() {
+    let (handle, client, registry, _ledger) = start_server(6);
+    let rows = 4 * privbayes_suite::core::CHUNK_ROWS; // a stream long enough to race
+    let reference = client.synth("m", rows, 9, "csv").unwrap();
+
+    // Readers hammer the model while the main thread evicts and reloads it
+    // repeatedly. Every request that starts before an eviction must either
+    // complete with the full, correct stream, or — if it arrives in a gap
+    // where the model is evicted — fail with a clean 404. No torn streams.
+    let results: Vec<Result<String, ServerError>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    (0..6).map(|_| client.synth("m", rows, 9, "csv")).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        // Pre-built artifact: the evict → load gap is a few microseconds,
+        // so most requests find the model present while some race the gap.
+        let reload = fixture_model(1);
+        for _ in 0..12 {
+            let _ = registry.evict("m");
+            registry.load("m", reload.clone()).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        workers.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let mut completed = 0;
+    for result in results {
+        match result {
+            Ok(body) => {
+                assert_eq!(body, reference, "a completed stream must be intact and identical");
+                completed += 1;
+            }
+            Err(ServerError::Status { code: 404, .. }) => {} // hit an eviction gap: clean error
+            Err(other) => panic!("in-flight request failed uncleanly: {other}"),
+        }
+    }
+    assert!(completed > 0, "at least some streams must have completed");
+
+    // The model survives in the registry and still serves identical bytes.
+    assert_eq!(client.synth("m", rows, 9, "csv").unwrap(), reference);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn registry_and_tenant_endpoints_round_trip() {
+    let (handle, client, _registry, _ledger) = start_server(2);
+
+    // Load a second model over HTTP and list both.
+    client.load_model("extra", &fixture_model(2)).unwrap();
+    let models = client.get_json("/models").unwrap();
+    let ids: Vec<&str> = models
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|m| m.get("id").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(ids, vec!["extra", "m"]);
+
+    // Metadata reflects the artifact.
+    let meta = client.get_json("/models/extra").unwrap();
+    assert_eq!(meta.get("attributes").and_then(Json::as_usize), Some(3));
+    assert_eq!(meta.get("source_rows").and_then(Json::as_usize), Some(500));
+
+    // Tenant listing and duplicate registration.
+    client.register_tenant("t1", 0.5).unwrap();
+    assert!(matches!(
+        client.register_tenant("t1", 9.0),
+        Err(ServerError::Status { code: 409, .. })
+    ));
+    let tenants = client.get_json("/tenants").unwrap();
+    assert_eq!(tenants.as_array().unwrap().len(), 1);
+
+    // Eviction over HTTP; a second evict is a clean 404.
+    client.evict_model("extra").unwrap();
+    assert!(matches!(client.evict_model("extra"), Err(ServerError::Status { code: 404, .. })));
+
+    // Unknown routes and bad parameters are structured errors.
+    let resp = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(resp.code, 404);
+    // A known path with the wrong method is 405, not 404.
+    let resp = client.request("POST", "/healthz", None).unwrap();
+    assert_eq!(resp.code, 405);
+    let resp = client.request("DELETE", "/tenants/t1", None).unwrap();
+    assert_eq!(resp.code, 405);
+    let resp = client.request("GET", "/models/m/synth?rows=abc", None).unwrap();
+    assert_eq!(resp.code, 400);
+    // An absurd row count is rejected up front instead of pinning a worker.
+    let resp = client.request("GET", "/models/m/synth?rows=18446744073709551615", None).unwrap();
+    assert_eq!(resp.code, 400);
+    assert!(resp.text().contains("too-many-rows"), "{}", resp.text());
+    let resp = client.request("GET", "/models/m/synth?seed=1&format=xml", None).unwrap();
+    assert_eq!(resp.code, 400);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
