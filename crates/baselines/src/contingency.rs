@@ -4,9 +4,10 @@
 //! Feasible only when the total domain fits in memory (NLTCS's 2¹⁶, ACS's
 //! 2²³) — exactly the scalability wall the paper's introduction describes.
 
-use privbayes_data::Dataset;
 use privbayes_dp::laplace::sample_laplace;
-use privbayes_marginals::{clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable};
+use privbayes_marginals::{
+    clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable, MarginalSource,
+};
 use rand::Rng;
 
 /// Hard cap on the materialised domain (2²⁶ cells ≈ 0.5 GiB of f64).
@@ -14,28 +15,30 @@ pub const MAX_CELLS: usize = 1 << 26;
 
 /// Releases the full contingency table under ε-DP (per-cell noise
 /// `Lap(2/(n·ε))`, sensitivity 2/n) and projects every workload marginal.
+/// The exact full-domain table comes from `source` (normally a shared
+/// [`privbayes_marginals::CountEngine`]); only the noise consumes `rng`.
 ///
 /// # Panics
 /// Panics if the domain exceeds [`MAX_CELLS`], `epsilon <= 0`, or the data
 /// is empty.
 #[must_use]
-pub fn contingency_marginals<R: Rng + ?Sized>(
-    data: &Dataset,
+pub fn contingency_marginals<S: MarginalSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
     workload: &AlphaWayWorkload,
     epsilon: f64,
     rng: &mut R,
 ) -> Vec<ContingencyTable> {
     assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
-    assert!(data.n() > 0, "empty dataset");
-    let cells: usize = data.schema().domain_sizes().iter().product();
+    assert!(source.n() > 0, "empty dataset");
+    let cells: usize = source.schema().domain_sizes().iter().product();
     assert!(
         cells <= MAX_CELLS,
         "domain has {cells} cells; the Contingency baseline is only applicable to small domains"
     );
 
-    let axes: Vec<Axis> = (0..data.d()).map(Axis::raw).collect();
-    let mut full = ContingencyTable::from_dataset(data, &axes);
-    let scale = 2.0 / (data.n() as f64 * epsilon);
+    let axes: Vec<Axis> = (0..source.schema().len()).map(Axis::raw).collect();
+    let mut full = source.joint_table(&axes);
+    let scale = 2.0 / (source.n() as f64 * epsilon);
     for v in full.values_mut() {
         *v += sample_laplace(scale, rng);
     }
@@ -47,8 +50,9 @@ pub fn contingency_marginals<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privbayes_data::{Attribute, Schema};
+    use privbayes_data::{Attribute, Dataset, Schema};
     use privbayes_marginals::metrics::average_workload_tvd_tables;
+    use privbayes_marginals::CountEngine;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -70,7 +74,7 @@ mod tests {
         let ds = data(300, 5, 1);
         let w = AlphaWayWorkload::new(5, 2);
         let mut rng = StdRng::seed_from_u64(2);
-        let tables = contingency_marginals(&ds, &w, 0.5, &mut rng);
+        let tables = contingency_marginals(&CountEngine::new(&ds), &w, 0.5, &mut rng);
         assert_eq!(tables.len(), w.len());
         for t in &tables {
             assert!((t.total() - 1.0).abs() < 1e-9, "projections of one table share its mass");
@@ -83,7 +87,7 @@ mod tests {
         let ds = data(1000, 6, 3);
         let w = AlphaWayWorkload::new(6, 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let tables = contingency_marginals(&ds, &w, 1e7, &mut rng);
+        let tables = contingency_marginals(&CountEngine::new(&ds), &w, 1e7, &mut rng);
         let err = average_workload_tvd_tables(&ds, &tables, &w);
         assert!(err < 1e-3, "err = {err}");
     }
@@ -95,7 +99,7 @@ mod tests {
         let ds = data(200, 10, 5);
         let w = AlphaWayWorkload::new(10, 2);
         let mut rng = StdRng::seed_from_u64(6);
-        let tables = contingency_marginals(&ds, &w, 0.01, &mut rng);
+        let tables = contingency_marginals(&CountEngine::new(&ds), &w, 0.01, &mut rng);
         // The (x0,x1) marginal is strongly diagonal in the data but should be
         // nearly uniform in the noisy release.
         let t01 = &tables[0];
@@ -113,6 +117,6 @@ mod tests {
         let ds = Dataset::from_rows(schema, &[vec![0, 0, 0]]).unwrap();
         let w = AlphaWayWorkload::new(3, 2);
         let mut rng = StdRng::seed_from_u64(7);
-        let _ = contingency_marginals(&ds, &w, 1.0, &mut rng);
+        let _ = contingency_marginals(&CountEngine::new(&ds), &w, 1.0, &mut rng);
     }
 }

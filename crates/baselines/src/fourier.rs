@@ -17,7 +17,9 @@ use std::collections::HashMap;
 use privbayes_data::encoding::{binarize, EncodingKind};
 use privbayes_data::Dataset;
 use privbayes_dp::laplace::sample_laplace;
-use privbayes_marginals::{clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable};
+use privbayes_marginals::{
+    clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable, CountEngine,
+};
 use rand::Rng;
 
 /// In-place Walsh–Hadamard transform: `out[T] = Σ_v in[v]·(−1)^{|T∩v|}`.
@@ -43,6 +45,12 @@ pub fn walsh_hadamard(values: &mut [f64]) {
 
 /// Releases all workload marginals via noisy Fourier coefficients under ε-DP.
 ///
+/// Fourier operates on the *binarised* domain, so it cannot share the
+/// caller's engine over the original schema; instead it routes every
+/// bit-level joint through its own [`CountEngine`] over the binarised data
+/// (whose popcount backend is exactly the right tool for all-binary axes).
+/// Counts are bit-identical to a direct row scan of the binarised table.
+///
 /// # Panics
 /// Panics if `epsilon <= 0`, the data is empty, or a binarised marginal
 /// exceeds 2²⁰ cells.
@@ -59,6 +67,7 @@ pub fn fourier_marginals<R: Rng + ?Sized>(
 
     // Binarise (identity layout when already binary).
     let (bin_data, map) = binarize(data, EncodingKind::Binary).expect("binarisation");
+    let bit_engine = CountEngine::new(&bin_data);
 
     // Bit positions of each workload subset.
     let bit_sets: Vec<Vec<usize>> = workload
@@ -95,7 +104,7 @@ pub fn fourier_marginals<R: Rng + ?Sized>(
         .zip(&bit_sets)
         .map(|(subset, bits)| {
             let axes: Vec<Axis> = bits.iter().map(|&i| Axis::raw(i)).collect();
-            let table = ContingencyTable::from_dataset(&bin_data, &axes);
+            let table = bit_engine.joint_table(&axes);
             let mut coeffs = table.values().to_vec();
             walsh_hadamard(&mut coeffs);
             for (local_mask, c) in coeffs.iter_mut().enumerate() {

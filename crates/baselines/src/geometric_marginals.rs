@@ -6,14 +6,17 @@
 //! mechanism is its integer-valued analogue with slightly lower variance at
 //! the same ε. The `abl03_noise` ablation compares the two.
 
-use privbayes_data::Dataset;
 use privbayes_dp::geometric::sample_two_sided_geometric;
-use privbayes_marginals::{clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable};
+use privbayes_marginals::{
+    clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable, MarginalSource,
+};
 use rand::Rng;
 
 /// Releases every workload marginal under ε-DP with per-cell two-sided
 /// geometric noise at count scale, then applies the consistency
-/// post-processing and renormalisation back to probability scale.
+/// post-processing and renormalisation back to probability scale. The exact
+/// marginals come from `source` (normally a shared
+/// [`privbayes_marginals::CountEngine`]); only the noise consumes `rng`.
 ///
 /// One tuple contributes one count to every marginal, so releasing all
 /// `|Q_α|` count-scale marginals has L1 sensitivity `2·|Q_α|`; each marginal
@@ -22,14 +25,14 @@ use rand::Rng;
 /// # Panics
 /// Panics if `epsilon <= 0` or the dataset is empty.
 #[must_use]
-pub fn geometric_marginals<R: Rng + ?Sized>(
-    data: &Dataset,
+pub fn geometric_marginals<S: MarginalSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
     workload: &AlphaWayWorkload,
     epsilon: f64,
     rng: &mut R,
 ) -> Vec<ContingencyTable> {
     assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
-    let n = data.n();
+    let n = source.n();
     assert!(n > 0, "empty dataset");
     let alpha = (-epsilon / (2.0 * workload.len() as f64)).exp();
     workload
@@ -37,7 +40,7 @@ pub fn geometric_marginals<R: Rng + ?Sized>(
         .iter()
         .map(|subset| {
             let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
-            let mut table = ContingencyTable::from_dataset(data, &axes);
+            let mut table = source.joint_table(&axes);
             for v in table.values_mut() {
                 // Probability-scale cells are exact multiples of 1/n; recover
                 // the integer count, perturb, and return to probability scale.
@@ -54,8 +57,9 @@ pub fn geometric_marginals<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privbayes_data::{Attribute, Schema};
+    use privbayes_data::{Attribute, Dataset, Schema};
     use privbayes_marginals::metrics::average_workload_tvd_tables;
+    use privbayes_marginals::CountEngine;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -81,7 +85,7 @@ mod tests {
         let ds = data(500, 1);
         let w = AlphaWayWorkload::new(3, 2);
         let mut rng = StdRng::seed_from_u64(2);
-        let tables = geometric_marginals(&ds, &w, 0.5, &mut rng);
+        let tables = geometric_marginals(&CountEngine::new(&ds), &w, 0.5, &mut rng);
         assert_eq!(tables.len(), w.len());
         for t in &tables {
             assert!((t.total() - 1.0).abs() < 1e-9);
@@ -98,7 +102,7 @@ mod tests {
             (0..reps)
                 .map(|s| {
                     let mut rng = StdRng::seed_from_u64(100 + s);
-                    let tables = geometric_marginals(&ds, &w, eps, &mut rng);
+                    let tables = geometric_marginals(&CountEngine::new(&ds), &w, eps, &mut rng);
                     average_workload_tvd_tables(&ds, &tables, &w)
                 })
                 .sum::<f64>()
@@ -115,7 +119,7 @@ mod tests {
         let ds = data(1000, 4);
         let w = AlphaWayWorkload::new(3, 2);
         let mut rng = StdRng::seed_from_u64(5);
-        let tables = geometric_marginals(&ds, &w, 1e3, &mut rng);
+        let tables = geometric_marginals(&CountEngine::new(&ds), &w, 1e3, &mut rng);
         let err = average_workload_tvd_tables(&ds, &tables, &w);
         assert!(err < 1e-12, "integer noise at huge ε must vanish, err = {err}");
     }
@@ -126,6 +130,6 @@ mod tests {
         let ds = data(10, 6);
         let w = AlphaWayWorkload::new(3, 2);
         let mut rng = StdRng::seed_from_u64(7);
-        let _ = geometric_marginals(&ds, &w, 0.0, &mut rng);
+        let _ = geometric_marginals(&CountEngine::new(&ds), &w, 0.0, &mut rng);
     }
 }

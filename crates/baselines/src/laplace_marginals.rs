@@ -5,32 +5,36 @@
 //! marginals has L1 sensitivity `2·|Q_α|/n` in probability scale — the reason
 //! this baseline degrades as α (and hence the workload size) grows (§6.5).
 
-use privbayes_data::Dataset;
 use privbayes_dp::laplace::sample_laplace;
-use privbayes_marginals::{clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable};
+use privbayes_marginals::{
+    clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable, MarginalSource,
+};
 use rand::Rng;
 
 /// Releases every workload marginal under ε-DP with per-cell Laplace noise
-/// `Lap(2|W|/(n·ε))`, then applies the consistency post-processing.
+/// `Lap(2|W|/(n·ε))`, then applies the consistency post-processing. The
+/// exact marginals come from `source` (normally a shared
+/// [`privbayes_marginals::CountEngine`]) and are bit-identical to a direct
+/// row scan; only the noise consumes `rng`.
 ///
 /// # Panics
 /// Panics if `epsilon <= 0` or the dataset is empty.
 #[must_use]
-pub fn laplace_marginals<R: Rng + ?Sized>(
-    data: &Dataset,
+pub fn laplace_marginals<S: MarginalSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
     workload: &AlphaWayWorkload,
     epsilon: f64,
     rng: &mut R,
 ) -> Vec<ContingencyTable> {
     assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
-    assert!(data.n() > 0, "empty dataset");
-    let scale = 2.0 * workload.len() as f64 / (data.n() as f64 * epsilon);
+    assert!(source.n() > 0, "empty dataset");
+    let scale = 2.0 * workload.len() as f64 / (source.n() as f64 * epsilon);
     workload
         .subsets()
         .iter()
         .map(|subset| {
             let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
-            let mut table = ContingencyTable::from_dataset(data, &axes);
+            let mut table = source.joint_table(&axes);
             for v in table.values_mut() {
                 *v += sample_laplace(scale, rng);
             }
@@ -43,8 +47,9 @@ pub fn laplace_marginals<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privbayes_data::{Attribute, Schema};
+    use privbayes_data::{Attribute, Dataset, Schema};
     use privbayes_marginals::metrics::average_workload_tvd_tables;
+    use privbayes_marginals::CountEngine;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -71,7 +76,7 @@ mod tests {
         let ds = data(500, 1);
         let w = AlphaWayWorkload::new(4, 2);
         let mut rng = StdRng::seed_from_u64(2);
-        let tables = laplace_marginals(&ds, &w, 0.5, &mut rng);
+        let tables = laplace_marginals(&CountEngine::new(&ds), &w, 0.5, &mut rng);
         assert_eq!(tables.len(), w.len());
         for t in &tables {
             assert!((t.total() - 1.0).abs() < 1e-9);
@@ -88,7 +93,7 @@ mod tests {
             (0..reps)
                 .map(|s| {
                     let mut rng = StdRng::seed_from_u64(100 + s);
-                    let tables = laplace_marginals(&ds, &w, eps, &mut rng);
+                    let tables = laplace_marginals(&CountEngine::new(&ds), &w, eps, &mut rng);
                     average_workload_tvd_tables(&ds, &tables, &w)
                 })
                 .sum::<f64>()
@@ -102,7 +107,7 @@ mod tests {
         let ds = data(1000, 4);
         let w = AlphaWayWorkload::new(4, 2);
         let mut rng = StdRng::seed_from_u64(5);
-        let tables = laplace_marginals(&ds, &w, 1e6, &mut rng);
+        let tables = laplace_marginals(&CountEngine::new(&ds), &w, 1e6, &mut rng);
         let err = average_workload_tvd_tables(&ds, &tables, &w);
         assert!(err < 1e-3, "huge ε should be near-exact, err = {err}");
     }
@@ -113,6 +118,6 @@ mod tests {
         let ds = data(10, 6);
         let w = AlphaWayWorkload::new(4, 2);
         let mut rng = StdRng::seed_from_u64(7);
-        let _ = laplace_marginals(&ds, &w, 0.0, &mut rng);
+        let _ = laplace_marginals(&CountEngine::new(&ds), &w, 0.0, &mut rng);
     }
 }

@@ -14,6 +14,15 @@
 //! returning one noisy [`privbayes_marginals::ContingencyTable`] per subset
 //! (consistency post-processing applied), so they share the accuracy metric
 //! with PrivBayes.
+//!
+//! Since PR 4, every baseline draws its **exact** marginals through the
+//! shared [`privbayes_marginals::MarginalSource`] abstraction (normally a
+//! [`privbayes_marginals::CountEngine`]) instead of re-scanning the dataset
+//! per marginal; Fourier, which works in the binarised domain, builds its
+//! own engine over the binarised table. Engine joints are bit-identical to
+//! `ContingencyTable::from_dataset`, so outputs are unchanged for a fixed
+//! seed — `tests/synthesizer_equivalence.rs` pins this against the
+//! pre-refactor references in `privbayes_bench::reference`.
 
 pub mod contingency;
 pub mod fourier;
@@ -26,5 +35,5 @@ pub use contingency::contingency_marginals;
 pub use fourier::fourier_marginals;
 pub use geometric_marginals::geometric_marginals;
 pub use laplace_marginals::laplace_marginals;
-pub use mwem::{mwem_marginals, MwemOptions};
+pub use mwem::{mwem_fit, mwem_marginals, MwemFit, MwemOptions};
 pub use uniform::uniform_marginals;

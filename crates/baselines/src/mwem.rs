@@ -12,10 +12,11 @@
 //! marginals per round (a documented deviation used for ACS-scale workloads
 //! — see DESIGN.md §1).
 
-use privbayes_data::Dataset;
 use privbayes_dp::exponential::exponential_mechanism;
 use privbayes_dp::laplace::sample_laplace;
-use privbayes_marginals::{clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable};
+use privbayes_marginals::{
+    clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable, MarginalSource,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -77,28 +78,72 @@ impl Projector {
     }
 }
 
-/// Runs MWEM and answers every workload marginal from the final weights.
+/// The full state of a finished MWEM run: the final full-domain weights plus
+/// the domain shape — everything needed to answer arbitrary marginals or to
+/// compile a sampling artifact from the learned distribution.
+#[derive(Debug, Clone)]
+pub struct MwemFit {
+    /// Final approximating distribution over the full domain (row-major,
+    /// last attribute fastest; sums to 1).
+    pub weights: Vec<f64>,
+    /// Per-attribute domain sizes.
+    pub dims: Vec<usize>,
+}
+
+impl MwemFit {
+    /// The marginal of `subset` (attribute indices, ascending or not) under
+    /// the final weights, clamped and normalised.
+    #[must_use]
+    pub fn marginal(&self, subset: &[usize]) -> ContingencyTable {
+        let projector = Projector::new(&self.dims);
+        let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
+        let out_dims: Vec<usize> = subset.iter().map(|&a| self.dims[a]).collect();
+        let mut vals = projector.project(&self.weights, subset);
+        clamp_and_normalize(&mut vals, 1.0);
+        ContingencyTable::from_parts(axes, out_dims, vals)
+    }
+}
+
+/// Runs MWEM and returns the final full-domain weights (see
+/// [`mwem_marginals`] for the workload-answer wrapper).
+///
+/// The exact workload answers ("truths") come from `source`: when the full
+/// domain is small enough for the source's cache, the full-domain joint is
+/// counted **once** and every workload truth is served by exact integer
+/// projection instead of a fresh row scan — the superset-projection fast
+/// path that makes engine-backed MWEM faster than the scan baseline while
+/// staying bit-identical to it.
 ///
 /// # Panics
 /// Panics if the domain exceeds [`MAX_CELLS`], `epsilon <= 0`,
 /// `iterations == 0`, or the data is empty.
 #[must_use]
-pub fn mwem_marginals<R: Rng + ?Sized>(
-    data: &Dataset,
+pub fn mwem_fit<S: MarginalSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
     workload: &AlphaWayWorkload,
     epsilon: f64,
     options: MwemOptions,
     rng: &mut R,
-) -> Vec<ContingencyTable> {
+) -> MwemFit {
     assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
     assert!(options.iterations > 0, "need at least one round");
-    assert!(data.n() > 0, "empty dataset");
-    let dims = data.schema().domain_sizes();
+    assert!(source.n() > 0, "empty dataset");
+    let dims = source.schema().domain_sizes();
     let cells: usize = dims.iter().product();
     assert!(cells <= MAX_CELLS, "domain has {cells} cells; MWEM needs a small domain");
 
-    let n = data.n() as f64;
+    let n = source.n() as f64;
     let projector = Projector::new(&dims);
+
+    // Warm the source with the full-domain joint when its cache would retain
+    // it: every workload truth below then comes from one integer projection
+    // rather than a row scan. Skipped when the table would not be retained
+    // (projection would cost more than re-counting; the source already
+    // optimises that trade-off per request).
+    if source.retains(cells) {
+        let all_axes: Vec<Axis> = (0..dims.len()).map(Axis::raw).collect();
+        let _ = source.joint_table(&all_axes);
+    }
 
     // Exact workload answers (probability scale).
     let truths: Vec<Vec<f64>> = workload
@@ -106,7 +151,7 @@ pub fn mwem_marginals<R: Rng + ?Sized>(
         .iter()
         .map(|subset| {
             let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
-            ContingencyTable::from_dataset(data, &axes).values().to_vec()
+            source.joint_table(&axes).values().to_vec()
         })
         .collect();
 
@@ -173,25 +218,32 @@ pub fn mwem_marginals<R: Rng + ?Sized>(
         }
     }
 
-    workload
-        .subsets()
-        .iter()
-        .map(|subset| {
-            let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
-            let out_dims: Vec<usize> = subset.iter().map(|&a| dims[a]).collect();
-            let mut vals = projector.project(&weights, subset);
-            clamp_and_normalize(&mut vals, 1.0);
-            ContingencyTable::from_parts(axes, out_dims, vals)
-        })
-        .collect()
+    MwemFit { weights, dims }
+}
+
+/// Runs MWEM and answers every workload marginal from the final weights.
+///
+/// # Panics
+/// As [`mwem_fit`].
+#[must_use]
+pub fn mwem_marginals<S: MarginalSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    workload: &AlphaWayWorkload,
+    epsilon: f64,
+    options: MwemOptions,
+    rng: &mut R,
+) -> Vec<ContingencyTable> {
+    let fit = mwem_fit(source, workload, epsilon, options, rng);
+    workload.subsets().iter().map(|subset| fit.marginal(subset)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::uniform::uniform_marginals;
-    use privbayes_data::{Attribute, Schema};
+    use privbayes_data::{Attribute, Dataset, Schema};
     use privbayes_marginals::metrics::average_workload_tvd_tables;
+    use privbayes_marginals::CountEngine;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -228,7 +280,7 @@ mod tests {
         let w = AlphaWayWorkload::new(5, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let tables = mwem_marginals(
-            &ds,
+            &CountEngine::new(&ds),
             &w,
             50.0,
             MwemOptions { iterations: 12, ..MwemOptions::default() },
@@ -248,7 +300,8 @@ mod tests {
         let ds = correlated(500, 5, 4);
         let w = AlphaWayWorkload::new(5, 2);
         let mut rng = StdRng::seed_from_u64(5);
-        let tables = mwem_marginals(&ds, &w, 0.001, MwemOptions::default(), &mut rng);
+        let tables =
+            mwem_marginals(&CountEngine::new(&ds), &w, 0.001, MwemOptions::default(), &mut rng);
         let mwem_err = average_workload_tvd_tables(&ds, &tables, &w);
         let uni_err = average_workload_tvd_tables(&ds, &uniform_marginals(ds.schema(), &w), &w);
         // The paper's observation (§6.5): at tiny ε MWEM does not surpass
@@ -261,7 +314,7 @@ mod tests {
         let ds = correlated(300, 4, 6);
         let w = AlphaWayWorkload::new(4, 3);
         let mut rng = StdRng::seed_from_u64(7);
-        for t in mwem_marginals(&ds, &w, 1.0, MwemOptions::default(), &mut rng) {
+        for t in mwem_marginals(&CountEngine::new(&ds), &w, 1.0, MwemOptions::default(), &mut rng) {
             assert!((t.total() - 1.0).abs() < 1e-9);
             assert!(t.values().iter().all(|&v| v >= 0.0));
         }
@@ -273,7 +326,7 @@ mod tests {
         let w = AlphaWayWorkload::new(5, 2);
         let mut rng = StdRng::seed_from_u64(9);
         let opts = MwemOptions { iterations: 5, max_candidates: Some(3), update_passes: 4 };
-        let tables = mwem_marginals(&ds, &w, 1.0, opts, &mut rng);
+        let tables = mwem_marginals(&CountEngine::new(&ds), &w, 1.0, opts, &mut rng);
         assert_eq!(tables.len(), w.len());
     }
 
@@ -294,7 +347,8 @@ mod tests {
             .collect();
         let ds = Dataset::from_rows(schema, &rows).unwrap();
         let w = AlphaWayWorkload::new(3, 2);
-        let tables = mwem_marginals(&ds, &w, 20.0, MwemOptions::default(), &mut rng);
+        let tables =
+            mwem_marginals(&CountEngine::new(&ds), &w, 20.0, MwemOptions::default(), &mut rng);
         assert_eq!(tables[0].dims(), &[3, 4]);
     }
 }

@@ -18,7 +18,7 @@ use privbayes_data::encoding::EncodingKind;
 use privbayes_data::Dataset;
 use privbayes_marginals::metrics::average_workload_tvd_tables;
 use privbayes_marginals::{
-    average_workload_tvd, total_variation, AlphaWayWorkload, Axis, ContingencyTable,
+    average_workload_tvd, total_variation, AlphaWayWorkload, Axis, ContingencyTable, CountEngine,
 };
 use privbayes_relational::{
     clinic_benchmark, RelationalDataset, RelationalOptions, RelationalPrivBayes,
@@ -101,10 +101,11 @@ pub fn noise_mechanism_error(
 ) -> f64 {
     let workload = AlphaWayWorkload::new(data.d(), alpha);
     let mut rng = StdRng::seed_from_u64(seed);
+    let engine = CountEngine::new(data);
     let tables = if geometric {
-        geometric_marginals(data, &workload, epsilon, &mut rng)
+        geometric_marginals(&engine, &workload, epsilon, &mut rng)
     } else {
-        laplace_marginals(data, &workload, epsilon, &mut rng)
+        laplace_marginals(&engine, &workload, epsilon, &mut rng)
     };
     average_workload_tvd_tables(data, &tables, &workload)
 }
@@ -121,8 +122,10 @@ pub fn multitable_errors(data: &RelationalDataset, epsilon: f64, seed: u64) -> (
 
     let e_arity = data.schema().entity_arity();
     let joint_axes = [Axis::raw(0), Axis::raw(e_arity)];
-    let truth = ContingencyTable::from_dataset(&data.fact_view(), &joint_axes);
-    let synth = ContingencyTable::from_dataset(&result.synthetic.fact_view(), &joint_axes);
+    let truth_view = data.fact_view();
+    let synth_view = result.synthetic.fact_view();
+    let truth = CountEngine::new(&truth_view).joint_table(&joint_axes);
+    let synth = CountEngine::new(&synth_view).joint_table(&joint_axes);
     let joint_tvd = total_variation(truth.values(), synth.values());
 
     let hist = |d: &RelationalDataset| {

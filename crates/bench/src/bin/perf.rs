@@ -207,6 +207,7 @@ fn run_serve(cfg: &HarnessConfig) -> ServeBench {
     let model = noisy_conditionals_general(&data, &net, Some(0.7), &mut rng).unwrap();
     let artifact = ReleasedModel::new(
         ModelMetadata {
+            method: "privbayes".into(),
             epsilon: 1.0,
             beta: 0.3,
             theta: 4.0,

@@ -1,26 +1,54 @@
-//! Reference (pre-engine) implementations of the two hot paths, kept as the
-//! baseline for the `perf` binary and as the oracle for the equivalence test
-//! tier.
+//! Reference (pre-engine) implementations of the hot paths, kept as the
+//! baseline for the `perf` / `methods` binaries and as the oracle for the
+//! equivalence test tiers.
 //!
 //! These reproduce, through public APIs only, the exact semantics the suite
 //! had before the shared `CountEngine` and the compiled sampler: one fresh
-//! contingency-table scan per candidate (with the bit-packed popcount path
-//! for all-binary data), sequential scoring, and tuple-at-a-time ancestral
-//! sampling via a linear scan per draw. Given the same seed they must select
-//! identical networks and — for the samplers' *statistical* behaviour, not
-//! the byte stream — equivalent synthetic data.
+//! contingency-table scan per candidate / marginal (with the bit-packed
+//! popcount path for all-binary data), sequential scoring, and
+//! tuple-at-a-time ancestral sampling via a linear scan per draw. Given the
+//! same seed they must select identical networks — and the marginal
+//! baselines must produce **bit-identical** tables — as the engine-backed
+//! implementations, which `tests/engine_equivalence.rs` and
+//! `tests/synthesizer_equivalence.rs` assert.
+//!
+//! This module is the one sanctioned home of
+//! [`ContingencyTable::from_dataset`] row scans outside the `marginals`
+//! crate: the references exist precisely to measure and pin the pre-engine
+//! behaviour.
 
 use privbayes::conditionals::NoisyModel;
-use privbayes::greedy::{score_candidate, GreedySettings};
+use privbayes::greedy::GreedySettings;
 use privbayes::network::{ApPair, BayesianNetwork};
 use privbayes::parent_sets::{maximal_parent_sets, maximal_parent_sets_generalized};
 use privbayes::theta::tau_for_child;
-use privbayes::PrivBayesError;
+use privbayes::{PrivBayesError, ScoreKind};
+use privbayes_baselines::MwemOptions;
 use privbayes_data::{Dataset, Schema};
-use privbayes_dp::exponential::select_with_scale;
+use privbayes_dp::exponential::{exponential_mechanism, select_with_scale};
+use privbayes_dp::geometric::sample_two_sided_geometric;
+use privbayes_dp::laplace::sample_laplace;
 use privbayes_dp::stats::sample_discrete;
-use privbayes_marginals::Axis;
+use privbayes_marginals::{clamp_and_normalize, AlphaWayWorkload, Axis, ContingencyTable};
+use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
+
+/// Pre-engine single-candidate scorer: one fresh row scan per call.
+///
+/// # Errors
+/// Propagates score errors (e.g. `F` on a non-binary child).
+fn scan_score(
+    data: &Dataset,
+    child: usize,
+    parents: &[Axis],
+    score: ScoreKind,
+) -> Result<f64, PrivBayesError> {
+    let mut axes: Vec<Axis> = parents.to_vec();
+    axes.push(Axis::raw(child));
+    let table = ContingencyTable::from_dataset(data, &axes);
+    let child_dim = data.schema().attribute(child).domain_size();
+    score.compute(table.values(), child_dim, data.n())
+}
 
 struct Candidate {
     child: usize,
@@ -198,7 +226,7 @@ pub fn reference_greedy_fixed_k<R: Rng + ?Sized>(
                     }
                     None => {
                         let axes: Vec<Axis> = parents.iter().copied().map(Axis::raw).collect();
-                        score_candidate(data, child, &axes, settings.score)?
+                        scan_score(data, child, &axes, settings.score)?
                     }
                 };
                 scores.push(score);
@@ -267,11 +295,11 @@ pub fn reference_greedy_adaptive<R: Rng + ?Sized>(
                     .collect()
             };
             if tops.is_empty() {
-                scores.push(score_candidate(data, child, &[], settings.score)?);
+                scores.push(scan_score(data, child, &[], settings.score)?);
                 candidates.push(Candidate { child, parents: Vec::new() });
             } else {
                 for parents in tops {
-                    scores.push(score_candidate(data, child, &parents, settings.score)?);
+                    scores.push(scan_score(data, child, &parents, settings.score)?);
                     candidates.push(Candidate { child, parents });
                 }
             }
@@ -332,6 +360,310 @@ pub fn reference_sample_synthetic<R: Rng + ?Sized>(
         }
     }
     Ok(Dataset::from_columns(schema.clone(), columns)?)
+}
+
+/// Pre-engine Laplace baseline: one fresh row scan per workload marginal.
+/// Must be bit-identical to `privbayes_baselines::laplace_marginals` over a
+/// `CountEngine` for the same seed.
+#[must_use]
+pub fn reference_laplace_marginals<R: Rng + ?Sized>(
+    data: &Dataset,
+    workload: &AlphaWayWorkload,
+    epsilon: f64,
+    rng: &mut R,
+) -> Vec<ContingencyTable> {
+    let scale = 2.0 * workload.len() as f64 / (data.n() as f64 * epsilon);
+    workload
+        .subsets()
+        .iter()
+        .map(|subset| {
+            let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
+            let mut table = ContingencyTable::from_dataset(data, &axes);
+            for v in table.values_mut() {
+                *v += sample_laplace(scale, rng);
+            }
+            clamp_and_normalize(table.values_mut(), 1.0);
+            table
+        })
+        .collect()
+}
+
+/// Pre-engine geometric baseline (count-scale noise per marginal).
+#[must_use]
+pub fn reference_geometric_marginals<R: Rng + ?Sized>(
+    data: &Dataset,
+    workload: &AlphaWayWorkload,
+    epsilon: f64,
+    rng: &mut R,
+) -> Vec<ContingencyTable> {
+    let n = data.n();
+    let alpha = (-epsilon / (2.0 * workload.len() as f64)).exp();
+    workload
+        .subsets()
+        .iter()
+        .map(|subset| {
+            let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
+            let mut table = ContingencyTable::from_dataset(data, &axes);
+            for v in table.values_mut() {
+                let count = (*v * n as f64).round();
+                let noisy = count + sample_two_sided_geometric(alpha, rng) as f64;
+                *v = noisy / n as f64;
+            }
+            clamp_and_normalize(table.values_mut(), 1.0);
+            table
+        })
+        .collect()
+}
+
+/// Pre-engine Contingency baseline: one full-domain row scan, then noisy
+/// projection of every workload marginal.
+#[must_use]
+pub fn reference_contingency_marginals<R: Rng + ?Sized>(
+    data: &Dataset,
+    workload: &AlphaWayWorkload,
+    epsilon: f64,
+    rng: &mut R,
+) -> Vec<ContingencyTable> {
+    let axes: Vec<Axis> = (0..data.d()).map(Axis::raw).collect();
+    let mut full = ContingencyTable::from_dataset(data, &axes);
+    let scale = 2.0 / (data.n() as f64 * epsilon);
+    for v in full.values_mut() {
+        *v += sample_laplace(scale, rng);
+    }
+    clamp_and_normalize(full.values_mut(), 1.0);
+    workload.subsets().iter().map(|subset| full.project(subset)).collect()
+}
+
+/// Pre-engine MWEM: exact workload truths via one
+/// [`ContingencyTable::from_dataset`] scan per marginal, then the identical
+/// multiplicative-weights loop. Consumes the same RNG stream as the
+/// engine-backed `mwem_marginals` (truth computation draws no randomness),
+/// so the outputs must match bit for bit — the `methods` bench binary
+/// asserts exactly that before reporting a speedup.
+#[must_use]
+pub fn reference_mwem_marginals<R: Rng + ?Sized>(
+    data: &Dataset,
+    workload: &AlphaWayWorkload,
+    epsilon: f64,
+    options: MwemOptions,
+    rng: &mut R,
+) -> Vec<ContingencyTable> {
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+    assert!(options.iterations > 0, "need at least one round");
+    assert!(data.n() > 0, "empty dataset");
+    let dims = data.schema().domain_sizes();
+    let cells: usize = dims.iter().product();
+
+    let n = data.n() as f64;
+    let strides = {
+        let mut s = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * dims[i + 1];
+        }
+        s
+    };
+    let cell_of = |idx: usize, subset: &[usize]| -> usize {
+        let mut cell = 0usize;
+        for &a in subset {
+            cell = cell * dims[a] + (idx / strides[a]) % dims[a];
+        }
+        cell
+    };
+    let project = |weights: &[f64], subset: &[usize]| -> Vec<f64> {
+        let out_cells: usize = subset.iter().map(|&a| dims[a]).product();
+        let mut out = vec![0.0f64; out_cells];
+        for (idx, &w) in weights.iter().enumerate() {
+            out[cell_of(idx, subset)] += w;
+        }
+        out
+    };
+
+    let truths: Vec<Vec<f64>> = workload
+        .subsets()
+        .iter()
+        .map(|subset| {
+            let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
+            ContingencyTable::from_dataset(data, &axes).values().to_vec()
+        })
+        .collect();
+
+    let mut weights = vec![1.0 / cells as f64; cells];
+    let eps_round = epsilon / options.iterations as f64;
+    let eps_select = eps_round / 2.0;
+    let eps_measure = eps_round / 2.0;
+
+    let mut candidate_pool: Vec<usize> = (0..workload.len()).collect();
+    let mut measurements: Vec<(usize, usize, f64)> = Vec::with_capacity(options.iterations);
+    for _ in 0..options.iterations {
+        let candidates: &[usize] = match options.max_candidates {
+            Some(m) if m < candidate_pool.len() => {
+                candidate_pool.shuffle(rng);
+                &candidate_pool[..m]
+            }
+            _ => &candidate_pool,
+        };
+        let mut cell_ids: Vec<(usize, usize)> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+        for &q in candidates {
+            let approx = project(&weights, &workload.subsets()[q]);
+            for (cell, (a, t)) in approx.iter().zip(&truths[q]).enumerate() {
+                cell_ids.push((q, cell));
+                scores.push((a - t).abs());
+            }
+        }
+        let chosen =
+            exponential_mechanism(&scores, 1.0 / n, eps_select, rng).expect("valid scores");
+        let (q, cell) = cell_ids[chosen];
+
+        let measured = truths[q][cell] + sample_laplace(1.0 / (n * eps_measure), rng);
+        measurements.push((q, cell, measured));
+
+        for _ in 0..options.update_passes.max(1) {
+            for &(q, cell, measured) in &measurements {
+                let subset = &workload.subsets()[q];
+                let approx_cell: f64 = weights
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| cell_of(*idx, subset) == cell)
+                    .map(|(_, &w)| w)
+                    .sum();
+                let factor = ((measured - approx_cell) / 2.0).exp();
+                for (idx, w) in weights.iter_mut().enumerate() {
+                    if cell_of(idx, subset) == cell {
+                        *w *= factor;
+                    }
+                }
+                let total: f64 = weights.iter().sum();
+                for w in &mut weights {
+                    *w /= total;
+                }
+            }
+        }
+    }
+
+    workload
+        .subsets()
+        .iter()
+        .map(|subset| {
+            let axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
+            let out_dims: Vec<usize> = subset.iter().map(|&a| dims[a]).collect();
+            let mut vals = project(&weights, subset);
+            clamp_and_normalize(&mut vals, 1.0);
+            ContingencyTable::from_parts(axes, out_dims, vals)
+        })
+        .collect()
+}
+
+/// Pre-engine Fourier baseline (Barak et al.): binarise, then one fresh row
+/// scan of the binarised table per workload marginal, WHT, shared noisy
+/// coefficients, inverse WHT, fold back to the original domains.
+///
+/// # Panics
+/// As `privbayes_baselines::fourier_marginals`.
+#[must_use]
+pub fn reference_fourier_marginals<R: Rng + ?Sized>(
+    data: &Dataset,
+    workload: &AlphaWayWorkload,
+    epsilon: f64,
+    rng: &mut R,
+) -> Vec<ContingencyTable> {
+    use privbayes_baselines::fourier::walsh_hadamard;
+    use privbayes_data::encoding::{binarize, BinarizationMap, EncodingKind};
+    use std::collections::{HashMap, HashSet};
+
+    let n = data.n() as f64;
+    let (bin_data, map) = binarize(data, EncodingKind::Binary).expect("binarisation");
+
+    let bit_sets: Vec<Vec<usize>> = workload
+        .subsets()
+        .iter()
+        .map(|subset| {
+            let mut bits = Vec::new();
+            for &attr in subset {
+                let ab = &map.per_attr()[attr];
+                bits.extend(ab.first_bit_attr..ab.first_bit_attr + ab.bits);
+            }
+            bits
+        })
+        .collect();
+
+    let global_key = |local_mask: u64, bits: &[usize]| -> u64 {
+        let b = bits.len();
+        let mut key = 0u64;
+        for (j, &bit_attr) in bits.iter().enumerate() {
+            if local_mask >> (b - 1 - j) & 1 == 1 {
+                key |= 1 << bit_attr;
+            }
+        }
+        key
+    };
+
+    let mut coefficient_count = HashSet::new();
+    for bits in &bit_sets {
+        for mask in 0u64..(1 << bits.len()) {
+            coefficient_count.insert(global_key(mask, bits));
+        }
+    }
+    let scale = 2.0 * coefficient_count.len() as f64 / (n * epsilon);
+
+    let fold_to_original = |subset: &[usize],
+                            map: &BinarizationMap,
+                            bits: &[usize],
+                            bit_values: &[f64]|
+     -> ContingencyTable {
+        let schema = data.schema();
+        let out_axes: Vec<Axis> = subset.iter().map(|&a| Axis::raw(a)).collect();
+        let out_dims: Vec<usize> =
+            subset.iter().map(|&a| schema.attribute(a).domain_size()).collect();
+        let out_cells: usize = out_dims.iter().product();
+        let mut out = vec![0.0f64; out_cells];
+        let b = bits.len();
+        for (cell, &v) in bit_values.iter().enumerate() {
+            let mut out_idx = 0usize;
+            let mut offset = 0usize;
+            for (&attr, &dim) in subset.iter().zip(&out_dims) {
+                let ab = &map.per_attr()[attr];
+                let mut code = 0u32;
+                for j in 0..ab.bits {
+                    let pos = b - 1 - (offset + j);
+                    code = (code << 1) | ((cell >> pos) & 1) as u32;
+                }
+                if map.is_gray() {
+                    code = privbayes_data::encoding::from_gray(code);
+                }
+                let code = code.min(dim as u32 - 1);
+                out_idx = out_idx * dim + code as usize;
+                offset += ab.bits;
+            }
+            out[out_idx] += v;
+        }
+        ContingencyTable::from_parts(out_axes, out_dims, out)
+    };
+
+    let mut released: HashMap<u64, f64> = HashMap::with_capacity(coefficient_count.len());
+    workload
+        .subsets()
+        .iter()
+        .zip(&bit_sets)
+        .map(|(subset, bits)| {
+            let axes: Vec<Axis> = bits.iter().map(|&i| Axis::raw(i)).collect();
+            let table = ContingencyTable::from_dataset(&bin_data, &axes);
+            let mut coeffs = table.values().to_vec();
+            walsh_hadamard(&mut coeffs);
+            for (local_mask, c) in coeffs.iter_mut().enumerate() {
+                let key = global_key(local_mask as u64, bits);
+                let noisy = *released.entry(key).or_insert_with(|| *c + sample_laplace(scale, rng));
+                *c = noisy;
+            }
+            walsh_hadamard(&mut coeffs);
+            let cells = coeffs.len() as f64;
+            for v in &mut coeffs {
+                *v /= cells;
+            }
+            clamp_and_normalize(&mut coeffs, 1.0);
+            fold_to_original(subset, &map, bits, &coeffs)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use privbayes_data::encoding::{binarize, EncodingKind};
 use privbayes_data::Dataset;
 use privbayes_datasets::ClassificationTarget;
 use privbayes_marginals::metrics::average_workload_tvd_tables;
-use privbayes_marginals::{average_workload_tvd, AlphaWayWorkload};
+use privbayes_marginals::{average_workload_tvd, AlphaWayWorkload, CountEngine};
 use privbayes_ml::{
     misclassification_rate, FeatureMatrix, LinearSvm, MajorityClassifier, PrivGene,
     PrivGeneOptions, PrivateErm, PrivateErmOptions,
@@ -103,11 +103,12 @@ pub fn baseline_count_error(
 ) -> f64 {
     let workload = AlphaWayWorkload::new(data.d(), alpha);
     let mut rng = StdRng::seed_from_u64(seed);
+    let engine = CountEngine::new(data);
     let tables = match method {
-        BaselineCount::Laplace => laplace_marginals(data, &workload, epsilon, &mut rng),
+        BaselineCount::Laplace => laplace_marginals(&engine, &workload, epsilon, &mut rng),
         BaselineCount::Fourier => fourier_marginals(data, &workload, epsilon, &mut rng),
-        BaselineCount::Contingency => contingency_marginals(data, &workload, epsilon, &mut rng),
-        BaselineCount::Mwem(opts) => mwem_marginals(data, &workload, epsilon, opts, &mut rng),
+        BaselineCount::Contingency => contingency_marginals(&engine, &workload, epsilon, &mut rng),
+        BaselineCount::Mwem(opts) => mwem_marginals(&engine, &workload, epsilon, opts, &mut rng),
         BaselineCount::Uniform => uniform_marginals(data.schema(), &workload),
     };
     average_workload_tvd_tables(data, &tables, &workload)

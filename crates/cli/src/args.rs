@@ -13,7 +13,7 @@ pub struct ParsedArgs {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["help"];
+const SWITCHES: &[&str] = &["help", "verbose"];
 
 impl ParsedArgs {
     /// Parses `args` (without the binary name).
@@ -63,6 +63,12 @@ impl ParsedArgs {
     #[must_use]
     pub fn wants_help(&self) -> bool {
         self.flags.contains_key("help")
+    }
+
+    /// Whether `--verbose` was given.
+    #[must_use]
+    pub fn verbose(&self) -> bool {
+        self.flags.contains_key("verbose")
     }
 
     /// A required flag's raw value.

@@ -1,22 +1,20 @@
 //! The subcommands: `fit`, `synth`, `synth-relational`, `eval`, `inspect`,
-//! and `serve`.
+//! `methods`, and `serve`.
 
 use std::fs;
 use std::io::{BufReader, Write as _};
 use std::path::Path;
 use std::sync::Arc;
 
-use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes_data::csv::{read_csv, write_csv};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_data::{Dataset, Schema};
 use privbayes_marginals::average_workload_tvd;
-use privbayes_model::{
-    schema_from_json, Json, ModelMetadata, ReleasedModel, ReleasedRelationalModel,
-};
+use privbayes_model::{schema_from_json, Json, ReleasedModel, ReleasedRelationalModel};
 use privbayes_server::{BudgetLedger, ModelRegistry, Server, ServerConfig};
+use privbayes_synth::{fit_method, FitSettings, Method};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
@@ -27,9 +25,16 @@ privbayes-cli — differentially private synthetic data via Bayesian networks
 
 commands:
   fit      --data D.csv --schema S.json --epsilon F --out MODEL.json
-           [--beta F=0.3] [--theta F=4] [--encoding vanilla|hierarchical]
-           [--consistency N=0] [--seed N] [--threads N] [--comment TEXT]
+           [--method NAME=privbayes] [--beta F=0.3] [--theta F=4]
+           [--encoding vanilla|hierarchical] [--consistency N=0]
+           [--max-degree N=4] [--k N=2] [--alpha N=2] [--iterations N=10]
+           [--seed N] [--threads N] [--comment TEXT] [--verbose]
            Fit a private model on a CSV table and write the release artifact.
+           Every method produces the same artifact format, so `synth`,
+           `inspect`, and `serve` work on any of them. --verbose prints the
+           count-engine cache statistics of the fit.
+           methods: privbayes, privbayes-k, mwem, laplace, geometric, uniform
+           (`methods` prints one line per method; uniform ignores --epsilon).
 
   synth    --model MODEL.json --out D.csv [--rows N] [--seed N] [--threads N]
            Sample a synthetic CSV from a released model (no privacy cost).
@@ -48,6 +53,9 @@ commands:
   inspect  --model MODEL.json
            Print a released model's provenance and network structure
            (handles both single-table and relational artifacts).
+
+  methods  List every synthesis method `fit --method` accepts, one line per
+           method with a short description.
 
   serve    [--addr A=127.0.0.1:0] [--workers N=4] [--threads N]
            [--max-rows N=10000000] [--ledger LEDGER.json]
@@ -88,9 +96,20 @@ where
         "synth-relational" => synth_relational(&parsed),
         "eval" => eval(&parsed),
         "inspect" => inspect(&parsed),
+        "methods" => methods(&parsed),
         "serve" => serve(&parsed),
         other => Err(CliError::Usage(format!("unknown command `{other}` (try `help`)"))),
     }
+}
+
+/// `methods`: one line per synthesis method.
+fn methods(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[])?;
+    let mut out = String::from("synthesis methods (fit --method NAME):\n");
+    for method in Method::ALL {
+        out.push_str(&format!("  {:<12} {}\n", method.name(), method.describe()));
+    }
+    Ok(out)
 }
 
 fn fit(args: &ParsedArgs) -> Result<String, CliError> {
@@ -99,13 +118,19 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
         "schema",
         "out",
         "epsilon",
+        "method",
         "beta",
         "theta",
         "encoding",
         "consistency",
+        "max-degree",
+        "k",
+        "alpha",
+        "iterations",
         "seed",
         "threads",
         "comment",
+        "verbose",
     ])?;
     // Validate flags before touching the filesystem, so usage mistakes are
     // reported even when paths are also wrong.
@@ -114,6 +139,13 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
         .required("epsilon")?
         .parse()
         .map_err(|_| CliError::Usage("--epsilon: expected a number".into()))?;
+    let method_name = args.optional("method").unwrap_or("privbayes");
+    let Some(method) = Method::parse(method_name) else {
+        return Err(CliError::Usage(format!(
+            "unknown method `{method_name}`; valid methods: {}",
+            Method::names()
+        )));
+    };
     let encoding = match args.optional("encoding").unwrap_or("vanilla") {
         "vanilla" => EncodingKind::Vanilla,
         "hierarchical" => EncodingKind::Hierarchical,
@@ -124,41 +156,53 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
             )))
         }
     };
+    let defaults = FitSettings::default();
+    let settings = FitSettings {
+        beta: args.parse_or("beta", defaults.beta)?,
+        theta: args.parse_or("theta", defaults.theta)?,
+        max_degree: args.parse_or("max-degree", defaults.max_degree)?,
+        fixed_k: args.parse_or("k", defaults.fixed_k)?,
+        alpha: args.parse_or("alpha", defaults.alpha)?,
+        mwem: privbayes_synth::MwemOptions {
+            iterations: args.parse_or("iterations", defaults.mwem.iterations)?,
+            ..defaults.mwem
+        },
+        consistency_rounds: args.parse_or("consistency", defaults.consistency_rounds)?,
+        encoding,
+        threads: args.parse_opt::<usize>("threads")?,
+        comment: args.optional("comment").unwrap_or_default().to_string(),
+    };
     let schema = load_schema(args.required("schema")?)?;
     let data = load_csv(&schema, args.required("data")?)?;
-    let mut options = PrivBayesOptions::new(epsilon)
-        .with_beta(args.parse_or("beta", 0.3)?)
-        .with_theta(args.parse_or("theta", 4.0)?)
-        .with_encoding(encoding)
-        .with_consistency_rounds(args.parse_or("consistency", 0usize)?);
-    if let Some(threads) = args.parse_opt::<usize>("threads")? {
-        options = options.with_threads(threads);
-    }
 
-    let mut rng = make_rng(args.parse_opt("seed")?);
-    let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng)?;
-    let artifact = ReleasedModel::new(
-        ModelMetadata {
-            epsilon,
-            beta: options.beta,
-            theta: options.theta,
-            score: options.effective_score().name().to_string(),
-            encoding: options.encoding.name().to_string(),
-            source_rows: data.n(),
-            comment: args.optional("comment").unwrap_or_default().to_string(),
-        },
-        data.schema().clone(),
-        result.model,
-    )?;
-    artifact.save(out).map_err(|e| CliError::Io { path: out.into(), message: e.to_string() })?;
+    let seed = match args.parse_opt::<u64>("seed")? {
+        Some(seed) => seed,
+        None => make_rng(None).random::<u64>(),
+    };
+    let fitted = fit_method(method, &data, epsilon, seed, &settings)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    fitted
+        .artifact
+        .save(out)
+        .map_err(|e| CliError::Io { path: out.into(), message: e.to_string() })?;
 
-    Ok(format!(
-        "fitted {}-attribute model on {} rows (ε = {epsilon}, degree {})\n{}\nwrote {out}",
+    let degree = fitted.artifact.model.network.degree();
+    let mut report = format!(
+        "fitted {}-attribute model on {} rows (ε = {epsilon}, method {}, degree {degree})\n{}",
         data.d(),
         data.n(),
-        result.degree,
-        result.network.describe(data.schema()),
-    ))
+        method.name(),
+        fitted.artifact.model.network.describe(data.schema()),
+    );
+    if args.verbose() {
+        let s = fitted.stats;
+        report.push_str(&format!(
+            "\nengine: {} scans, {} projections, {} cache hits, {} tables cached",
+            s.scans, s.projections, s.hits, s.cached_tables
+        ));
+    }
+    report.push_str(&format!("\nwrote {out}"));
+    Ok(report)
 }
 
 fn synth(args: &ParsedArgs) -> Result<String, CliError> {
@@ -254,10 +298,11 @@ fn inspect(args: &ParsedArgs) -> Result<String, CliError> {
     let meta = &artifact.metadata;
     let degree = artifact.model.network.pairs().iter().map(|p| p.parents.len()).max().unwrap_or(0);
     Ok(format!(
-        "format:    {}\nepsilon:   {}\nbeta:      {}\ntheta:     {}\nscore:     {}\n\
+        "format:    {}\nmethod:    {}\nepsilon:   {}\nbeta:      {}\ntheta:     {}\nscore:     {}\n\
          encoding:  {}\nsource:    {} rows\ncomment:   {}\nattributes: {}\ndegree:    {degree}\n\
          network:\n{}",
         privbayes_model::FORMAT,
+        meta.method,
         meta.epsilon,
         meta.beta,
         meta.theta,
@@ -640,6 +685,181 @@ mod tests {
             run_cli(&["serve", "--addr", "999.999.999.999:1"]),
             Err(CliError::Server(_))
         ));
+    }
+
+    #[test]
+    fn fit_method_mwem_round_trips_through_synth_and_inspect() {
+        let dir = temp_dir("method-mwem");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("mwem.json").to_str().unwrap().to_string();
+        let synth_path = dir.join("mwem-synth.csv").to_str().unwrap().to_string();
+        let out = run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--method",
+            "mwem",
+            "--iterations",
+            "4",
+            "--seed",
+            "5",
+            "--out",
+            &model_path,
+            "--verbose",
+        ])
+        .unwrap();
+        assert!(out.contains("method mwem"), "{out}");
+        assert!(out.contains("engine:"), "--verbose must print engine stats: {out}");
+        assert!(out.contains("projections"), "{out}");
+
+        let out = run_cli(&["inspect", "--model", &model_path]).unwrap();
+        assert!(out.contains("method:    mwem"), "{out}");
+
+        let out = run_cli(&[
+            "synth",
+            "--model",
+            &model_path,
+            "--rows",
+            "120",
+            "--seed",
+            "6",
+            "--out",
+            &synth_path,
+        ])
+        .unwrap();
+        assert!(out.contains("sampled 120 rows"), "{out}");
+        assert_eq!(fs::read_to_string(&synth_path).unwrap().lines().count(), 121);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_method_is_fittable_from_the_cli() {
+        let dir = temp_dir("method-all");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        for method in privbayes_synth::Method::ALL {
+            let model_path =
+                dir.join(format!("{}.json", method.name())).to_str().unwrap().to_string();
+            let out = run_cli(&[
+                "fit",
+                "--data",
+                &data_path,
+                "--schema",
+                &schema_path,
+                "--epsilon",
+                "1.0",
+                "--method",
+                method.name(),
+                "--seed",
+                "3",
+                "--out",
+                &model_path,
+            ])
+            .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            assert!(out.contains(&format!("method {}", method.name())), "{out}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_method_is_a_usage_error_listing_valid_names() {
+        let e = run_cli(&[
+            "fit",
+            "--data",
+            "d.csv",
+            "--schema",
+            "s.json",
+            "--epsilon",
+            "1.0",
+            "--out",
+            "m.json",
+            "--method",
+            "frequentist",
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        assert_eq!(e.exit_code(), 2, "unknown method must exit with code 2");
+        let msg = e.to_string();
+        for name in ["privbayes", "privbayes-k", "mwem", "laplace", "geometric", "uniform"] {
+            assert!(msg.contains(name), "error must list `{name}`: {msg}");
+        }
+    }
+
+    #[test]
+    fn methods_command_lists_every_method() {
+        let out = run_cli(&["methods"]).unwrap();
+        for method in privbayes_synth::Method::ALL {
+            assert!(out.contains(method.name()), "{out}");
+        }
+        assert!(run_cli(&["help"]).unwrap().contains("methods"), "help must mention `methods`");
+    }
+
+    #[test]
+    fn fit_method_mwem_then_serve_streams_end_to_end() {
+        use privbayes_server::Client;
+
+        let dir = temp_dir("serve-mwem");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("mwem.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--method",
+            "mwem",
+            "--seed",
+            "7",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let serve_args: Vec<String> = [
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--model",
+            &model_path,
+            "--model-id",
+            "mwem",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let server = std::thread::spawn(move || run(serve_args));
+
+        let client = Client::new(addr);
+        let mut ready = false;
+        for _ in 0..100 {
+            if client.health().is_ok() {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(ready, "server must come up");
+        let body = client.synth("mwem", 80, 4, "csv").unwrap();
+        assert_eq!(body.lines().count(), 81, "header + 80 rows from the MWEM artifact");
+        let again = client.synth("mwem", 80, 4, "csv").unwrap();
+        assert_eq!(body, again, "fixed seed streams identical bytes");
+        client.shutdown().unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("shut down cleanly"), "{out}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

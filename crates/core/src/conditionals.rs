@@ -6,10 +6,20 @@
 //! encodings, fixed degree `k`) additionally derives the first `k`
 //! conditionals from the noisy joint of pair `k+1` at no extra privacy cost;
 //! Algorithm 3 (general domains) materialises all `d` joints directly.
+//!
+//! All joints are served by a [`CountEngine`]: the `*_engine` entry points
+//! take a caller-owned engine (the pipeline shares one across structure and
+//! distribution learning, so AP-pair joints already counted during scoring
+//! are answered from the cache), while the `&Dataset` forms build a
+//! throwaway engine. Engine joints are bit-identical to a fresh
+//! `ContingencyTable::from_dataset` scan, so which form is used never
+//! changes the output.
 
 use privbayes_data::Dataset;
 use privbayes_dp::laplace::sample_laplace;
-use privbayes_marginals::{clamp_and_normalize, mutual_consistency, Axis, ContingencyTable};
+use privbayes_marginals::{
+    clamp_and_normalize, mutual_consistency, Axis, ContingencyTable, CountEngine,
+};
 use rand::Rng;
 
 use crate::error::PrivBayesError;
@@ -69,8 +79,12 @@ pub struct NoisyModel {
 
 /// Builds a conditional from a joint table whose **last axis is the child**:
 /// clamps negatives, renormalises, and conditions each parent slice (zero
-/// slices become uniform).
-fn conditional_from_joint(table: &ContingencyTable, child: usize) -> Conditional {
+/// slices become uniform). This is *the* post-processing step between a
+/// (noisy) joint and a sampling-ready CPT, shared by every layer that
+/// assembles models — the core's distribution learning, the relational fact
+/// model, and the synthesizer layer's artifact constructions.
+#[must_use]
+pub fn conditional_from_joint(table: &ContingencyTable, child: usize) -> Conditional {
     let dims = table.dims();
     let child_dim = *dims.last().expect("table has axes");
     let parent_dims: Vec<usize> = dims[..dims.len() - 1].to_vec();
@@ -96,7 +110,7 @@ fn conditional_from_joint(table: &ContingencyTable, child: usize) -> Conditional
 /// `Lap(scale)` noise per cell (skipped when `scale` is `None`), then
 /// non-negativity + renormalisation (Algorithm 1 line 5).
 fn noisy_joint<R: Rng + ?Sized>(
-    data: &Dataset,
+    engine: &CountEngine,
     child: usize,
     parents: &[Axis],
     scale: Option<f64>,
@@ -104,7 +118,7 @@ fn noisy_joint<R: Rng + ?Sized>(
 ) -> ContingencyTable {
     let mut axes: Vec<Axis> = parents.to_vec();
     axes.push(Axis::raw(child));
-    let mut table = ContingencyTable::from_dataset(data, &axes);
+    let mut table = engine.joint_table(&axes);
     if let Some(scale) = scale {
         for v in table.values_mut() {
             *v += sample_laplace(scale, rng);
@@ -125,7 +139,21 @@ pub fn noisy_conditionals_general<R: Rng + ?Sized>(
     epsilon2: Option<f64>,
     rng: &mut R,
 ) -> Result<NoisyModel, PrivBayesError> {
-    let n = data.n();
+    noisy_conditionals_general_engine(&CountEngine::new(data), network, epsilon2, rng)
+}
+
+/// [`noisy_conditionals_general`] over a caller-owned engine (joints already
+/// counted during structure learning come straight from the cache).
+///
+/// # Errors
+/// As [`noisy_conditionals_general`].
+pub fn noisy_conditionals_general_engine<R: Rng + ?Sized>(
+    engine: &CountEngine,
+    network: &BayesianNetwork,
+    epsilon2: Option<f64>,
+    rng: &mut R,
+) -> Result<NoisyModel, PrivBayesError> {
+    let n = engine.n();
     if n == 0 {
         return Err(PrivBayesError::InvalidConfig("empty dataset".into()));
     }
@@ -143,7 +171,7 @@ pub fn noisy_conditionals_general<R: Rng + ?Sized>(
         .pairs()
         .iter()
         .map(|pair| {
-            let joint = noisy_joint(data, pair.child, &pair.parents, scale, rng);
+            let joint = noisy_joint(engine, pair.child, &pair.parents, scale, rng);
             conditional_from_joint(&joint, pair.child)
         })
         .collect();
@@ -172,7 +200,21 @@ pub fn noisy_conditionals_consistent<R: Rng + ?Sized>(
     rounds: usize,
     rng: &mut R,
 ) -> Result<NoisyModel, PrivBayesError> {
-    let n = data.n();
+    noisy_conditionals_consistent_engine(&CountEngine::new(data), network, epsilon2, rounds, rng)
+}
+
+/// [`noisy_conditionals_consistent`] over a caller-owned engine.
+///
+/// # Errors
+/// As [`noisy_conditionals_consistent`].
+pub fn noisy_conditionals_consistent_engine<R: Rng + ?Sized>(
+    engine: &CountEngine,
+    network: &BayesianNetwork,
+    epsilon2: Option<f64>,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<NoisyModel, PrivBayesError> {
+    let n = engine.n();
     if n == 0 {
         return Err(PrivBayesError::InvalidConfig("empty dataset".into()));
     }
@@ -194,7 +236,7 @@ pub fn noisy_conditionals_consistent<R: Rng + ?Sized>(
         .map(|pair| {
             let mut axes: Vec<Axis> = pair.parents.clone();
             axes.push(Axis::raw(pair.child));
-            let mut table = ContingencyTable::from_dataset(data, &axes);
+            let mut table = engine.joint_table(&axes);
             if let Some(scale) = scale {
                 for v in table.values_mut() {
                     *v += sample_laplace(scale, rng);
@@ -238,7 +280,21 @@ pub fn noisy_conditionals_binary_k<R: Rng + ?Sized>(
     epsilon2: Option<f64>,
     rng: &mut R,
 ) -> Result<NoisyModel, PrivBayesError> {
-    let n = data.n();
+    noisy_conditionals_binary_k_engine(&CountEngine::new(data), network, k, epsilon2, rng)
+}
+
+/// [`noisy_conditionals_binary_k`] over a caller-owned engine.
+///
+/// # Errors
+/// As [`noisy_conditionals_binary_k`].
+pub fn noisy_conditionals_binary_k_engine<R: Rng + ?Sized>(
+    engine: &CountEngine,
+    network: &BayesianNetwork,
+    k: usize,
+    epsilon2: Option<f64>,
+    rng: &mut R,
+) -> Result<NoisyModel, PrivBayesError> {
+    let n = engine.n();
     if n == 0 {
         return Err(PrivBayesError::InvalidConfig("empty dataset".into()));
     }
@@ -260,7 +316,7 @@ pub fn noisy_conditionals_binary_k<R: Rng + ?Sized>(
     // Pairs k+1..d (0-based k..d): direct noisy materialisation.
     let mut tail: Vec<(ContingencyTable, usize)> = Vec::with_capacity(d - k);
     for pair in &pairs[k..] {
-        tail.push((noisy_joint(data, pair.child, &pair.parents, scale, rng), pair.child));
+        tail.push((noisy_joint(engine, pair.child, &pair.parents, scale, rng), pair.child));
     }
 
     // Pairs 1..k (0-based 0..k): derived from the noisy joint of pair k+1.

@@ -18,7 +18,7 @@
 
 use privbayes_data::Dataset;
 use privbayes_dp::exponential::select_with_scale;
-use privbayes_marginals::{Axis, ContingencyTable, CountEngine};
+use privbayes_marginals::{Axis, CountEngine};
 use rand::{Rng, RngExt};
 
 use crate::error::PrivBayesError;
@@ -89,23 +89,23 @@ struct Candidate {
     parents: Vec<Axis>,
 }
 
-/// Scores `Pr[X, Π]` for a candidate with a one-shot row scan. The greedy
-/// loops use a shared [`CountEngine`] instead; this entry point remains for
-/// callers scoring a single ad-hoc pair.
+/// Scores `Pr[X, Π]` for one AP pair through the shared engine — the same
+/// entry point the greedy rounds use, exposed for callers scoring a single
+/// ad-hoc pair.
 ///
 /// # Errors
 /// Propagates score errors (e.g. `F` on a non-binary child).
 pub fn score_candidate(
-    data: &Dataset,
+    engine: &CountEngine,
     child: usize,
     parents: &[Axis],
     score: ScoreKind,
 ) -> Result<f64, PrivBayesError> {
     let mut axes: Vec<Axis> = parents.to_vec();
     axes.push(Axis::raw(child));
-    let table = ContingencyTable::from_dataset(data, &axes);
-    let child_dim = data.schema().attribute(child).domain_size();
-    score.compute(table.values(), child_dim, data.n())
+    let table = engine.joint_table(&axes);
+    let child_dim = engine.schema().attribute(child).domain_size();
+    score.compute(table.values(), child_dim, engine.n())
 }
 
 /// Scores every candidate through the engine, preserving candidate order.
@@ -114,7 +114,6 @@ pub fn score_candidate(
 /// is the in-order concatenation regardless of scheduling.
 fn score_candidates(
     engine: &CountEngine,
-    data: &Dataset,
     candidates: &[Candidate],
     score: ScoreKind,
     threads: usize,
@@ -129,7 +128,7 @@ fn score_candidates(
                 axes.extend_from_slice(&cand.parents);
                 axes.push(Axis::raw(cand.child));
                 engine.joint_into(&axes, &mut joint);
-                let child_dim = data.schema().attribute(cand.child).domain_size();
+                let child_dim = engine.schema().attribute(cand.child).domain_size();
                 score.compute(&joint, child_dim, engine.n())
             })
             .collect()
@@ -210,6 +209,9 @@ fn select<R: Rng + ?Sized>(
 }
 
 /// Algorithm 2: GreedyBayes with a fixed degree `k` (binary encodings).
+/// Builds a fresh [`CountEngine`] over `data`; callers that already hold an
+/// engine (and want its cache shared with distribution learning) should use
+/// [`greedy_bayes_fixed_k_engine`].
 ///
 /// # Errors
 /// Returns [`PrivBayesError`] on score failures or invalid configuration.
@@ -219,15 +221,30 @@ pub fn greedy_bayes_fixed_k<R: Rng + ?Sized>(
     settings: &GreedySettings,
     rng: &mut R,
 ) -> Result<BayesianNetwork, PrivBayesError> {
-    let d = data.d();
+    greedy_bayes_fixed_k_engine(&CountEngine::new(data), k, settings, rng)
+}
+
+/// [`greedy_bayes_fixed_k`] over a caller-owned engine. The learned network
+/// depends only on the underlying data and `rng` — never on the engine's
+/// cache state — so sharing an engine across phases is purely a speedup.
+///
+/// # Errors
+/// Returns [`PrivBayesError`] on score failures or invalid configuration.
+pub fn greedy_bayes_fixed_k_engine<R: Rng + ?Sized>(
+    engine: &CountEngine,
+    k: usize,
+    settings: &GreedySettings,
+    rng: &mut R,
+) -> Result<BayesianNetwork, PrivBayesError> {
+    let schema = engine.schema();
+    let d = schema.len();
     if d < 2 {
         return Err(PrivBayesError::InvalidConfig("need at least two attributes".into()));
     }
     let k = k.min(settings.max_degree).min(d - 1);
-    let n = data.n();
-    let all_binary = data.schema().all_binary();
+    let n = engine.n();
+    let all_binary = schema.all_binary();
     let threads = resolve_threads(settings.threads);
-    let engine = CountEngine::new(data);
 
     let first = rng.random_range(0..d);
     let mut pairs = vec![ApPair::new(first, vec![])];
@@ -247,19 +264,21 @@ pub fn greedy_bayes_fixed_k<R: Rng + ?Sized>(
                 });
             }
         }
-        let scores = score_candidates(&engine, data, &candidates, settings.score, threads)?;
+        let scores = score_candidates(engine, &candidates, settings.score, threads)?;
         let chosen = select(&scores, settings, d, n, all_binary, rng)?;
         let c = candidates.swap_remove(chosen);
         in_v[c.child] = true;
         v.push(c.child);
         pairs.push(ApPair::generalized(c.child, c.parents));
     }
-    BayesianNetwork::new(pairs, data.schema())
+    BayesianNetwork::new(pairs, schema)
 }
 
 /// Algorithm 4: GreedyBayes with θ-usefulness-driven maximal parent sets
 /// (vanilla and hierarchical encodings). `use_taxonomy` enables generalised
-/// parent sets (Algorithm 6) where taxonomy trees are available.
+/// parent sets (Algorithm 6) where taxonomy trees are available. Builds a
+/// fresh [`CountEngine`] over `data`; see [`greedy_bayes_adaptive_engine`]
+/// for the shared-engine form.
 ///
 /// # Errors
 /// Returns [`PrivBayesError`] on score failures or invalid configuration.
@@ -271,15 +290,38 @@ pub fn greedy_bayes_adaptive<R: Rng + ?Sized>(
     settings: &GreedySettings,
     rng: &mut R,
 ) -> Result<BayesianNetwork, PrivBayesError> {
-    let d = data.d();
+    greedy_bayes_adaptive_engine(
+        &CountEngine::new(data),
+        theta,
+        epsilon2,
+        use_taxonomy,
+        settings,
+        rng,
+    )
+}
+
+/// [`greedy_bayes_adaptive`] over a caller-owned engine. The learned network
+/// depends only on the underlying data and `rng` — never on the engine's
+/// cache state — so sharing an engine across phases is purely a speedup.
+///
+/// # Errors
+/// Returns [`PrivBayesError`] on score failures or invalid configuration.
+pub fn greedy_bayes_adaptive_engine<R: Rng + ?Sized>(
+    engine: &CountEngine,
+    theta: f64,
+    epsilon2: f64,
+    use_taxonomy: bool,
+    settings: &GreedySettings,
+    rng: &mut R,
+) -> Result<BayesianNetwork, PrivBayesError> {
+    let schema = engine.schema();
+    let d = schema.len();
     if d < 2 {
         return Err(PrivBayesError::InvalidConfig("need at least two attributes".into()));
     }
-    let n = data.n();
-    let schema = data.schema();
+    let n = engine.n();
     let all_binary = schema.all_binary();
     let threads = resolve_threads(settings.threads);
-    let engine = CountEngine::new(data);
     let domain_sizes = schema.domain_sizes();
     let level_sizes: Vec<Vec<usize>> = schema
         .attributes()
@@ -318,14 +360,14 @@ pub fn greedy_bayes_adaptive<R: Rng + ?Sized>(
                 }
             }
         }
-        let scores = score_candidates(&engine, data, &candidates, settings.score, threads)?;
+        let scores = score_candidates(engine, &candidates, settings.score, threads)?;
         let chosen = select(&scores, settings, d, n, all_binary, rng)?;
         let c = candidates.swap_remove(chosen);
         in_v[c.child] = true;
         v.push(c.child);
         pairs.push(ApPair::generalized(c.child, c.parents));
     }
-    BayesianNetwork::new(pairs, data.schema())
+    BayesianNetwork::new(pairs, schema)
 }
 
 #[cfg(test)]

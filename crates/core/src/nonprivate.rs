@@ -2,16 +2,18 @@
 //! NoPrivacy / BestNetwork helpers.
 
 use privbayes_data::Dataset;
-use privbayes_marginals::{Axis, ContingencyTable};
+use privbayes_marginals::{Axis, CountEngine};
 
 use crate::network::BayesianNetwork;
 use crate::score::mi::mutual_information;
 
 /// Sum of mutual information `Σᵢ I(Xᵢ, Πᵢ)` of a network measured on `data`
 /// — the network-quality metric plotted in Figure 4 (maximising it minimises
-/// the KL divergence of Equation 6).
+/// the KL divergence of Equation 6). Joints come from a [`CountEngine`], so
+/// sub-marginals shared between AP pairs are counted once.
 #[must_use]
 pub fn sum_mutual_information(data: &Dataset, network: &BayesianNetwork) -> f64 {
+    let engine = CountEngine::new(data);
     network
         .pairs()
         .iter()
@@ -21,7 +23,7 @@ pub fn sum_mutual_information(data: &Dataset, network: &BayesianNetwork) -> f64 
             }
             let mut axes: Vec<Axis> = pair.parents.clone();
             axes.push(Axis::raw(pair.child));
-            let table = ContingencyTable::from_dataset(data, &axes);
+            let table = engine.joint_table(&axes);
             let child_dim = data.schema().attribute(pair.child).domain_size();
             mutual_information(table.values(), child_dim)
         })

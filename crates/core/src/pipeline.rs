@@ -15,14 +15,15 @@
 use privbayes_data::encoding::{binarize, debinarize, EncodingKind};
 use privbayes_data::Dataset;
 use privbayes_dp::budget::BudgetSplit;
+use privbayes_marginals::CountEngine;
 use rand::Rng;
 
 use crate::conditionals::{
-    noisy_conditionals_binary_k, noisy_conditionals_consistent, noisy_conditionals_general,
-    NoisyModel,
+    noisy_conditionals_binary_k_engine, noisy_conditionals_consistent_engine,
+    noisy_conditionals_general_engine, NoisyModel,
 };
 use crate::error::PrivBayesError;
-use crate::greedy::{greedy_bayes_adaptive, greedy_bayes_fixed_k, GreedySettings};
+use crate::greedy::{greedy_bayes_adaptive_engine, greedy_bayes_fixed_k_engine, GreedySettings};
 use crate::network::BayesianNetwork;
 use crate::sampler::sample_synthetic_with_threads;
 use crate::score::ScoreKind;
@@ -269,9 +270,13 @@ impl PrivBayes {
                 .unwrap_or_else(|| choose_degree_binary(bin_data.n(), bin_data.d(), eps2, o.theta))
                 .min(o.max_degree)
                 .min(bin_data.d() - 1);
-            let network = greedy_bayes_fixed_k(&bin_data, k, &settings, rng)?;
-            let model = noisy_conditionals_binary_k(
-                &bin_data,
+            // One engine spans both learning phases: AP-pair joints counted
+            // while scoring candidates are cache hits when the noisy
+            // conditionals materialise them again.
+            let engine = CountEngine::new(&bin_data);
+            let network = greedy_bayes_fixed_k_engine(&engine, k, &settings, rng)?;
+            let model = noisy_conditionals_binary_k_engine(
+                &engine,
                 &network,
                 k,
                 o.private_marginals.then_some(eps2),
@@ -290,18 +295,20 @@ impl PrivBayes {
             })
         } else {
             let use_taxonomy = o.encoding == EncodingKind::Hierarchical;
-            let network = greedy_bayes_adaptive(data, o.theta, eps2, use_taxonomy, &settings, rng)?;
+            let engine = CountEngine::new(data);
+            let network =
+                greedy_bayes_adaptive_engine(&engine, o.theta, eps2, use_taxonomy, &settings, rng)?;
             let model = if o.consistency_rounds > 0 {
-                noisy_conditionals_consistent(
-                    data,
+                noisy_conditionals_consistent_engine(
+                    &engine,
                     &network,
                     o.private_marginals.then_some(eps2),
                     o.consistency_rounds,
                     rng,
                 )?
             } else {
-                noisy_conditionals_general(
-                    data,
+                noisy_conditionals_general_engine(
+                    &engine,
                     &network,
                     o.private_marginals.then_some(eps2),
                     rng,

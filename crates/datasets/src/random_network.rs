@@ -109,7 +109,7 @@ impl GroundTruthNetwork {
 mod tests {
     use super::*;
     use privbayes_data::Attribute;
-    use privbayes_marginals::{Axis, ContingencyTable};
+    use privbayes_marginals::{Axis, CountEngine};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -134,10 +134,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let net = GroundTruthNetwork::random(&schema(8), 3, 0.2, &mut rng);
         let ds = net.sample(5000, &mut rng);
+        let engine = CountEngine::new(&ds);
         let mut max_dep: f64 = 0.0;
         for a in 0..8 {
             for b in a + 1..8 {
-                let t = ContingencyTable::from_dataset(&ds, &[Axis::raw(a), Axis::raw(b)]);
+                let t = engine.joint_table(&[Axis::raw(a), Axis::raw(b)]);
                 let v = t.values();
                 let pa = v[0] + v[1];
                 let pb = v[0] + v[2];
@@ -218,9 +219,10 @@ mod tests {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let net = GroundTruthNetwork::random(&schema, 2, alpha, &mut rng);
                     let ds = net.sample(3000, &mut rng);
+                    let engine = CountEngine::new(&ds);
                     let mut h = 0.0;
                     for attr in 0..6 {
-                        let t = ContingencyTable::from_dataset(&ds, &[Axis::raw(attr)]);
+                        let t = engine.joint_table(&[Axis::raw(attr)]);
                         for &p in t.values() {
                             if p > 0.0 {
                                 h -= p * p.log2();

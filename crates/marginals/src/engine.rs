@@ -34,9 +34,48 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-use privbayes_data::Dataset;
+use privbayes_data::{Dataset, Schema};
 
 use crate::table::{Axis, ContingencyTable};
+
+/// A provider of exact joint distributions over attribute subsets — the
+/// abstraction every marginal-consuming algorithm (GreedyBayes, the noisy
+/// conditionals, the §6 baselines, the relational fact model) is written
+/// against, so none of them re-scans the dataset's rows itself.
+///
+/// The canonical implementation is [`CountEngine`], which memoises integer
+/// count tables and answers subset requests by exact projection. The
+/// contract every implementation must honour:
+///
+/// * [`joint_table`](MarginalSource::joint_table) is **bit-identical** to
+///   [`ContingencyTable::from_dataset`] with the same axes on the underlying
+///   data — same counts, same `count · (1/n)` scaling expression — no matter
+///   how the answer was produced (fresh count, cache hit, projection).
+/// * Requests are pure: a `MarginalSource` consumes no randomness and its
+///   answers do not depend on request order or thread interleaving.
+pub trait MarginalSource: Sync {
+    /// Number of rows in the underlying dataset.
+    fn n(&self) -> usize;
+
+    /// Schema of the underlying dataset.
+    fn schema(&self) -> &Schema;
+
+    /// The joint distribution over `axes` (probability scale), laid out like
+    /// [`ContingencyTable::from_dataset`]: row-major, last axis fastest.
+    fn joint_table(&self, axes: &[Axis]) -> ContingencyTable;
+
+    /// Whether a table of `cells` cells would be retained by this source's
+    /// cache (callers use this to decide whether pre-warming a superset
+    /// joint pays off). Sources without a cache return `false`.
+    fn retains(&self, _cells: usize) -> bool {
+        false
+    }
+
+    /// Cache effectiveness counters (zero for sources without a cache).
+    fn stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+}
 
 /// A dense joint **count** table (row-major, last axis fastest) — the integer
 /// twin of [`ContingencyTable`]. Counts are exact, so any two ways of
@@ -399,6 +438,12 @@ impl<'d> CountEngine<'d> {
         self.n
     }
 
+    /// Schema of the underlying dataset.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        self.radix.data.schema()
+    }
+
     /// The joint distribution over `axes` (probability scale), laid out
     /// exactly like [`ContingencyTable::from_dataset`] with the same axes:
     /// row-major, last axis fastest.
@@ -540,6 +585,28 @@ impl<'d> CountEngine<'d> {
                 .collect();
             (key.clone(), positions)
         })
+    }
+}
+
+impl MarginalSource for CountEngine<'_> {
+    fn n(&self) -> usize {
+        CountEngine::n(self)
+    }
+
+    fn schema(&self) -> &Schema {
+        CountEngine::schema(self)
+    }
+
+    fn joint_table(&self, axes: &[Axis]) -> ContingencyTable {
+        CountEngine::joint_table(self, axes)
+    }
+
+    fn retains(&self, cells: usize) -> bool {
+        cells <= self.cell_budget()
+    }
+
+    fn stats(&self) -> EngineStats {
+        CountEngine::stats(self)
     }
 }
 

@@ -11,8 +11,10 @@
 //! # The count engine
 //!
 //! [`engine::CountEngine`] is the shared, memoising source of joints for
-//! network learning. Its contract, relied on by the parallel scoring and
-//! equivalence tests in `privbayes`:
+//! every marginal-consuming algorithm in the suite — network learning, the
+//! noisy conditionals, the §6 baselines, and the relational fact model all
+//! consume it through the [`engine::MarginalSource`] trait. Its contract,
+//! relied on by the parallel scoring and equivalence tests in `privbayes`:
 //!
 //! * **Caching.** Tables are cached keyed by the *sorted* (attr, level) axis
 //!   set; a request whose axis set is a subset of a cached joint is answered
@@ -32,7 +34,7 @@ pub mod query;
 pub mod table;
 
 pub use consistency::{clamp_and_normalize, mutual_consistency, shared_axes};
-pub use engine::{CountBackend, CountEngine, CountTable, EngineStats};
+pub use engine::{CountBackend, CountEngine, CountTable, EngineStats, MarginalSource};
 pub use metrics::{average_workload_tvd, total_variation};
 pub use query::AlphaWayWorkload;
 pub use table::{Axis, ContingencyTable};

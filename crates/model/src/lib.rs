@@ -44,6 +44,7 @@
 //!
 //! let artifact = ReleasedModel::new(
 //!     ModelMetadata {
+//!         method: "privbayes".into(),
 //!         epsilon: options.epsilon,
 //!         beta: options.beta,
 //!         theta: options.theta,

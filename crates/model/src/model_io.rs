@@ -35,6 +35,10 @@ const NORMALISATION_TOLERANCE: f64 = 1e-6;
 /// a consumer can interpret it, but nothing is recomputed from them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelMetadata {
+    /// Name of the synthesis method that fit the model (`"privbayes"`,
+    /// `"privbayes-k"`, `"mwem"`, `"laplace"`, `"geometric"`, `"uniform"`).
+    /// Artifacts written before the field existed parse as `"privbayes"`.
+    pub method: String,
     /// Total privacy budget ε spent fitting the model.
     pub epsilon: f64,
     /// Budget split β between network and distribution learning.
@@ -54,6 +58,7 @@ pub struct ModelMetadata {
 impl ModelMetadata {
     fn to_json(&self) -> Json {
         Json::object(vec![
+            ("method", Json::String(self.method.clone())),
             ("epsilon", Json::Number(self.epsilon)),
             ("beta", Json::Number(self.beta)),
             ("theta", Json::Number(self.theta)),
@@ -67,6 +72,8 @@ impl ModelMetadata {
     fn from_json(json: &Json) -> Result<Self, ModelError> {
         let path = |field: &str| ModelError::Field(format!("metadata.{field}"));
         Ok(Self {
+            // Absent in pre-PR4 artifacts, which were always PrivBayes fits.
+            method: json.get("method").and_then(Json::as_str).unwrap_or("privbayes").to_string(),
             epsilon: json.get("epsilon").and_then(Json::as_f64).ok_or_else(|| path("epsilon"))?,
             beta: json.get("beta").and_then(Json::as_f64).ok_or_else(|| path("beta"))?,
             theta: json.get("theta").and_then(Json::as_f64).ok_or_else(|| path("theta"))?,
@@ -501,6 +508,7 @@ mod tests {
         let model = noisy_conditionals_general(&data, &net, Some(1.0), &mut rng).unwrap();
         ReleasedModel::new(
             ModelMetadata {
+                method: "privbayes".into(),
                 epsilon: 1.0,
                 beta: 0.3,
                 theta: 4.0,

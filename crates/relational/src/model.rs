@@ -21,14 +21,14 @@
 //! their values), and only fact attributes get scored parent sets — drawn
 //! from both entity attributes and earlier fact attributes.
 
-use privbayes::conditionals::Conditional;
+use privbayes::conditionals::{conditional_from_joint, Conditional};
 use privbayes::network::{ApPair, BayesianNetwork};
 use privbayes::parent_sets::maximal_parent_sets;
 use privbayes::score::ScoreKind;
 use privbayes_data::Dataset;
 use privbayes_dp::exponential::select_with_scale;
 use privbayes_dp::laplace::sample_laplace;
-use privbayes_marginals::{clamp_and_normalize, Axis, ContingencyTable};
+use privbayes_marginals::{clamp_and_normalize, Axis, CountEngine};
 use rand::Rng;
 
 use crate::error::RelationalError;
@@ -234,6 +234,11 @@ pub fn fit_fact_model<R: Rng + ?Sized>(
         None => (None, None),
     };
 
+    // One engine serves both phases: candidate joints counted while scoring
+    // are cache hits when the noisy conditionals materialise them again, and
+    // no phase ever re-scans the fact view's rows directly.
+    let engine = CountEngine::new(view);
+
     // --- Structure learning: greedy conditional GreedyBayes. ---
     let mut placed: Vec<usize> = (0..entity_arity).collect();
     let mut unplaced: Vec<usize> = (entity_arity..d).collect();
@@ -266,7 +271,7 @@ pub fn fit_fact_model<R: Rng + ?Sized>(
             .map(|(x, parents)| {
                 let mut axes: Vec<Axis> = parents.iter().map(|&p| Axis::raw(p)).collect();
                 axes.push(Axis::raw(*x));
-                let joint = ContingencyTable::from_dataset(view, &axes);
+                let joint = engine.joint_table(&axes);
                 ScoreKind::R
                     .compute(joint.values(), domain_sizes[*x], n_f)
                     .expect("R supports general domains")
@@ -302,7 +307,7 @@ pub fn fit_fact_model<R: Rng + ?Sized>(
         .map(|pair| {
             let mut axes: Vec<Axis> = pair.parents.clone();
             axes.push(Axis::raw(pair.child));
-            let mut joint = ContingencyTable::from_dataset(view, &axes);
+            let mut joint = engine.joint_table(&axes);
             if let Some(scale) = scale {
                 for v in joint.values_mut() {
                     *v += sample_laplace(scale, rng);
@@ -314,28 +319,6 @@ pub fn fit_fact_model<R: Rng + ?Sized>(
         .collect();
 
     Ok(ConditionalFactModel { entity_arity, network, conditionals })
-}
-
-/// Conditions a joint (last axis = child) into a [`Conditional`]; zero parent
-/// slices become uniform. Mirrors the core crate's internal post-processing.
-fn conditional_from_joint(table: &ContingencyTable, child: usize) -> Conditional {
-    let dims = table.dims();
-    let child_dim = *dims.last().expect("table has axes");
-    let parent_dims: Vec<usize> = dims[..dims.len() - 1].to_vec();
-    let parents: Vec<Axis> = table.axes()[..dims.len() - 1].to_vec();
-    let mut probs = table.values().to_vec();
-    clamp_and_normalize(&mut probs, 1.0);
-    for slice in probs.chunks_exact_mut(child_dim) {
-        let total: f64 = slice.iter().sum();
-        if total > 0.0 {
-            for v in slice.iter_mut() {
-                *v /= total;
-            }
-        } else {
-            slice.fill(1.0 / child_dim as f64);
-        }
-    }
-    Conditional { child, parents, parent_dims, child_dim, probs }
 }
 
 /// The no-data fallback: every fact attribute independent and uniform.

@@ -138,6 +138,7 @@ mod tests {
         let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng).unwrap();
         ReleasedModel::new(
             ModelMetadata {
+                method: "privbayes".into(),
                 epsilon: options.epsilon,
                 beta: options.beta,
                 theta: options.theta,

@@ -35,11 +35,11 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes_data::csv::read_csv;
-use privbayes_model::{schema_from_json, Json, ModelMetadata, ReleasedModel};
+use privbayes_model::{schema_from_json, Json, ReleasedModel};
+use privbayes_synth::{fit_method, FitSettings, Method};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::error::ServerError;
 use crate::http::{write_response, ChunkedResponse, Request};
@@ -388,40 +388,47 @@ fn synth<W: Write>(shared: &Shared, id: &str, req: &Request, out: &mut W) -> std
     chunked.finish()
 }
 
-/// `POST /fit`: debit the tenant, fit on the uploaded table, register the
-/// resulting model. The charge happens first (atomically), and is refunded
-/// if the input turns out to be invalid — so a rejected or failed request
-/// never leaks budget, and an over-budget request never touches the data.
+/// `POST /fit`: debit the tenant, fit on the uploaded table with the
+/// requested method, register the resulting model. The charge happens first
+/// (atomically), and is refunded if the input turns out to be invalid — so a
+/// rejected or failed request never leaks budget, and an over-budget request
+/// never touches the data. Methods that spend no budget (`uniform`) skip the
+/// charge entirely, but the tenant must still be registered.
 fn fit<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result<()> {
     let parsed = match parse_fit_body(&req.body) {
         Ok(parsed) => parsed,
         Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
     };
-    match shared.ledger.charge(&parsed.tenant, parsed.epsilon) {
-        Ok(_) => {}
-        Err(e @ LedgerError::Exhausted { .. }) => {
-            let message = e.to_string();
-            let LedgerError::Exhausted { tenant, requested, remaining } = e else {
-                return respond_error(out, 500, "internal", &message);
-            };
-            let body = Json::object(vec![
-                ("error", Json::String("budget-exhausted".into())),
-                ("message", Json::String(message)),
-                ("tenant", Json::String(tenant)),
-                ("requested", Json::Number(requested)),
-                ("remaining", Json::Number(remaining)),
-            ]);
-            return respond_json(out, 402, &body);
+    let spends = parsed.method.spends_budget();
+    if spends {
+        match shared.ledger.charge(&parsed.tenant, parsed.epsilon) {
+            Ok(_) => {}
+            Err(e @ LedgerError::Exhausted { .. }) => {
+                let message = e.to_string();
+                let LedgerError::Exhausted { tenant, requested, remaining } = e else {
+                    return respond_error(out, 500, "internal", &message);
+                };
+                let body = Json::object(vec![
+                    ("error", Json::String("budget-exhausted".into())),
+                    ("message", Json::String(message)),
+                    ("tenant", Json::String(tenant)),
+                    ("requested", Json::Number(requested)),
+                    ("remaining", Json::Number(remaining)),
+                ]);
+                return respond_json(out, 402, &body);
+            }
+            Err(LedgerError::UnknownTenant(t)) => {
+                return respond_error(out, 404, "tenant-not-found", &t);
+            }
+            Err(LedgerError::InvalidAmount(msg)) => {
+                return respond_error(out, 400, "bad-request", &msg);
+            }
+            Err(e @ LedgerError::Persistence(_)) => {
+                return respond_error(out, 500, "ledger-error", &e.to_string());
+            }
         }
-        Err(LedgerError::UnknownTenant(t)) => {
-            return respond_error(out, 404, "tenant-not-found", &t);
-        }
-        Err(LedgerError::InvalidAmount(msg)) => {
-            return respond_error(out, 400, "bad-request", &msg);
-        }
-        Err(e @ LedgerError::Persistence(_)) => {
-            return respond_error(out, 500, "ledger-error", &e.to_string());
-        }
+    } else if shared.ledger.budget(&parsed.tenant).is_none() {
+        return respond_error(out, 404, "tenant-not-found", &parsed.tenant);
     }
     // Charged: any failure from here on refunds before reporting.
     match run_fit(shared, &parsed) {
@@ -435,7 +442,9 @@ fn fit<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result
             respond_json(out, 201, &body)
         }
         Err(e) => {
-            shared.ledger.refund(&parsed.tenant, parsed.epsilon);
+            if spends {
+                shared.ledger.refund(&parsed.tenant, parsed.epsilon);
+            }
             respond_error(out, 400, "fit-failed", &e.to_string())
         }
     }
@@ -445,9 +454,13 @@ fn fit<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result
 struct FitRequest {
     tenant: String,
     model_id: String,
+    method: Method,
     epsilon: f64,
     beta: Option<f64>,
     theta: Option<f64>,
+    alpha: Option<usize>,
+    iterations: Option<usize>,
+    k: Option<usize>,
     seed: Option<u64>,
     schema: Json,
     csv: String,
@@ -467,17 +480,39 @@ fn parse_fit_body(body: &[u8]) -> Result<FitRequest, ServerError> {
             Some(v) => Ok(Some(v.as_f64().ok_or_else(|| field(name))?)),
         }
     };
+    let opt_usize = |name: &str| -> Result<Option<usize>, ServerError> {
+        match json.get(name) {
+            None => Ok(None),
+            Some(v) => Ok(Some(v.as_usize().ok_or_else(|| field(name))?)),
+        }
+    };
     // Validate the id *here*, before the caller charges the ledger and
     // runs the fit — a request that can only fail at registration must
     // never spend CPU on the DP mechanism.
     let model_id = str_field("model_id")?;
     crate::registry::validate_id(&model_id)?;
+    let method = match json.get("method") {
+        None => Method::PrivBayes,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| field("method"))?;
+            Method::parse(name).ok_or_else(|| {
+                ServerError::Protocol(format!(
+                    "unknown method `{name}`; valid methods: {}",
+                    Method::names()
+                ))
+            })?
+        }
+    };
     Ok(FitRequest {
         tenant: str_field("tenant")?,
         model_id,
+        method,
         epsilon: json.get("epsilon").and_then(Json::as_f64).ok_or_else(|| field("epsilon"))?,
         beta: opt_number("beta")?,
         theta: opt_number("theta")?,
+        alpha: opt_usize("alpha")?,
+        iterations: opt_usize("iterations")?,
+        k: opt_usize("k")?,
         seed: match json.get("seed") {
             None => None,
             Some(v) => Some(v.as_usize().ok_or_else(|| field("seed"))? as u64),
@@ -487,44 +522,35 @@ fn parse_fit_body(body: &[u8]) -> Result<FitRequest, ServerError> {
     })
 }
 
-/// Fits the model and registers it; every failure is reported (and the
-/// caller refunds).
+/// Fits the model with the requested method and registers it; every failure
+/// is reported (and the caller refunds).
 fn run_fit(shared: &Shared, fit: &FitRequest) -> Result<Arc<ModelEntry>, ServerError> {
     let schema = schema_from_json(&fit.schema).map_err(|e| ServerError::Model(e.to_string()))?;
     let data = read_csv(&schema, fit.csv.as_bytes())
         .map_err(|e| ServerError::Model(format!("csv: {e}")))?;
-    let mut options = PrivBayesOptions::new(fit.epsilon);
-    if let Some(beta) = fit.beta {
-        options = options.with_beta(beta);
-    }
-    if let Some(theta) = fit.theta {
-        options = options.with_theta(theta);
-    }
-    if let Some(threads) = shared.config.fit_threads {
-        options = options.with_threads(threads);
-    }
-    let mut rng = match fit.seed {
-        Some(seed) => StdRng::seed_from_u64(seed),
-        None => StdRng::try_from_rng(&mut rand::rngs::SysRng)
-            .map_err(|_| ServerError::Io("entropy source unavailable".into()))?,
-    };
-    let result = PrivBayes::new(options.clone())
-        .synthesize(&data, &mut rng)
-        .map_err(|e| ServerError::Model(e.to_string()))?;
-    let artifact = ReleasedModel::new(
-        ModelMetadata {
-            epsilon: fit.epsilon,
-            beta: options.beta,
-            theta: options.theta,
-            score: options.effective_score().name().to_string(),
-            encoding: options.encoding.name().to_string(),
-            source_rows: data.n(),
-            comment: format!("fit via privbayes-server for tenant {}", fit.tenant),
+    let defaults = FitSettings::default();
+    let settings = FitSettings {
+        beta: fit.beta.unwrap_or(defaults.beta),
+        theta: fit.theta.unwrap_or(defaults.theta),
+        alpha: fit.alpha.unwrap_or(defaults.alpha),
+        fixed_k: fit.k.unwrap_or(defaults.fixed_k),
+        mwem: privbayes_synth::MwemOptions {
+            iterations: fit.iterations.unwrap_or(defaults.mwem.iterations),
+            ..defaults.mwem
         },
-        data.schema().clone(),
-        result.model,
-    )?;
-    shared.registry.load(&fit.model_id, artifact)?;
+        threads: shared.config.fit_threads,
+        comment: format!("fit via privbayes-server for tenant {}", fit.tenant),
+        ..defaults
+    };
+    let seed = match fit.seed {
+        Some(seed) => seed,
+        None => StdRng::try_from_rng(&mut rand::rngs::SysRng)
+            .map_err(|_| ServerError::Io("entropy source unavailable".into()))?
+            .random::<u64>(),
+    };
+    let fitted = fit_method(fit.method, &data, fit.epsilon, seed, &settings)
+        .map_err(|e| ServerError::Model(e.to_string()))?;
+    shared.registry.load(&fit.model_id, fitted.artifact)?;
     Ok(shared.registry.get(&fit.model_id).expect("loaded above"))
 }
 
@@ -533,6 +559,7 @@ fn model_json(entry: &ModelEntry) -> Json {
     let meta = &entry.artifact.metadata;
     Json::object(vec![
         ("id", Json::String(entry.id.clone())),
+        ("method", Json::String(meta.method.clone())),
         ("attributes", Json::from_usize(entry.artifact.schema.len())),
         ("epsilon", Json::Number(meta.epsilon)),
         ("source_rows", Json::from_usize(meta.source_rows)),

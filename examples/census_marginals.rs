@@ -11,7 +11,7 @@ use privbayes_baselines::{laplace_marginals, uniform_marginals};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_datasets::nltcs;
 use privbayes_marginals::metrics::average_workload_tvd_tables;
-use privbayes_marginals::{average_workload_tvd, AlphaWayWorkload};
+use privbayes_marginals::{average_workload_tvd, AlphaWayWorkload, CountEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,7 +38,7 @@ fn main() {
             average_workload_tvd(data, &result.synthetic, alpha)
         };
         let lap = {
-            let tables = laplace_marginals(data, &workload, eps, &mut rng);
+            let tables = laplace_marginals(&CountEngine::new(data), &workload, eps, &mut rng);
             average_workload_tvd_tables(data, &tables, &workload)
         };
         let uni = {

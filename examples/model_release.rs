@@ -31,6 +31,7 @@ fn main() {
 
     let artifact = ReleasedModel::new(
         ModelMetadata {
+            method: "privbayes".into(),
             epsilon,
             beta: options.beta,
             theta: options.theta,

@@ -10,7 +10,7 @@
 //! scaled by the fan-out cap `m`. The example synthesises the full
 //! two-table database and checks which cross-table statistics survive.
 
-use privbayes_marginals::{total_variation, Axis, ContingencyTable};
+use privbayes_marginals::{total_variation, Axis, CountEngine};
 use privbayes_relational::{clinic_benchmark, RelationalOptions, RelationalPrivBayes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +56,8 @@ fn main() {
 
     // (b) the cross-table smoker × diagnosis correlation?
     let joint = |d: &privbayes_relational::RelationalDataset| {
-        ContingencyTable::from_dataset(&d.fact_view(), &[Axis::raw(0), Axis::raw(2)])
+        let view = d.fact_view();
+        CountEngine::new(&view).joint_table(&[Axis::raw(0), Axis::raw(2)])
     };
     let joint_tvd = total_variation(joint(&data).values(), joint(synth).values());
     println!("smoker × diagnosis joint TVD:     {joint_tvd:.4}");

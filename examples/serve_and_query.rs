@@ -35,6 +35,7 @@ fn main() {
     let fit = PrivBayes::new(options.clone()).synthesize(&data, &mut rng).unwrap();
     let artifact = ReleasedModel::new(
         ModelMetadata {
+            method: "privbayes".into(),
             epsilon: options.epsilon,
             beta: options.beta,
             theta: options.theta,

@@ -15,6 +15,7 @@
 //! | [`model`] | `privbayes-model` |
 //! | [`relational`] | `privbayes-relational` |
 //! | [`server`] | `privbayes-server` (serving layer: registry, ledger, streaming) |
+//! | [`synth`] | `privbayes-synth` (the unified `Synthesizer` layer) |
 //!
 //! Library users should depend on the individual crates directly; this crate
 //! exists for the workspace's own `tests/` and `examples/` targets (see
@@ -30,3 +31,4 @@ pub use privbayes_ml as ml;
 pub use privbayes_model as model;
 pub use privbayes_relational as relational;
 pub use privbayes_server as server;
+pub use privbayes_synth as synth;

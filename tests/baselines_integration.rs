@@ -8,7 +8,7 @@ use privbayes_suite::baselines::{
 use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
 use privbayes_suite::datasets::{adult, nltcs};
 use privbayes_suite::marginals::metrics::average_workload_tvd_tables;
-use privbayes_suite::marginals::{average_workload_tvd, AlphaWayWorkload};
+use privbayes_suite::marginals::{average_workload_tvd, AlphaWayWorkload, CountEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,10 +20,10 @@ fn all_baselines_produce_one_table_per_query() {
     let mwem = MwemOptions { iterations: 4, max_candidates: Some(20), update_passes: 2 };
 
     let all = [
-        laplace_marginals(&data, &workload, 0.4, &mut rng),
+        laplace_marginals(&CountEngine::new(&data), &workload, 0.4, &mut rng),
         fourier_marginals(&data, &workload, 0.4, &mut rng),
-        contingency_marginals(&data, &workload, 0.4, &mut rng),
-        mwem_marginals(&data, &workload, 0.4, mwem, &mut rng),
+        contingency_marginals(&CountEngine::new(&data), &workload, 0.4, &mut rng),
+        mwem_marginals(&CountEngine::new(&data), &workload, 0.4, mwem, &mut rng),
         uniform_marginals(data.schema(), &workload),
     ];
     for tables in &all {
@@ -59,7 +59,7 @@ fn privbayes_beats_laplace_at_small_epsilon() {
     let lap: f64 = (0..reps)
         .map(|s| {
             let mut rng = StdRng::seed_from_u64(20 + s);
-            let tables = laplace_marginals(&data, &workload, eps, &mut rng);
+            let tables = laplace_marginals(&CountEngine::new(&data), &workload, eps, &mut rng);
             average_workload_tvd_tables(&data, &tables, &workload)
         })
         .sum::<f64>()
@@ -72,7 +72,7 @@ fn laplace_converges_to_truth_at_large_epsilon() {
     let data = nltcs::nltcs_sized(4, 2000).data;
     let workload = AlphaWayWorkload::new(data.d(), 2);
     let mut rng = StdRng::seed_from_u64(5);
-    let tables = laplace_marginals(&data, &workload, 1e5, &mut rng);
+    let tables = laplace_marginals(&CountEngine::new(&data), &workload, 1e5, &mut rng);
     let err = average_workload_tvd_tables(&data, &tables, &workload);
     assert!(err < 1e-2, "Laplace at huge ε is near-exact, err = {err}");
 }
@@ -96,7 +96,7 @@ fn uniform_is_the_epsilon_free_floor() {
     let uni_err = average_workload_tvd_tables(&data, &uni, &workload);
     // Heavily-noised Laplace degrades to (or beyond) the Uniform floor.
     let mut rng = StdRng::seed_from_u64(9);
-    let lap = laplace_marginals(&data, &workload, 0.005, &mut rng);
+    let lap = laplace_marginals(&CountEngine::new(&data), &workload, 0.005, &mut rng);
     let lap_err = average_workload_tvd_tables(&data, &lap, &workload);
     assert!(lap_err > uni_err * 0.8, "tiny-ε Laplace ({lap_err}) ≳ uniform floor ({uni_err})");
 }

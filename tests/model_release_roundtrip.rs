@@ -44,6 +44,7 @@ fn release(data: &Dataset, epsilon: f64, encoding: EncodingKind, seed: u64) -> R
     let result = PrivBayes::new(options.clone()).synthesize(data, &mut rng).unwrap();
     ReleasedModel::new(
         ModelMetadata {
+            method: "privbayes".into(),
             epsilon,
             beta: options.beta,
             theta: options.theta,

@@ -35,6 +35,7 @@ fn fixture_model(seed: u64) -> ReleasedModel {
     let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng).unwrap();
     ReleasedModel::new(
         ModelMetadata {
+            method: "privbayes".into(),
             epsilon: options.epsilon,
             beta: options.beta,
             theta: options.theta,
