@@ -20,6 +20,14 @@
 //! CSV is byte-identical to the direct batch sampling path for the same
 //! seed, so the throughput numbers can never come from a diverging stream.
 //!
+//! The **query** workload (PR 5) benches the query API v2 paths over a
+//! served NLTCS model (the paper's marginal-workload dataset; its all-binary
+//! domains keep θ-projection closures small): `/v1/models/{id}/query` latency
+//! (p50/p95 across 1/2/3-way queries, gated on bit-identity with the
+//! independent `reference_theta_projection` oracle) and conditional-synth
+//! throughput (`/v1` spec with evidence) versus the unconditional stream.
+//! Those numbers land in `BENCH_PR5.json`.
+//!
 //! Usage: `perf [--quick] [--reps N] [--scale F] [--out DIR]`. The JSON is
 //! written to `--out` (or the working directory).
 
@@ -33,12 +41,15 @@ use privbayes::sampler::sample_synthetic_with_threads;
 use privbayes::ScoreKind;
 use privbayes_bench::reference::{
     reference_greedy_adaptive, reference_greedy_fixed_k, reference_sample_synthetic,
+    reference_theta_projection,
 };
 use privbayes_bench::HarnessConfig;
 use privbayes_data::csv::write_csv;
 use privbayes_data::Dataset;
-use privbayes_model::{ModelMetadata, ReleasedModel};
-use privbayes_server::{BudgetLedger, Client, ModelRegistry, Server, ServerConfig};
+use privbayes_model::{Json, ModelMetadata, ReleasedModel};
+use privbayes_server::{
+    BudgetLedger, Client, MarginalQuery, ModelRegistry, Server, ServerConfig, SynthSpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -282,12 +293,149 @@ fn run_serve(cfg: &HarnessConfig) -> ServeBench {
     ServeBench { model_rows: data.n(), attrs: data.d(), points }
 }
 
+/// Query API v2 measurements over a served model.
+struct QueryBench {
+    /// Number of marginal queries timed (across the arity mix).
+    marginal_requests: usize,
+    marginal_p50_ms: f64,
+    marginal_p95_ms: f64,
+    /// Streamed rows/sec for the default (unconditional) `/v1` spec.
+    unconditional_rows_per_sec: f64,
+    /// Streamed rows/sec with one root-evidence clamp (exact mode).
+    conditional_rows_per_sec: f64,
+    rows_per_request: usize,
+}
+
+/// Starts an in-process server over a model fit on NLTCS — the paper's
+/// marginal-workload dataset, whose all-binary domains keep θ-projection
+/// closures small — and measures the query-path latency and
+/// conditional-synth throughput. Before timing, asserts that every
+/// `/v1/query` answer is bit-identical to the independent
+/// `reference_theta_projection` oracle — latency numbers must never come
+/// from a diverging answer.
+fn run_query(cfg: &HarnessConfig) -> QueryBench {
+    let data = privbayes_datasets::nltcs::nltcs_sized(8, cfg.scaled(21_574)).data;
+    let settings = GreedySettings::private(ScoreKind::MutualInformation, 0.3);
+    let mut rng = StdRng::seed_from_u64(2042);
+    let net = greedy_bayes_fixed_k(&data, 3, &settings, &mut rng).unwrap();
+    let model = noisy_conditionals_general(&data, &net, Some(0.7), &mut rng).unwrap();
+    let artifact = ReleasedModel::new(
+        ModelMetadata {
+            method: "privbayes-k".into(),
+            epsilon: 1.0,
+            beta: 0.3,
+            theta: 4.0,
+            score: "I".into(),
+            encoding: "binary".into(),
+            source_rows: data.n(),
+            comment: "perf query workload".into(),
+        },
+        data.schema().clone(),
+        model.clone(),
+    )
+    .unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("nltcs", artifact).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 4, fit_threads: None, ..ServerConfig::default() },
+        Arc::clone(&registry),
+        Arc::new(BudgetLedger::in_memory()),
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let client = Client::new(handle.addr().to_string());
+
+    // A 1/2/3-way query mix over the first attributes.
+    let queries: Vec<Vec<usize>> = vec![vec![0], vec![1, 0], vec![2, 1], vec![0, 1, 2]];
+
+    // Correctness gate: served answers must be bit-identical to the oracle.
+    for attrs in &queries {
+        let mut q = MarginalQuery::new();
+        for &a in attrs {
+            q = q.over(data.schema().attribute(a).name());
+        }
+        let answer = client.query("nltcs", &q).unwrap();
+        let served: Vec<f64> = answer
+            .get("values")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        let oracle = reference_theta_projection(&model, data.schema(), attrs);
+        assert_eq!(served.len(), oracle.values().len(), "attrs {attrs:?}");
+        for (i, (a, b)) in served.iter().zip(oracle.values()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "served /v1/query must be bit-identical to the oracle (attrs {attrs:?}, cell {i})"
+            );
+        }
+    }
+
+    // Marginal latency distribution across the mix.
+    let rounds = if cfg.quick { 10 } else { 40 };
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(rounds * queries.len());
+    for _ in 0..rounds {
+        for attrs in &queries {
+            let mut q = MarginalQuery::new();
+            for &a in attrs {
+                q = q.over(data.schema().attribute(a).name());
+            }
+            let start = Instant::now();
+            let _ = client.query("nltcs", &q).unwrap();
+            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    latencies_ms.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ms[idx]
+    };
+
+    // Conditional vs unconditional streamed throughput. Evidence on the
+    // first attribute's first value (a root or near-root clamp on Adult).
+    let rows_per_request = if cfg.quick { 5_000 } else { 20_000 };
+    let requests = if cfg.quick { 2 } else { 4 };
+    let evidence_attr = data.schema().attribute(0).name().to_string();
+    let throughput = |spec_for: &dyn Fn(u64) -> SynthSpec| -> f64 {
+        let start = Instant::now();
+        for r in 0..requests {
+            let body = client.synth_with("nltcs", &spec_for(r as u64)).unwrap();
+            assert!(!body.body.is_empty());
+        }
+        (requests * rows_per_request) as f64 / start.elapsed().as_secs_f64()
+    };
+    let unconditional =
+        throughput(&|seed| SynthSpec::new().with_rows(rows_per_request).with_seed(seed));
+    let conditional = throughput(&|seed| {
+        SynthSpec::new()
+            .with_rows(rows_per_request)
+            .with_seed(seed)
+            .where_eq(evidence_attr.as_str(), 0u32)
+    });
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    QueryBench {
+        marginal_requests: latencies_ms.len(),
+        marginal_p50_ms: percentile(0.50),
+        marginal_p95_ms: percentile(0.95),
+        unconditional_rows_per_sec: unconditional,
+        conditional_rows_per_sec: conditional,
+        rows_per_request,
+    }
+}
+
 fn main() {
     let cfg = HarnessConfig::from_env();
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let workloads = vec![run_adult(&cfg), run_nltcs(&cfg)];
     let serve = run_serve(&cfg);
+    let query = run_query(&cfg);
 
     for w in &workloads {
         println!("== {} (n = {}, d = {}) ==", w.name, w.rows, w.attrs);
@@ -310,6 +458,16 @@ fn main() {
             p.clients, p.requests_per_client, p.rows_per_request, p.rows_per_sec,
         );
     }
+
+    println!("== query API v2 (model: nltcs) ==");
+    println!(
+        "  marginal /v1/query      p50 {:>7.2} ms | p95 {:>7.2} ms  ({} requests)",
+        query.marginal_p50_ms, query.marginal_p95_ms, query.marginal_requests,
+    );
+    println!(
+        "  synth throughput        unconditional {:>9.0} rows/s | conditional {:>9.0} rows/s",
+        query.unconditional_rows_per_sec, query.conditional_rows_per_sec,
+    );
 
     let workload_json: Vec<String> = workloads
         .iter()
@@ -349,15 +507,37 @@ fn main() {
         serve_points.join(",\n")
     );
 
-    let path = cfg
-        .out_dir
-        .clone()
-        .map_or_else(|| std::path::PathBuf::from("BENCH_PR3.json"), |d| d.join("BENCH_PR3.json"));
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
+    let out_path = |name: &str| -> std::path::PathBuf {
+        let path =
+            cfg.out_dir.clone().map_or_else(|| std::path::PathBuf::from(name), |d| d.join(name));
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output directory");
+            }
         }
-    }
+        path
+    };
+    let path = out_path("BENCH_PR3.json");
     std::fs::write(&path, json).expect("write BENCH_PR3.json");
+    println!("wrote {}", path.display());
+
+    let query_json = format!(
+        concat!(
+            "{{\n  \"pr\": 5,\n  \"quick\": {},\n  \"threads\": {},\n",
+            "  \"marginal_query\": {{\"requests\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}}},\n",
+            "  \"synth_throughput\": {{\"rows_per_request\": {}, ",
+            "\"unconditional_rows_per_sec\": {:.0}, \"conditional_rows_per_sec\": {:.0}}}\n}}\n"
+        ),
+        cfg.quick,
+        threads,
+        query.marginal_requests,
+        query.marginal_p50_ms,
+        query.marginal_p95_ms,
+        query.rows_per_request,
+        query.unconditional_rows_per_sec,
+        query.conditional_rows_per_sec,
+    );
+    let path = out_path("BENCH_PR5.json");
+    std::fs::write(&path, query_json).expect("write BENCH_PR5.json");
     println!("wrote {}", path.display());
 }

@@ -666,6 +666,105 @@ pub fn reference_fourier_marginals<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Independent θ-projection oracle for the query API: computes the exact
+/// model marginal `Pr*_N[attrs]` by brute-force enumeration of the query's
+/// ancestral closure. It follows the documented operation order of
+/// `privbayes::inference::theta_projection` — closure pruning, row-major
+/// enumeration over the closure attributes ascending (last fastest),
+/// per-configuration probability product in network (conditional-list)
+/// order, accumulation in enumeration order — with intentionally different
+/// machinery (fixed-point closure sweep, flat-index decoding), so agreement
+/// is **bit-for-bit**: `tests/query_api.rs` asserts the served `/v1/query`
+/// values equal this oracle's exactly.
+///
+/// # Panics
+/// Panics on an empty/duplicated/out-of-range query or a model that does
+/// not cover the schema (the serving path rejects these with typed errors;
+/// the oracle is only ever called on valid queries).
+#[must_use]
+pub fn reference_theta_projection(
+    model: &NoisyModel,
+    schema: &Schema,
+    attrs: &[usize],
+) -> ContingencyTable {
+    let d = schema.len();
+    assert_eq!(model.conditionals.len(), d, "model must cover the schema");
+    assert!(!attrs.is_empty(), "empty query");
+    for (i, &a) in attrs.iter().enumerate() {
+        assert!(a < d, "attribute {a} out of range");
+        assert!(!attrs[..i].contains(&a), "attribute {a} repeated");
+    }
+
+    // Ancestral closure by fixed-point iteration (no ordering assumption on
+    // the conditional list, unlike the serving path's single reverse sweep).
+    let mut needed = vec![false; d];
+    for &a in attrs {
+        needed[a] = true;
+    }
+    loop {
+        let mut changed = false;
+        for cond in &model.conditionals {
+            if needed[cond.child] {
+                for axis in &cond.parents {
+                    if !needed[axis.attr] {
+                        needed[axis.attr] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let closure: Vec<usize> = (0..d).filter(|&a| needed[a]).collect();
+    let closure_dims: Vec<usize> =
+        closure.iter().map(|&a| schema.attribute(a).domain_size()).collect();
+    let cells: usize = closure_dims.iter().product();
+
+    let out_dims: Vec<usize> = attrs.iter().map(|&a| schema.attribute(a).domain_size()).collect();
+    let mut values = vec![0.0f64; out_dims.iter().product()];
+    let mut tuple = vec![0u32; d];
+    let mut codes: Vec<usize> = Vec::new();
+    for flat in 0..cells {
+        // Decode the flat index into the closure configuration (row-major,
+        // last closure attribute fastest — the specified enumeration order).
+        let mut rest = flat;
+        for (&a, &dim) in closure.iter().zip(&closure_dims).rev() {
+            tuple[a] = (rest % dim) as u32;
+            rest /= dim;
+        }
+        let mut p = 1.0f64;
+        for cond in &model.conditionals {
+            if !needed[cond.child] {
+                continue;
+            }
+            codes.clear();
+            for axis in &cond.parents {
+                let raw = tuple[axis.attr];
+                let code = if axis.level == 0 {
+                    raw as usize
+                } else {
+                    schema
+                        .attribute(axis.attr)
+                        .taxonomy()
+                        .expect("taxonomy validated at model construction")
+                        .generalize(raw, axis.level) as usize
+                };
+                codes.push(code);
+            }
+            p *= cond.child_distribution(cond.parent_index(&codes))[tuple[cond.child] as usize];
+        }
+        let mut out_idx = 0usize;
+        for (&a, &dim) in attrs.iter().zip(&out_dims) {
+            out_idx = out_idx * dim + tuple[a] as usize;
+        }
+        values[out_idx] += p;
+    }
+    let axes: Vec<Axis> = attrs.iter().map(|&a| Axis::raw(a)).collect();
+    ContingencyTable::from_parts(axes, out_dims, values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,5 +780,31 @@ mod tests {
         let net = reference_greedy_fixed_k(&data, 2, &settings, &mut rng).unwrap();
         assert_eq!(net.len(), data.d());
         assert!(net.degree() <= 2);
+    }
+
+    #[test]
+    fn theta_projection_oracle_is_bit_identical_to_the_serving_path() {
+        use privbayes::conditionals::noisy_conditionals_general;
+        use privbayes::inference::{theta_projection, DEFAULT_CELL_CAP};
+
+        let data = privbayes_datasets::nltcs::nltcs_sized(3, 800).data;
+        let net = reference_greedy_fixed_k(
+            &data,
+            2,
+            &GreedySettings::private(ScoreKind::MutualInformation, 0.5),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let model =
+            noisy_conditionals_general(&data, &net, Some(0.5), &mut StdRng::seed_from_u64(8))
+                .unwrap();
+        for attrs in [vec![0usize], vec![3, 1], vec![2, 5, 0]] {
+            let served = theta_projection(&model, data.schema(), &attrs, DEFAULT_CELL_CAP).unwrap();
+            let oracle = reference_theta_projection(&model, data.schema(), &attrs);
+            assert_eq!(served.dims(), oracle.dims(), "attrs {attrs:?}");
+            for (i, (a, b)) in served.values().iter().zip(oracle.values()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "attrs {attrs:?}, cell {i}: {a} vs {b}");
+            }
+        }
     }
 }

@@ -1,18 +1,21 @@
-//! The subcommands: `fit`, `synth`, `synth-relational`, `eval`, `inspect`,
-//! `methods`, and `serve`.
+//! The subcommands: `fit`, `synth`, `synth-relational`, `query`, `eval`,
+//! `inspect`, `methods`, and `serve`.
 
 use std::fs;
 use std::io::{BufReader, Write as _};
 use std::path::Path;
 use std::sync::Arc;
 
+use privbayes::inference::{theta_projection, DEFAULT_CELL_CAP};
 use privbayes_data::csv::{read_csv, write_csv};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_data::{Dataset, Schema};
 use privbayes_marginals::average_workload_tvd;
 use privbayes_model::{schema_from_json, Json, ReleasedModel, ReleasedRelationalModel};
 use privbayes_server::{BudgetLedger, ModelRegistry, Server, ServerConfig};
-use privbayes_synth::{fit_method, FitSettings, Method};
+use privbayes_synth::{
+    fit_method, Cursor, FitSettings, MarginalQuery, Method, RowFormat, SynthSpec,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -37,7 +40,26 @@ commands:
            (`methods` prints one line per method; uniform ignores --epsilon).
 
   synth    --model MODEL.json --out D.csv [--rows N] [--seed N] [--threads N]
-           Sample a synthetic CSV from a released model (no privacy cost).
+           [--where a=v[,b=w...]] [--select c1[,c2...]] [--resume CURSOR]
+           [--format csv|jsonl]
+           Sample synthetic rows from a released model (no privacy cost).
+           --where clamps attribute values (labels or codes) and samples the
+           rest of each row conditioned on them; --select writes only the
+           named columns, in order; --resume continues an interrupted
+           stream from a cursor token (pbc1-..., skipping the header) so
+           prefix + resumed output is byte-identical to an uninterrupted
+           run with the same seed. Spec mistakes (unknown attribute or
+           value, bad cursor) exit with code 4. Spec-driven requests stream
+           single-threaded; --threads applies to the plain batch path only.
+
+  query    --model MODEL.json --attrs a[,b...]
+           [--server ADDR --id MODEL-ID]
+           Answer a marginal query exactly from the released model's noisy
+           conditionals — no sampling, no privacy cost (post-processing).
+           Local mode prints `a,b,probability` lines with domain labels
+           (probabilities in shortest round-trip decimal). With --server,
+           asks a running privbayes-server's POST /v1/models/{id}/query
+           endpoint instead and prints the JSON answer.
 
   synth-relational
            --model MODEL.json --entities N --out-entities E.csv
@@ -94,6 +116,7 @@ where
         "fit" => fit(&parsed),
         "synth" => synth(&parsed),
         "synth-relational" => synth_relational(&parsed),
+        "query" => query(&parsed),
         "eval" => eval(&parsed),
         "inspect" => inspect(&parsed),
         "methods" => methods(&parsed),
@@ -206,20 +229,140 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn synth(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["model", "out", "rows", "seed", "threads"])?;
+    args.expect_only(&[
+        "model", "out", "rows", "seed", "threads", "where", "select", "resume", "format",
+    ])?;
     let model_path = args.required("model")?;
     let out = args.required("out")?;
     let artifact = ReleasedModel::load(model_path)
         .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
-    let rows = args.parse_or("rows", artifact.metadata.source_rows)?;
+
+    // Assemble the request spec from the flags, then validate it against
+    // the artifact's schema in one place — every spec mistake surfaces as a
+    // typed `CliError::Spec` (exit code 4).
+    let mut spec = SynthSpec::new().with_format(RowFormat::parse(args.optional("format"))?);
+    if let Some(rows) = args.parse_opt::<usize>("rows")? {
+        spec = spec.with_rows(rows);
+    }
+    if let Some(seed) = args.parse_opt::<u64>("seed")? {
+        spec = spec.with_seed(seed);
+    }
+    if let Some(select) = args.optional("select") {
+        for name in select.split(',').filter(|s| !s.is_empty()) {
+            spec = spec.select(name);
+        }
+    }
+    if let Some(clauses) = args.optional("where") {
+        for pair in clauses.split(',').filter(|s| !s.is_empty()) {
+            let Some((attr, value)) = pair.split_once('=') else {
+                return Err(CliError::Usage(format!("--where: expected attr=value, got `{pair}`")));
+            };
+            spec = spec.where_eq(attr, value);
+        }
+    }
+    if let Some(token) = args.optional("resume") {
+        spec = spec.with_cursor(Cursor::decode(token)?);
+    }
+    let resolved = spec.resolve(&artifact.schema)?;
+    let rows = resolved.rows.unwrap_or(artifact.metadata.source_rows);
     if rows == 0 {
         return Err(CliError::Usage("--rows must be at least 1".into()));
     }
-    let mut rng = make_rng(args.parse_opt("seed")?);
-    let synthetic =
-        artifact.sample_with_threads(rows, args.parse_opt::<usize>("threads")?, &mut rng)?;
-    save_csv(&synthetic, out)?;
-    Ok(format!("sampled {rows} rows from {model_path}\nwrote {out}"))
+
+    // The plain batch request keeps the original parallel path (identical
+    // bytes, --threads applies); any evidence/projection/cursor/format goes
+    // through the spec-driven stream renderer.
+    let plain = resolved.evidence.is_empty()
+        && resolved.projection.is_none()
+        && resolved.start_row == 0
+        && resolved.format == RowFormat::Csv;
+    if !plain && args.optional("threads").is_some() {
+        return Err(CliError::Usage(
+            "--threads applies only to plain batch synthesis; requests with \
+             --where/--select/--resume/--format jsonl stream single-threaded"
+                .into(),
+        ));
+    }
+    if plain {
+        let mut rng = match resolved.seed {
+            Some(seed) => StdRng::seed_from_u64(seed),
+            None => make_rng(None),
+        };
+        let synthetic =
+            artifact.sample_with_threads(rows, args.parse_opt::<usize>("threads")?, &mut rng)?;
+        save_csv(&synthetic, out)?;
+        return Ok(format!("sampled {rows} rows from {model_path}\nwrote {out}"));
+    }
+
+    let seed = match resolved.seed {
+        Some(seed) => seed,
+        None => make_rng(None).random::<u64>(),
+    };
+    let sampler = artifact.compiled()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stream = sampler.stream_spec(&resolved.sample_spec(rows), &mut rng)?;
+    let schema = sampler.schema();
+    let projection = resolved.projection.as_deref();
+    let mut text = String::new();
+    if resolved.start_row == 0 {
+        text.push_str(&resolved.format.header(schema, projection));
+    }
+    let mut yielded = 0usize;
+    for chunk in stream {
+        yielded += chunk.len();
+        text.push_str(&resolved.format.render(schema, projection, &chunk));
+    }
+    fs::write(out, text).map_err(|e| CliError::Io { path: out.into(), message: e.to_string() })?;
+    let report = if resolved.start_row > 0 {
+        format!(
+            "resumed at row {} and sampled {yielded} of {rows} rows from {model_path} (seed {seed})",
+            resolved.start_row
+        )
+    } else {
+        format!("sampled {rows} rows from {model_path} (seed {seed})")
+    };
+    Ok(format!("{report}\nwrote {out}"))
+}
+
+/// `query`: answer a marginal query exactly from the released θ — locally
+/// from a model file, or remotely via a server's `/v1` query endpoint.
+fn query(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["model", "attrs", "server", "id"])?;
+    let mut q = MarginalQuery::new();
+    for name in args.required("attrs")?.split(',').filter(|s| !s.is_empty()) {
+        q = q.over(name);
+    }
+    match (args.optional("server"), args.optional("id")) {
+        (Some(addr), Some(id)) => {
+            let client = privbayes_server::Client::new(addr);
+            let answer = client.query(id, &q)?;
+            answer.to_string_pretty().map_err(|e| CliError::Invalid(e.to_string()))
+        }
+        (Some(_), None) => Err(CliError::Usage("--server needs --id".into())),
+        (None, Some(_)) => Err(CliError::Usage("--id needs --server".into())),
+        (None, None) => {
+            let model_path = args.required("model")?;
+            let artifact = ReleasedModel::load(model_path)
+                .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+            let attrs = q.resolve(&artifact.schema)?;
+            let table =
+                theta_projection(&artifact.model, &artifact.schema, &attrs, DEFAULT_CELL_CAP)?;
+            let names: Vec<&str> =
+                attrs.iter().map(|&a| artifact.schema.attribute(a).name()).collect();
+            let mut out = format!("{},probability\n", names.join(","));
+            for (idx, &value) in table.values().iter().enumerate() {
+                let coords = table.coords_of(idx);
+                for (&attr, &coord) in attrs.iter().zip(&coords) {
+                    out.push_str(&artifact.schema.attribute(attr).domain().label(coord as u32));
+                    out.push(',');
+                }
+                // Shortest round-trip decimal: parsing it back yields the
+                // exact released value.
+                out.push_str(&format!("{value:?}\n"));
+            }
+            Ok(out)
+        }
+    }
 }
 
 fn synth_relational(args: &ParsedArgs) -> Result<String, CliError> {
@@ -859,6 +1002,177 @@ mod tests {
         client.shutdown().unwrap();
         let out = server.join().unwrap().unwrap();
         assert!(out.contains("shut down cleanly"), "{out}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn synth_where_select_and_local_query() {
+        let dir = temp_dir("query-api");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "2.0",
+            "--seed",
+            "1",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+
+        let synth_path = dir.join("cohort.csv").to_str().unwrap().to_string();
+        let out = run_cli(&[
+            "synth",
+            "--model",
+            &model_path,
+            "--rows",
+            "120",
+            "--seed",
+            "3",
+            "--where",
+            "smoker=v1",
+            "--select",
+            "region,smoker",
+            "--out",
+            &synth_path,
+        ])
+        .unwrap();
+        assert!(out.contains("sampled 120 rows"), "{out}");
+        let text = fs::read_to_string(&synth_path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("region,smoker"), "projected header in --select order");
+        let mut rows = 0;
+        for line in lines {
+            assert!(line.ends_with(",v1"), "evidence must clamp smoker: {line}");
+            rows += 1;
+        }
+        assert_eq!(rows, 120);
+
+        let out = run_cli(&["query", "--model", &model_path, "--attrs", "smoker,region"]).unwrap();
+        let lines: Vec<&str> = out.trim().lines().collect();
+        assert_eq!(lines[0], "smoker,region,probability");
+        assert_eq!(lines.len(), 1 + 2 * 3, "header + 2x3 cells");
+        let total: f64 =
+            lines[1..].iter().map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "marginal must sum to 1, got {total}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn synth_resume_concatenates_byte_identically() {
+        use privbayes_synth::Cursor;
+
+        let dir = temp_dir("resume");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--seed",
+            "2",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+
+        let full_path = dir.join("full.csv").to_str().unwrap().to_string();
+        run_cli(&[
+            "synth",
+            "--model",
+            &model_path,
+            "--rows",
+            "90",
+            "--seed",
+            "5",
+            "--out",
+            &full_path,
+        ])
+        .unwrap();
+        let full = fs::read_to_string(&full_path).unwrap();
+
+        let tail_path = dir.join("tail.csv").to_str().unwrap().to_string();
+        let cursor = Cursor { seed: 5, row: 40 }.encode();
+        let out = run_cli(&[
+            "synth",
+            "--model",
+            &model_path,
+            "--rows",
+            "90",
+            "--resume",
+            &cursor,
+            "--out",
+            &tail_path,
+        ])
+        .unwrap();
+        assert!(out.contains("resumed at row 40"), "{out}");
+        let tail = fs::read_to_string(&tail_path).unwrap();
+        // header + 40 rows of the full run, then the resumed tail.
+        let prefix: String = full.lines().take(41).map(|l| format!("{l}\n")).collect();
+        assert_eq!(format!("{prefix}{tail}"), full, "prefix + resumed must equal uninterrupted");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spec_mistakes_are_typed_and_exit_4() {
+        let dir = temp_dir("spec-errors");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--seed",
+            "4",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+        let out = dir.join("x.csv").to_str().unwrap().to_string();
+        for args in [
+            vec!["synth", "--model", &model_path, "--out", &out, "--select", "bogus"],
+            vec!["synth", "--model", &model_path, "--out", &out, "--where", "smoker=v9"],
+            vec!["synth", "--model", &model_path, "--out", &out, "--resume", "garbage"],
+            vec!["query", "--model", &model_path, "--attrs", "nope"],
+        ] {
+            let e = run_cli(&args).unwrap_err();
+            assert!(matches!(e, CliError::Spec(_)), "{args:?}: {e}");
+            assert_eq!(e.exit_code(), 4, "{args:?}");
+        }
+        // A malformed --where pair is a usage error (exit 2), not a spec one.
+        let e = run_cli(&["synth", "--model", &model_path, "--out", &out, "--where", "smoker"])
+            .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        // --threads with a spec-driven request is rejected, not ignored.
+        let e = run_cli(&[
+            "synth",
+            "--model",
+            &model_path,
+            "--out",
+            &out,
+            "--select",
+            "smoker",
+            "--threads",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        assert!(e.to_string().contains("--threads"), "{e}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

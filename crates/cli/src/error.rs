@@ -2,10 +2,14 @@
 
 use std::fmt;
 
-/// Errors surfaced to the CLI user. Messages go to stderr; each variant
-/// maps to a distinct process exit code ([`CliError::exit_code`]) so
+/// Errors surfaced to the CLI user. Messages go to stderr; each error
+/// *class* maps to a distinct process exit code ([`CliError::exit_code`]) so
 /// scripts can tell a typo from a missing file from bad data without
-/// parsing messages.
+/// parsing messages. [`CliError::Spec`] is the typed query-API variant of
+/// the invalid-input class: every spec-validation failure (unknown
+/// attribute, out-of-domain value, bad cursor, …) routes through it rather
+/// than ad-hoc prints, and exits — like [`CliError::Invalid`] — with
+/// code 4.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line: unknown command, missing flag, unparsable value.
@@ -19,20 +23,23 @@ pub enum CliError {
     },
     /// Input files parsed but were semantically invalid.
     Invalid(String),
+    /// A query/synthesis spec failed validation against the model's schema
+    /// (the CLI face of the server's `400 invalid-spec` responses).
+    Spec(privbayes_synth::SpecError),
     /// The `serve` subcommand failed (bind failure, ledger corruption, …).
     Server(String),
 }
 
 impl CliError {
     /// The process exit code for this error: `2` usage, `3` I/O, `4`
-    /// invalid input, `5` server. (`0` is success; `1` is reserved for
-    /// panics.)
+    /// invalid input (including invalid specs), `5` server. (`0` is
+    /// success; `1` is reserved for panics.)
     #[must_use]
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Io { .. } => 3,
-            CliError::Invalid(_) => 4,
+            CliError::Invalid(_) | CliError::Spec(_) => 4,
             CliError::Server(_) => 5,
         }
     }
@@ -44,12 +51,19 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io { path, message } => write!(f, "{path}: {message}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
+            CliError::Spec(e) => write!(f, "invalid spec: {e}"),
             CliError::Server(msg) => write!(f, "server error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<privbayes_synth::SpecError> for CliError {
+    fn from(e: privbayes_synth::SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
 
 impl From<privbayes_server::ServerError> for CliError {
     fn from(e: privbayes_server::ServerError) -> Self {
@@ -85,22 +99,29 @@ mod tests {
         let e = CliError::Io { path: "/x/y".into(), message: "not found".into() };
         assert!(e.to_string().contains("/x/y"));
         assert!(CliError::Invalid("bad model".into()).to_string().contains("bad model"));
+        let e = CliError::Spec(privbayes_synth::SpecError::UnknownAttribute("zork".into()));
+        assert!(e.to_string().contains("invalid spec"), "{e}");
+        assert!(e.to_string().contains("zork"), "{e}");
         assert!(CliError::Server("bind failed".into()).to_string().contains("bind failed"));
     }
 
     #[test]
-    fn exit_codes_are_distinct_and_nonzero() {
-        let errors = [
+    fn exit_codes_are_distinct_per_class_and_nonzero() {
+        let classes = [
             CliError::Usage(String::new()),
             CliError::Io { path: String::new(), message: String::new() },
             CliError::Invalid(String::new()),
             CliError::Server(String::new()),
         ];
-        let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
+        let codes: Vec<i32> = classes.iter().map(CliError::exit_code).collect();
         let mut unique = codes.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), codes.len(), "codes must be distinct: {codes:?}");
+        assert_eq!(unique.len(), codes.len(), "class codes must be distinct: {codes:?}");
         assert!(codes.iter().all(|&c| c > 1), "0 is success, 1 is reserved for panics");
+        // Spec errors are the typed face of the invalid-input class: exit 4.
+        let spec = CliError::Spec(privbayes_synth::SpecError::EmptyAttrs);
+        assert_eq!(spec.exit_code(), CliError::Invalid(String::new()).exit_code());
+        assert_eq!(spec.exit_code(), 4);
     }
 }

@@ -240,6 +240,153 @@ pub fn model_conditional(
     Ok(table.project_attrs(targets))
 }
 
+/// Computes the exact model marginal `Pr*_N[attrs]` by **θ-projection**: a
+/// direct, deterministic enumeration of the query's ancestral closure. This
+/// is the canonical algorithm behind the query API's `/v1/models/{id}/query`
+/// endpoint; [`model_marginal`] computes the same distribution faster via
+/// variable elimination but with an elimination-order-dependent floating-
+/// point summation, so only θ-projection answers are **bit-reproducible**
+/// across releases and against the independent oracle in
+/// `privbayes_bench::reference`.
+///
+/// The operation order is part of the contract (two independent
+/// implementations following it produce bit-identical tables):
+///
+/// 1. Prune to the query's **ancestral closure** (non-ancestors integrate to
+///    one and are skipped exactly).
+/// 2. Enumerate the closure's raw configurations in row-major order over the
+///    closure attributes sorted ascending by index (last attribute fastest).
+/// 3. Per configuration, multiply the conditionals `Pr*[child | parents]` in
+///    **network order** (the model's conditional list order), generalised
+///    parents resolved through their taxonomies.
+/// 4. Accumulate each configuration's probability into the output cell
+///    (query coordinates in the order given) in enumeration order.
+///
+/// # Errors
+/// Returns [`PrivBayesError::InvalidConfig`] for an empty/duplicated/out-of-
+/// range query or when the closure (or output) would exceed `cell_cap`
+/// cells, and [`PrivBayesError::InvalidNetwork`] if the model does not cover
+/// the schema.
+pub fn theta_projection(
+    model: &NoisyModel,
+    schema: &Schema,
+    attrs: &[usize],
+    cell_cap: usize,
+) -> Result<ContingencyTable, PrivBayesError> {
+    let d = schema.len();
+    if model.conditionals.len() != d {
+        return Err(PrivBayesError::InvalidNetwork(format!(
+            "model covers {} attributes, schema has {d}",
+            model.conditionals.len()
+        )));
+    }
+    if attrs.is_empty() {
+        return Err(PrivBayesError::InvalidConfig("empty query".into()));
+    }
+    for (i, &a) in attrs.iter().enumerate() {
+        if a >= d {
+            return Err(PrivBayesError::InvalidConfig(format!("attribute {a} out of range")));
+        }
+        if attrs[..i].contains(&a) {
+            return Err(PrivBayesError::InvalidConfig(format!("attribute {a} repeated")));
+        }
+    }
+
+    // Step 1: ancestral closure (parents precede children, so one reverse
+    // sweep marks every ancestor).
+    let mut needed = vec![false; d];
+    for &a in attrs {
+        needed[a] = true;
+    }
+    for cond in model.conditionals.iter().rev() {
+        if needed[cond.child] {
+            for axis in &cond.parents {
+                needed[axis.attr] = true;
+            }
+        }
+    }
+    let closure: Vec<usize> = (0..d).filter(|&a| needed[a]).collect();
+    let closure_dims: Vec<usize> =
+        closure.iter().map(|&a| schema.attribute(a).domain_size()).collect();
+    let mut closure_cells = 1usize;
+    for &dim in &closure_dims {
+        closure_cells = closure_cells.saturating_mul(dim);
+        if closure_cells > cell_cap {
+            return Err(PrivBayesError::InvalidConfig(format!(
+                "theta projection would enumerate more than {cell_cap} closure cells; \
+                 use model_marginal or sampling for this query"
+            )));
+        }
+    }
+
+    let out_dims: Vec<usize> = attrs.iter().map(|&a| schema.attribute(a).domain_size()).collect();
+    let out_cells: usize = out_dims.iter().product();
+    // The query is a subset of the closure, so its cells can't exceed the
+    // (already checked) closure cells; guard anyway for clarity.
+    if out_cells > cell_cap {
+        return Err(cap_error(out_cells, cell_cap));
+    }
+    let mut out_strides = vec![1usize; attrs.len()];
+    for i in (0..attrs.len().saturating_sub(1)).rev() {
+        out_strides[i] = out_strides[i + 1] * out_dims[i + 1];
+    }
+
+    // Conditionals participating in the product, in network order.
+    let conds: Vec<&crate::conditionals::Conditional> =
+        model.conditionals.iter().filter(|c| needed[c.child]).collect();
+
+    // Steps 2–4: row-major mixed-radix enumeration of the closure.
+    let mut values = vec![0.0f64; out_cells];
+    let mut tuple = vec![0u32; d]; // raw codes of the current configuration
+    let mut codes: Vec<usize> = Vec::new();
+    loop {
+        // Step 3: the configuration's probability, conditionals in network
+        // order, generalised parents resolved per configuration.
+        let mut p = 1.0f64;
+        for cond in &conds {
+            codes.clear();
+            for axis in &cond.parents {
+                let raw = tuple[axis.attr];
+                let code = if axis.level == 0 {
+                    raw
+                } else {
+                    schema
+                        .attribute(axis.attr)
+                        .taxonomy()
+                        .expect("validated by BayesianNetwork::new")
+                        .generalize(raw, axis.level)
+                };
+                codes.push(code as usize);
+            }
+            let slice = cond.child_distribution(cond.parent_index(&codes));
+            p *= slice[tuple[cond.child] as usize];
+        }
+        // Step 4: accumulate into the output cell.
+        let mut out_idx = 0usize;
+        for (&a, &stride) in attrs.iter().zip(&out_strides) {
+            out_idx += tuple[a] as usize * stride;
+        }
+        values[out_idx] += p;
+
+        // Step 2's increment: last closure attribute fastest.
+        let mut carry = true;
+        for (&a, &dim) in closure.iter().zip(&closure_dims).rev() {
+            tuple[a] += 1;
+            if (tuple[a] as usize) < dim {
+                carry = false;
+                break;
+            }
+            tuple[a] = 0;
+        }
+        if carry {
+            break;
+        }
+    }
+
+    let axes: Vec<Axis> = attrs.iter().map(|&a| Axis::raw(a)).collect();
+    Ok(ContingencyTable::from_parts(axes, out_dims, values))
+}
+
 /// A dense factor over raw attributes (row-major, last axis fastest).
 #[derive(Debug, Clone)]
 struct Factor {
@@ -605,6 +752,41 @@ mod tests {
             let empirical = ContingencyTable::from_dataset(&data, &axes);
             assert!(total_variation(t.values(), empirical.values()) < 1e-9, "attrs {attrs:?}");
         }
+    }
+
+    #[test]
+    fn theta_projection_agrees_with_variable_elimination() {
+        let (data, model) = chain_model();
+        for attrs in [vec![0usize], vec![2], vec![2, 0], vec![0, 1, 2]] {
+            let ve = model_marginal(&model, data.schema(), &attrs, DEFAULT_CELL_CAP).unwrap();
+            let proj = theta_projection(&model, data.schema(), &attrs, DEFAULT_CELL_CAP).unwrap();
+            assert_eq!(proj.axes(), ve.axes(), "attrs {attrs:?}");
+            assert_eq!(proj.dims(), ve.dims(), "attrs {attrs:?}");
+            let tvd = total_variation(proj.values(), ve.values());
+            assert!(tvd < 1e-12, "attrs {attrs:?}: tvd {tvd}");
+        }
+    }
+
+    #[test]
+    fn theta_projection_is_bitwise_deterministic() {
+        let (data, model) = chain_model();
+        let a = theta_projection(&model, data.schema(), &[2, 0], DEFAULT_CELL_CAP).unwrap();
+        let b = theta_projection(&model, data.schema(), &[2, 0], DEFAULT_CELL_CAP).unwrap();
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn theta_projection_prunes_and_caps() {
+        let (data, model) = chain_model();
+        assert!(theta_projection(&model, data.schema(), &[], DEFAULT_CELL_CAP).is_err());
+        assert!(theta_projection(&model, data.schema(), &[0, 0], DEFAULT_CELL_CAP).is_err());
+        assert!(theta_projection(&model, data.schema(), &[9], DEFAULT_CELL_CAP).is_err());
+        // The closure of {0} is just {0} (a is a root): 2 cells pass a cap
+        // of 2, while the full joint (12 cells) would not.
+        assert!(theta_projection(&model, data.schema(), &[0], 2).is_ok());
+        assert!(theta_projection(&model, data.schema(), &[0, 1, 2], 2).is_err());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub use error::PrivBayesError;
 pub use network::{ApPair, BayesianNetwork};
 pub use pipeline::{PrivBayes, PrivBayesOptions, SynthesisResult};
 pub use sampler::{
-    sample_synthetic, sample_synthetic_with_threads, CompiledSampler, RowStream, CHUNK_ROWS,
+    sample_synthetic, sample_synthetic_with_threads, CompiledSampler, RowStream, SampleSpec,
+    CHUNK_ROWS, LW_CANDIDATES,
 };
 pub use score::ScoreKind;

@@ -15,7 +15,7 @@
 use privbayes_data::{Dataset, Schema};
 use privbayes_dp::AliasTable;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
 
 use crate::conditionals::NoisyModel;
 use crate::error::PrivBayesError;
@@ -28,6 +28,73 @@ use crate::greedy::resolve_threads;
 /// one by one ([`CompiledSampler::stream_rows`]). Fixed: changing it changes
 /// which stream generates which row.
 pub const CHUNK_ROWS: usize = 1024;
+
+/// Candidate rows drawn per output row in likelihood-weighted conditional
+/// sampling (evidence with non-evidence ancestors). Fixed: part of the
+/// determinism contract — changing it changes which rows a given seed
+/// produces.
+pub const LW_CANDIDATES: usize = 64;
+
+/// Rounds of [`LW_CANDIDATES`] retried when every candidate weight is zero
+/// before giving up on the row and emitting the last clamped candidate.
+const LW_MAX_ROUNDS: usize = 16;
+
+/// A sampling request against a [`CompiledSampler`]: how many rows of the
+/// underlying stream exist, which attributes are clamped as evidence, which
+/// columns the caller wants back, and where in the stream to resume.
+///
+/// The spec is the single determinism anchor of the query API: for a fixed
+/// `(model, seed, spec)` the produced rows are identical no matter how they
+/// are consumed (batch or stream), where the stream is resumed, or which
+/// columns are projected — resuming at `start_row = r` yields exactly rows
+/// `r..rows` of the `start_row = 0` stream, and projection drops columns
+/// from otherwise identical tuples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Total rows of the (unresumed) stream.
+    pub rows: usize,
+    /// Clamped `(attribute, code)` evidence; sampled rows all carry these
+    /// values and the remaining attributes follow the model conditioned on
+    /// them (exactly for ancestrally-closed evidence, by likelihood-weighted
+    /// resampling otherwise — see [`CompiledSampler::stream_spec`]).
+    pub evidence: Vec<(usize, u32)>,
+    /// Columns to yield, in order (`None` = every attribute in schema
+    /// order). Sampling always computes full tuples — ancestors are needed —
+    /// but only projected columns are copied out.
+    pub projection: Option<Vec<usize>>,
+    /// First row (of the `rows`-row stream) to yield; rows before it are
+    /// never generated except for the resumed chunk's skipped prefix.
+    pub start_row: usize,
+}
+
+impl SampleSpec {
+    /// A spec for `rows` unconditional full-width rows from the start.
+    #[must_use]
+    pub fn rows(rows: usize) -> Self {
+        Self { rows, ..Self::default() }
+    }
+
+    /// Sets the evidence list.
+    #[must_use]
+    pub fn with_evidence(mut self, evidence: Vec<(usize, u32)>) -> Self {
+        self.evidence = evidence;
+        self
+    }
+
+    /// Sets the projection.
+    #[must_use]
+    pub fn with_projection(mut self, projection: Vec<usize>) -> Self {
+        self.projection = Some(projection);
+        self
+    }
+
+    /// Sets the resume offset.
+    #[must_use]
+    pub fn with_start_row(mut self, start_row: usize) -> Self {
+        self.start_row = start_row;
+        self
+    }
+}
 
 /// One conditional compiled for the sampling hot loop.
 #[derive(Debug, Clone)]
@@ -46,6 +113,12 @@ struct CompiledConditional {
     /// slice is actually drawn from, matching the lazy `sample_discrete`
     /// behaviour.
     tables: Vec<Option<AliasTable>>,
+    /// Domain size of the child.
+    child_dim: usize,
+    /// The raw conditional probabilities (row-major over parent slices),
+    /// kept alongside the alias tables so conditional sampling can read
+    /// `Pr[child = v | parents]` for evidence weights without a table walk.
+    probs: Vec<f64>,
 }
 
 /// A [`NoisyModel`] compiled into alias tables, reusable across sampling
@@ -93,9 +166,31 @@ impl NoisyModel {
                     .collect(),
                 parent_dims: cond.parent_dims.clone(),
                 tables: cond.probs.chunks_exact(cond.child_dim).map(AliasTable::try_new).collect(),
+                child_dim: cond.child_dim,
+                probs: cond.probs.clone(),
             })
             .collect();
         Ok(CompiledSampler { schema: schema.clone(), conditionals })
+    }
+}
+
+impl CompiledConditional {
+    /// Flat parent-slice index for the parent values currently in `tuple`
+    /// (raw values generalised through the compiled lookups).
+    #[inline]
+    fn slice_index(&self, tuple: &[u32]) -> usize {
+        let mut idx = 0usize;
+        for ((&attr, generaliser), &dim) in
+            self.parent_attrs.iter().zip(&self.generalisers).zip(&self.parent_dims)
+        {
+            let raw = tuple[attr];
+            let code = match generaliser {
+                Some(lookup) => lookup[raw as usize],
+                None => raw,
+            };
+            idx = idx * dim + code as usize;
+        }
+        idx
     }
 }
 
@@ -110,22 +205,43 @@ impl CompiledSampler {
     #[inline]
     fn sample_row<R: Rng + ?Sized>(&self, tuple: &mut [u32], rng: &mut R) {
         for cond in &self.conditionals {
-            let mut idx = 0usize;
-            for ((&attr, generaliser), &dim) in
-                cond.parent_attrs.iter().zip(&cond.generalisers).zip(&cond.parent_dims)
-            {
-                let raw = tuple[attr];
-                let code = match generaliser {
-                    Some(lookup) => lookup[raw as usize],
-                    None => raw,
-                };
-                idx = idx * dim + code as usize;
-            }
+            let idx = cond.slice_index(tuple);
             let table = cond.tables[idx]
                 .as_ref()
                 .expect("sampled a degenerate conditional slice (invalid weights)");
             tuple[cond.child] = table.sample(rng) as u32;
         }
+    }
+
+    /// Fills `tuple` with one row where every evidence attribute is clamped
+    /// to its observed code, and returns the row's likelihood weight — the
+    /// product of `Pr[eᵢ = vᵢ | parents(eᵢ)]` over the evidence attributes
+    /// under the sampled parent values. Free attributes draw from their
+    /// conditionals exactly as [`CompiledSampler::sample_row`] does.
+    #[inline]
+    fn sample_row_clamped<R: Rng + ?Sized>(
+        &self,
+        tuple: &mut [u32],
+        evidence: &[Option<u32>],
+        rng: &mut R,
+    ) -> f64 {
+        let mut weight = 1.0f64;
+        for cond in &self.conditionals {
+            let idx = cond.slice_index(tuple);
+            match evidence[cond.child] {
+                Some(code) => {
+                    tuple[cond.child] = code;
+                    weight *= cond.probs[idx * cond.child_dim + code as usize];
+                }
+                None => {
+                    let table = cond.tables[idx]
+                        .as_ref()
+                        .expect("sampled a degenerate conditional slice (invalid weights)");
+                    tuple[cond.child] = table.sample(rng) as u32;
+                }
+            }
+        }
+        weight
     }
 
     /// Samples `rows` synthetic tuples. `threads = None` uses
@@ -197,31 +313,267 @@ impl CompiledSampler {
     /// return, in the same order. This is the contract the serving layer
     /// relies on: a streamed response is byte-identical to the batch path for
     /// a fixed seed, regardless of how many requests run concurrently.
+    ///
+    /// Equivalent to [`CompiledSampler::stream_spec`] with
+    /// [`SampleSpec::rows`]`(rows)` (which can additionally clamp evidence,
+    /// project columns, and resume mid-stream).
     pub fn stream_rows<R: Rng + ?Sized>(&self, rows: usize, rng: &mut R) -> RowStream<'_> {
-        RowStream { sampler: self, base: rng.next_u64(), rows, next_row: 0 }
+        RowStream {
+            sampler: self,
+            base: rng.next_u64(),
+            rows,
+            next_row: 0,
+            evidence: Vec::new(),
+            weighted: false,
+            projection: None,
+        }
+    }
+
+    /// Streams rows according to `spec`: evidence-conditioned, column-
+    /// projected, resumable. Consumes exactly one `next_u64` from `rng`
+    /// (like [`CompiledSampler::stream_rows`]) — resuming with the same
+    /// `rng` state and a nonzero [`SampleSpec::start_row`] therefore yields
+    /// exactly the suffix of the unresumed stream, byte for byte once
+    /// rendered.
+    ///
+    /// # Conditioning semantics
+    ///
+    /// Evidence attributes are clamped to their observed codes in every row.
+    /// When the evidence set is **ancestrally closed** (every ancestor of an
+    /// evidence attribute is itself evidence — e.g. evidence on network
+    /// roots), clamped ancestral sampling draws *exactly* from
+    /// `Pr*[free | evidence]`. Otherwise the sampler falls back to
+    /// likelihood-weighted resampling: per output row it draws
+    /// [`LW_CANDIDATES`] clamped candidates, weights each by
+    /// `∏ Pr[eᵢ = vᵢ | parents]`, and picks one proportionally — an exact
+    /// scheme in the limit, with O(1/[`LW_CANDIDATES`]) resampling bias. Both
+    /// modes are deterministic for a fixed `(model, seed, spec)` and use the
+    /// same per-chunk RNG streams, so resumed conditional streams are also
+    /// suffix-identical.
+    ///
+    /// # Errors
+    /// Returns [`PrivBayesError::InvalidConfig`] for evidence or projection
+    /// attributes out of range or repeated, evidence codes outside their
+    /// domains, an empty projection list, or (in the ancestrally-closed
+    /// mode, where it is exactly computable) evidence with probability zero
+    /// under the model.
+    pub fn stream_spec<R: Rng + ?Sized>(
+        &self,
+        spec: &SampleSpec,
+        rng: &mut R,
+    ) -> Result<RowStream<'_>, PrivBayesError> {
+        let d = self.schema.len();
+        let mut evidence: Vec<Option<u32>> = vec![None; d];
+        for (i, &(attr, code)) in spec.evidence.iter().enumerate() {
+            if attr >= d {
+                return Err(PrivBayesError::InvalidConfig(format!(
+                    "evidence attribute {attr} out of range"
+                )));
+            }
+            if !self.schema.attribute(attr).domain().contains(code) {
+                return Err(PrivBayesError::InvalidConfig(format!(
+                    "evidence code {code} outside the domain of attribute {attr}"
+                )));
+            }
+            if spec.evidence[..i].iter().any(|&(a, _)| a == attr) {
+                return Err(PrivBayesError::InvalidConfig(format!(
+                    "evidence attribute {attr} repeated"
+                )));
+            }
+            evidence[attr] = Some(code);
+        }
+        if let Some(projection) = &spec.projection {
+            if projection.is_empty() {
+                return Err(PrivBayesError::InvalidConfig(
+                    "projection must keep at least one attribute".into(),
+                ));
+            }
+            for (i, &attr) in projection.iter().enumerate() {
+                if attr >= d {
+                    return Err(PrivBayesError::InvalidConfig(format!(
+                        "projected attribute {attr} out of range"
+                    )));
+                }
+                if projection[..i].contains(&attr) {
+                    return Err(PrivBayesError::InvalidConfig(format!(
+                        "projected attribute {attr} repeated"
+                    )));
+                }
+            }
+        }
+
+        // Classify the evidence: `free[a]` marks attributes that are
+        // non-evidence or have a non-evidence ancestor. Evidence whose
+        // parents are all non-free is fully determined by other evidence, so
+        // clamping is exact; any evidence with a free ancestor forces the
+        // likelihood-weighted mode. Parents precede children in the
+        // conditional list, so one forward sweep settles every attribute.
+        let mut weighted = false;
+        if !spec.evidence.is_empty() {
+            let mut free = vec![false; d];
+            for cond in &self.conditionals {
+                let parents_free = cond.parent_attrs.iter().any(|&p| free[p]);
+                if evidence[cond.child].is_none() {
+                    free[cond.child] = true;
+                } else {
+                    free[cond.child] = parents_free;
+                    weighted = weighted || parents_free;
+                }
+            }
+            if !weighted {
+                // Ancestrally closed: every evidence parent value is itself
+                // evidence, so the evidence probability is an exact product —
+                // reject impossible evidence up front.
+                let mut tuple = vec![0u32; d];
+                for &(attr, code) in &spec.evidence {
+                    tuple[attr] = code;
+                }
+                let mut mass = 1.0f64;
+                for cond in &self.conditionals {
+                    if let Some(code) = evidence[cond.child] {
+                        let idx = cond.slice_index(&tuple);
+                        mass *= cond.probs[idx * cond.child_dim + code as usize];
+                    }
+                }
+                if !mass.is_finite() || mass <= 0.0 {
+                    return Err(PrivBayesError::InvalidConfig(
+                        "evidence has probability zero under the model".into(),
+                    ));
+                }
+            }
+        }
+
+        Ok(RowStream {
+            sampler: self,
+            base: rng.next_u64(),
+            rows: spec.rows,
+            next_row: spec.start_row,
+            evidence: if spec.evidence.is_empty() { Vec::new() } else { evidence },
+            weighted,
+            projection: spec.projection.clone(),
+        })
+    }
+
+    /// Samples `rows` synthetic tuples conditioned on `evidence` — the
+    /// batch form of [`CompiledSampler::stream_spec`]: the returned dataset
+    /// holds exactly the concatenated chunks the stream would yield for the
+    /// same `rng` state (full schema width; project afterwards if needed).
+    ///
+    /// # Errors
+    /// As [`CompiledSampler::stream_spec`].
+    pub fn sample_conditional<R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        evidence: &[(usize, u32)],
+        rng: &mut R,
+    ) -> Result<Dataset, PrivBayesError> {
+        let spec = SampleSpec::rows(rows).with_evidence(evidence.to_vec());
+        let stream = self.stream_spec(&spec, rng)?;
+        let d = self.schema.len();
+        let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); d];
+        for chunk in stream {
+            for tuple in &chunk {
+                for (col, &value) in columns.iter_mut().zip(tuple) {
+                    col.push(value);
+                }
+            }
+        }
+        Ok(Dataset::from_columns(self.schema.clone(), columns)?)
     }
 }
 
 /// Iterator over row-major chunks of synthetic tuples; see
-/// [`CompiledSampler::stream_rows`].
+/// [`CompiledSampler::stream_rows`] and [`CompiledSampler::stream_spec`].
 #[derive(Debug)]
 pub struct RowStream<'a> {
     sampler: &'a CompiledSampler,
     base: u64,
     rows: usize,
     next_row: usize,
+    /// Per-attribute clamped codes; empty for unconditional streams.
+    evidence: Vec<Option<u32>>,
+    /// Whether conditioning needs likelihood-weighted resampling (evidence
+    /// with a non-evidence ancestor) instead of exact clamping.
+    weighted: bool,
+    /// Columns each yielded tuple carries, in order (`None` = all).
+    projection: Option<Vec<usize>>,
 }
 
 impl RowStream<'_> {
-    /// Total rows the stream will yield across all chunks.
+    /// Total rows of the unresumed stream (resumed streams yield
+    /// [`RowStream::remaining_rows`] of them).
     #[must_use]
     pub fn total_rows(&self) -> usize {
         self.rows
     }
+
+    /// Rows still to be yielded.
+    #[must_use]
+    pub fn remaining_rows(&self) -> usize {
+        self.rows.saturating_sub(self.next_row)
+    }
+
+    /// Whether this stream conditions by likelihood-weighted resampling
+    /// (evidence with a non-evidence ancestor) rather than exact clamping.
+    /// In this mode impossible evidence is not detectable up front — the
+    /// serving layer uses this to decide when to run the exact
+    /// evidence-mass guard.
+    #[must_use]
+    pub fn is_likelihood_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Copies the projected columns of `tuple` into an owned row.
+    fn project(&self, tuple: &[u32]) -> Vec<u32> {
+        match &self.projection {
+            Some(keep) => keep.iter().map(|&attr| tuple[attr]).collect(),
+            None => tuple.to_vec(),
+        }
+    }
+
+    /// One likelihood-weighted output row: draws [`LW_CANDIDATES`] clamped
+    /// candidates into `cand`/`weights`, then copies one — picked with
+    /// probability proportional to its weight — into `out`. Retries up to
+    /// [`LW_MAX_ROUNDS`] rounds when every weight is zero (or non-finite),
+    /// then falls back to the last clamped candidate so a stream over
+    /// (near-)impossible evidence degrades to clamped rows instead of
+    /// panicking a serving worker mid-response.
+    fn weighted_row<R: Rng + ?Sized>(
+        &self,
+        tuple: &mut [u32],
+        cand: &mut [u32],
+        weights: &mut [f64],
+        out: &mut [u32],
+        rng: &mut R,
+    ) {
+        let d = tuple.len();
+        for _ in 0..LW_MAX_ROUNDS {
+            for c in 0..LW_CANDIDATES {
+                weights[c] = self.sampler.sample_row_clamped(tuple, &self.evidence, rng);
+                cand[c * d..(c + 1) * d].copy_from_slice(tuple);
+            }
+            let total: f64 = weights.iter().sum();
+            if total > 0.0 && total.is_finite() {
+                let mut u = rng.random::<f64>() * total;
+                let mut pick = LW_CANDIDATES - 1;
+                for (c, &w) in weights.iter().enumerate() {
+                    if u < w {
+                        pick = c;
+                        break;
+                    }
+                    u -= w;
+                }
+                out.copy_from_slice(&cand[pick * d..(pick + 1) * d]);
+                return;
+            }
+        }
+        out.copy_from_slice(&cand[(LW_CANDIDATES - 1) * d..]);
+    }
 }
 
 impl Iterator for RowStream<'_> {
-    /// One chunk: `len ≤ CHUNK_ROWS` rows, each of schema width.
+    /// One chunk: `len ≤ CHUNK_ROWS` rows, each of projection width (schema
+    /// width when unprojected).
     type Item = Vec<Vec<u32>>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -230,17 +582,42 @@ impl Iterator for RowStream<'_> {
         }
         let d = self.sampler.schema.len();
         let chunk_index = self.next_row / CHUNK_ROWS;
-        let len = CHUNK_ROWS.min(self.rows - self.next_row);
+        let chunk_start = chunk_index * CHUNK_ROWS;
+        let len = CHUNK_ROWS.min(self.rows - chunk_start);
+        // Rows of the resumed chunk that precede the resume point: generated
+        // (they advance the chunk's RNG stream identically) but not yielded.
+        let skip = self.next_row - chunk_start;
         // Identical per-chunk setup to `sample_dataset`: fresh zeroed tuple,
         // fresh RNG stream from (base, chunk index).
         let mut tuple = vec![0u32; d];
         let mut rng = StdRng::seed_from_u64(chunk_seed(self.base, chunk_index));
-        let mut chunk = Vec::with_capacity(len);
-        for _ in 0..len {
-            self.sampler.sample_row(&mut tuple, &mut rng);
-            chunk.push(tuple.clone());
+        let mut chunk = Vec::with_capacity(len - skip);
+        if self.evidence.is_empty() {
+            for i in 0..len {
+                self.sampler.sample_row(&mut tuple, &mut rng);
+                if i >= skip {
+                    chunk.push(self.project(&tuple));
+                }
+            }
+        } else if !self.weighted {
+            for i in 0..len {
+                let _ = self.sampler.sample_row_clamped(&mut tuple, &self.evidence, &mut rng);
+                if i >= skip {
+                    chunk.push(self.project(&tuple));
+                }
+            }
+        } else {
+            let mut cand = vec![0u32; LW_CANDIDATES * d];
+            let mut weights = vec![0.0f64; LW_CANDIDATES];
+            let mut out = vec![0u32; d];
+            for i in 0..len {
+                self.weighted_row(&mut tuple, &mut cand, &mut weights, &mut out, &mut rng);
+                if i >= skip {
+                    chunk.push(self.project(&out));
+                }
+            }
         }
-        self.next_row += len;
+        self.next_row = chunk_start + len;
         Some(chunk)
     }
 }

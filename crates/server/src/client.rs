@@ -8,6 +8,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use privbayes_model::{Json, ReleasedModel};
+use privbayes_synth::{MarginalQuery, SynthSpec};
 
 use crate::error::ServerError;
 use crate::http::Response;
@@ -148,6 +149,45 @@ impl Client {
     ) -> Result<String, ServerError> {
         let path = format!("/models/{id}/synth?rows={rows}&seed={seed}&format={format}");
         Ok(Self::expect_success(self.request("GET", &path, None)?)?.text())
+    }
+
+    /// `POST /v1/models/{id}/synth` with a typed [`SynthSpec`] — the v1
+    /// request-spec route (evidence, projection, cursor resume). Returns the
+    /// full [`Response`] so callers can read the body alongside the
+    /// `X-PrivBayes-Seed` / `X-PrivBayes-Cursor` headers needed to build a
+    /// resume cursor for an interrupted stream.
+    ///
+    /// # Errors
+    /// Socket and status errors (spec-validation failures come back as
+    /// [`ServerError::Status`] with code 400 and an `invalid-spec` body).
+    pub fn synth_with(&self, id: &str, spec: &SynthSpec) -> Result<Response, ServerError> {
+        let text =
+            spec.to_json().to_string_compact().map_err(|e| ServerError::Protocol(e.to_string()))?;
+        Self::expect_success(self.request(
+            "POST",
+            &format!("/v1/models/{id}/synth"),
+            Some(("application/json", text.as_bytes())),
+        )?)
+    }
+
+    /// `POST /v1/models/{id}/query` with a typed [`MarginalQuery`]; returns
+    /// the parsed answer (`attrs`, `dims`, row-major `values` — exact
+    /// θ-projection of the released model, bit-reproducible for a fixed
+    /// model).
+    ///
+    /// # Errors
+    /// Socket/protocol/status errors.
+    pub fn query(&self, id: &str, query: &MarginalQuery) -> Result<Json, ServerError> {
+        let text = query
+            .to_json()
+            .to_string_compact()
+            .map_err(|e| ServerError::Protocol(e.to_string()))?;
+        let response = Self::expect_success(self.request(
+            "POST",
+            &format!("/v1/models/{id}/query"),
+            Some(("application/json", text.as_bytes())),
+        )?)?;
+        Json::parse(&response.text()).map_err(|e| ServerError::Protocol(e.to_string()))
     }
 
     /// `PUT /tenants/{tenant}?budget=…`.

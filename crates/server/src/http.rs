@@ -180,7 +180,10 @@ pub fn reason(code: u16) -> &'static str {
     }
 }
 
-/// Writes a complete fixed-length response.
+/// Writes a complete fixed-length response. `extra_headers` are emitted
+/// after the standard ones (the server passes its `X-PrivBayes-Api` version
+/// marker through here so **every** response — success or error — carries
+/// it).
 ///
 /// # Errors
 /// Propagates socket write failures.
@@ -188,14 +191,19 @@ pub fn write_response<W: Write>(
     out: &mut W,
     code: u16,
     content_type: &str,
+    extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> std::io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(code),
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    out.write_all(b"Connection: close\r\n\r\n")?;
     out.write_all(body)?;
     out.flush()
 }
@@ -213,15 +221,27 @@ pub struct ChunkedResponse<W: Write> {
 
 impl<W: Write> ChunkedResponse<W> {
     /// Writes the response head and returns the chunk writer.
+    /// `extra_headers` are emitted after the standard ones, so chunked
+    /// streams carry the same `Content-Type`/`X-PrivBayes-Api` discipline
+    /// as fixed responses.
     ///
     /// # Errors
     /// Propagates socket write failures.
-    pub fn begin(mut out: W, code: u16, content_type: &str) -> std::io::Result<Self> {
+    pub fn begin(
+        mut out: W,
+        code: u16,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<Self> {
         write!(
             out,
-            "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n",
             reason(code)
         )?;
+        for (name, value) in extra_headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"Connection: close\r\n\r\n")?;
         Ok(Self { out })
     }
 
@@ -436,17 +456,27 @@ mod tests {
     #[test]
     fn fixed_response_round_trips() {
         let mut wire = Vec::new();
-        write_response(&mut wire, 404, "application/json", b"{\"error\":\"not-found\"}").unwrap();
+        write_response(
+            &mut wire,
+            404,
+            "application/json",
+            &[("X-PrivBayes-Api", "v1")],
+            b"{\"error\":\"not-found\"}",
+        )
+        .unwrap();
         let resp = Response::read_from(&mut &wire[..]).unwrap();
         assert_eq!(resp.code, 404);
         assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.header("x-privbayes-api"), Some("v1"));
         assert_eq!(resp.text(), "{\"error\":\"not-found\"}");
     }
 
     #[test]
     fn chunked_response_round_trips() {
         let mut wire = Vec::new();
-        let mut chunked = ChunkedResponse::begin(&mut wire, 200, "text/csv").unwrap();
+        let mut chunked =
+            ChunkedResponse::begin(&mut wire, 200, "text/csv", &[("X-PrivBayes-Api", "v1")])
+                .unwrap();
         chunked.write(b"a,b\n").unwrap();
         chunked.write(b"").unwrap(); // skipped, must not terminate the stream
         chunked.write(b"0,1\n1,0\n").unwrap();
@@ -454,6 +484,7 @@ mod tests {
         let resp = Response::read_from(&mut &wire[..]).unwrap();
         assert_eq!(resp.code, 200);
         assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+        assert_eq!(resp.header("x-privbayes-api"), Some("v1"));
         assert_eq!(resp.text(), "a,b\n0,1\n1,0\n");
     }
 

@@ -17,8 +17,13 @@
 //!   persisted as JSON so accounting survives restarts bit-for-bit. An
 //!   over-budget request is rejected with a structured `402` body and no
 //!   state change.
-//! * **Streaming synthesis**: `GET /models/{id}/synth` streams CSV or JSONL
-//!   rows with chunked transfer encoding, one HTTP chunk per sampler chunk.
+//! * **Streaming synthesis**: `POST /v1/models/{id}/synth` takes a typed
+//!   [`SynthSpec`] body (evidence-conditioned cohorts, column projection,
+//!   cursor-resumable streams) and streams CSV or NDJSON rows with chunked
+//!   transfer encoding, one HTTP chunk per sampler chunk;
+//!   `POST /v1/models/{id}/query` answers [`MarginalQuery`]s exactly from
+//!   the released θ. The legacy `GET /models/{id}/synth` is kept as an
+//!   alias that desugars to a default spec with unchanged bytes.
 //!
 //! # The determinism contract
 //!
@@ -75,3 +80,6 @@ pub use ledger::{BudgetLedger, LedgerError, TenantBudget, LEDGER_FORMAT};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use stream::RowFormat;
+// The typed request surface of the query API, re-exported so client code
+// can build specs without a separate `privbayes-synth` dependency.
+pub use privbayes_synth::{AttrRef, Cursor, MarginalQuery, SpecError, SynthSpec, ValueRef};

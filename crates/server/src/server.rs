@@ -9,24 +9,38 @@
 //! | `PUT /models/{id}` | load a release artifact (body: `privbayes-model/1` JSON) |
 //! | `GET /models/{id}` | one model's metadata |
 //! | `DELETE /models/{id}` | evict from the registry |
-//! | `GET /models/{id}/synth?rows=N&seed=S&format=csv\|jsonl` | stream synthetic rows |
+//! | `POST /v1/models/{id}/synth` | stream rows per a [`SynthSpec`] JSON body (evidence, projection, cursor resume) |
+//! | `POST /v1/models/{id}/query` | answer a [`MarginalQuery`] exactly from the released θ |
+//! | `GET /models/{id}/synth?rows=N&seed=S&format=csv\|jsonl` | legacy alias: desugars to a default spec |
 //! | `POST /fit` | fit + register a model, debiting the tenant's ε |
 //! | `GET /tenants` | ledger snapshot |
 //! | `PUT /tenants/{id}?budget=E` | register a tenant |
 //! | `GET /tenants/{id}` | one tenant's budget |
 //! | `POST /shutdown` | drain in-flight requests and stop |
 //!
+//! Every response — fixed, chunked, success, or error — carries a
+//! `Content-Type` and an `X-PrivBayes-Api: v1` header. Spec-validation
+//! failures (unknown attribute, out-of-domain evidence value, bad cursor,
+//! …) are answered `400` with the structured body
+//! `{"error": "invalid-spec", "message": …}`.
+//!
 //! # Concurrency and determinism
 //!
 //! One acceptor thread feeds a channel drained by `workers` handler threads;
 //! each connection carries exactly one request. A synthesis response is
-//! computed entirely from `(model, seed, rows, format)` — the per-request
-//! RNG is seeded from the query, rows are generated in the sampler's fixed
+//! computed entirely from `(model, seed, spec)` — the per-request RNG is
+//! seeded from the request, rows are generated in the sampler's fixed
 //! 1024-row chunk scheme, and each chunk is written as one HTTP chunk — so
 //! a fixed request is **byte-identical** no matter how many other streams
 //! are in flight, which worker serves it, or how often the model was
-//! evicted and reloaded in between. Shutdown closes the accept loop first,
-//! then lets every queued and in-flight request complete.
+//! evicted and reloaded in between. The legacy `GET` route desugars to a
+//! `SynthSpec` with no evidence, no projection, and no cursor, whose bytes
+//! are the pre-v1 bytes exactly; a cursor-resumed stream yields exactly the
+//! suffix of its uninterrupted counterpart. Shutdown closes the accept loop
+//! first, then lets every queued and in-flight request complete.
+//!
+//! [`SynthSpec`]: privbayes_synth::SynthSpec
+//! [`MarginalQuery`]: privbayes_synth::MarginalQuery
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,9 +49,12 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use privbayes::inference::{theta_projection, DEFAULT_CELL_CAP};
 use privbayes_data::csv::read_csv;
 use privbayes_model::{schema_from_json, Json, ReleasedModel};
-use privbayes_synth::{fit_method, FitSettings, Method};
+use privbayes_synth::{
+    fit_method, Cursor, FitSettings, MarginalQuery, Method, ResolvedSynth, SpecError, SynthSpec,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -50,6 +67,9 @@ use crate::stream::RowFormat;
 /// Per-connection socket timeout — a stalled peer must not pin a worker
 /// forever.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The API version marker attached to every response.
+const API_HEADER: (&str, &str) = ("X-PrivBayes-Api", "v1");
 
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
@@ -264,7 +284,9 @@ fn route<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Resu
                 respond_error(out, 404, "model-not-found", id)
             }
         }
-        ("GET", ["models", id, "synth"]) => synth(shared, id, req, out),
+        ("GET", ["models", id, "synth"]) => synth_legacy(shared, id, req, out),
+        ("POST", ["v1", "models", id, "synth"]) => synth_v1(shared, id, req, out),
+        ("POST", ["v1", "models", id, "query"]) => query_v1(shared, id, req, out),
         ("POST", ["fit"]) => fit(shared, req, out),
         ("GET", ["tenants"]) => {
             let tenants: Vec<Json> = shared.ledger.snapshot().iter().map(tenant_json).collect();
@@ -313,6 +335,7 @@ fn route<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Resu
             | ["models"]
             | ["models", _]
             | ["models", _, "synth"]
+            | ["v1", "models", _, "synth" | "query"]
             | ["fit"]
             | ["tenants"]
             | ["tenants", _]
@@ -345,8 +368,18 @@ fn load_model<W: Write>(
     }
 }
 
-/// `GET /models/{id}/synth`: stream rows in the fixed chunk scheme.
-fn synth<W: Write>(shared: &Shared, id: &str, req: &Request, out: &mut W) -> std::io::Result<()> {
+/// `GET /models/{id}/synth`: the legacy route, kept as an alias that
+/// desugars the query parameters into a default [`SynthSpec`] (no evidence,
+/// no projection, no cursor). Its bytes for a fixed `(model, seed, rows,
+/// format)` are the pre-v1 bytes exactly.
+///
+/// [`SynthSpec`]: privbayes_synth::SynthSpec
+fn synth_legacy<W: Write>(
+    shared: &Shared,
+    id: &str,
+    req: &Request,
+    out: &mut W,
+) -> std::io::Result<()> {
     let Some(entry) = shared.registry.get(id) else {
         return respond_error(out, 404, "model-not-found", id);
     };
@@ -355,10 +388,58 @@ fn synth<W: Write>(shared: &Shared, id: &str, req: &Request, out: &mut W) -> std
         Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
     };
     let rows = match req.query("rows").map(str::parse::<usize>) {
-        None => entry.artifact.metadata.source_rows,
-        Some(Ok(rows)) => rows,
+        None => None,
+        Some(Ok(rows)) => Some(rows),
         Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `rows`"),
     };
+    let seed = match req.query("seed").map(str::parse::<u64>) {
+        None => None,
+        Some(Ok(seed)) => Some(seed),
+        Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `seed`"),
+    };
+    let resolved =
+        ResolvedSynth { rows, seed, format, projection: None, evidence: Vec::new(), start_row: 0 };
+    stream_synth(shared, &entry, &resolved, out)
+}
+
+/// `POST /v1/models/{id}/synth`: parse the [`SynthSpec`] body, resolve it
+/// against the model's schema, stream rows.
+///
+/// [`SynthSpec`]: privbayes_synth::SynthSpec
+fn synth_v1<W: Write>(
+    shared: &Shared,
+    id: &str,
+    req: &Request,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let Some(entry) = shared.registry.get(id) else {
+        return respond_error(out, 404, "model-not-found", id);
+    };
+    let json = match parse_json_body(&req.body) {
+        Ok(json) => json,
+        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+    };
+    let resolved =
+        match SynthSpec::from_json(&json).and_then(|spec| spec.resolve(&entry.artifact.schema)) {
+            Ok(resolved) => resolved,
+            Err(e) => return respond_invalid_spec(out, &e),
+        };
+    stream_synth(shared, &entry, &resolved, out)
+}
+
+/// Streams one resolved synthesis request: the shared tail of the legacy
+/// alias and the `/v1` spec route. The response carries `X-PrivBayes-Seed`
+/// (the effective seed, also when the server drew it) and
+/// `X-PrivBayes-Cursor` (the stream's own resume token), and skips the CSV
+/// header on resumed streams so `prefix + resumed` is byte-identical to an
+/// uninterrupted stream.
+fn stream_synth<W: Write>(
+    shared: &Shared,
+    entry: &ModelEntry,
+    resolved: &ResolvedSynth,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let rows = resolved.rows.unwrap_or(entry.artifact.metadata.source_rows);
     if rows > shared.config.max_rows {
         return respond_error(
             out,
@@ -367,11 +448,10 @@ fn synth<W: Write>(shared: &Shared, id: &str, req: &Request, out: &mut W) -> std
             &format!("rows = {rows} exceeds the per-request cap of {}", shared.config.max_rows),
         );
     }
-    let mut rng = match req.query("seed").map(str::parse::<u64>) {
-        Some(Ok(seed)) => StdRng::seed_from_u64(seed),
-        Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `seed`"),
+    let seed = match resolved.seed {
+        Some(seed) => seed,
         None => match StdRng::try_from_rng(&mut rand::rngs::SysRng) {
-            Ok(rng) => rng,
+            Ok(mut rng) => rng.random::<u64>(),
             Err(_) => return respond_error(out, 500, "internal", "entropy source unavailable"),
         },
     };
@@ -379,13 +459,102 @@ fn synth<W: Write>(shared: &Shared, id: &str, req: &Request, out: &mut W) -> std
         Ok(sampler) => sampler,
         Err(e) => return respond_error(out, 500, "internal", &e.to_string()),
     };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stream = match sampler.stream_spec(&resolved.sample_spec(rows), &mut rng) {
+        Ok(stream) => stream,
+        Err(e) => return respond_error(out, 400, "invalid-spec", &e.to_string()),
+    };
+    // Ancestrally-closed evidence was already mass-checked exactly inside
+    // `stream_spec`; only the likelihood-weighted mode cannot detect
+    // impossible evidence itself, so only it pays for the exact
+    // evidence-marginal guard (skipped when the closure exceeds the cell
+    // cap — the stream then degrades to clamped rows rather than erroring).
+    if stream.is_likelihood_weighted() {
+        let attrs: Vec<usize> = resolved.evidence.iter().map(|&(a, _)| a).collect();
+        if let Ok(table) = theta_projection(
+            &entry.artifact.model,
+            &entry.artifact.schema,
+            &attrs,
+            DEFAULT_CELL_CAP,
+        ) {
+            let coords: Vec<usize> =
+                resolved.evidence.iter().map(|&(_, code)| code as usize).collect();
+            if table.get(&coords) <= 0.0 {
+                return respond_error(
+                    out,
+                    400,
+                    "invalid-spec",
+                    "evidence has probability zero under the model",
+                );
+            }
+        }
+    }
     let schema = sampler.schema();
-    let mut chunked = ChunkedResponse::begin(out, 200, format.content_type())?;
-    chunked.write(format.header(schema).as_bytes())?;
-    for chunk in sampler.stream_rows(rows, &mut rng) {
-        chunked.write(format.render(schema, &chunk).as_bytes())?;
+    let projection = resolved.projection.as_deref();
+    let seed_text = seed.to_string();
+    let cursor = Cursor { seed, row: resolved.start_row as u64 }.encode();
+    let headers = [API_HEADER, ("X-PrivBayes-Seed", &seed_text), ("X-PrivBayes-Cursor", &cursor)];
+    let mut chunked = ChunkedResponse::begin(out, 200, resolved.format.content_type(), &headers)?;
+    if resolved.start_row == 0 {
+        chunked.write(resolved.format.header(schema, projection).as_bytes())?;
+    }
+    for chunk in stream {
+        chunked.write(resolved.format.render(schema, projection, &chunk).as_bytes())?;
     }
     chunked.finish()
+}
+
+/// `POST /v1/models/{id}/query`: answer a [`MarginalQuery`] exactly from
+/// the released θ via the deterministic θ-projection — no sampling, no
+/// privacy cost (post-processing), bit-reproducible values.
+///
+/// [`MarginalQuery`]: privbayes_synth::MarginalQuery
+fn query_v1<W: Write>(
+    shared: &Shared,
+    id: &str,
+    req: &Request,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let Some(entry) = shared.registry.get(id) else {
+        return respond_error(out, 404, "model-not-found", id);
+    };
+    let json = match parse_json_body(&req.body) {
+        Ok(json) => json,
+        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+    };
+    let schema = &entry.artifact.schema;
+    let attrs = match MarginalQuery::from_json(&json).and_then(|q| q.resolve(schema)) {
+        Ok(attrs) => attrs,
+        Err(e) => return respond_invalid_spec(out, &e),
+    };
+    let table = match theta_projection(&entry.artifact.model, schema, &attrs, DEFAULT_CELL_CAP) {
+        Ok(table) => table,
+        Err(e) => return respond_error(out, 400, "invalid-spec", &e.to_string()),
+    };
+    let names: Vec<Json> =
+        attrs.iter().map(|&a| Json::String(schema.attribute(a).name().to_string())).collect();
+    let dims: Vec<Json> = table.dims().iter().map(|&d| Json::from_usize(d)).collect();
+    let values: Vec<Json> = table.values().iter().map(|&v| Json::Number(v)).collect();
+    let body = Json::object(vec![
+        ("model", Json::String(entry.id.clone())),
+        ("attrs", Json::Array(names)),
+        ("dims", Json::Array(dims)),
+        ("values", Json::Array(values)),
+    ]);
+    respond_json(out, 200, &body)
+}
+
+/// Parses a request body as UTF-8 JSON.
+fn parse_json_body(body: &[u8]) -> Result<Json, ServerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServerError::Protocol("request body is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| ServerError::Protocol(e.to_string()))
+}
+
+/// Answers a spec-validation failure: `400` with the `invalid-spec` error
+/// code and the typed error's message.
+fn respond_invalid_spec<W: Write>(out: &mut W, e: &SpecError) -> std::io::Result<()> {
+    respond_error(out, 400, "invalid-spec", &e.to_string())
 }
 
 /// `POST /fit`: debit the tenant, fit on the uploaded table with the
@@ -577,10 +746,11 @@ fn tenant_json(row: &TenantBudget) -> Json {
     ])
 }
 
-/// Writes a complete JSON response.
+/// Writes a complete JSON response (every response carries the
+/// [`API_HEADER`], errors included).
 fn respond_json<W: Write>(out: &mut W, code: u16, body: &Json) -> std::io::Result<()> {
     let text = body.to_string_compact().expect("response bodies are finite");
-    write_response(out, code, "application/json", text.as_bytes())
+    write_response(out, code, "application/json", &[API_HEADER], text.as_bytes())
 }
 
 /// Writes a structured error: `{"error": CODE, "message": …}`.

@@ -1,103 +1,26 @@
 //! Row rendering for streamed synthesis responses.
 //!
-//! The synthesis endpoint delivers rows in the sampler's 1024-row chunk
-//! scheme ([`privbayes::CHUNK_ROWS`]); each chunk is rendered to text here
-//! and written as one HTTP chunk. CSV output is byte-compatible with
-//! `privbayes_data::csv::write_csv` — the header line plus one
+//! The synthesis endpoints deliver rows in the sampler's 1024-row chunk
+//! scheme ([`privbayes::CHUNK_ROWS`]); each chunk is rendered to text and
+//! written as one HTTP chunk. The renderer itself — [`RowFormat`] — lives in
+//! `privbayes_synth::spec` alongside the request specs (this module
+//! re-exports it): the format is part of the typed request surface, shared
+//! by the server, the bundled client, and the CLI.
+//!
+//! CSV output is byte-compatible with `privbayes_data::csv::write_csv`
+//! restricted to the projected columns — the header line plus one
 //! label-per-cell line per row — so a streamed response concatenates to
-//! exactly the bytes the batch path would produce for the same seed. JSONL
-//! output emits one compact JSON object per row (attribute name → label),
-//! escaped through the same `Json` writer as the release artifacts.
+//! exactly the bytes the batch path would produce for the same seed and
+//! projection. JSONL output (`application/x-ndjson`) emits one compact JSON
+//! object per row, escaped through the same `Json` writer as the release
+//! artifacts.
 
-use privbayes_data::Schema;
-use privbayes_model::Json;
-
-use crate::error::ServerError;
-
-/// Wire format of a streamed synthesis response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RowFormat {
-    /// `text/csv`: header line, then one comma-joined label row per tuple.
-    Csv,
-    /// `application/jsonl`: one `{"attr": "label", …}` object per line.
-    Jsonl,
-}
-
-impl RowFormat {
-    /// Parses the `format` query parameter (`None` defaults to CSV).
-    ///
-    /// # Errors
-    /// Returns [`ServerError::Protocol`] naming the unknown format.
-    pub fn parse(raw: Option<&str>) -> Result<Self, ServerError> {
-        match raw {
-            None | Some("csv") => Ok(RowFormat::Csv),
-            Some("jsonl") => Ok(RowFormat::Jsonl),
-            Some(other) => {
-                Err(ServerError::Protocol(format!("unknown format `{other}` (csv|jsonl)")))
-            }
-        }
-    }
-
-    /// The response `Content-Type`.
-    #[must_use]
-    pub fn content_type(self) -> &'static str {
-        match self {
-            RowFormat::Csv => "text/csv",
-            RowFormat::Jsonl => "application/jsonl",
-        }
-    }
-
-    /// The bytes that precede the first row (the CSV header; nothing for
-    /// JSONL).
-    #[must_use]
-    pub fn header(self, schema: &Schema) -> String {
-        match self {
-            RowFormat::Csv => {
-                let names: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
-                format!("{}\n", names.join(","))
-            }
-            RowFormat::Jsonl => String::new(),
-        }
-    }
-
-    /// Renders one chunk of row-major tuples.
-    #[must_use]
-    pub fn render(self, schema: &Schema, rows: &[Vec<u32>]) -> String {
-        let mut out = String::new();
-        for tuple in rows {
-            match self {
-                RowFormat::Csv => {
-                    for (attr, &code) in tuple.iter().enumerate() {
-                        if attr > 0 {
-                            out.push(',');
-                        }
-                        out.push_str(&schema.attribute(attr).domain().label(code));
-                    }
-                }
-                RowFormat::Jsonl => {
-                    let fields: Vec<(String, Json)> = tuple
-                        .iter()
-                        .enumerate()
-                        .map(|(attr, &code)| {
-                            let a = schema.attribute(attr);
-                            (a.name().to_string(), Json::String(a.domain().label(code)))
-                        })
-                        .collect();
-                    out.push_str(
-                        &Json::Object(fields).to_string_compact().expect("labels are finite"),
-                    );
-                }
-            }
-            out.push('\n');
-        }
-        out
-    }
-}
+pub use privbayes_synth::RowFormat;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privbayes_data::{Attribute, Dataset};
+    use privbayes_data::{Attribute, Dataset, Schema};
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -108,32 +31,35 @@ mod tests {
     }
 
     #[test]
-    fn format_parsing() {
-        assert_eq!(RowFormat::parse(None).unwrap(), RowFormat::Csv);
-        assert_eq!(RowFormat::parse(Some("csv")).unwrap(), RowFormat::Csv);
-        assert_eq!(RowFormat::parse(Some("jsonl")).unwrap(), RowFormat::Jsonl);
-        assert!(RowFormat::parse(Some("xml")).is_err());
-    }
-
-    #[test]
     fn csv_matches_write_csv_bytes() {
         let schema = schema();
         let rows = vec![vec![0, 1], vec![1, 0]];
         let data = Dataset::from_rows(schema.clone(), &rows).unwrap();
         let mut expected = Vec::new();
         privbayes_data::csv::write_csv(&data, &mut expected).unwrap();
-        let streamed =
-            format!("{}{}", RowFormat::Csv.header(&schema), RowFormat::Csv.render(&schema, &rows));
+        let streamed = format!(
+            "{}{}",
+            RowFormat::Csv.header(&schema, None),
+            RowFormat::Csv.render(&schema, None, &rows)
+        );
         assert_eq!(streamed.as_bytes(), &expected[..]);
     }
 
     #[test]
     fn jsonl_renders_one_object_per_row() {
         let schema = schema();
-        let out = RowFormat::Jsonl.render(&schema, &[vec![1, 0]]);
+        let out = RowFormat::Jsonl.render(&schema, None, &[vec![1, 0]]);
         // Unlabelled domains print their default `v{code}` labels, exactly
         // as the CSV writer does.
         assert_eq!(out, "{\"smoker\":\"v1\",\"region\":\"north\"}\n");
-        assert_eq!(RowFormat::Jsonl.header(&schema), "");
+        assert_eq!(RowFormat::Jsonl.header(&schema, None), "");
+    }
+
+    #[test]
+    fn projection_restricts_and_reorders_columns() {
+        let schema = schema();
+        assert_eq!(RowFormat::Csv.header(&schema, Some(&[1, 0])), "region,smoker\n");
+        let out = RowFormat::Csv.render(&schema, Some(&[1, 0]), &[vec![0, 1]]);
+        assert_eq!(out, "north,v1\n");
     }
 }

@@ -55,9 +55,13 @@ use privbayes_model::ReleasedModel;
 
 mod error;
 mod methods;
+pub mod spec;
 
 pub use error::SynthError;
 pub use methods::MwemOptions;
+pub use spec::{
+    AttrRef, Cursor, MarginalQuery, ResolvedSynth, RowFormat, SpecError, SynthSpec, ValueRef,
+};
 
 /// The synthesis methods the suite can fit and serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
