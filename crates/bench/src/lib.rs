@@ -14,6 +14,7 @@
 //! * `--out DIR` — also write each table as CSV into DIR.
 
 pub mod ablations;
+pub mod audit;
 pub mod cli;
 pub mod figures;
 pub mod reference;

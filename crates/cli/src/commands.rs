@@ -1,5 +1,5 @@
 //! The subcommands: `fit`, `synth`, `synth-relational`, `query`, `eval`,
-//! `inspect`, `methods`, and `serve`.
+//! `audit`, `inspect`, `methods`, and `serve`.
 
 use std::fs;
 use std::io::{BufReader, Write as _};
@@ -7,6 +7,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use privbayes::inference::{theta_projection, DEFAULT_CELL_CAP};
+use privbayes_bench::audit::{audit_method, AuditConfig};
 use privbayes_data::csv::{read_csv, write_csv};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_data::{Dataset, Schema};
@@ -72,6 +73,19 @@ commands:
            Report average total-variation distance of all 1..=alpha-way
            marginals between two tables.
 
+  audit    --model MODEL.json --data D.csv --schema S.json
+           [--reps N=24] [--seed N] [--epsilon F]
+           Empirical membership-inference audit of a fitted artifact's
+           configuration: re-fits the artifact's method at its recorded ε
+           (or --epsilon) on include/exclude neighbour worlds built from
+           the given source table, runs a calibrated likelihood-ratio
+           attack over --reps seeded repetitions (even, ≥ 4; half
+           calibrate, half evaluate), and reports measured attacker
+           advantage (TPR − FPR) against the analytic ε-DP ceiling
+           (e^ε − 1)/(e^ε + 1). Exits with code 4 if the measured
+           advantage breaches bound + confidence slack — an empirical
+           privacy violation, not a usage mistake.
+
   inspect  --model MODEL.json
            Print a released model's provenance and network structure
            (handles both single-table and relational artifacts).
@@ -118,6 +132,7 @@ where
         "synth-relational" => synth_relational(&parsed),
         "query" => query(&parsed),
         "eval" => eval(&parsed),
+        "audit" => audit(&parsed),
         "inspect" => inspect(&parsed),
         "methods" => methods(&parsed),
         "serve" => serve(&parsed),
@@ -418,6 +433,81 @@ fn eval(args: &ParsedArgs) -> Result<String, CliError> {
         let tvd = average_workload_tvd(&truth, &synthetic, a);
         out.push_str(&format!("{a},{tvd:.6}\n"));
     }
+    Ok(out)
+}
+
+/// `audit`: membership-inference audit of a fitted artifact's
+/// configuration against the analytic ε-DP advantage bound.
+fn audit(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["model", "data", "schema", "reps", "seed", "epsilon"])?;
+    let model_path = args.required("model")?;
+    let artifact = ReleasedModel::load(model_path)
+        .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+    let method_name = artifact.metadata.method.clone();
+    let Some(method) = Method::parse(&method_name) else {
+        return Err(CliError::Invalid(format!(
+            "artifact records method `{method_name}`, which is not auditable \
+             (valid methods: {})",
+            Method::names()
+        )));
+    };
+    let epsilon = match args.parse_opt::<f64>("epsilon")? {
+        Some(e) => e,
+        None => artifact.metadata.epsilon,
+    };
+    if method.spends_budget() && epsilon <= 0.0 {
+        return Err(CliError::Usage("--epsilon must be positive for this method".into()));
+    }
+    let reps: usize = args.parse_or("reps", 24)?;
+    if reps < 4 || !reps.is_multiple_of(2) {
+        return Err(CliError::Usage("--reps must be even and at least 4".into()));
+    }
+    let schema = load_schema(args.required("schema")?)?;
+    let data = load_csv(&schema, args.required("data")?)?;
+
+    // Audit the artifact's own configuration: its method at the requested
+    // budget with its recorded structure-learning hyper-parameters.
+    let settings = FitSettings {
+        beta: artifact.metadata.beta,
+        theta: artifact.metadata.theta,
+        ..FitSettings::default()
+    };
+    let cfg = AuditConfig {
+        reps,
+        base_seed: args.parse_or("seed", AuditConfig::default().base_seed)?,
+        ..AuditConfig::default()
+    };
+    let point = audit_method(method, &data, epsilon, &settings, &cfg)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+
+    let mut out = format!(
+        "membership-inference audit of {method_name} at ε = {epsilon} \
+         ({} reps: {} calibrate, {} evaluate; n = {}, d = {})\n",
+        cfg.reps,
+        cfg.reps - cfg.eval_reps(),
+        cfg.eval_reps(),
+        data.n(),
+        data.d(),
+    );
+    out.push_str(&format!(
+        "  advantage  {:.4}  (tpr {:.4}, fpr {:.4})\n  bound      {:.4}  \
+         ((e^ε − 1)/(e^ε + 1) at spent ε = {})\n  slack      {:.4}  (Hoeffding, δ = {})\n",
+        point.advantage,
+        point.tpr,
+        point.fpr,
+        point.bound,
+        point.epsilon_spent,
+        point.slack,
+        cfg.delta,
+    ));
+    if !point.passes_gate() {
+        return Err(CliError::Invalid(format!(
+            "PRIVACY GATE FAILED: measured advantage {:.4} exceeds bound {:.4} + slack {:.4} — \
+             the fit leaks more than its claimed ε allows",
+            point.advantage, point.bound, point.slack
+        )));
+    }
+    out.push_str("verdict: measured advantage is under the analytic ε-DP bound\n");
     Ok(out)
 }
 
@@ -1323,6 +1413,117 @@ mod tests {
         assert!(out.contains("fact network"), "{out}");
         assert!(out.contains("cli test"), "{out}");
 
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audit_reports_advantage_under_bound_for_a_real_fit() {
+        let dir = temp_dir("audit");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--seed",
+            "3",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+
+        let out = run_cli(&[
+            "audit",
+            "--model",
+            &model_path,
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--reps",
+            "8",
+            "--seed",
+            "11",
+        ])
+        .unwrap();
+        assert!(out.contains("membership-inference audit of privbayes at ε = 1"), "{out}");
+        assert!(out.contains("advantage"), "{out}");
+        assert!(out.contains("bound"), "{out}");
+        assert!(out.contains("verdict: measured advantage is under the analytic ε-DP bound"));
+
+        // The recorded ε can be overridden per run.
+        let out = run_cli(&[
+            "audit",
+            "--model",
+            &model_path,
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--reps",
+            "4",
+            "--epsilon",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(out.contains("at ε = 0.2"), "{out}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audit_flag_validation_uses_exit_code_two() {
+        let dir = temp_dir("audit-flags");
+        let (schema_path, data_path) = write_fixture_data(&dir);
+        let model_path = dir.join("model.json").to_str().unwrap().to_string();
+        run_cli(&[
+            "fit",
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "1.0",
+            "--seed",
+            "3",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+
+        // Odd / tiny repetition counts are usage errors, not panics.
+        for reps in ["7", "2"] {
+            let e = run_cli(&[
+                "audit",
+                "--model",
+                &model_path,
+                "--data",
+                &data_path,
+                "--schema",
+                &schema_path,
+                "--reps",
+                reps,
+            ])
+            .unwrap_err();
+            assert!(matches!(e, CliError::Usage(_)), "{e}");
+            assert_eq!(e.exit_code(), 2);
+        }
+        let e = run_cli(&[
+            "audit",
+            "--model",
+            &model_path,
+            "--data",
+            &data_path,
+            "--schema",
+            &schema_path,
+            "--epsilon",
+            "-1",
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

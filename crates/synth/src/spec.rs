@@ -879,6 +879,58 @@ mod tests {
         assert!(matches!(e, SpecError::BadCursor(_)), "{e}");
     }
 
+    proptest::proptest! {
+        /// encode → decode is the identity for every (seed, row) pair, and
+        /// the token always carries the documented version prefix.
+        #[test]
+        fn prop_cursor_encode_decode_round_trips(
+            seed in proptest::any::<u64>(),
+            row in proptest::any::<u64>(),
+        ) {
+            let cursor = Cursor { seed, row };
+            let token = cursor.encode();
+            proptest::prop_assert!(token.starts_with("pbc1-"), "token `{token}`");
+            proptest::prop_assert_eq!(Cursor::decode(&token).unwrap(), cursor);
+        }
+
+        /// Decoding is total: an arbitrary printable string either decodes
+        /// or returns the typed error — it never panics.
+        #[test]
+        fn prop_cursor_decode_never_panics(token in "\\PC{0,48}") {
+            match Cursor::decode(&token) {
+                // Anything that decodes must re-encode to an equivalent
+                // cursor (the token itself may be non-canonical, e.g.
+                // unpadded hex).
+                Ok(c) => proptest::prop_assert_eq!(Cursor::decode(&c.encode()).unwrap(), c),
+                Err(e) => proptest::prop_assert!(matches!(e, SpecError::BadCursor(_)), "{e}"),
+            }
+        }
+
+        /// Near-miss `pbc1-` tokens (wrong field count, non-hex digits,
+        /// empty fields) are rejected with [`SpecError::BadCursor`]
+        /// specifically — never another variant, never a panic.
+        #[test]
+        fn prop_malformed_pbc1_tokens_get_the_typed_error(body in "[0-9a-fxg-]{0,32}") {
+            let token = format!("pbc1-{body}");
+            let fields: Vec<&str> = body.split('-').collect();
+            let well_formed = fields.len() == 2
+                && !fields[0].is_empty()
+                && !fields[1].is_empty()
+                && fields.iter().all(|f| {
+                    f.chars().all(|c| c.is_ascii_hexdigit()) && u64::from_str_radix(f, 16).is_ok()
+                });
+            match Cursor::decode(&token) {
+                Ok(c) => {
+                    proptest::prop_assert!(well_formed, "decoded malformed `{token}` to {c:?}");
+                }
+                Err(e) => {
+                    proptest::prop_assert!(!well_formed, "rejected well-formed `{token}`: {e}");
+                    proptest::prop_assert!(matches!(e, SpecError::BadCursor(_)), "{e}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn unknown_fields_are_rejected() {
         let body = Json::parse(r#"{"rows": 10, "frobnicate": 1}"#).unwrap();

@@ -8,12 +8,75 @@
 //! This is a black-box distinguisher in the spirit of DP testing tools; it
 //! cannot *prove* privacy, but it reliably flags mechanisms whose noise is
 //! under-scaled.
+//!
+//! # How the trial counts are derived
+//!
+//! Rather than hand-tuning the number of trials until the tests stop
+//! flaking, every count is computed from a stated false-failure budget by
+//! the multiplicative Chernoff bound. For `N` i.i.d. Bernoulli(p) trials:
+//!
+//! ```text
+//!     P( |p̂ − p| ≥ η·p )  ≤  2·exp(−η²·N·p / 3)        for 0 < η ≤ 1.
+//! ```
+//!
+//! If *both* bucket estimates entering a ratio are within relative error η
+//! of their true values, the empirical ratio is off the true ratio (≤ e^ε
+//! for an ε-DP mechanism) by at most a factor `(1+η)/(1−η)`. We therefore
+//! pick the slack factor first and solve for the relative error it absorbs:
+//!
+//! ```text
+//!     SLACK = (1+η)/(1−η)   ⇒   η = (SLACK − 1)/(SLACK + 1).
+//! ```
+//!
+//! Inverting the tail bound for a per-estimate failure probability δ_per
+//! (the per-test budget [`DELTA`] split evenly over every bucket estimate
+//! in the test, 2 histograms × buckets) gives the trial count:
+//!
+//! ```text
+//!     N  ≥  3·ln(2/δ_per) / (η² · p_min).
+//! ```
+//!
+//! `p_min` is the smallest true bucket mass the guarantee must cover. The
+//! ratio test only inspects buckets whose *empirical* mass is at least
+//! [`P_MIN`], so it suffices to take `p_min = P_MIN/2`: on the good event,
+//! every bucket with true mass ≥ P_MIN/2 is η-accurate, and a bucket with
+//! true mass below P_MIN/2 reaching empirical mass P_MIN would require a
+//! relative deviation ≥ 1, whose probability exp(−N·p/3) is astronomically
+//! smaller than δ_per at these N. Union-bounding, each `#[test]` fails
+//! spuriously with probability at most [`DELTA`] = 1e-3.
+//!
+//! With SLACK = 1.15 ⇒ η ≈ 0.0698, P_MIN = 5e-3, and ~80 estimates, this
+//! lands near 3.0 million trials per histogram — a few hundred ms of
+//! release-mode sampling, and a *derived* number the next person can
+//! re-solve instead of re-guessing.
 
 use privbayes_dp::exponential::exponential_mechanism;
 use privbayes_dp::geometric::sample_two_sided_geometric;
 use privbayes_dp::laplace::sample_laplace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Multiplicative headroom allowed over `e^ε` before a ratio counts as a
+/// violation. Fixing SLACK fixes the relative accuracy η the estimates
+/// must reach (see the module docs).
+const SLACK: f64 = 1.15;
+
+/// Buckets below this empirical mass are skipped by the ratio test — their
+/// ratio estimate would be dominated by noise, not by the mechanism.
+const P_MIN: f64 = 5e-3;
+
+/// Per-`#[test]` false-failure budget, split over all bucket estimates.
+const DELTA: f64 = 1e-3;
+
+/// Solves the Chernoff bound in the module docs for the trial count: the
+/// smallest `N` such that all `estimates` bucket probabilities of true mass
+/// at least `p_min` are within relative error `η = (slack−1)/(slack+1)` of
+/// their estimates, except with probability [`DELTA`].
+fn chernoff_trials(p_min: f64, slack: f64, estimates: usize) -> usize {
+    let eta = (slack - 1.0) / (slack + 1.0);
+    let delta_per = DELTA / estimates as f64;
+    (3.0 * (2.0 / delta_per).ln() / (eta * eta * p_min)).ceil() as usize
+}
 
 /// Buckets the outputs of `mechanism(input)` over `trials` runs.
 fn histogram<F>(trials: usize, buckets: usize, lo: f64, hi: f64, mut mechanism: F) -> Vec<f64>
@@ -34,7 +97,7 @@ where
 fn assert_dp_ratio(p1: &[f64], p2: &[f64], epsilon: f64, slack: f64, label: &str) {
     let bound = epsilon.exp() * slack;
     for (i, (&a, &b)) in p1.iter().zip(p2).enumerate() {
-        if a < 5e-3 || b < 5e-3 {
+        if a < P_MIN || b < P_MIN {
             continue; // too little mass for a stable ratio estimate
         }
         let ratio = a / b;
@@ -48,52 +111,66 @@ fn assert_dp_ratio(p1: &[f64], p2: &[f64], epsilon: f64, slack: f64, label: &str
 /// Returns true if some well-populated bucket breaches the ε ratio bound.
 fn dp_ratio_violated(p1: &[f64], p2: &[f64], epsilon: f64, slack: f64) -> bool {
     let bound = epsilon.exp() * slack;
-    p1.iter().zip(p2).any(|(&a, &b)| a >= 5e-3 && b >= 5e-3 && (a / b > bound || b / a > bound))
+    p1.iter().zip(p2).any(|(&a, &b)| a >= P_MIN && b >= P_MIN && (a / b > bound || b / a > bound))
 }
 
 #[test]
 fn laplace_mechanism_satisfies_epsilon_dp_empirically() {
     // A counting query: neighboring datasets give counts 100 and 101, the
-    // sensitivity is 1, ε = 1.
+    // sensitivity is 1, ε = 1. 40 buckets × 2 histograms = 80 estimates;
+    // p_min = P_MIN/2 per the module docs ⇒ N ≈ 3.0M trials per histogram.
     let epsilon = 1.0;
-    let trials = 400_000;
+    let buckets = 40;
+    let trials = chernoff_trials(P_MIN / 2.0, SLACK, 2 * buckets);
     let mut rng = StdRng::seed_from_u64(1);
-    let p1 = histogram(trials, 40, 90.0, 111.0, || 100.0 + sample_laplace(1.0 / epsilon, &mut rng));
+    let p1 =
+        histogram(trials, buckets, 90.0, 111.0, || 100.0 + sample_laplace(1.0 / epsilon, &mut rng));
     let mut rng = StdRng::seed_from_u64(2);
-    let p2 = histogram(trials, 40, 90.0, 111.0, || 101.0 + sample_laplace(1.0 / epsilon, &mut rng));
-    assert_dp_ratio(&p1, &p2, epsilon, 1.15, "Laplace ε=1");
+    let p2 =
+        histogram(trials, buckets, 90.0, 111.0, || 101.0 + sample_laplace(1.0 / epsilon, &mut rng));
+    assert_dp_ratio(&p1, &p2, epsilon, SLACK, "Laplace ε=1");
 }
 
 #[test]
 fn geometric_mechanism_satisfies_epsilon_dp_empirically() {
+    // Integer support: one bucket per outcome in [−15, 15], so 31 buckets
+    // × 2 histograms = 62 estimates ⇒ N ≈ 2.9M trials per histogram.
     let epsilon: f64 = 0.8;
     let alpha = (-epsilon).exp();
-    let trials = 400_000;
+    let buckets = 31;
+    let trials = chernoff_trials(P_MIN / 2.0, SLACK, 2 * buckets);
     let mut rng = StdRng::seed_from_u64(3);
-    let p1 = histogram(trials, 31, -15.0, 16.0, || {
+    let p1 = histogram(trials, buckets, -15.0, 16.0, || {
         (100 + sample_two_sided_geometric(alpha, &mut rng) - 100) as f64
     });
     let mut rng = StdRng::seed_from_u64(4);
-    let p2 = histogram(trials, 31, -15.0, 16.0, || {
+    let p2 = histogram(trials, buckets, -15.0, 16.0, || {
         (101 + sample_two_sided_geometric(alpha, &mut rng) - 100) as f64
     });
-    assert_dp_ratio(&p1, &p2, epsilon, 1.15, "Geometric ε=0.8");
+    assert_dp_ratio(&p1, &p2, epsilon, SLACK, "Geometric ε=0.8");
 }
 
 #[test]
 fn broken_laplace_scale_is_detected() {
     // Failure injection: noise calibrated to ε' = 3ε (scale three times too
     // small) must visibly violate the ε ratio bound — demonstrating that the
-    // distinguisher above has teeth.
+    // distinguisher above has teeth. The trial count is reused from the
+    // honest Laplace test; detection needs *power*, not validity, and at a
+    // 3× under-scale the worst tested bucket ratio sits near e^{3ε}·e^{-ε}
+    // ≈ e^2 ≈ 7.4, far beyond the e^ε·SLACK ≈ 3.1 bound — so the same N
+    // detects it with overwhelming probability.
     let epsilon = 1.0;
     let broken_scale = 1.0 / (3.0 * epsilon);
-    let trials = 400_000;
+    let buckets = 40;
+    let trials = chernoff_trials(P_MIN / 2.0, SLACK, 2 * buckets);
     let mut rng = StdRng::seed_from_u64(5);
-    let p1 = histogram(trials, 40, 95.0, 107.0, || 100.0 + sample_laplace(broken_scale, &mut rng));
+    let p1 =
+        histogram(trials, buckets, 95.0, 107.0, || 100.0 + sample_laplace(broken_scale, &mut rng));
     let mut rng = StdRng::seed_from_u64(6);
-    let p2 = histogram(trials, 40, 95.0, 107.0, || 101.0 + sample_laplace(broken_scale, &mut rng));
+    let p2 =
+        histogram(trials, buckets, 95.0, 107.0, || 101.0 + sample_laplace(broken_scale, &mut rng));
     assert!(
-        dp_ratio_violated(&p1, &p2, epsilon, 1.15),
+        dp_ratio_violated(&p1, &p2, epsilon, SLACK),
         "an under-scaled mechanism must be flagged by the ratio test"
     );
 }
@@ -104,11 +181,19 @@ fn exponential_mechanism_selection_respects_epsilon() {
     // the selection probability of any candidate may change by at most e^ε
     // (the mechanism's Δ = S/ε parameterisation gives e^{ε} via the 2Δ
     // denominator and the one-sided score shift).
+    //
+    // Unlike the histogram tests, every candidate probability is known to
+    // be large: weights exp(ε·s/(2Δ)) = exp(s) for scores {1.0, 0.4, 0.2}
+    // give a smallest selection probability ≈ e^0.2/(e^1+e^0.4+e^0.2) ≈
+    // 0.225 (≈ 0.28 on the neighbor), so p_min = 0.2 is a safe floor and no
+    // empirical-mass filter is needed. A tighter slack of 1.1 with 2 × 3
+    // estimates ⇒ N ≈ 63k trials per tally.
     let epsilon = 1.0;
     let sensitivity = 0.5;
     let scores_1 = [1.0, 0.4, 0.2];
     let scores_2 = [1.0 - sensitivity, 0.4, 0.2]; // one tuple's removal
-    let trials = 300_000;
+    let slack = 1.1;
+    let trials = chernoff_trials(0.2, slack, 2 * 3);
     let tally = |scores: &[f64], seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut counts = [0usize; 3];
@@ -122,9 +207,9 @@ fn exponential_mechanism_selection_respects_epsilon() {
     for i in 0..3 {
         let ratio = p1[i] / p2[i];
         assert!(
-            ratio < epsilon.exp() * 1.1 && 1.0 / ratio < epsilon.exp() * 1.1,
+            ratio < epsilon.exp() * slack && 1.0 / ratio < epsilon.exp() * slack,
             "candidate {i}: ratio {ratio:.3} vs bound {:.3}",
-            epsilon.exp() * 1.1
+            epsilon.exp() * slack
         );
     }
 }
@@ -136,7 +221,9 @@ fn privbayes_end_to_end_output_distributions_overlap() {
     // marginal's distribution over repetitions does not let us tell the two
     // inputs apart with confidence wildly exceeding the budget. This is a
     // smoke-level check (full end-to-end DP verification is impractical in a
-    // unit test), but it exercises the composition path with real data.
+    // unit test — `tests/privacy_audit.rs` covers the fitted-model side with
+    // a membership-inference attacker), but it exercises the composition
+    // path with real data.
     use privbayes::pipeline::{PrivBayes, PrivBayesOptions};
     use privbayes_data::{Attribute, Dataset, Schema};
 

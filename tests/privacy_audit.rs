@@ -1,0 +1,159 @@
+//! The privacy-audit tier: the membership-inference harness of
+//! `privbayes_bench::audit` exercised end to end, including the failure
+//! injection that proves the bound gate has teeth.
+//!
+//! 1. **Null calibration** — `uniform` never reads the data, so with shared
+//!    per-repetition seeds both neighbour worlds produce identical models
+//!    and the calibrated attack must measure an advantage of (exactly)
+//!    zero, well inside the seeded confidence slack.
+//! 2. **Monotonicity smoke** — more budget means more leakage headroom:
+//!    for `privbayes` on the Adult-shaped dataset, the measured advantage
+//!    at ε = 8 is at least the advantage at ε = 0.1 (everything is seeded,
+//!    so this is a deterministic regression check, not a flaky one). Adult's
+//!    2⁵² domain also forces the scorer down its conditional-product path.
+//! 3. **Gate trip on a broken fit** — a deliberately non-private fitter
+//!    (noise scale forced to 0 via `noisy_conditionals_general`'s
+//!    `epsilon2 = None` hook) claiming a small ε must breach
+//!    `bound + slack` and fail [`AuditOutcome::passes_gate`]. This is the
+//!    audit's reason to exist: a privacy bug the type system cannot see,
+//!    caught empirically.
+
+use privbayes_bench::audit::{
+    advantage_bound, audit_method, hoeffding_slack, log_model_prob, neighbor_worlds, run_audit,
+    AuditConfig, AuditOutcome,
+};
+use privbayes_suite::core::conditionals::noisy_conditionals_general;
+use privbayes_suite::core::inference::DEFAULT_CELL_CAP;
+use privbayes_suite::core::network::{ApPair, BayesianNetwork};
+use privbayes_suite::data::{Attribute, Dataset, Schema};
+use privbayes_suite::datasets::adult::adult_sized;
+use privbayes_suite::datasets::GroundTruthNetwork;
+use privbayes_suite::model::{ModelMetadata, ReleasedModel};
+use privbayes_suite::synth::{FitSettings, Method};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small correlated binary dataset for the fast audits.
+fn audit_base(n: usize) -> Dataset {
+    let schema =
+        Schema::new((0..5).map(|i| Attribute::binary(format!("x{i}"))).collect::<Vec<_>>())
+            .unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    let net = GroundTruthNetwork::random(&schema, 2, 0.6, &mut rng);
+    net.sample(n, &mut rng)
+}
+
+#[test]
+fn uniform_audit_measures_exactly_zero_advantage() {
+    let base = audit_base(200);
+    let cfg = AuditConfig { reps: 12, ..AuditConfig::default() };
+    let out = audit_method(Method::Uniform, &base, 1.0, &FitSettings::default(), &cfg).unwrap();
+    assert_eq!(out.epsilon_spent, 0.0, "uniform must record zero spend");
+    assert_eq!(out.bound, 0.0, "zero spend means a zero analytic ceiling");
+    // The null control is *exact*: identical models on both worlds give the
+    // attack zero signal at any threshold, so the advantage is 0 up to
+    // floating noise — far inside the Hoeffding slack the gate allows.
+    assert!(out.advantage.abs() < 1e-12, "null advantage was {}", out.advantage);
+    assert!(out.advantage.abs() <= out.slack);
+    assert!(out.passes_gate());
+}
+
+#[test]
+fn privbayes_leakage_is_monotone_in_epsilon_on_adult() {
+    // Small n amplifies one tuple's influence (the conditionals move by
+    // O(1/n) when the target swaps in), keeping the high-ε signal visible
+    // at test-sized repetition counts.
+    let base = adult_sized(3, 60).data;
+    // Low degree keeps the 15-attribute GreedyBayes enumeration fast; the
+    // comparison is between budgets, not against the paper's structure.
+    let settings = FitSettings { max_degree: 2, ..FitSettings::default() };
+    let cfg = AuditConfig { reps: 24, ..AuditConfig::default() };
+    let lo = audit_method(Method::PrivBayes, &base, 0.1, &settings, &cfg).unwrap();
+    let hi = audit_method(Method::PrivBayes, &base, 8.0, &settings, &cfg).unwrap();
+    assert!(lo.passes_gate(), "ε = 0.1 must sit under its bound");
+    assert!(hi.passes_gate(), "ε = 8 must sit under its bound");
+    assert!(
+        hi.advantage >= lo.advantage,
+        "advantage must not shrink as the budget grows: ε=8 gave {}, ε=0.1 gave {}",
+        hi.advantage,
+        lo.advantage
+    );
+    // And the audit is a real probe at ε = 8: the attacker does read signal.
+    assert!(hi.advantage > 0.0, "ε = 8 advantage was {}, expected visible leakage", hi.advantage);
+}
+
+/// A deliberately broken "private" fit: real structure, exact (noise-free)
+/// conditionals via the `epsilon2 = None` test hook — the model memorises
+/// its input while claiming `claimed_epsilon`.
+fn broken_fit(data: &Dataset, claimed_epsilon: f64, seed: u64) -> ReleasedModel {
+    let d = data.d();
+    let pairs: Vec<ApPair> =
+        (0..d).map(|a| ApPair::new(a, if a == 0 { vec![] } else { vec![a - 1] })).collect();
+    let net = BayesianNetwork::new(pairs, data.schema()).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = noisy_conditionals_general(data, &net, None, &mut rng).unwrap();
+    ReleasedModel::new(
+        ModelMetadata {
+            method: "privbayes".into(),
+            epsilon: claimed_epsilon,
+            beta: 0.3,
+            theta: 4.0,
+            score: "R".into(),
+            encoding: "vanilla".into(),
+            source_rows: data.n(),
+            comment: "test-only broken fit (noise scale 0)".into(),
+        },
+        data.schema().clone(),
+        model,
+    )
+    .unwrap()
+}
+
+#[test]
+fn bound_gate_trips_on_a_noiseless_fit() {
+    let base = audit_base(300);
+    let claimed = 0.1;
+    let cfg = AuditConfig { reps: 40, ..AuditConfig::default() };
+    let out: AuditOutcome = run_audit(
+        "broken-privbayes",
+        claimed,
+        |data, seed| Ok((broken_fit(data, claimed, seed), claimed)),
+        &base,
+        &cfg,
+    )
+    .unwrap();
+    // Exact conditionals separate the worlds perfectly: the target tuple is
+    // strictly more probable under every include-world model.
+    assert!(
+        (out.advantage - 1.0).abs() < 1e-12,
+        "noiseless fit should give a perfect attack, got {}",
+        out.advantage
+    );
+    assert!(
+        !out.passes_gate(),
+        "gate must trip: advantage {} vs bound {} + slack {}",
+        out.advantage,
+        out.bound,
+        out.slack
+    );
+}
+
+#[test]
+fn scorer_agrees_across_paths_and_bound_slack_are_sane() {
+    // Cross-path scorer check on a released artifact plus the two analytic
+    // helpers the gate is built from, so a regression in any of the three
+    // shows up at this tier too (not only inside the bench crate's units).
+    let base = audit_base(250);
+    let worlds = neighbor_worlds(&base);
+    assert_eq!(worlds.include.row(0), worlds.target);
+    assert_eq!(worlds.exclude.row(0), base.row(0));
+
+    let model = broken_fit(&base, 1.0, 5);
+    let full = log_model_prob(&model, &worlds.target, DEFAULT_CELL_CAP).unwrap();
+    let product = log_model_prob(&model, &worlds.target, 1).unwrap();
+    assert!((full - product).abs() < 1e-9, "θ-projection {full} vs product {product}");
+
+    assert!(advantage_bound(0.0).abs() < 1e-15);
+    assert!(advantage_bound(1.0) > 0.0 && advantage_bound(1.0) < 1.0);
+    assert!(hoeffding_slack(80, 1e-2) < hoeffding_slack(20, 1e-2));
+}
