@@ -206,11 +206,9 @@ struct ServeBench {
     points: Vec<ServePoint>,
 }
 
-/// Starts an in-process server over a model fit on Adult and measures
-/// streamed-synthesis throughput at 1/4/8 concurrent clients. Before
-/// timing, asserts the streamed CSV equals the direct batch path byte for
-/// byte — the serving layer must add overhead only, never divergence.
-fn run_serve(cfg: &HarnessConfig) -> ServeBench {
+/// Fits the Adult serving model once; shared by the serve-throughput and
+/// overload workloads so the (expensive) fit is not repeated.
+fn fit_adult_artifact(cfg: &HarnessConfig) -> (Dataset, ReleasedModel) {
     let data = privbayes_datasets::adult::adult_sized(7, cfg.scaled(45_222)).data;
     let settings = GreedySettings::private(ScoreKind::R, 0.3).with_max_degree(4);
     let mut rng = StdRng::seed_from_u64(1042);
@@ -231,9 +229,16 @@ fn run_serve(cfg: &HarnessConfig) -> ServeBench {
         model,
     )
     .unwrap();
+    (data, artifact)
+}
 
+/// Starts an in-process server over a model fit on Adult and measures
+/// streamed-synthesis throughput at 1/4/8 concurrent clients. Before
+/// timing, asserts the streamed CSV equals the direct batch path byte for
+/// byte — the serving layer must add overhead only, never divergence.
+fn run_serve(cfg: &HarnessConfig, data: &Dataset, artifact: &ReleasedModel) -> ServeBench {
     let registry = Arc::new(ModelRegistry::new());
-    registry.load("adult", artifact).unwrap();
+    registry.load("adult", artifact.clone()).unwrap();
     let entry = registry.get("adult").unwrap();
     let server = Server::bind(
         "127.0.0.1:0",
@@ -291,6 +296,108 @@ fn run_serve(cfg: &HarnessConfig) -> ServeBench {
     client.shutdown().unwrap();
     handle.join().unwrap();
     ServeBench { model_rows: data.n(), attrs: data.d(), points }
+}
+
+/// Measured behavior at 2× queue capacity (PR 7's hardened admission
+/// control): latency of the accepted requests and the 503 rejection rate.
+struct OverloadBench {
+    workers: usize,
+    queue_depth: usize,
+    clients: usize,
+    requests: usize,
+    ok: usize,
+    rejected_503: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Drives a deliberately small pool (2 workers, 4-deep queue) with twice
+/// its total capacity in concurrent clients, none of them retrying: the
+/// accepted requests must stream correctly (counted + latency-profiled) and
+/// every overflow connection must get an immediate 503 carrying a
+/// `Retry-After` hint — graceful degradation, not collapse.
+fn run_overload(cfg: &HarnessConfig, artifact: &ReleasedModel) -> OverloadBench {
+    let (workers, queue_depth) = (2usize, 4usize);
+    let clients = 2 * (workers + queue_depth);
+    let requests_per_client = if cfg.quick { 2 } else { 4 };
+    let rows_per_request = if cfg.quick { 2_000 } else { 8_000 };
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("adult", artifact.clone()).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers, queue_depth, fit_threads: Some(1), ..ServerConfig::default() },
+        registry,
+        Arc::new(BudgetLedger::in_memory()),
+    )
+    .unwrap();
+    let handle = server.spawn();
+
+    // (status, latency) per request, across all clients.
+    let outcomes: Vec<(u16, f64, bool)> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = Client::new(handle.addr().to_string());
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(requests_per_client);
+                    for r in 0..requests_per_client {
+                        let seed = (c * requests_per_client + r) as u64;
+                        let path = format!(
+                            "/models/adult/synth?rows={rows_per_request}&seed={seed}&format=csv"
+                        );
+                        let start = Instant::now();
+                        let response = client.request("GET", &path, None).unwrap();
+                        let ms = start.elapsed().as_secs_f64() * 1e3;
+                        let has_retry_after = response.header("retry-after").is_some();
+                        if response.code == 200 {
+                            assert_eq!(
+                                response.text().lines().count(),
+                                rows_per_request + 1,
+                                "accepted streams must be complete under overload"
+                            );
+                        }
+                        local.push((response.code, ms, has_retry_after));
+                    }
+                    local
+                })
+            })
+            .collect();
+        threads.into_iter().flat_map(|t| t.join().unwrap()).collect()
+    });
+
+    let client = Client::new(handle.addr().to_string());
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+
+    let ok = outcomes.iter().filter(|(code, _, _)| *code == 200).count();
+    let rejected = outcomes.iter().filter(|(code, _, _)| *code == 503).count();
+    assert_eq!(ok + rejected, outcomes.len(), "every request is served or rejected cleanly");
+    for (code, _, has_retry_after) in &outcomes {
+        if *code == 503 {
+            assert!(has_retry_after, "every 503 must carry a Retry-After hint");
+        }
+    }
+    assert_eq!(stats.queue_rejected as usize, rejected, "rejections must be counted");
+
+    let mut accepted_ms: Vec<f64> =
+        outcomes.iter().filter(|(code, _, _)| *code == 200).map(|&(_, ms, _)| ms).collect();
+    accepted_ms.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        if accepted_ms.is_empty() {
+            return f64::NAN;
+        }
+        accepted_ms[((accepted_ms.len() as f64 - 1.0) * p).round() as usize]
+    };
+    OverloadBench {
+        workers,
+        queue_depth,
+        clients,
+        requests: outcomes.len(),
+        ok,
+        rejected_503: rejected,
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+    }
 }
 
 /// Query API v2 measurements over a served model.
@@ -434,7 +541,9 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let workloads = vec![run_adult(&cfg), run_nltcs(&cfg)];
-    let serve = run_serve(&cfg);
+    let (adult_data, adult_artifact) = fit_adult_artifact(&cfg);
+    let serve = run_serve(&cfg, &adult_data, &adult_artifact);
+    let overload = run_overload(&cfg, &adult_artifact);
     let query = run_query(&cfg);
 
     for w in &workloads {
@@ -458,6 +567,15 @@ fn main() {
             p.clients, p.requests_per_client, p.rows_per_request, p.rows_per_sec,
         );
     }
+
+    println!(
+        "== overload ({} workers, queue {}, {} clients) ==",
+        overload.workers, overload.queue_depth, overload.clients
+    );
+    println!(
+        "  {} requests: {} ok, {} rejected 503 | accepted p50 {:>7.1} ms | p99 {:>7.1} ms",
+        overload.requests, overload.ok, overload.rejected_503, overload.p50_ms, overload.p99_ms,
+    );
 
     println!("== query API v2 (model: nltcs) ==");
     println!(
@@ -539,5 +657,27 @@ fn main() {
     );
     let path = out_path("BENCH_PR5.json");
     std::fs::write(&path, query_json).expect("write BENCH_PR5.json");
+    println!("wrote {}", path.display());
+
+    let overload_json = format!(
+        concat!(
+            "{{\n  \"pr\": 7,\n  \"quick\": {},\n  \"threads\": {},\n",
+            "  \"overload\": {{\"workers\": {}, \"queue_depth\": {}, \"clients\": {}, ",
+            "\"requests\": {}, \"ok\": {}, \"rejected_503\": {}, ",
+            "\"accepted_p50_ms\": {:.2}, \"accepted_p99_ms\": {:.2}}}\n}}\n"
+        ),
+        cfg.quick,
+        threads,
+        overload.workers,
+        overload.queue_depth,
+        overload.clients,
+        overload.requests,
+        overload.ok,
+        overload.rejected_503,
+        overload.p50_ms,
+        overload.p99_ms,
+    );
+    let path = out_path("BENCH_PR7.json");
+    std::fs::write(&path, overload_json).expect("write BENCH_PR7.json");
     println!("wrote {}", path.display());
 }

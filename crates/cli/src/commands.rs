@@ -97,11 +97,15 @@ commands:
            [--max-rows N=10000000] [--ledger LEDGER.json]
            [--model MODEL.json [--model-id ID=default]]
            [--tenant NAME --budget F]
+           [--read-deadline-ms N=30000] [--write-deadline-ms N=30000]
+           [--handler-deadline-ms N=120000] [--queue-depth N=64]
            Run the synthesis service: model registry, per-tenant privacy
-           ledger (persisted at --ledger), and streaming synthesis
-           endpoints. Prints the bound address, then blocks until a client
-           sends POST /shutdown. --threads bounds the worker threads used
-           inside fit requests.
+           ledger (persisted at --ledger, crash-durable), and streaming
+           synthesis endpoints. Prints the bound address, then blocks until
+           a client sends POST /shutdown. --threads bounds the worker
+           threads used inside fit requests. Peers slower than the
+           read/write deadlines are reaped with 408; --queue-depth bounds
+           pending connections, with overflow answered 503 + Retry-After.
 
 The --threads flag on fit/synth pins the scoring/sampling worker count
 (default: all cores); outputs are identical for every value.
@@ -576,7 +580,19 @@ fn inspect_relational(text: &str) -> Result<String, CliError> {
 /// the returned summary prints after a clean shutdown.
 fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     args.expect_only(&[
-        "addr", "workers", "threads", "max-rows", "ledger", "model", "model-id", "tenant", "budget",
+        "addr",
+        "workers",
+        "threads",
+        "max-rows",
+        "ledger",
+        "model",
+        "model-id",
+        "tenant",
+        "budget",
+        "read-deadline-ms",
+        "write-deadline-ms",
+        "handler-deadline-ms",
+        "queue-depth",
     ])?;
     let registry = Arc::new(ModelRegistry::new());
     match (args.optional("model"), args.optional("model-id")) {
@@ -615,10 +631,22 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         (None, Some(_)) => return Err(CliError::Usage("--budget needs --tenant".into())),
         (None, None) => {}
     }
+    let defaults = ServerConfig::default();
+    let deadline = |flag: &str, default: std::time::Duration| -> Result<_, CliError> {
+        let ms = args.parse_or(flag, default.as_millis() as u64)?;
+        if ms == 0 {
+            return Err(CliError::Usage(format!("--{flag} must be positive")));
+        }
+        Ok(std::time::Duration::from_millis(ms))
+    };
     let config = ServerConfig {
-        workers: args.parse_or("workers", ServerConfig::default().workers)?,
+        workers: args.parse_or("workers", defaults.workers)?,
         fit_threads: args.parse_opt::<usize>("threads")?,
-        max_rows: args.parse_or("max-rows", ServerConfig::default().max_rows)?,
+        max_rows: args.parse_or("max-rows", defaults.max_rows)?,
+        read_deadline: deadline("read-deadline-ms", defaults.read_deadline)?,
+        write_deadline: deadline("write-deadline-ms", defaults.write_deadline)?,
+        handler_deadline: deadline("handler-deadline-ms", defaults.handler_deadline)?,
+        queue_depth: args.parse_or("queue-depth", defaults.queue_depth)?,
     };
     let server = Server::bind(
         args.optional("addr").unwrap_or("127.0.0.1:0"),
@@ -913,6 +941,13 @@ mod tests {
         assert!(matches!(run_cli(&["serve", "--model-id", "x"]), Err(CliError::Usage(_))));
         assert!(matches!(run_cli(&["serve", "--tenant", "t"]), Err(CliError::Usage(_))));
         assert!(matches!(run_cli(&["serve", "--budget", "1.0"]), Err(CliError::Usage(_))));
+        // Deadlines must be positive; zero would disable socket timeouts.
+        for flag in ["--read-deadline-ms", "--write-deadline-ms", "--handler-deadline-ms"] {
+            assert!(
+                matches!(run_cli(&["serve", flag, "0"]), Err(CliError::Usage(_))),
+                "{flag}=0 must be rejected"
+            );
+        }
         // A bad address is a server error (exit code 5), not a usage error.
         assert!(matches!(
             run_cli(&["serve", "--addr", "999.999.999.999:1"]),

@@ -24,6 +24,9 @@ pub enum ServerError {
     Conflict(String),
     /// A model artifact was rejected (parse or validation failure).
     Model(String),
+    /// A deadline expired: the peer read or wrote too slowly, or a handler
+    /// overran its budget. The server answers 408 for slow requests.
+    Timeout(String),
 }
 
 impl fmt::Display for ServerError {
@@ -35,6 +38,7 @@ impl fmt::Display for ServerError {
             ServerError::Ledger(msg) => write!(f, "ledger: {msg}"),
             ServerError::Conflict(msg) => write!(f, "conflict: {msg}"),
             ServerError::Model(msg) => write!(f, "model: {msg}"),
+            ServerError::Timeout(msg) => write!(f, "timeout: {msg}"),
         }
     }
 }
@@ -43,7 +47,14 @@ impl std::error::Error for ServerError {}
 
 impl From<std::io::Error> for ServerError {
     fn from(e: std::io::Error) -> Self {
-        ServerError::Io(e.to_string())
+        match e.kind() {
+            // Socket read/write timeouts surface as either kind depending on
+            // the platform; both mean "the peer was too slow".
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ServerError::Timeout(e.to_string())
+            }
+            _ => ServerError::Io(e.to_string()),
+        }
     }
 }
 
@@ -66,5 +77,17 @@ mod tests {
         assert!(ServerError::Ledger("corrupt".into()).to_string().contains("corrupt"));
         assert!(ServerError::Conflict("tenant exists".into()).to_string().contains("exists"));
         assert!(ServerError::Model("not normalised".into()).to_string().contains("normalised"));
+        assert!(ServerError::Timeout("read deadline".into()).to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn io_timeouts_become_timeout_variant() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            let e: ServerError = std::io::Error::new(kind, "slow peer").into();
+            assert!(matches!(e, ServerError::Timeout(_)), "{kind:?} must map to Timeout");
+        }
+        let e: ServerError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "gone").into();
+        assert!(matches!(e, ServerError::Io(_)));
     }
 }

@@ -75,8 +75,8 @@ impl Request {
                         "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
                     )));
                 }
-                let mut body = vec![0u8; len];
-                reader.read_exact(&mut body)?;
+                let mut body = Vec::new();
+                read_exact_into(reader, &mut body, len)?;
                 body
             }
             None => Vec::new(),
@@ -117,6 +117,27 @@ impl Response {
     /// Returns [`ServerError::Protocol`] on malformed framing and
     /// [`ServerError::Io`] on socket failure.
     pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Self, ServerError> {
+        let (resp, truncated) = Self::read_partial(reader)?;
+        match truncated {
+            None => Ok(resp),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Like [`Response::read_from`], but a body truncated mid-transfer (the
+    /// connection died, a chunk was cut short) is *not* a hard failure: the
+    /// head must parse, and the return value is the response with every
+    /// body byte that did arrive, plus the error that ended the transfer if
+    /// there was one. This is what lets the retrying client keep the prefix
+    /// of an interrupted row stream and resume from the cursor instead of
+    /// re-downloading from row zero.
+    ///
+    /// # Errors
+    /// Returns [`ServerError::Protocol`]/[`ServerError::Io`] only when the
+    /// status line or headers are unreadable — before any body exists.
+    pub fn read_partial<R: BufRead>(
+        reader: &mut R,
+    ) -> Result<(Self, Option<ServerError>), ServerError> {
         let line = read_crlf_line(reader)?;
         let mut parts = line.split(' ');
         match parts.next() {
@@ -128,27 +149,21 @@ impl Response {
             .and_then(|c| c.parse().ok())
             .ok_or_else(|| ServerError::Protocol("bad status code".into()))?;
         let headers = read_headers(reader)?;
-        let body = if header_value(&headers, "transfer-encoding")
+        let mut body = Vec::new();
+        let outcome = if header_value(&headers, "transfer-encoding")
             .is_some_and(|v| v.trim().eq_ignore_ascii_case("chunked"))
         {
-            read_chunked_body(reader)?
+            read_chunked_into(reader, &mut body)
         } else if let Some(raw) = header_value(&headers, "content-length") {
-            let len: usize = raw
-                .trim()
-                .parse()
-                .map_err(|_| ServerError::Protocol(format!("bad Content-Length `{raw}`")))?;
-            if len > MAX_BODY_BYTES {
-                return Err(ServerError::Protocol(format!("body of {len} bytes is oversized")));
+            match raw.trim().parse::<usize>() {
+                Ok(len) if len <= MAX_BODY_BYTES => read_exact_into(reader, &mut body, len),
+                Ok(len) => Err(ServerError::Protocol(format!("body of {len} bytes is oversized"))),
+                Err(_) => Err(ServerError::Protocol(format!("bad Content-Length `{raw}`"))),
             }
-            let mut body = vec![0u8; len];
-            reader.read_exact(&mut body)?;
-            body
         } else {
-            let mut body = Vec::new();
-            reader.read_to_end(&mut body)?;
-            body
+            reader.read_to_end(&mut body).map(|_| ()).map_err(ServerError::from)
         };
-        Ok(Self { code, headers, body })
+        Ok((Self { code, headers, body }, outcome.err()))
     }
 
     /// The first header value for lower-case `name`, if present.
@@ -174,8 +189,10 @@ pub fn reason(code: u16) -> &'static str {
         402 => "Payment Required",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -279,7 +296,10 @@ fn read_crlf_line<R: BufRead>(reader: &mut R) -> Result<String, ServerError> {
     let mut limited = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 1);
     let n = limited.read_line(&mut line)?;
     if n == 0 {
-        return Err(ServerError::Protocol("unexpected end of stream".into()));
+        // EOF where a line was expected: the peer vanished. Classified as
+        // an I/O failure (not a protocol violation) so retrying clients
+        // treat a connection torn mid-head like any other dead socket.
+        return Err(ServerError::Io("unexpected end of stream".into()));
     }
     if line.len() > MAX_HEAD_BYTES {
         return Err(ServerError::Protocol("header line exceeds the size limit".into()));
@@ -314,10 +334,34 @@ fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a s
     headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
 }
 
-/// Decodes a chunked body: `SIZE-in-hex CRLF data CRLF`, terminated by a
-/// zero-size chunk.
-fn read_chunked_body<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, ServerError> {
-    let mut body = Vec::new();
+/// Reads exactly `len` bytes, appending incrementally so that on a
+/// truncated transfer every byte that did arrive is already in `body`
+/// (unlike `read_exact`, which leaves its buffer unspecified on failure).
+fn read_exact_into<R: Read>(
+    reader: &mut R,
+    body: &mut Vec<u8>,
+    len: usize,
+) -> Result<(), ServerError> {
+    let mut remaining = len;
+    let mut buf = [0u8; 8192];
+    while remaining > 0 {
+        let want = remaining.min(buf.len());
+        let n = reader.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(ServerError::Protocol(format!(
+                "body truncated with {remaining} of {len} bytes outstanding"
+            )));
+        }
+        body.extend_from_slice(&buf[..n]);
+        remaining -= n;
+    }
+    Ok(())
+}
+
+/// Decodes a chunked body — `SIZE-in-hex CRLF data CRLF`, terminated by a
+/// zero-size chunk — appending into `body` as data arrives, so a
+/// mid-stream failure leaves the decoded prefix intact.
+fn read_chunked_into<R: BufRead>(reader: &mut R, body: &mut Vec<u8>) -> Result<(), ServerError> {
     loop {
         let line = read_crlf_line(reader)?;
         // Chunk extensions (after `;`) are allowed by the RFC; ignore them.
@@ -331,13 +375,11 @@ fn read_chunked_body<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, ServerError>
             // Trailer section: read lines until the final blank one.
             loop {
                 if read_crlf_line(reader)?.is_empty() {
-                    return Ok(body);
+                    return Ok(());
                 }
             }
         }
-        let start = body.len();
-        body.resize(start + size, 0);
-        reader.read_exact(&mut body[start..])?;
+        read_exact_into(reader, body, size)?;
         let sep = read_crlf_line(reader)?;
         if !sep.is_empty() {
             return Err(ServerError::Protocol("chunk data not followed by CRLF".into()));
@@ -510,8 +552,43 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_emitted_codes() {
-        for code in [200, 201, 400, 402, 404, 405, 409, 413, 500] {
+        for code in [200, 201, 400, 402, 404, 405, 408, 409, 413, 500, 503] {
             assert!(!reason(code).is_empty());
         }
+        assert_eq!(reason(408), "Request Timeout");
+        assert_eq!(reason(503), "Service Unavailable");
+    }
+
+    #[test]
+    fn read_partial_keeps_the_prefix_of_a_truncated_chunked_stream() {
+        // A stream cut mid-chunk: head + one full chunk + half of another.
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     4\r\na,b\n\r\n8\r\n0,1\n";
+        let (resp, err) = Response::read_partial(&mut &wire[..]).unwrap();
+        assert_eq!(resp.code, 200);
+        assert_eq!(resp.text(), "a,b\n0,1\n", "all delivered bytes survive");
+        assert!(err.is_some(), "the truncation is reported alongside the prefix");
+
+        // The strict reader rejects the same wire bytes outright.
+        assert!(Response::read_from(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn read_partial_keeps_the_prefix_of_a_short_content_length_body() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc";
+        let (resp, err) = Response::read_partial(&mut &wire[..]).unwrap();
+        assert_eq!(resp.body, b"abc");
+        assert!(err.is_some());
+    }
+
+    #[test]
+    fn read_partial_of_a_complete_response_reports_no_error() {
+        let mut wire = Vec::new();
+        let mut chunked = ChunkedResponse::begin(&mut wire, 200, "text/csv", &[]).unwrap();
+        chunked.write(b"a,b\nrow\n").unwrap();
+        chunked.finish().unwrap();
+        let (resp, err) = Response::read_partial(&mut &wire[..]).unwrap();
+        assert!(err.is_none());
+        assert_eq!(resp.text(), "a,b\nrow\n");
     }
 }

@@ -9,12 +9,24 @@
 //! the serving layer can surface them to the caller.
 //!
 //! With a persistence path configured, every mutation rewrites the ledger
-//! file (`privbayes-ledger/1` JSON via `privbayes-model`'s budget IO), and
-//! construction restores it, so accounting survives restarts exactly:
-//! budgets round-trip bit-for-bit.
+//! file (CRC-tagged `privbayes-ledger/2` JSON via `privbayes-model`'s
+//! budget IO; `privbayes-ledger/1` files are still read), and construction
+//! restores it, so accounting survives restarts exactly: budgets round-trip
+//! bit-for-bit.
+//!
+//! Persistence is crash-durable, not just atomic: the sibling temp file is
+//! `fsync`ed before the rename, and the parent directory is `fsync`ed
+//! after it, so a power loss at *any* instant leaves the file as either
+//! the complete old state or the complete new one. A charge is only
+//! reported as spent once the rename has landed — a ledger that forgets a
+//! debit would let a tenant re-spend ε and silently void the DP
+//! guarantee. The fault-injection tests kill the persist sequence at every
+//! step and prove the reloaded ledger is always pre- or post-mutation.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs::File;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -22,10 +34,20 @@ use privbayes_dp::{DpError, PrivacyBudget};
 use privbayes_model::{budget_from_json, budget_to_json, Json};
 
 use crate::error::ServerError;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::{Fault, FaultPlan, FaultSite, LedgerStep};
 use crate::registry::validate_id;
+#[cfg(any(test, feature = "fault-injection"))]
+use std::sync::Arc;
 
-/// The ledger file format identifier.
+/// The original (v1) ledger file format identifier, still accepted on load.
 pub const LEDGER_FORMAT: &str = "privbayes-ledger/1";
+
+/// The current ledger file format: v1 plus a CRC32 over the canonical
+/// compact rendering of the `tenants` object, so bit rot (or a torn write
+/// that still parses as JSON) is detected at startup instead of silently
+/// mis-accounting ε. All writes use v2.
+pub const LEDGER_FORMAT_V2: &str = "privbayes-ledger/2";
 
 /// Structured failures from ledger operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,13 +112,37 @@ impl TenantBudget {
 pub struct BudgetLedger {
     tenants: Mutex<BTreeMap<String, PrivacyBudget>>,
     path: Option<PathBuf>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Mutex<Option<Arc<FaultPlan>>>,
+}
+
+/// Why a persist attempt did not complete cleanly, and whether the data
+/// nevertheless made it: once the rename has landed the new state *is* the
+/// file (a later directory-sync failure only delays durability of the
+/// directory entry), so callers keep the mutation. Before the rename,
+/// nothing reached the target and callers must roll back.
+struct PersistFailure {
+    durable: bool,
+    error: ServerError,
 }
 
 impl BudgetLedger {
     /// An empty, purely in-memory ledger.
     #[must_use]
     pub fn in_memory() -> Self {
-        Self { tenants: Mutex::new(BTreeMap::new()), path: None }
+        Self {
+            tenants: Mutex::new(BTreeMap::new()),
+            path: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Installs (or clears) a fault plan consulted on every persist
+    /// attempt. Test-only: absent from release builds.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.lock().expect("fault lock poisoned") = plan;
     }
 
     /// A ledger persisted at `path`. If the file exists it is restored;
@@ -117,19 +163,26 @@ impl BudgetLedger {
         } else {
             BTreeMap::new()
         };
-        Ok(Self { tenants: Mutex::new(tenants), path: Some(path) })
+        Ok(Self {
+            tenants: Mutex::new(tenants),
+            path: Some(path),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: Mutex::new(None),
+        })
     }
 
     fn parse(text: &str) -> Result<BTreeMap<String, PrivacyBudget>, ServerError> {
         let json = Json::parse(text).map_err(|e| ServerError::Ledger(e.to_string()))?;
-        match json.get("format").and_then(Json::as_str) {
-            Some(LEDGER_FORMAT) => {}
+        let format = json.get("format").and_then(Json::as_str);
+        let is_v2 = match format {
+            Some(LEDGER_FORMAT) => false,
+            Some(LEDGER_FORMAT_V2) => true,
             other => {
                 return Err(ServerError::Ledger(format!(
-                    "unsupported ledger format {other:?}, expected `{LEDGER_FORMAT}`"
+                    "unsupported ledger format {other:?}, expected `{LEDGER_FORMAT_V2}`"
                 )))
             }
-        }
+        };
         let fields = json
             .get("tenants")
             .and_then(Json::as_object)
@@ -140,34 +193,148 @@ impl BudgetLedger {
                 .map_err(|e| ServerError::Ledger(format!("tenant `{name}`: {e}")))?;
             tenants.insert(name.clone(), budget);
         }
+        if is_v2 {
+            // The checksum is over the *canonical* compact rendering, which
+            // re-rendering the parsed budgets reproduces exactly (f64s print
+            // their shortest round-trip form), so whitespace in the file is
+            // irrelevant but any value corruption is caught.
+            let stored = json
+                .get("crc")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServerError::Ledger("v2 ledger is missing `crc`".into()))?;
+            let expected = format!("{:08x}", crc32(Self::tenants_canonical(&tenants).as_bytes()));
+            if stored != expected {
+                return Err(ServerError::Ledger(format!(
+                    "crc mismatch: file says {stored}, tenants hash to {expected} \
+                     (corrupt ledger; refusing to guess at spent budgets)"
+                )));
+            }
+        }
         Ok(tenants)
     }
 
-    fn render(tenants: &BTreeMap<String, PrivacyBudget>) -> String {
+    fn tenants_json(tenants: &BTreeMap<String, PrivacyBudget>) -> Json {
         let fields: Vec<(String, Json)> =
             tenants.iter().map(|(name, b)| (name.clone(), budget_to_json(b))).collect();
+        Json::Object(fields)
+    }
+
+    /// The canonical byte string the v2 CRC is computed over.
+    fn tenants_canonical(tenants: &BTreeMap<String, PrivacyBudget>) -> String {
+        Self::tenants_json(tenants).to_string_compact().expect("budgets are finite")
+    }
+
+    fn render(tenants: &BTreeMap<String, PrivacyBudget>) -> String {
+        let crc = crc32(Self::tenants_canonical(tenants).as_bytes());
         Json::object(vec![
-            ("format", Json::String(LEDGER_FORMAT.to_string())),
-            ("tenants", Json::Object(fields)),
+            ("format", Json::String(LEDGER_FORMAT_V2.to_string())),
+            ("crc", Json::String(format!("{crc:08x}"))),
+            ("tenants", Self::tenants_json(tenants)),
         ])
         .to_string_pretty()
         .expect("budgets are finite")
     }
 
     /// Persists under the lock so file contents always match a consistent
-    /// in-memory state. Writes a sibling temp file and renames it over the
-    /// target, so a crash mid-write leaves either the old complete ledger
-    /// or the new one — never a truncated file that would brick the next
-    /// startup.
+    /// in-memory state. The sequence — write sibling temp file, `fsync` it,
+    /// rename over the target, `fsync` the parent directory — guarantees a
+    /// crash at any instant leaves either the old complete ledger or the
+    /// new one, *durably*: without the temp-file sync the rename can land
+    /// before the data blocks do, and without the directory sync the rename
+    /// itself can evaporate on power loss.
+    ///
+    /// Under fault injection, one [`FaultSite::LedgerPersist`] step is
+    /// consumed per call; a `CrashAt(step)` fault aborts immediately before
+    /// the named step, exactly as `kill -9` at that instant would.
     fn persist(
         &self,
         tenants: &BTreeMap<String, PrivacyBudget>,
         path: &Path,
-    ) -> Result<(), ServerError> {
+    ) -> Result<(), PersistFailure> {
         let io_err = |e: std::io::Error| ServerError::Ledger(format!("{}: {e}", path.display()));
+        let fail = |durable: bool, error: ServerError| -> PersistFailure {
+            PersistFailure { durable, error }
+        };
+        let body = Self::render(tenants);
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, Self::render(tenants)).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+
+        #[cfg(any(test, feature = "fault-injection"))]
+        let injected: Option<Fault> = self
+            .fault
+            .lock()
+            .expect("fault lock poisoned")
+            .as_ref()
+            .map(Arc::clone)
+            .and_then(|p| p.take(FaultSite::LedgerPersist));
+        #[cfg(any(test, feature = "fault-injection"))]
+        let crashed = |step: LedgerStep| -> Option<PersistFailure> {
+            match injected {
+                Some(Fault::CrashAt(s)) if s == step => Some(PersistFailure {
+                    durable: step == LedgerStep::SyncDir,
+                    error: ServerError::Ledger(format!("injected crash before {step:?}")),
+                }),
+                _ => None,
+            }
+        };
+
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            if let Some(f) = crashed(LedgerStep::WriteTmp) {
+                return Err(f);
+            }
+            match injected {
+                Some(Fault::Fail) => {
+                    return Err(fail(
+                        false,
+                        ServerError::Ledger("injected persist failure".to_string()),
+                    ))
+                }
+                Some(Fault::ShortWrite) => {
+                    // Die halfway through writing the temp file: the target
+                    // is untouched, the temp file is torn garbage.
+                    let _ = std::fs::write(&tmp, &body.as_bytes()[..body.len() / 2]);
+                    return Err(fail(
+                        false,
+                        ServerError::Ledger("injected crash mid temp-file write".to_string()),
+                    ));
+                }
+                _ => {}
+            }
+        }
+
+        let mut file = File::create(&tmp).map_err(|e| fail(false, io_err(e)))?;
+        file.write_all(body.as_bytes()).map_err(|e| fail(false, io_err(e)))?;
+
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(f) = crashed(LedgerStep::SyncTmp) {
+            return Err(f);
+        }
+
+        file.sync_all().map_err(|e| fail(false, io_err(e)))?;
+        drop(file);
+
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(f) = crashed(LedgerStep::Rename) {
+            return Err(f);
+        }
+
+        std::fs::rename(&tmp, path).map_err(|e| fail(false, io_err(e)))?;
+
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(f) = crashed(LedgerStep::SyncDir) {
+            return Err(f);
+        }
+
+        // Make the rename itself durable. A failure here is reported but
+        // flagged durable: the file already holds the new state, so callers
+        // must keep the mutation (dropping it would un-spend recorded ε).
+        #[cfg(unix)]
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = File::open(parent).and_then(|dir| dir.sync_all()) {
+                return Err(fail(true, io_err(e)));
+            }
+        }
+        Ok(())
     }
 
     /// Registers `tenant` with a total budget of `total` ε. Re-registering
@@ -187,9 +354,11 @@ impl BudgetLedger {
         }
         tenants.insert(tenant.to_string(), budget);
         if let Some(path) = &self.path {
-            if let Err(e) = self.persist(&tenants, path) {
-                tenants.remove(tenant);
-                return Err(e);
+            if let Err(f) = self.persist(&tenants, path) {
+                if !f.durable {
+                    tenants.remove(tenant);
+                    return Err(f.error);
+                }
             }
         }
         Ok(())
@@ -227,10 +396,13 @@ impl BudgetLedger {
         map_dp_error(budget.consume(epsilon), tenant, budget)?;
         let remaining = budget.remaining();
         if let Some(path) = &self.path {
-            if let Err(e) = self.persist(&tenants, path) {
-                // Never hand out budget that is not durably recorded.
-                tenants.get_mut(tenant).expect("present above").refund(epsilon);
-                return Err(LedgerError::Persistence(e.to_string()));
+            if let Err(f) = self.persist(&tenants, path) {
+                if !f.durable {
+                    // Never hand out budget that is not durably recorded.
+                    tenants.get_mut(tenant).expect("present above").refund(epsilon);
+                    return Err(LedgerError::Persistence(f.error.to_string()));
+                }
+                // Rename landed: the debit is on disk, keep it.
             }
         }
         Ok(remaining)
@@ -247,8 +419,10 @@ impl BudgetLedger {
         if let Some(budget) = tenants.get_mut(tenant) {
             budget.refund(epsilon);
             if let Some(path) = &self.path {
-                if self.persist(&tenants, path).is_err() {
-                    let _ = tenants.get_mut(tenant).expect("present above").consume(epsilon);
+                if let Err(f) = self.persist(&tenants, path) {
+                    if !f.durable {
+                        let _ = tenants.get_mut(tenant).expect("present above").consume(epsilon);
+                    }
                 }
             }
         }
@@ -278,6 +452,21 @@ impl BudgetLedger {
             })
             .collect()
     }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise — the ledger is tiny
+/// and rewritten rarely, so a lookup table would be wasted space.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// Translates a [`DpError`] into the tenant-scoped ledger error.
@@ -381,6 +570,153 @@ mod tests {
         std::fs::write(&path, r#"{"format": "other/9", "tenants": {}}"#).unwrap();
         assert!(BudgetLedger::with_persistence(&path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn writes_are_v2_with_crc() {
+        let path = temp_path("v2");
+        let _ = std::fs::remove_file(&path);
+        let ledger = BudgetLedger::with_persistence(&path).unwrap();
+        ledger.register("acme", 1.0).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(LEDGER_FORMAT_V2), "writes use the v2 format");
+        assert!(text.contains("\"crc\""), "v2 records carry a checksum");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_files_still_load_and_upgrade_on_mutation() {
+        let path = temp_path("v1-compat");
+        // Hand-build a v1 file exactly as the previous release wrote them.
+        let mut budget = PrivacyBudget::new(1.6).unwrap();
+        budget.consume(0.48).unwrap();
+        let v1 = Json::object(vec![
+            ("format", Json::String(LEDGER_FORMAT.to_string())),
+            ("tenants", Json::Object(vec![("acme".to_string(), budget_to_json(&budget))])),
+        ])
+        .to_string_pretty()
+        .unwrap();
+        std::fs::write(&path, v1).unwrap();
+
+        let ledger = BudgetLedger::with_persistence(&path).unwrap();
+        let row = ledger.budget("acme").unwrap();
+        assert_eq!(row.total.to_bits(), 1.6f64.to_bits());
+        assert_eq!(row.spent.to_bits(), 0.48f64.to_bits());
+
+        // The first mutation rewrites the file in v2.
+        ledger.charge("acme", 0.1).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(LEDGER_FORMAT_V2));
+        assert!(BudgetLedger::with_persistence(&path).is_ok(), "upgraded file round-trips");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc_mismatch_is_rejected() {
+        let path = temp_path("crc-tamper");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ledger = BudgetLedger::with_persistence(&path).unwrap();
+            ledger.register("acme", 2.0).unwrap();
+            ledger.charge("acme", 0.5).unwrap();
+        }
+        // Flip the spent amount without updating the checksum — the kind of
+        // corruption plain JSON parsing would happily accept.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("0.5", "0.25");
+        assert_ne!(text, tampered, "tamper target must exist");
+        std::fs::write(&path, tampered).unwrap();
+        let err = BudgetLedger::with_persistence(&path).unwrap_err();
+        assert!(err.to_string().contains("crc mismatch"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kill_at_every_persist_step_recovers_pre_or_post_state() {
+        use crate::fault::{Fault, FaultPlan, FaultSite, LedgerStep};
+
+        // (fault, does the mutation survive the crash?)
+        let cases: &[(Fault, bool)] = &[
+            (Fault::CrashAt(LedgerStep::WriteTmp), false),
+            (Fault::ShortWrite, false),
+            (Fault::CrashAt(LedgerStep::SyncTmp), false),
+            (Fault::CrashAt(LedgerStep::Rename), false),
+            (Fault::CrashAt(LedgerStep::SyncDir), true),
+            (Fault::Fail, false),
+        ];
+        for (i, &(fault, survives)) in cases.iter().enumerate() {
+            let path = temp_path(&format!("kill-{i}"));
+            let _ = std::fs::remove_file(&path);
+            let tmp = path.with_extension("tmp");
+            let _ = std::fs::remove_file(&tmp);
+
+            // Pre-state on disk: acme has spent 0.25 of 2.0.
+            let ledger = BudgetLedger::with_persistence(&path).unwrap();
+            ledger.register("acme", 2.0).unwrap();
+            ledger.charge("acme", 0.25).unwrap();
+
+            // The process "dies" at the injected step of the next persist.
+            let plan = Arc::new(FaultPlan::new().inject(FaultSite::LedgerPersist, 0, fault));
+            ledger.set_fault_plan(Some(plan));
+            let charge = ledger.charge("acme", 0.25);
+            drop(ledger);
+
+            // Restart: the reloaded ledger must parse cleanly (never torn)
+            // and hold exactly the pre- or post-mutation balance.
+            let restored = BudgetLedger::with_persistence(&path)
+                .unwrap_or_else(|e| panic!("case {i} ({fault:?}): torn ledger: {e}"));
+            let spent = restored.budget("acme").unwrap().spent;
+            let expected: f64 = if survives { 0.5 } else { 0.25 };
+            assert_eq!(
+                spent.to_bits(),
+                expected.to_bits(),
+                "case {i} ({fault:?}): expected spent {expected}, found {spent}"
+            );
+            // The in-memory result must agree with the disk outcome: a debit
+            // is reported spent iff it is durably recorded.
+            assert_eq!(
+                charge.is_ok(),
+                survives,
+                "case {i} ({fault:?}): charge result disagrees with disk"
+            );
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    #[test]
+    fn torn_tmp_file_never_bricks_startup() {
+        use crate::fault::{Fault, FaultPlan, FaultSite};
+
+        let path = temp_path("torn-tmp");
+        let _ = std::fs::remove_file(&path);
+        let ledger = BudgetLedger::with_persistence(&path).unwrap();
+        ledger.register("acme", 1.0).unwrap();
+        ledger.set_fault_plan(Some(Arc::new(FaultPlan::new().inject(
+            FaultSite::LedgerPersist,
+            0,
+            Fault::ShortWrite,
+        ))));
+        assert!(matches!(ledger.charge("acme", 0.5), Err(LedgerError::Persistence(_))));
+        drop(ledger);
+
+        let tmp = path.with_extension("tmp");
+        assert!(tmp.exists(), "the torn temp file is left behind, as after a real crash");
+        // Restart ignores the garbage temp file and the next mutation
+        // overwrites it.
+        let restored = BudgetLedger::with_persistence(&path).unwrap();
+        assert_eq!(restored.budget("acme").unwrap().spent, 0.0);
+        restored.charge("acme", 0.5).unwrap();
+        assert!(BudgetLedger::with_persistence(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&tmp);
     }
 
     #[test]

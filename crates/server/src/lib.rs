@@ -67,16 +67,20 @@
 
 pub mod client;
 pub mod error;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
 pub mod http;
 pub mod ledger;
 pub mod registry;
 pub mod server;
 pub mod stream;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use error::ServerError;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::{Fault, FaultPlan, FaultSite, FaultStream, LedgerStep};
 pub use http::{Request, Response};
-pub use ledger::{BudgetLedger, LedgerError, TenantBudget, LEDGER_FORMAT};
+pub use ledger::{BudgetLedger, LedgerError, TenantBudget, LEDGER_FORMAT, LEDGER_FORMAT_V2};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use stream::RowFormat;

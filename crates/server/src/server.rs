@@ -42,12 +42,12 @@
 //! [`SynthSpec`]: privbayes_synth::SynthSpec
 //! [`MarginalQuery`]: privbayes_synth::MarginalQuery
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use privbayes::inference::{theta_projection, DEFAULT_CELL_CAP};
 use privbayes_data::csv::read_csv;
@@ -59,17 +59,21 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::error::ServerError;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::{Fault, FaultPlan, FaultSite, FaultStream};
 use crate::http::{write_response, ChunkedResponse, Request};
 use crate::ledger::{BudgetLedger, LedgerError, TenantBudget};
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::stream::RowFormat;
-
-/// Per-connection socket timeout — a stalled peer must not pin a worker
-/// forever.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+#[cfg(any(test, feature = "fault-injection"))]
+use std::sync::RwLock;
 
 /// The API version marker attached to every response.
 const API_HEADER: (&str, &str) = ("X-PrivBayes-Api", "v1");
+
+/// The shared fault-plan slot handed to tests (absent from release builds).
+#[cfg(any(test, feature = "fault-injection"))]
+pub type FaultSlot = Arc<RwLock<Option<Arc<FaultPlan>>>>;
 
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
@@ -83,19 +87,47 @@ pub struct ServerConfig {
     /// Upper bound on `rows` per synthesis request; larger requests get a
     /// structured 400. Bounds how long one request can pin a worker.
     pub max_rows: usize,
+    /// How long a worker waits for request bytes before answering 408 — a
+    /// slow-loris peer is reaped instead of pinning the worker.
+    pub read_deadline: Duration,
+    /// Socket write timeout: a peer that stops draining its response frees
+    /// the worker after this long.
+    pub write_deadline: Duration,
+    /// Budget for handler work after the request is read. Checked between
+    /// stream chunks (an overrunning stream is truncated) and before
+    /// starting a fit.
+    pub handler_deadline: Duration,
+    /// Bound on connections accepted but not yet claimed by a worker.
+    /// Overflow is answered immediately with 503 + `Retry-After` — graceful
+    /// degradation instead of unbounded queueing. Minimum 1.
+    pub queue_depth: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 4, fit_threads: None, max_rows: 10_000_000 }
+        Self {
+            workers: 4,
+            fit_threads: None,
+            max_rows: 10_000_000,
+            read_deadline: Duration::from_secs(30),
+            write_deadline: Duration::from_secs(30),
+            handler_deadline: Duration::from_secs(120),
+            queue_depth: 64,
+        }
     }
 }
 
-/// Counters reported by [`Server::run`] after a clean shutdown.
+/// Counters reported by [`Server::run`] after a clean shutdown (and live on
+/// `GET /healthz`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests fully handled (including the shutdown request itself).
     pub requests: u64,
+    /// Handler panics caught and isolated (each also answered 500 when the
+    /// response had not started). Zero in a healthy server.
+    pub panics: u64,
+    /// Connections rejected with 503 because the pending queue was full.
+    pub queue_rejected: u64,
 }
 
 /// Shared state visible to every worker.
@@ -106,6 +138,10 @@ struct Shared {
     addr: SocketAddr,
     shutdown: AtomicBool,
     requests: AtomicU64,
+    panics: AtomicU64,
+    queue_rejected: AtomicU64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: FaultSlot,
 }
 
 /// A bound-but-not-yet-running synthesis service.
@@ -136,6 +172,10 @@ impl Server {
             addr,
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            queue_rejected: AtomicU64::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: Arc::new(RwLock::new(None)),
         });
         Ok(Self { listener, shared })
     }
@@ -144,6 +184,16 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The slot tests use to install, swap, or clear a [`FaultPlan`] while
+    /// the server runs. The plan is consulted per connection (IO faults)
+    /// and per request (handler faults). Test-only: absent from release
+    /// builds.
+    #[cfg(any(test, feature = "fault-injection"))]
+    #[must_use]
+    pub fn fault_slot(&self) -> FaultSlot {
+        Arc::clone(&self.shared.fault)
     }
 
     /// Serves until a `POST /shutdown` request arrives, then drains every
@@ -155,46 +205,62 @@ impl Server {
     pub fn run(self) -> Result<ServerStats, ServerError> {
         let shared = self.shared;
         let workers = shared.config.workers.max(1);
-        std::thread::scope(|scope| -> Result<(), ServerError> {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
-            let rx = Arc::new(Mutex::new(rx));
-            for _ in 0..workers {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only while popping, so workers
-                    // drain the queue concurrently.
-                    let next = rx.lock().expect("worker queue lock poisoned").recv();
-                    match next {
-                        Ok(stream) => handle_connection(&shared, stream),
-                        Err(_) => break, // acceptor closed the channel: drain done
-                    }
-                });
-            }
-            loop {
-                let (stream, _) = match self.listener.accept() {
-                    Ok(accepted) => accepted,
-                    Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
-                    Err(_) => {
-                        // Transient accept failure (e.g. fd exhaustion):
-                        // back off briefly instead of hot-looping; the
-                        // condition clears as in-flight connections close.
-                        std::thread::sleep(Duration::from_millis(20));
-                        continue;
-                    }
-                };
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // The wake-up connection from the shutdown handler (or a
-                    // straggler racing it): stop accepting. Dropping the
-                    // stream closes it; queued requests still complete.
-                    break;
+        let queue_depth = shared.config.queue_depth.max(1);
+        // A *bounded* queue is the admission-control valve: when every
+        // worker is busy and `queue_depth` connections are already waiting,
+        // the acceptor answers 503 instead of queueing without limit.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..workers {
+            spawn_worker(&shared, &rx, &handles);
+        }
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    // Transient accept failure (e.g. fd exhaustion):
+                    // back off briefly instead of hot-looping; the
+                    // condition clears as in-flight connections close.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
                 }
-                tx.send(stream).expect("workers outlive the acceptor");
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                // The wake-up connection from the shutdown handler (or a
+                // straggler racing it): stop accepting. Dropping the
+                // stream closes it; queued requests still complete.
+                break;
             }
-            drop(tx);
-            Ok(())
-        })?;
-        Ok(ServerStats { requests: shared.requests.load(Ordering::SeqCst) })
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(stream)) => {
+                    shared.queue_rejected.fetch_add(1, Ordering::SeqCst);
+                    reject_overloaded(&shared, stream);
+                }
+                // Unreachable while respawn holds the pool at `workers`
+                // threads; bail rather than spin if it somehow isn't.
+                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(tx);
+        // Join every worker, including any respawned after a panic (the
+        // vector grows while we drain it, hence the loop-and-pop).
+        loop {
+            let handle = handles.lock().expect("worker handles lock poisoned").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        Ok(ServerStats {
+            requests: shared.requests.load(Ordering::SeqCst),
+            panics: shared.panics.load(Ordering::SeqCst),
+            queue_rejected: shared.queue_rejected.load(Ordering::SeqCst),
+        })
     }
 
     /// Runs the server on a background thread, returning a handle with the
@@ -231,18 +297,121 @@ impl ServerHandle {
     }
 }
 
-/// Reads, routes, and answers one request, counting it once done.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
+/// Starts one pool worker. Each worker drains the shared queue; its handle
+/// is recorded in `handles` so shutdown can join the *current* pool even
+/// after respawns.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    handles: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    let shared = Arc::clone(shared);
+    let rx = Arc::clone(rx);
+    let handles_slot = Arc::clone(handles);
+    let handle = std::thread::spawn(move || {
+        let guard = RespawnGuard {
+            shared: Arc::clone(&shared),
+            rx: Arc::clone(&rx),
+            handles: Arc::clone(&handles_slot),
+        };
+        loop {
+            // Hold the receiver lock only while popping, so workers drain
+            // the queue concurrently.
+            let next = rx.lock().expect("worker queue lock poisoned").recv();
+            match next {
+                Ok(stream) => handle_connection(&shared, stream),
+                Err(_) => break, // acceptor closed the channel: drain done
+            }
+        }
+        // Clean exit: disarm the guard so no replacement is spawned.
+        std::mem::forget(guard);
+    });
+    handles.lock().expect("worker handles lock poisoned").push(handle);
+}
+
+/// Insurance against pool decay: per-request `catch_unwind` already stops
+/// panics from unwinding the worker loop, but if one ever escapes anyway
+/// (e.g. a panic inside the response-error path itself), this guard spawns
+/// a replacement worker as the dying thread unwinds, so pool capacity never
+/// shrinks.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.panics.fetch_add(1, Ordering::SeqCst);
+            spawn_worker(&self.shared, &self.rx, &self.handles);
+        }
+    }
+}
+
+/// Answers an over-capacity connection from the acceptor thread: an
+/// immediate 503 with `Retry-After`, without reading the request — the
+/// whole point is to spend no worker time on it.
+fn reject_overloaded(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
     let mut writer = BufWriter::new(stream);
+    let body = Json::object(vec![
+        ("error", Json::String("overloaded".into())),
+        ("message", Json::String("pending-connection queue is full; retry shortly".into())),
+    ]);
+    let text = body.to_string_compact().expect("static body");
+    let _ = write_response(
+        &mut writer,
+        503,
+        "application/json",
+        &[API_HEADER, ("Retry-After", "1")],
+        text.as_bytes(),
+    );
+}
+
+/// Reads, routes, and answers one request, counting it once done. Under
+/// fault injection both stream halves are wrapped so the plan can delay,
+/// truncate, or reset connection IO.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_deadline));
+    let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
+    let Ok(read_half) = stream.try_clone() else { return };
+    #[cfg(any(test, feature = "fault-injection"))]
+    {
+        let plan = shared.fault.read().expect("fault plan lock poisoned").clone();
+        let reader = BufReader::new(FaultStream::new(read_half, plan.clone()));
+        let writer = BufWriter::new(FaultStream::new(stream, plan));
+        serve_one(shared, reader, writer);
+    }
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    serve_one(shared, BufReader::new(read_half), BufWriter::new(stream));
+}
+
+/// The per-request core: read, dispatch inside `catch_unwind`, answer.
+/// A handler panic is isolated to this request — counted, answered with a
+/// structured 500 when the response has not started (after that the torn
+/// connection itself is the correct failure signal) — and the worker keeps
+/// serving. A read deadline expiring mid-request is answered 408.
+fn serve_one<R: BufRead, W: Write>(shared: &Shared, mut reader: R, writer: W) {
+    let mut writer = TrackedWriter::new(writer);
     match Request::read_from(&mut reader) {
         Ok(request) => {
-            // Socket-level failures mid-response are the client's problem
-            // (it hung up); nothing to answer on a dead connection.
-            let _ = route(shared, &request, &mut writer);
+            let deadline = Instant::now() + shared.config.handler_deadline;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Socket-level failures mid-response are the client's
+                // problem (it hung up); nothing to answer on a dead
+                // connection.
+                let _ = route(shared, &request, &mut writer, deadline);
+            }));
+            if outcome.is_err() {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+                if !writer.started() {
+                    let _ = respond_error(&mut writer, 500, "internal", "request handler panicked");
+                }
+            }
+        }
+        Err(ServerError::Timeout(msg)) => {
+            let _ = respond_error(&mut writer, 408, "request-timeout", &msg);
         }
         Err(e) => {
             let _ = respond_error(&mut writer, 400, "bad-request", &e.to_string());
@@ -251,8 +420,50 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.requests.fetch_add(1, Ordering::SeqCst);
 }
 
+/// A writer that remembers whether any response byte has reached the wire,
+/// so the panic handler knows whether a structured 500 is still possible.
+struct TrackedWriter<W: Write> {
+    inner: W,
+    started: bool,
+}
+
+impl<W: Write> TrackedWriter<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, started: false }
+    }
+
+    fn started(&self) -> bool {
+        self.started
+    }
+}
+
+impl<W: Write> Write for TrackedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        if n > 0 {
+            self.started = true;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Dispatches on `(method, path)`.
-fn route<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result<()> {
+fn route<W: Write>(
+    shared: &Shared,
+    req: &Request,
+    out: &mut W,
+    deadline: Instant,
+) -> std::io::Result<()> {
+    #[cfg(any(test, feature = "fault-injection"))]
+    if let Some(plan) = shared.fault.read().expect("fault plan lock poisoned").as_ref() {
+        if let Some(Fault::Panic) = plan.take(FaultSite::Handler) {
+            panic!("injected handler panic");
+        }
+    }
     let segments = req.segments();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => respond_json(
@@ -262,6 +473,12 @@ fn route<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Resu
                 ("status", Json::String("ok".into())),
                 ("models", Json::from_usize(shared.registry.len())),
                 ("tenants", Json::from_usize(shared.ledger.snapshot().len())),
+                ("requests", Json::from_usize(shared.requests.load(Ordering::SeqCst) as usize)),
+                ("panics", Json::from_usize(shared.panics.load(Ordering::SeqCst) as usize)),
+                (
+                    "queue_rejected",
+                    Json::from_usize(shared.queue_rejected.load(Ordering::SeqCst) as usize),
+                ),
             ]),
         ),
         ("GET", ["models"]) => {
@@ -284,10 +501,10 @@ fn route<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Resu
                 respond_error(out, 404, "model-not-found", id)
             }
         }
-        ("GET", ["models", id, "synth"]) => synth_legacy(shared, id, req, out),
-        ("POST", ["v1", "models", id, "synth"]) => synth_v1(shared, id, req, out),
+        ("GET", ["models", id, "synth"]) => synth_legacy(shared, id, req, out, deadline),
+        ("POST", ["v1", "models", id, "synth"]) => synth_v1(shared, id, req, out, deadline),
         ("POST", ["v1", "models", id, "query"]) => query_v1(shared, id, req, out),
-        ("POST", ["fit"]) => fit(shared, req, out),
+        ("POST", ["fit"]) => fit(shared, req, out, deadline),
         ("GET", ["tenants"]) => {
             let tenants: Vec<Json> = shared.ledger.snapshot().iter().map(tenant_json).collect();
             respond_json(out, 200, &Json::Array(tenants))
@@ -379,6 +596,7 @@ fn synth_legacy<W: Write>(
     id: &str,
     req: &Request,
     out: &mut W,
+    deadline: Instant,
 ) -> std::io::Result<()> {
     let Some(entry) = shared.registry.get(id) else {
         return respond_error(out, 404, "model-not-found", id);
@@ -399,7 +617,7 @@ fn synth_legacy<W: Write>(
     };
     let resolved =
         ResolvedSynth { rows, seed, format, projection: None, evidence: Vec::new(), start_row: 0 };
-    stream_synth(shared, &entry, &resolved, out)
+    stream_synth(shared, &entry, &resolved, out, deadline)
 }
 
 /// `POST /v1/models/{id}/synth`: parse the [`SynthSpec`] body, resolve it
@@ -411,6 +629,7 @@ fn synth_v1<W: Write>(
     id: &str,
     req: &Request,
     out: &mut W,
+    deadline: Instant,
 ) -> std::io::Result<()> {
     let Some(entry) = shared.registry.get(id) else {
         return respond_error(out, 404, "model-not-found", id);
@@ -424,7 +643,7 @@ fn synth_v1<W: Write>(
             Ok(resolved) => resolved,
             Err(e) => return respond_invalid_spec(out, &e),
         };
-    stream_synth(shared, &entry, &resolved, out)
+    stream_synth(shared, &entry, &resolved, out, deadline)
 }
 
 /// Streams one resolved synthesis request: the shared tail of the legacy
@@ -438,6 +657,7 @@ fn stream_synth<W: Write>(
     entry: &ModelEntry,
     resolved: &ResolvedSynth,
     out: &mut W,
+    deadline: Instant,
 ) -> std::io::Result<()> {
     let rows = resolved.rows.unwrap_or(entry.artifact.metadata.source_rows);
     if rows > shared.config.max_rows {
@@ -494,11 +714,26 @@ fn stream_synth<W: Write>(
     let seed_text = seed.to_string();
     let cursor = Cursor { seed, row: resolved.start_row as u64 }.encode();
     let headers = [API_HEADER, ("X-PrivBayes-Seed", &seed_text), ("X-PrivBayes-Cursor", &cursor)];
+    if Instant::now() >= deadline {
+        // Out of budget before the first byte: a clean 408 is still
+        // possible (and more useful than a truncated stream).
+        return respond_error(out, 408, "request-timeout", "handler deadline expired");
+    }
     let mut chunked = ChunkedResponse::begin(out, 200, resolved.format.content_type(), &headers)?;
     if resolved.start_row == 0 {
         chunked.write(resolved.format.header(schema, projection).as_bytes())?;
     }
     for chunk in stream {
+        // The deadline is checked at chunk boundaries: once the response
+        // has started the only honest way to stop is to truncate the
+        // chunked stream (no terminating chunk), which the client decodes
+        // as an interrupted transfer and may resume via the cursor.
+        if Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "handler deadline expired mid-stream",
+            ));
+        }
         chunked.write(resolved.format.render(schema, projection, &chunk).as_bytes())?;
     }
     chunked.finish()
@@ -563,11 +798,21 @@ fn respond_invalid_spec<W: Write>(out: &mut W, e: &SpecError) -> std::io::Result
 /// rejected or failed request never leaks budget, and an over-budget request
 /// never touches the data. Methods that spend no budget (`uniform`) skip the
 /// charge entirely, but the tenant must still be registered.
-fn fit<W: Write>(shared: &Shared, req: &Request, out: &mut W) -> std::io::Result<()> {
+fn fit<W: Write>(
+    shared: &Shared,
+    req: &Request,
+    out: &mut W,
+    deadline: Instant,
+) -> std::io::Result<()> {
     let parsed = match parse_fit_body(&req.body) {
         Ok(parsed) => parsed,
         Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
     };
+    // Checked before the charge: a fit that cannot start within its budget
+    // must not touch the ledger at all.
+    if Instant::now() >= deadline {
+        return respond_error(out, 408, "request-timeout", "handler deadline expired");
+    }
     let spends = parsed.method.spends_budget();
     if spends {
         match shared.ledger.charge(&parsed.tenant, parsed.epsilon) {

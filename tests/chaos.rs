@@ -1,0 +1,521 @@
+//! The chaos tier: the serving stack under deterministic fault injection.
+//!
+//! Every test here drives real sockets against a real server, with a
+//! seeded [`FaultPlan`] injecting crashes, resets, stalls, and panics at
+//! exact step indices — so each "storm" is reproducible run to run. The
+//! contracts under test:
+//!
+//! 1. **Ledger durability** — killing the persist sequence at every step
+//!    leaves the on-disk ledger either wholly pre- or wholly post-mutation,
+//!    and a restart always recovers it (v1 files included).
+//! 2. **Worker isolation** — a panicking handler costs one request, never a
+//!    worker; the pool keeps its full capacity afterwards.
+//! 3. **Byte-exact recovery** — a client resuming a truncated stream via
+//!    cursors reassembles exactly the bytes of an uninterrupted stream.
+//! 4. **Graceful overload** — beyond `queue_depth` the server answers 503 +
+//!    `Retry-After` instead of queueing without bound; slow-loris peers are
+//!    reaped with 408.
+//! 5. **Retry discipline** — idempotent requests retry; `POST /fit` (which
+//!    spends privacy budget) never auto-retries.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
+use privbayes_suite::data::{Attribute, Dataset, Schema};
+use privbayes_suite::model::{Json, ModelMetadata, ReleasedModel};
+use privbayes_suite::server::{
+    BudgetLedger, Client, Fault, FaultPlan, FaultSite, LedgerStep, ModelRegistry, RetryPolicy,
+    Server, ServerConfig, ServerError, SynthSpec, LEDGER_FORMAT_V2,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Injected handler panics are part of the test plan; keep them out of the
+/// test output while still reporting any *unexpected* panic in full.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected handler panic"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("privbayes-chaos-{tag}-{}.json", std::process::id()))
+}
+
+/// A small fixture model (3 attributes, 400 source rows).
+fn fixture_model(seed: u64) -> ReleasedModel {
+    let schema = Schema::new(vec![
+        Attribute::binary("smoker"),
+        Attribute::categorical("region", 3).unwrap(),
+        Attribute::binary("disease"),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<u32>> =
+        (0..400u32).map(|i| vec![i % 2, (i / 2) % 3, u32::from(i % 2 == 1)]).collect();
+    let data = Dataset::from_rows(schema, &rows).unwrap();
+    let options = PrivBayesOptions::new(1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = PrivBayes::new(options.clone()).synthesize(&data, &mut rng).unwrap();
+    ReleasedModel::new(
+        ModelMetadata {
+            method: "privbayes".into(),
+            epsilon: options.epsilon,
+            beta: options.beta,
+            theta: options.theta,
+            score: options.effective_score().name().to_string(),
+            encoding: options.encoding.name().to_string(),
+            source_rows: data.n(),
+            comment: "chaos fixture".to_string(),
+        },
+        data.schema().clone(),
+        result.model,
+    )
+    .unwrap()
+}
+
+/// Starts a server with model `m` loaded; returns the handle, a plain
+/// (non-retrying) client, and the live fault slot.
+fn start_server(
+    config: ServerConfig,
+) -> (privbayes_suite::server::ServerHandle, Client, privbayes_suite::server::server::FaultSlot) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("m", fixture_model(1)).unwrap();
+    let ledger = Arc::new(BudgetLedger::in_memory());
+    let server = Server::bind("127.0.0.1:0", config, registry, ledger).unwrap();
+    let slot = server.fault_slot();
+    let handle = server.spawn();
+    let client = Client::new(handle.addr().to_string());
+    (handle, client, slot)
+}
+
+/// A fast-but-persistent retry policy for tests (real delays stay in the
+/// microsecond range so storms resolve quickly).
+fn fast_retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(5),
+        jitter_seed: 7,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Ledger durability under process death
+// ---------------------------------------------------------------------------
+
+/// Kill the persist sequence at every possible instant, then "restart" by
+/// re-opening the file: the recovered ledger must hold exactly the pre- or
+/// exactly the post-mutation state (CRC intact), never a torn mix — and a
+/// crash after the rename must preserve the *new* state.
+#[test]
+fn killing_persistence_at_every_step_recovers_a_consistent_ledger() {
+    let cases: &[(Fault, bool, &str)] = &[
+        (Fault::CrashAt(LedgerStep::WriteTmp), false, "before-write"),
+        (Fault::ShortWrite, false, "mid-write"),
+        (Fault::CrashAt(LedgerStep::SyncTmp), false, "before-tmp-sync"),
+        (Fault::CrashAt(LedgerStep::Rename), false, "before-rename"),
+        (Fault::CrashAt(LedgerStep::SyncDir), true, "before-dir-sync"),
+        (Fault::Fail, false, "clean-io-error"),
+    ];
+    for &(fault, survives, tag) in cases {
+        let path = temp_path(&format!("kill-{tag}"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+
+        // Process one: a clean history, then a charge whose persist dies.
+        {
+            let ledger = BudgetLedger::with_persistence(&path).unwrap();
+            ledger.register("t", 1.0).unwrap();
+            ledger.charge("t", 0.25).unwrap();
+            let plan = Arc::new(FaultPlan::new().inject(FaultSite::LedgerPersist, 0, fault));
+            ledger.set_fault_plan(Some(plan));
+            let charge = ledger.charge("t", 0.25);
+            assert_eq!(
+                charge.is_ok(),
+                survives,
+                "{tag}: a charge whose mutation reached disk must report success \
+                 and one that rolled back must report failure"
+            );
+        }
+
+        // Process two: restart from whatever the "crash" left on disk.
+        let restored = BudgetLedger::with_persistence(&path)
+            .unwrap_or_else(|e| panic!("{tag}: restart must recover, got {e}"));
+        let expected: f64 = if survives { 0.5 } else { 0.25 };
+        let spent = restored.budget("t").unwrap().spent;
+        assert_eq!(
+            spent.to_bits(),
+            expected.to_bits(),
+            "{tag}: disk must hold exactly the pre- or post-mutation state, got {spent}"
+        );
+        // The recovered file is a valid v2 ledger and keeps working.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(LEDGER_FORMAT_V2), "{tag}: {text}");
+        restored.charge("t", 0.125).unwrap();
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+    }
+}
+
+/// A ledger written by the v1 (pre-CRC) format still loads, and its first
+/// mutation upgrades the file to the checksummed v2 format in place.
+#[test]
+fn v1_ledger_files_load_and_upgrade_to_v2() {
+    let path = temp_path("v1-upgrade");
+    std::fs::write(
+        &path,
+        r#"{"format": "privbayes-ledger/1", "tenants": {"acme": {"total": 1.5, "spent": 0.25}}}"#,
+    )
+    .unwrap();
+
+    let ledger = BudgetLedger::with_persistence(&path).unwrap();
+    let budget = ledger.budget("acme").unwrap();
+    assert_eq!(budget.total.to_bits(), 1.5f64.to_bits());
+    assert_eq!(budget.spent.to_bits(), 0.25f64.to_bits());
+
+    ledger.charge("acme", 0.25).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains(LEDGER_FORMAT_V2), "first mutation must upgrade the file: {text}");
+    assert!(text.contains("\"crc\""), "v2 files carry a checksum: {text}");
+
+    let reopened = BudgetLedger::with_persistence(&path).unwrap();
+    assert_eq!(reopened.budget("acme").unwrap().spent.to_bits(), 0.5f64.to_bits());
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Worker isolation under handler panics
+// ---------------------------------------------------------------------------
+
+/// A panicking handler answers a structured 500 and costs nothing else: the
+/// full pool then serves `workers` concurrent requests, and shutdown joins
+/// every worker (a wedged pool would hang the join).
+#[test]
+fn a_handler_panic_is_isolated_and_the_pool_keeps_its_capacity() {
+    quiet_injected_panics();
+    let config = ServerConfig::default();
+    let workers = config.workers;
+    let (handle, client, slot) = start_server(config);
+
+    // The very next dispatched request panics inside its handler.
+    *slot.write().unwrap() =
+        Some(Arc::new(FaultPlan::new().inject(FaultSite::Handler, 0, Fault::Panic)));
+    let response = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(response.code, 500, "{}", response.text());
+    let body = Json::parse(&response.text()).unwrap();
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("internal"));
+
+    // Afterwards: every worker still serves, concurrently and correctly.
+    *slot.write().unwrap() = None;
+    let reference = client.synth("m", 200, 9, "csv").unwrap();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..workers)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || client.synth("m", 200, 9, "csv").unwrap())
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    for body in &bodies {
+        assert_eq!(body, &reference, "a post-panic stream must be intact");
+    }
+
+    // The panic is visible in the stats and on /healthz.
+    let health = client.health().unwrap();
+    assert_eq!(health.get("panics").and_then(Json::as_usize), Some(1));
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.panics, 1);
+    assert!(stats.requests >= workers as u64 + 3, "all requests counted: {stats:?}");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Byte-exact stream recovery through cursor resume
+// ---------------------------------------------------------------------------
+
+/// A response truncated mid-stream by an injected connection death is
+/// reassembled byte-exactly by the resuming client: prefix + cursor-resumed
+/// remainder equals the uninterrupted stream.
+#[test]
+fn a_truncated_stream_resumes_to_the_exact_uninterrupted_bytes() {
+    let (handle, client, slot) = start_server(ServerConfig::default());
+    let rows = 3 * privbayes_suite::core::CHUNK_ROWS + 137;
+    let spec = SynthSpec::new().with_rows(rows).with_seed(42);
+
+    // Reference: the same spec served without any faults.
+    let reference = client.synth_with("m", &spec).unwrap().text();
+    assert!(reference.len() > 16 * 1024, "stream must span several socket writes");
+
+    // The second 8 KiB socket write dies halfway; everything after is clean,
+    // so the retry's connection streams the remainder unharmed.
+    let plan = Arc::new(FaultPlan::new().inject(FaultSite::ConnWrite, 1, Fault::ShortWrite));
+    *slot.write().unwrap() = Some(Arc::clone(&plan));
+    let assembled = client.with_retry(fast_retry(4)).synth_resuming("m", &spec).unwrap();
+    assert!(plan.fired() >= 1, "the truncation fault must actually fire");
+    assert_eq!(
+        assembled, reference,
+        "prefix + resumed remainder must equal the uninterrupted stream byte for byte"
+    );
+
+    *slot.write().unwrap() = None;
+    let client = Client::new(handle.addr().to_string());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 4. The full storm: panics + resets + stalls under concurrency
+// ---------------------------------------------------------------------------
+
+/// Eight concurrent clients against a seeded storm of handler panics,
+/// connection resets, and read stalls: every request is eventually answered
+/// with exactly the right bytes, and the pool ends the run at full
+/// capacity with zero wedged workers.
+#[test]
+fn every_request_survives_a_seeded_storm_of_panics_resets_and_stalls() {
+    quiet_injected_panics();
+    let config = ServerConfig { workers: 4, fit_threads: Some(1), ..ServerConfig::default() };
+    let workers = config.workers;
+    let (handle, client, slot) = start_server(config);
+    let reference = client.synth("m", 300, 11, "csv").unwrap();
+
+    // A reproducible storm (seed 0xC4A05): sparse faults over the first
+    // couple hundred operations per site, plus a few guaranteed hits so the
+    // test exercises something even if the sampled schedule is light.
+    let plan = Arc::new(
+        FaultPlan::seeded(
+            0xC4A05,
+            200,
+            4,
+            &[
+                (FaultSite::Handler, Fault::Panic),
+                (FaultSite::ConnWrite, Fault::Reset),
+                (FaultSite::ConnRead, Fault::DelayMs(5)),
+            ],
+        )
+        .inject(FaultSite::Handler, 2, Fault::Panic)
+        .inject(FaultSite::ConnWrite, 5, Fault::Reset),
+    );
+    *slot.write().unwrap() = Some(Arc::clone(&plan));
+
+    // 8 clients × 4 requests, all retrying: every one must end correct.
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let client = client.clone().with_retry(fast_retry(12));
+                scope.spawn(move || {
+                    (0..4).map(|_| client.synth("m", 300, 11, "csv").unwrap()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        threads.into_iter().flat_map(|t| t.join().unwrap()).collect()
+    });
+    assert_eq!(bodies.len(), 32);
+    for (i, body) in bodies.iter().enumerate() {
+        assert_eq!(body, &reference, "request {i} must deliver exact bytes despite the storm");
+    }
+    assert!(plan.fired() >= 2, "the storm must have exercised faults, fired {}", plan.fired());
+
+    // Calm after the storm: the full pool still serves concurrently.
+    *slot.write().unwrap() = None;
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..workers)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || client.synth("m", 300, 11, "csv").unwrap())
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), reference);
+        }
+    });
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.requests >= 37, "all requests counted: {stats:?}");
+}
+
+// ---------------------------------------------------------------------------
+// 5. Admission control and slow-loris reaping
+// ---------------------------------------------------------------------------
+
+fn read_all(stream: &mut TcpStream) -> String {
+    let mut text = String::new();
+    let _ = stream.read_to_string(&mut text);
+    text
+}
+
+/// With one worker and a one-slot queue, connections beyond capacity get an
+/// immediate 503 with `Retry-After` from the acceptor — not an unbounded
+/// queue, not a hang — and the server serves normally once load drops.
+#[test]
+fn overload_answers_503_with_retry_after_instead_of_queueing() {
+    let config = ServerConfig {
+        workers: 1,
+        fit_threads: Some(1),
+        queue_depth: 1,
+        read_deadline: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let (handle, client, _slot) = start_server(config);
+    let addr = handle.addr();
+
+    // Occupy the worker (a), then the queue slot (b): both connect and send
+    // nothing, pinning capacity until the read deadline reaps them.
+    let a = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // worker picks `a` up
+    let b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // `b` lands in the queue
+
+    // Beyond capacity: immediate 503 + Retry-After, no worker time spent.
+    for _ in 0..2 {
+        let mut over = TcpStream::connect(addr).unwrap();
+        over.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let text = read_all(&mut over);
+        assert!(text.starts_with("HTTP/1.1 503"), "overflow must be rejected: {text}");
+        assert!(text.contains("Retry-After: 1"), "503 must carry a retry hint: {text}");
+        assert!(text.contains("overloaded"), "{text}");
+    }
+
+    // Release capacity; the reaped/freed worker serves normally again.
+    drop(a);
+    drop(b);
+    std::thread::sleep(Duration::from_millis(100));
+    let body = client.with_retry(fast_retry(6)).synth("m", 50, 3, "csv").unwrap();
+    assert_eq!(body.lines().count(), 51);
+
+    let client = Client::new(addr.to_string());
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.queue_rejected >= 2, "rejections must be counted: {stats:?}");
+}
+
+/// A peer that sends half a request line and stalls is answered 408 when
+/// the read deadline expires, freeing the worker for the next request.
+#[test]
+fn a_slow_loris_peer_is_reaped_with_408() {
+    let config = ServerConfig {
+        workers: 1,
+        fit_threads: Some(1),
+        read_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let (handle, client, _slot) = start_server(config);
+
+    let mut loris = TcpStream::connect(handle.addr()).unwrap();
+    loris.write_all(b"GET /healthz HT").unwrap(); // ...and then silence
+    loris.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let text = read_all(&mut loris);
+    assert!(text.starts_with("HTTP/1.1 408"), "stalled peers get 408: {text}");
+    assert!(text.contains("request-timeout"), "{text}");
+
+    // The single worker is free again immediately afterwards.
+    let health = client.health().unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 6. Retry discipline: /fit is never auto-retried
+// ---------------------------------------------------------------------------
+
+/// Against a server that answers every request 500, a retrying client
+/// re-issues idempotent reads (`max_retries + 1` connections) but sends a
+/// budget-spending `POST /fit` exactly once: a retried fit could double-
+/// charge ε, so the client refuses to guess.
+#[test]
+fn fit_is_sent_exactly_once_while_idempotent_reads_retry() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let connections = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let connections = Arc::clone(&connections);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { break };
+                connections.fetch_add(1, Ordering::SeqCst);
+                // Drain the whole request (head + declared body) so the
+                // client never sees a broken pipe mid-write, then answer a
+                // canned 500 and close.
+                let mut request = Vec::new();
+                let mut buf = [0u8; 4096];
+                while !request.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => request.extend_from_slice(&buf[..n]),
+                    }
+                }
+                let head_end = request
+                    .windows(4)
+                    .position(|w| w == b"\r\n\r\n")
+                    .map_or(request.len(), |i| i + 4);
+                let declared = String::from_utf8_lossy(&request[..head_end])
+                    .to_ascii_lowercase()
+                    .lines()
+                    .find_map(|l| l.strip_prefix("content-length:").map(|v| v.trim().to_string()))
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(0);
+                let mut body_seen = request.len() - head_end;
+                while body_seen < declared {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => body_seen += n,
+                    }
+                }
+                let _ = stream.write_all(
+                    b"HTTP/1.1 500 Internal Server Error\r\n\
+                      Content-Type: application/json\r\n\
+                      Content-Length: 20\r\n\
+                      Retry-After: 0\r\n\r\n\
+                      {\"error\":\"internal\"}",
+                );
+            }
+        })
+    };
+
+    let client = Client::new(addr.to_string()).with_retry(fast_retry(3));
+
+    // A fit that fails server-side is reported once, never re-sent.
+    let body = Json::object(vec![("tenant", Json::String("t".into()))]);
+    let response = client.fit_raw(&body).unwrap();
+    assert_eq!(response.code, 500);
+    assert_eq!(connections.load(Ordering::SeqCst), 1, "/fit must be sent exactly once");
+
+    // The same failure on an idempotent read burns every retry.
+    let err = client.synth("m", 10, 1, "csv").unwrap_err();
+    assert!(matches!(err, ServerError::Status { code: 500, .. }), "{err}");
+    assert_eq!(
+        connections.load(Ordering::SeqCst),
+        1 + 4,
+        "an idempotent read retries max_retries times before giving up"
+    );
+
+    // Unblock and join the acceptor.
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+    acceptor.join().unwrap();
+}

@@ -7,6 +7,8 @@
 //!    the ε boundary, and a rejected request mutates nothing.
 //! 3. **Registry** — eviction under load never drops an in-flight request.
 
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 
 use privbayes_suite::core::pipeline::{PrivBayes, PrivBayesOptions};
@@ -247,6 +249,85 @@ fn eviction_under_load_never_drops_inflight_requests() {
 
     client.shutdown().unwrap();
     handle.join().unwrap();
+}
+
+/// Sends raw `bytes`, half-closes the write side, and returns whatever the
+/// server answers (empty if it just closed the connection).
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut text = String::new();
+    let _ = stream.read_to_string(&mut text);
+    text
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_never_wedge_workers() {
+    let (handle, client, _registry, _ledger) = start_server(2);
+    let addr = handle.addr();
+
+    // A request line cut off before the headers arrive: clean 400.
+    let text = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nHost: x");
+    assert!(text.starts_with("HTTP/1.1 400"), "truncated head must get 400: {text}");
+    assert!(text.contains("bad-request"), "{text}");
+
+    // Nothing at all (connect, immediately hang up): no response expected,
+    // and crucially no stuck worker.
+    let text = raw_exchange(addr, b"");
+    assert!(text.is_empty() || text.starts_with("HTTP/1.1 400"), "{text}");
+
+    // A single header line larger than the head limit is cut off mid-read
+    // instead of buffered into memory.
+    let mut oversized = b"GET /healthz HTTP/1.1\r\nX-Big: ".to_vec();
+    oversized.resize(oversized.len() + privbayes_suite::server::http::MAX_HEAD_BYTES + 16, b'a');
+    oversized.extend_from_slice(b"\r\n\r\n");
+    let text = raw_exchange(addr, &oversized);
+    assert!(text.starts_with("HTTP/1.1 400"), "oversized header must get 400: {text}");
+    assert!(text.contains("size limit"), "{text}");
+
+    // A body shorter than its declared Content-Length: 400, not a hang.
+    let text = raw_exchange(
+        addr,
+        b"POST /v1/models/m/synth HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"rows\":",
+    );
+    assert!(text.starts_with("HTTP/1.1 400"), "short body must get 400: {text}");
+    assert!(text.contains("truncated"), "{text}");
+
+    // A client that disconnects mid-way through a long chunked synthesis:
+    // the server's next write fails and the worker moves on.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let rows = 8 * privbayes_suite::core::CHUNK_ROWS;
+        write!(stream, "GET /models/m/synth?rows={rows}&seed=1&format=csv HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut first = [0u8; 256];
+        let n = stream.read(&mut first).unwrap();
+        assert!(n > 0, "the stream must have started before the disconnect");
+        drop(stream); // vanish mid-stream
+    }
+
+    // Both workers still serve: as many concurrent requests as the pool has
+    // threads, all correct, then a clean shutdown (which would hang on a
+    // wedged worker).
+    let reference = client.synth("m", 100, 5, "csv").unwrap();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || client.synth("m", 100, 5, "csv").unwrap())
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    for body in &bodies {
+        assert_eq!(body, &reference, "post-abuse streams must be intact");
+    }
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.panics, 0, "malformed input must never panic a handler: {stats:?}");
 }
 
 #[test]
