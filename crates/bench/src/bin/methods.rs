@@ -88,8 +88,15 @@ fn time_min_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 
 fn stats_json(s: EngineStats) -> String {
     format!(
-        "{{\"scans\": {}, \"projections\": {}, \"hits\": {}, \"cached_tables\": {}}}",
-        s.scans, s.projections, s.hits, s.cached_tables
+        "{{\"scans\": {}, \"projections\": {}, \"hits\": {}, \"cached_tables\": {}, \
+         \"bytes_materialized\": {}, \"scan_micros\": {}, \"score_micros\": {}}}",
+        s.scans,
+        s.projections,
+        s.hits,
+        s.cached_tables,
+        s.bytes_materialized,
+        s.scan_micros,
+        s.score_micros
     )
 }
 

@@ -28,11 +28,18 @@
 //! throughput (`/v1` spec with evidence) versus the unconditional stream.
 //! Those numbers land in `BENCH_PR5.json`.
 //!
+//! The **observability** workload (PR 8) scrapes `GET /metrics` before and
+//! after a concurrent synth storm, asserts the counter deltas equal the
+//! known workload exactly (N requests ⇒ +N on the by-endpoint counter,
+//! N·rows on the row counter), micro-times the hot-path primitives, and
+//! gates the estimated per-request instrumentation share of mean latency.
+//! Those numbers land in `BENCH_PR8.json`.
+//!
 //! Usage: `perf [--quick] [--reps N] [--scale F] [--out DIR]`. The JSON is
 //! written to `--out` (or the working directory).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use privbayes::conditionals::noisy_conditionals_general;
 use privbayes::greedy::{greedy_bayes_adaptive, greedy_bayes_fixed_k, GreedySettings};
@@ -536,6 +543,154 @@ fn run_query(cfg: &HarnessConfig) -> QueryBench {
     }
 }
 
+/// PR 8 observability measurements: scrape-delta conformance around a known
+/// workload plus the instrumentation overhead gate.
+struct ObsBench {
+    clients: usize,
+    requests: usize,
+    rows_per_request: usize,
+    rows_per_sec: f64,
+    delta_synth_200: f64,
+    delta_rows_streamed: f64,
+    delta_bytes_streamed: f64,
+    counter_inc_ns: f64,
+    histogram_observe_ns: f64,
+    mean_request_ms: f64,
+    overhead_percent: f64,
+}
+
+/// The overhead gate: per-request instrumentation cost (estimated from
+/// measured per-event atomic costs times the events a request performs) must
+/// stay under this share of the measured mean request latency.
+const OBS_OVERHEAD_GATE_PERCENT: f64 = 1.0;
+
+/// Scrapes `/metrics` before and after a concurrent synth storm and checks
+/// the counter deltas against the known workload exactly — N requests must
+/// move the by-endpoint counter by N and the row counter by N·rows. Then
+/// micro-times the two hot-path primitives (relaxed counter add, histogram
+/// observe) on real registry handles and gates their estimated per-request
+/// share against [`OBS_OVERHEAD_GATE_PERCENT`].
+fn run_observability(cfg: &HarnessConfig, artifact: &ReleasedModel) -> ObsBench {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("adult", artifact.clone()).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 8, fit_threads: None, ..ServerConfig::default() },
+        registry,
+        Arc::new(BudgetLedger::in_memory()),
+    )
+    .unwrap();
+    let metrics = server.metrics();
+    let handle = server.spawn();
+    let client = Client::new(handle.addr().to_string());
+
+    let rows_per_request = if cfg.quick { 5_000 } else { 20_000 };
+    let requests_per_client = if cfg.quick { 2 } else { 4 };
+    let clients = 4usize;
+
+    let before = client.metrics().unwrap();
+    let start = Instant::now();
+    let latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = Client::new(handle.addr().to_string());
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(requests_per_client);
+                    for r in 0..requests_per_client {
+                        let seed = (c * requests_per_client + r) as u64;
+                        let t = Instant::now();
+                        let body = client.synth("adult", rows_per_request, seed, "csv").unwrap();
+                        local.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(body.lines().count(), rows_per_request + 1);
+                    }
+                    local
+                })
+            })
+            .collect();
+        threads.into_iter().flat_map(|t| t.join().unwrap()).collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_requests = clients * requests_per_client;
+    // A request is counted just *after* its bytes reach the wire, so the
+    // last client can return a beat before the last increment lands; let
+    // the registry settle before the closing scrape.
+    let synth_200 = metrics
+        .registry()
+        .counter("privbayes_requests_total", &[("endpoint", "synth"), ("status", "200")]);
+    let expected = before
+        .value("privbayes_requests_total", &[("endpoint", "synth"), ("status", "200")])
+        .unwrap_or(0.0) as u64
+        + total_requests as u64;
+    for _ in 0..400 {
+        if synth_200.get() >= expected {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let after = client.metrics().unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let delta = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        after.value(name, labels).unwrap_or(0.0) - before.value(name, labels).unwrap_or(0.0)
+    };
+    let delta_synth_200 =
+        delta("privbayes_requests_total", &[("endpoint", "synth"), ("status", "200")]);
+    assert_eq!(
+        delta_synth_200 as usize, total_requests,
+        "N synth requests must move the synth/200 counter by exactly N"
+    );
+    let delta_rows_streamed = delta("privbayes_rows_streamed_total", &[]);
+    assert_eq!(
+        delta_rows_streamed as usize,
+        total_requests * rows_per_request,
+        "the row counter must move by exactly the streamed rows"
+    );
+    let delta_bytes_streamed = delta("privbayes_bytes_streamed_total", &[]);
+    assert!(delta_bytes_streamed > 0.0, "byte counter must move");
+
+    // Per-event cost of the two hot-path primitives, measured on the
+    // server's own (now idle) registry handles.
+    let iters = 1_000_000u64;
+    let counter = metrics.registry().counter("privbayes_rows_streamed_total", &[]);
+    let t = Instant::now();
+    for _ in 0..iters {
+        counter.add(1);
+    }
+    let counter_inc_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+    let histogram = metrics.registry().histogram("privbayes_fit_seconds", &[]);
+    let t = Instant::now();
+    for i in 0..iters {
+        histogram.observe_ns(i);
+    }
+    let histogram_observe_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // A streamed request performs ~6 counter-style and ~7 histogram-style
+    // events end to end (per-chunk work accumulates locally and lands as
+    // one add). Gate that share of the measured mean latency.
+    let instrumentation_ns = 6.0 * counter_inc_ns + 7.0 * histogram_observe_ns;
+    let mean_request_ms = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+    let overhead_percent = instrumentation_ns / (mean_request_ms * 1e6) * 100.0;
+    assert!(
+        overhead_percent < OBS_OVERHEAD_GATE_PERCENT,
+        "instrumentation overhead {overhead_percent:.4}% breaches the \
+         {OBS_OVERHEAD_GATE_PERCENT}% gate"
+    );
+
+    ObsBench {
+        clients,
+        requests: total_requests,
+        rows_per_request,
+        rows_per_sec: (total_requests * rows_per_request) as f64 / secs,
+        delta_synth_200,
+        delta_rows_streamed,
+        delta_bytes_streamed,
+        counter_inc_ns,
+        histogram_observe_ns,
+        mean_request_ms,
+        overhead_percent,
+    }
+}
+
 fn main() {
     let cfg = HarnessConfig::from_env();
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
@@ -545,6 +700,7 @@ fn main() {
     let serve = run_serve(&cfg, &adult_data, &adult_artifact);
     let overload = run_overload(&cfg, &adult_artifact);
     let query = run_query(&cfg);
+    let obs = run_observability(&cfg, &adult_artifact);
 
     for w in &workloads {
         println!("== {} (n = {}, d = {}) ==", w.name, w.rows, w.attrs);
@@ -585,6 +741,22 @@ fn main() {
     println!(
         "  synth throughput        unconditional {:>9.0} rows/s | conditional {:>9.0} rows/s",
         query.unconditional_rows_per_sec, query.conditional_rows_per_sec,
+    );
+
+    println!(
+        "== observability ({} clients x {} req x {} rows) ==",
+        obs.clients,
+        obs.requests / obs.clients,
+        obs.rows_per_request
+    );
+    println!(
+        "  scrape deltas           synth/200 {:>4.0} | rows {:>9.0} | bytes {:>11.0}",
+        obs.delta_synth_200, obs.delta_rows_streamed, obs.delta_bytes_streamed,
+    );
+    println!(
+        "  hot-path cost           counter {:.1} ns | histogram {:.1} ns | overhead {:.5}% of \
+         {:.1} ms mean (gate {OBS_OVERHEAD_GATE_PERCENT}%)",
+        obs.counter_inc_ns, obs.histogram_observe_ns, obs.overhead_percent, obs.mean_request_ms,
     );
 
     let workload_json: Vec<String> = workloads
@@ -679,5 +851,35 @@ fn main() {
     );
     let path = out_path("BENCH_PR7.json");
     std::fs::write(&path, overload_json).expect("write BENCH_PR7.json");
+    println!("wrote {}", path.display());
+
+    let obs_json = format!(
+        concat!(
+            "{{\n  \"pr\": 8,\n  \"quick\": {},\n  \"threads\": {},\n",
+            "  \"workload\": {{\"clients\": {}, \"requests\": {}, \"rows_per_request\": {}, ",
+            "\"rows_per_sec\": {:.0}}},\n",
+            "  \"scrape_deltas\": {{\"requests_synth_200\": {:.0}, \"rows_streamed\": {:.0}, ",
+            "\"bytes_streamed\": {:.0}}},\n",
+            "  \"overhead\": {{\"counter_inc_ns\": {:.2}, \"histogram_observe_ns\": {:.2}, ",
+            "\"mean_request_ms\": {:.3}, \"overhead_percent\": {:.6}, ",
+            "\"gate_percent\": {}, \"pass\": true}}\n}}\n"
+        ),
+        cfg.quick,
+        threads,
+        obs.clients,
+        obs.requests,
+        obs.rows_per_request,
+        obs.rows_per_sec,
+        obs.delta_synth_200,
+        obs.delta_rows_streamed,
+        obs.delta_bytes_streamed,
+        obs.counter_inc_ns,
+        obs.histogram_observe_ns,
+        obs.mean_request_ms,
+        obs.overhead_percent,
+        OBS_OVERHEAD_GATE_PERCENT,
+    );
+    let path = out_path("BENCH_PR8.json");
+    std::fs::write(&path, obs_json).expect("write BENCH_PR8.json");
     println!("wrote {}", path.display());
 }

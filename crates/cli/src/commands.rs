@@ -13,6 +13,7 @@ use privbayes_data::encoding::EncodingKind;
 use privbayes_data::{Dataset, Schema};
 use privbayes_marginals::average_workload_tvd;
 use privbayes_model::{schema_from_json, Json, ReleasedModel, ReleasedRelationalModel};
+use privbayes_obs::Span;
 use privbayes_server::{BudgetLedger, ModelRegistry, Server, ServerConfig};
 use privbayes_synth::{
     fit_method, Cursor, FitSettings, MarginalQuery, Method, RowFormat, SynthSpec,
@@ -42,7 +43,7 @@ commands:
 
   synth    --model MODEL.json --out D.csv [--rows N] [--seed N] [--threads N]
            [--where a=v[,b=w...]] [--select c1[,c2...]] [--resume CURSOR]
-           [--format csv|jsonl]
+           [--format csv|jsonl] [--verbose]
            Sample synthetic rows from a released model (no privacy cost).
            --where clamps attribute values (labels or codes) and samples the
            rest of each row conditioned on them; --select writes only the
@@ -54,7 +55,7 @@ commands:
            single-threaded; --threads applies to the plain batch path only.
 
   query    --model MODEL.json --attrs a[,b...]
-           [--server ADDR --id MODEL-ID]
+           [--server ADDR --id MODEL-ID] [--verbose]
            Answer a marginal query exactly from the released model's noisy
            conditionals — no sampling, no privacy cost (post-processing).
            Local mode prints `a,b,probability` lines with domain labels
@@ -99,6 +100,7 @@ commands:
            [--tenant NAME --budget F]
            [--read-deadline-ms N=30000] [--write-deadline-ms N=30000]
            [--handler-deadline-ms N=120000] [--queue-depth N=64]
+           [--access-log PATH] [--metrics on|off=on]
            Run the synthesis service: model registry, per-tenant privacy
            ledger (persisted at --ledger, crash-durable), and streaming
            synthesis endpoints. Prints the bound address, then blocks until
@@ -106,6 +108,10 @@ commands:
            threads used inside fit requests. Peers slower than the
            read/write deadlines are reaped with 408; --queue-depth bounds
            pending connections, with overflow answered 503 + Retry-After.
+           --access-log appends one JSON line per request; --metrics off
+           disables the GET /metrics Prometheus exposition (counters still
+           run and back GET /healthz). The fit, synth, and query commands
+           accept --verbose for per-stage wall-time reporting.
 
 The --threads flag on fit/synth pins the scoring/sampling worker count
 (default: all cores); outputs are identical for every value.
@@ -214,8 +220,10 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
         threads: args.parse_opt::<usize>("threads")?,
         comment: args.optional("comment").unwrap_or_default().to_string(),
     };
+    let mut span = Span::start();
     let schema = load_schema(args.required("schema")?)?;
     let data = load_csv(&schema, args.required("data")?)?;
+    span.mark("load");
 
     let seed = match args.parse_opt::<u64>("seed")? {
         Some(seed) => seed,
@@ -223,10 +231,12 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let fitted = fit_method(method, &data, epsilon, seed, &settings)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
+    span.mark("fit");
     fitted
         .artifact
         .save(out)
         .map_err(|e| CliError::Io { path: out.into(), message: e.to_string() })?;
+    span.mark("write");
 
     let degree = fitted.artifact.model.network.degree();
     let mut report = format!(
@@ -239,22 +249,43 @@ fn fit(args: &ParsedArgs) -> Result<String, CliError> {
     if args.verbose() {
         let s = fitted.stats;
         report.push_str(&format!(
-            "\nengine: {} scans, {} projections, {} cache hits, {} tables cached",
-            s.scans, s.projections, s.hits, s.cached_tables
+            "\nengine: {} scans, {} projections, {} cache hits, {} tables cached, \
+             {} bytes materialized\nengine time: scan {}µs, score {}µs\n{}",
+            s.scans,
+            s.projections,
+            s.hits,
+            s.cached_tables,
+            s.bytes_materialized,
+            s.scan_micros,
+            s.score_micros,
+            stage_report(&span),
         ));
     }
     report.push_str(&format!("\nwrote {out}"));
     Ok(report)
 }
 
+/// Renders a [`Span`]'s stages as one `stages: name 1.2ms … | total …` line
+/// for `--verbose` output.
+fn stage_report(span: &Span) -> String {
+    let mut out = String::from("stages:");
+    for &(name, d) in span.stages() {
+        out.push_str(&format!(" {name} {:.1}ms", d.as_secs_f64() * 1e3));
+    }
+    out.push_str(&format!(" | total {:.1}ms", span.total().as_secs_f64() * 1e3));
+    out
+}
+
 fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     args.expect_only(&[
-        "model", "out", "rows", "seed", "threads", "where", "select", "resume", "format",
+        "model", "out", "rows", "seed", "threads", "where", "select", "resume", "format", "verbose",
     ])?;
+    let mut span = Span::start();
     let model_path = args.required("model")?;
     let out = args.required("out")?;
     let artifact = ReleasedModel::load(model_path)
         .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+    span.mark("load");
 
     // Assemble the request spec from the flags, then validate it against
     // the artifact's schema in one place — every spec mistake surfaces as a
@@ -309,8 +340,14 @@ fn synth(args: &ParsedArgs) -> Result<String, CliError> {
         };
         let synthetic =
             artifact.sample_with_threads(rows, args.parse_opt::<usize>("threads")?, &mut rng)?;
+        span.mark("sample");
         save_csv(&synthetic, out)?;
-        return Ok(format!("sampled {rows} rows from {model_path}\nwrote {out}"));
+        span.mark("write");
+        let mut report = format!("sampled {rows} rows from {model_path}\nwrote {out}");
+        if args.verbose() {
+            report.push_str(&format!("\n{}", stage_report(&span)));
+        }
+        return Ok(report);
     }
 
     let seed = match resolved.seed {
@@ -331,8 +368,10 @@ fn synth(args: &ParsedArgs) -> Result<String, CliError> {
         yielded += chunk.len();
         text.push_str(&resolved.format.render(schema, projection, &chunk));
     }
+    span.mark("sample");
     fs::write(out, text).map_err(|e| CliError::Io { path: out.into(), message: e.to_string() })?;
-    let report = if resolved.start_row > 0 {
+    span.mark("write");
+    let mut report = if resolved.start_row > 0 {
         format!(
             "resumed at row {} and sampled {yielded} of {rows} rows from {model_path} (seed {seed})",
             resolved.start_row
@@ -340,32 +379,45 @@ fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         format!("sampled {rows} rows from {model_path} (seed {seed})")
     };
+    if args.verbose() {
+        report.push_str(&format!("\n{}", stage_report(&span)));
+    }
     Ok(format!("{report}\nwrote {out}"))
 }
 
 /// `query`: answer a marginal query exactly from the released θ — locally
 /// from a model file, or remotely via a server's `/v1` query endpoint.
 fn query(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["model", "attrs", "server", "id"])?;
+    args.expect_only(&["model", "attrs", "server", "id", "verbose"])?;
     let mut q = MarginalQuery::new();
     for name in args.required("attrs")?.split(',').filter(|s| !s.is_empty()) {
         q = q.over(name);
     }
     match (args.optional("server"), args.optional("id")) {
         (Some(addr), Some(id)) => {
+            let mut span = Span::start();
             let client = privbayes_server::Client::new(addr);
             let answer = client.query(id, &q)?;
-            answer.to_string_pretty().map_err(|e| CliError::Invalid(e.to_string()))
+            span.mark("request");
+            let mut out =
+                answer.to_string_pretty().map_err(|e| CliError::Invalid(e.to_string()))?;
+            if args.verbose() {
+                out.push_str(&format!("\n{}", stage_report(&span)));
+            }
+            Ok(out)
         }
         (Some(_), None) => Err(CliError::Usage("--server needs --id".into())),
         (None, Some(_)) => Err(CliError::Usage("--id needs --server".into())),
         (None, None) => {
+            let mut span = Span::start();
             let model_path = args.required("model")?;
             let artifact = ReleasedModel::load(model_path)
                 .map_err(|e| CliError::Io { path: model_path.into(), message: e.to_string() })?;
+            span.mark("load");
             let attrs = q.resolve(&artifact.schema)?;
             let table =
                 theta_projection(&artifact.model, &artifact.schema, &attrs, DEFAULT_CELL_CAP)?;
+            span.mark("project");
             let names: Vec<&str> =
                 attrs.iter().map(|&a| artifact.schema.attribute(a).name()).collect();
             let mut out = format!("{},probability\n", names.join(","));
@@ -378,6 +430,9 @@ fn query(args: &ParsedArgs) -> Result<String, CliError> {
                 // Shortest round-trip decimal: parsing it back yields the
                 // exact released value.
                 out.push_str(&format!("{value:?}\n"));
+            }
+            if args.verbose() {
+                out.push_str(&format!("{}\n", stage_report(&span)));
             }
             Ok(out)
         }
@@ -593,6 +648,8 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "write-deadline-ms",
         "handler-deadline-ms",
         "queue-depth",
+        "access-log",
+        "metrics",
     ])?;
     let registry = Arc::new(ModelRegistry::new());
     match (args.optional("model"), args.optional("model-id")) {
@@ -639,6 +696,15 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         }
         Ok(std::time::Duration::from_millis(ms))
     };
+    let metrics_enabled = match args.optional("metrics").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--metrics: expected `on` or `off`, got `{other}`"
+            )))
+        }
+    };
     let config = ServerConfig {
         workers: args.parse_or("workers", defaults.workers)?,
         fit_threads: args.parse_opt::<usize>("threads")?,
@@ -647,6 +713,8 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         write_deadline: deadline("write-deadline-ms", defaults.write_deadline)?,
         handler_deadline: deadline("handler-deadline-ms", defaults.handler_deadline)?,
         queue_depth: args.parse_or("queue-depth", defaults.queue_depth)?,
+        metrics_enabled,
+        access_log: args.optional("access-log").map(std::path::PathBuf::from),
     };
     let server = Server::bind(
         args.optional("addr").unwrap_or("127.0.0.1:0"),

@@ -31,7 +31,7 @@
 //! scoring reproduce the sequential scores exactly.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use privbayes_data::{Dataset, Schema};
@@ -385,7 +385,14 @@ impl CountBackend for BitBackend {
     }
 }
 
-/// Cache effectiveness counters (see [`CountEngine::stats`]).
+/// Cache effectiveness and fit-phase cost counters (see
+/// [`CountEngine::stats`]). The engine fills the cache counters,
+/// `bytes_materialized`, and `scan_micros`; `score_micros` and
+/// `alias_micros` are slots for the layers that own those phases (the
+/// synthesizers time candidate scoring, serving layers time alias-table
+/// compilation) so one struct carries the whole fit-phase picture. All
+/// fields are integers with zero defaults, keeping the struct `Eq` and a
+/// no-work fit equal to `EngineStats::default()`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Requests answered from the cache without any computation.
@@ -396,6 +403,17 @@ pub struct EngineStats {
     pub scans: usize,
     /// Tables currently cached.
     pub cached_tables: usize,
+    /// Bytes of count tables materialized by scans (8 bytes per cell).
+    pub bytes_materialized: u64,
+    /// Wall time spent materializing scan tables, in microseconds.
+    pub scan_micros: u64,
+    /// Wall time of the candidate-scoring (structure learning) phase, in
+    /// microseconds. Filled by the fitting layer, zero for methods without
+    /// a scoring phase.
+    pub score_micros: u64,
+    /// Wall time compiling the released model's alias tables, in
+    /// microseconds. Filled by whichever layer triggers compilation.
+    pub alias_micros: u64,
 }
 
 /// The shared count engine: one per dataset, used by every greedy round (and
@@ -411,6 +429,8 @@ pub struct CountEngine<'d> {
     hits: AtomicUsize,
     projections: AtomicUsize,
     scans: AtomicUsize,
+    bytes_materialized: AtomicU64,
+    scan_nanos: AtomicU64,
 }
 
 impl<'d> CountEngine<'d> {
@@ -429,6 +449,8 @@ impl<'d> CountEngine<'d> {
             hits: AtomicUsize::new(0),
             projections: AtomicUsize::new(0),
             scans: AtomicUsize::new(0),
+            bytes_materialized: AtomicU64::new(0),
+            scan_nanos: AtomicU64::new(0),
         }
     }
 
@@ -505,6 +527,10 @@ impl<'d> CountEngine<'d> {
             projections: self.projections.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
             cached_tables: self.cache.read().expect("cache lock poisoned").len(),
+            bytes_materialized: self.bytes_materialized.load(Ordering::Relaxed),
+            scan_micros: self.scan_nanos.load(Ordering::Relaxed) / 1_000,
+            score_micros: 0,
+            alias_micros: 0,
         }
     }
 
@@ -533,7 +559,12 @@ impl<'d> CountEngine<'d> {
                 Some(bits) if bits.supports(canonical) => bits,
                 _ => &self.radix,
             };
-            Arc::new(backend.materialise(canonical))
+            let started = std::time::Instant::now();
+            let fresh = Arc::new(backend.materialise(canonical));
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.scan_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.bytes_materialized.fetch_add(fresh.cell_count() as u64 * 8, Ordering::Relaxed);
+            fresh
         };
 
         // Tables past the projection budget are also not worth *retaining*:

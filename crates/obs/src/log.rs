@@ -1,0 +1,94 @@
+//! A bounded ring buffer of structured (JSON-line) events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-capacity ring of event lines: appends past the capacity evict
+/// the oldest entry, so memory stays bounded however long the process runs.
+/// One short mutex hold per append — this sits at request *completion*, not
+/// on the per-chunk streaming path.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<String>>,
+}
+
+impl EventLog {
+    /// A ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, inner: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    /// Appends one event line, evicting the oldest when full.
+    pub fn append(&self, line: String) {
+        let mut ring = self.inner.lock().expect("event log lock poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// The buffered events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner.lock().expect("event log lock poisoned").iter().cloned().collect()
+    }
+
+    /// How many events are currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event log lock poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+#[must_use]
+pub fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = EventLog::new(3);
+        assert!(log.is_empty());
+        for i in 0..5 {
+            log.append(format!("event-{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.snapshot(), vec!["event-2", "event-3", "event-4"]);
+    }
+
+    #[test]
+    fn escaping_covers_json_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,71 @@
+//! Request-scoped stage timing over the monotonic clock.
+
+use std::time::{Duration, Instant};
+
+/// A request-scoped timer that splits wall time into named stages. Each
+/// [`Span::mark`] closes the stage that started at the previous mark (or at
+/// [`Span::start`]) — so a handler can record `parse → ledger → lookup →
+/// sample → write` with one `Instant::now()` per boundary and no
+/// allocation beyond the stage vector.
+#[derive(Debug)]
+pub struct Span {
+    started: Instant,
+    last: Instant,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Span {
+    /// Starts the span now.
+    #[must_use]
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Self { started: now, last: now, stages: Vec::new() }
+    }
+
+    /// Closes the current stage under `name`, returning its duration; the
+    /// next stage starts immediately.
+    pub fn mark(&mut self, name: &'static str) -> Duration {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last);
+        self.last = now;
+        self.stages.push((name, elapsed));
+        elapsed
+    }
+
+    /// The recorded stages in order.
+    #[must_use]
+    pub fn stages(&self) -> &[(&'static str, Duration)] {
+        &self.stages
+    }
+
+    /// Total wall time since the span started.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_partition_the_elapsed_time() {
+        let mut span = Span::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = span.mark("first");
+        let b = span.mark("second"); // immediate: near-zero
+        assert!(a >= Duration::from_millis(1), "first stage covers the sleep: {a:?}");
+        assert!(b < a, "second stage is the gap between marks");
+        assert_eq!(span.stages().len(), 2);
+        assert_eq!(span.stages()[0].0, "first");
+        let summed: Duration = span.stages().iter().map(|&(_, d)| d).sum();
+        assert!(span.total() >= summed, "stages never exceed the total");
+    }
+}

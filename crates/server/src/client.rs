@@ -25,6 +25,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use privbayes_model::{Json, ReleasedModel};
+use privbayes_obs::Snapshot;
 use privbayes_synth::{Cursor, MarginalQuery, SynthSpec};
 
 use crate::error::ServerError;
@@ -244,6 +245,18 @@ impl Client {
     /// Socket/protocol errors, or [`ServerError::Status`] on non-2xx.
     pub fn health(&self) -> Result<Json, ServerError> {
         self.get_json("/healthz")
+    }
+
+    /// `GET /metrics`, parsed into a typed [`Snapshot`]. Idempotent (a
+    /// scrape mutates nothing), so retried under the policy like any read.
+    ///
+    /// # Errors
+    /// Socket errors, [`ServerError::Status`] on non-2xx (404 when the
+    /// server runs with metrics disabled), and [`ServerError::Protocol`] if
+    /// the exposition text does not parse.
+    pub fn metrics(&self) -> Result<Snapshot, ServerError> {
+        let response = Self::expect_success(self.request_retrying("GET", "/metrics", None, true)?)?;
+        privbayes_obs::parse_text(&response.text()).map_err(ServerError::Protocol)
     }
 
     /// `GET` returning parsed JSON. Idempotent: retried under the policy.

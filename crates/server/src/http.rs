@@ -90,6 +90,12 @@ impl Request {
         self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
+    /// The first header value for lower-case `name`, if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_value(&self.headers, name)
+    }
+
     /// The path split on `/`, without empty leading/trailing segments.
     #[must_use]
     pub fn segments(&self) -> Vec<&str> {

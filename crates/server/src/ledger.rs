@@ -32,12 +32,12 @@ use std::sync::Mutex;
 
 use privbayes_dp::{DpError, PrivacyBudget};
 use privbayes_model::{budget_from_json, budget_to_json, Json};
+use privbayes_obs::{Counter, Histogram};
 
 use crate::error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{Fault, FaultPlan, FaultSite, LedgerStep};
 use crate::registry::validate_id;
-#[cfg(any(test, feature = "fault-injection"))]
 use std::sync::Arc;
 
 /// The original (v1) ledger file format identifier, still accepted on load.
@@ -106,12 +106,30 @@ impl TenantBudget {
     }
 }
 
+/// Observability handles consulted on every persist attempt (see
+/// [`BudgetLedger::set_observer`]). The handles are shared `Arc`s into a
+/// metric registry, so recording is one relaxed atomic add each — nothing
+/// here can fail or slow the durability path.
+#[derive(Debug, Clone)]
+pub struct LedgerObserver {
+    /// Persist wall time (write temp, fsync, rename, directory sync).
+    pub persist_seconds: Arc<Histogram>,
+    /// Persists that completed cleanly.
+    pub ok: Arc<Counter>,
+    /// Persists that failed before the rename (mutation rolled back).
+    pub rolled_back: Arc<Counter>,
+    /// Persists where the rename landed but the directory sync failed
+    /// (mutation kept — the file already holds the new state).
+    pub durable_failure: Arc<Counter>,
+}
+
 /// A thread-safe map from tenant name to privacy budget, optionally backed
 /// by a JSON file.
 #[derive(Debug)]
 pub struct BudgetLedger {
     tenants: Mutex<BTreeMap<String, PrivacyBudget>>,
     path: Option<PathBuf>,
+    observer: Mutex<Option<LedgerObserver>>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Mutex<Option<Arc<FaultPlan>>>,
 }
@@ -133,9 +151,17 @@ impl BudgetLedger {
         Self {
             tenants: Mutex::new(BTreeMap::new()),
             path: None,
+            observer: Mutex::new(None),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: Mutex::new(None),
         }
+    }
+
+    /// Installs (or clears) the persist-observability handles. The server
+    /// wires these to its metric registry at bind time; a ledger used
+    /// standalone records nothing.
+    pub fn set_observer(&self, observer: Option<LedgerObserver>) {
+        *self.observer.lock().expect("observer lock poisoned") = observer;
     }
 
     /// Installs (or clears) a fault plan consulted on every persist
@@ -166,6 +192,7 @@ impl BudgetLedger {
         Ok(Self {
             tenants: Mutex::new(tenants),
             path: Some(path),
+            observer: Mutex::new(None),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: Mutex::new(None),
         })
@@ -247,6 +274,24 @@ impl BudgetLedger {
     /// consumed per call; a `CrashAt(step)` fault aborts immediately before
     /// the named step, exactly as `kill -9` at that instant would.
     fn persist(
+        &self,
+        tenants: &BTreeMap<String, PrivacyBudget>,
+        path: &Path,
+    ) -> Result<(), PersistFailure> {
+        let started = std::time::Instant::now();
+        let result = self.persist_inner(tenants, path);
+        if let Some(obs) = self.observer.lock().expect("observer lock poisoned").as_ref() {
+            obs.persist_seconds.observe(started.elapsed());
+            match &result {
+                Ok(()) => obs.ok.inc(),
+                Err(f) if f.durable => obs.durable_failure.inc(),
+                Err(_) => obs.rolled_back.inc(),
+            }
+        }
+        result
+    }
+
+    fn persist_inner(
         &self,
         tenants: &BTreeMap<String, PrivacyBudget>,
         path: &Path,

@@ -71,6 +71,7 @@ pub mod error;
 pub mod fault;
 pub mod http;
 pub mod ledger;
+pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod stream;
@@ -80,10 +81,17 @@ pub use error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{Fault, FaultPlan, FaultSite, FaultStream, LedgerStep};
 pub use http::{Request, Response};
-pub use ledger::{BudgetLedger, LedgerError, TenantBudget, LEDGER_FORMAT, LEDGER_FORMAT_V2};
+pub use ledger::{
+    BudgetLedger, LedgerError, LedgerObserver, TenantBudget, LEDGER_FORMAT, LEDGER_FORMAT_V2,
+};
+pub use metrics::{ServerMetrics, REQUEST_ID_HEADER};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use stream::RowFormat;
+// The metric-snapshot surface, re-exported so scrape consumers (tests, the
+// perf harness) can parse `/metrics` without a separate `privbayes-obs`
+// dependency.
+pub use privbayes_obs::{parse_text, Snapshot};
 // The typed request surface of the query API, re-exported so client code
 // can build specs without a separate `privbayes-synth` dependency.
 pub use privbayes_synth::{AttrRef, Cursor, MarginalQuery, SpecError, SynthSpec, ValueRef};

@@ -4,7 +4,8 @@
 //!
 //! | method & path | effect |
 //! |---|---|
-//! | `GET /healthz` | liveness + registry/ledger counts |
+//! | `GET /healthz` | liveness + registry/ledger counts (live, from the metric registry) |
+//! | `GET /metrics` | Prometheus text exposition (v0.0.4) of every server metric |
 //! | `GET /models` | list loaded models |
 //! | `PUT /models/{id}` | load a release artifact (body: `privbayes-model/1` JSON) |
 //! | `GET /models/{id}` | one model's metadata |
@@ -19,10 +20,24 @@
 //! | `POST /shutdown` | drain in-flight requests and stop |
 //!
 //! Every response — fixed, chunked, success, or error — carries a
-//! `Content-Type` and an `X-PrivBayes-Api: v1` header. Spec-validation
-//! failures (unknown attribute, out-of-domain evidence value, bad cursor,
-//! …) are answered `400` with the structured body
-//! `{"error": "invalid-spec", "message": …}`.
+//! `Content-Type`, an `X-PrivBayes-Api: v1` header, and an
+//! `X-PrivBayes-Request-Id` (echoing the client's, when it sent a valid
+//! one). Spec-validation failures (unknown attribute, out-of-domain
+//! evidence value, bad cursor, …) are answered `400` with the structured
+//! body `{"error": "invalid-spec", "message": …}`.
+//!
+//! # Observability
+//!
+//! One [`ServerMetrics`] registry backs `GET /metrics`, `GET /healthz`,
+//! the live [`ServerHandle::stats`] view, and the final counters from
+//! [`ServerHandle::join`] — a single source of truth, so the surfaces can
+//! never drift. Requests are counted by endpoint and status (including
+//! acceptor-level 503 rejections, under `endpoint="acceptor"`), stage wall
+//! time is recorded per request (`parse → ledger → lookup → sample →
+//! write`), and every finished request appends one JSON line to the
+//! access-log ring (and file sink, when configured). The cost discipline
+//! is one relaxed atomic add per event, with no locks on the per-chunk
+//! streaming path.
 //!
 //! # Concurrency and determinism
 //!
@@ -44,7 +59,8 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -62,7 +78,8 @@ use crate::error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{Fault, FaultPlan, FaultSite, FaultStream};
 use crate::http::{write_response, ChunkedResponse, Request};
-use crate::ledger::{BudgetLedger, LedgerError, TenantBudget};
+use crate::ledger::{BudgetLedger, LedgerError, LedgerObserver, TenantBudget};
+use crate::metrics::{RequestCtx, ServerMetrics, REQUEST_ID_HEADER};
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::stream::RowFormat;
 #[cfg(any(test, feature = "fault-injection"))]
@@ -101,6 +118,12 @@ pub struct ServerConfig {
     /// Overflow is answered immediately with 503 + `Retry-After` — graceful
     /// degradation instead of unbounded queueing. Minimum 1.
     pub queue_depth: usize,
+    /// Whether `GET /metrics` is served (the registry itself always runs —
+    /// `/healthz` and [`ServerHandle::stats`] read it regardless).
+    pub metrics_enabled: bool,
+    /// File appended with one JSON line per finished request. `None`
+    /// disables the file sink; the in-memory ring is always kept.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -113,21 +136,37 @@ impl Default for ServerConfig {
             write_deadline: Duration::from_secs(30),
             handler_deadline: Duration::from_secs(120),
             queue_depth: 64,
+            metrics_enabled: true,
+            access_log: None,
         }
     }
 }
 
-/// Counters reported by [`Server::run`] after a clean shutdown (and live on
-/// `GET /healthz`).
+/// Counters reported by [`Server::run`] after a clean shutdown — a
+/// snapshot of the live metric registry, so [`ServerHandle::stats`],
+/// `GET /healthz`, `GET /metrics`, and the value returned by
+/// [`ServerHandle::join`] all read the same source of truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Requests fully handled (including the shutdown request itself).
+    /// Requests answered (including the shutdown request itself and
+    /// acceptor-level 503 rejections, which are also in `queue_rejected`).
     pub requests: u64,
     /// Handler panics caught and isolated (each also answered 500 when the
     /// response had not started). Zero in a healthy server.
     pub panics: u64,
     /// Connections rejected with 503 because the pending queue was full.
     pub queue_rejected: u64,
+}
+
+impl ServerStats {
+    /// The current counters, read live from the metric registry.
+    fn snapshot(metrics: &ServerMetrics) -> Self {
+        Self {
+            requests: metrics.registry().counter_total("privbayes_requests_total"),
+            panics: metrics.panics.get(),
+            queue_rejected: metrics.queue_rejected.get(),
+        }
+    }
 }
 
 /// Shared state visible to every worker.
@@ -137,9 +176,7 @@ struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     shutdown: AtomicBool,
-    requests: AtomicU64,
-    panics: AtomicU64,
-    queue_rejected: AtomicU64,
+    metrics: Arc<ServerMetrics>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: FaultSlot,
 }
@@ -165,19 +202,46 @@ impl Server {
     ) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let access_log =
+            match &config.access_log {
+                Some(path) => {
+                    Some(std::fs::OpenOptions::new().create(true).append(true).open(path).map_err(
+                        |e| ServerError::Io(format!("access log {}: {e}", path.display())),
+                    )?)
+                }
+                None => None,
+            };
+        let metrics = Arc::new(ServerMetrics::new(access_log));
+        // The ledger records persist latency and outcomes into the same
+        // registry; the per-tenant ε gauges stay scrape-time mirrors of
+        // the ledger snapshot (the ledger remains the accounting truth).
+        ledger.set_observer(Some(LedgerObserver {
+            persist_seconds: Arc::clone(&metrics.ledger_persist_seconds),
+            ok: metrics.registry().counter("privbayes_ledger_persist_total", &[("outcome", "ok")]),
+            rolled_back: metrics
+                .registry()
+                .counter("privbayes_ledger_persist_total", &[("outcome", "rolled_back")]),
+            durable_failure: metrics
+                .registry()
+                .counter("privbayes_ledger_persist_total", &[("outcome", "durable_failure")]),
+        }));
         let shared = Arc::new(Shared {
             registry,
             ledger,
             config,
             addr,
             shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-            queue_rejected: AtomicU64::new(0),
+            metrics,
             #[cfg(any(test, feature = "fault-injection"))]
             fault: Arc::new(RwLock::new(None)),
         });
         Ok(Self { listener, shared })
+    }
+
+    /// The live metric registry surface (shared with `GET /metrics`).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// The actual bound address (resolves ephemeral ports).
@@ -234,9 +298,8 @@ impl Server {
                 break;
             }
             match tx.try_send(stream) {
-                Ok(()) => {}
+                Ok(()) => shared.metrics.queue_depth.add(1),
                 Err(mpsc::TrySendError::Full(stream)) => {
-                    shared.queue_rejected.fetch_add(1, Ordering::SeqCst);
                     reject_overloaded(&shared, stream);
                 }
                 // Unreachable while respawn holds the pool at `workers`
@@ -256,11 +319,7 @@ impl Server {
                 None => break,
             }
         }
-        Ok(ServerStats {
-            requests: shared.requests.load(Ordering::SeqCst),
-            panics: shared.panics.load(Ordering::SeqCst),
-            queue_rejected: shared.queue_rejected.load(Ordering::SeqCst),
-        })
+        Ok(ServerStats::snapshot(&shared.metrics))
     }
 
     /// Runs the server on a background thread, returning a handle with the
@@ -268,14 +327,16 @@ impl Server {
     #[must_use]
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
+        let metrics = Arc::clone(&self.shared.metrics);
         let join = std::thread::spawn(move || self.run());
-        ServerHandle { addr, join }
+        ServerHandle { addr, metrics, join }
     }
 }
 
 /// A running background server (see [`Server::spawn`]).
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
     join: std::thread::JoinHandle<Result<ServerStats, ServerError>>,
 }
 
@@ -284,6 +345,20 @@ impl ServerHandle {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The current counters, read live while the server runs — the same
+    /// registry `GET /metrics` and `GET /healthz` serve, so this view and
+    /// the final [`ServerHandle::join`] value can never disagree.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats::snapshot(&self.metrics)
+    }
+
+    /// The live metric registry surface (shared with the running server).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Waits for the server to shut down (something must send
@@ -343,7 +418,7 @@ struct RespawnGuard {
 impl Drop for RespawnGuard {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.shared.panics.fetch_add(1, Ordering::SeqCst);
+            self.shared.metrics.panics.inc();
             spawn_worker(&self.shared, &self.rx, &self.handles);
         }
     }
@@ -351,28 +426,39 @@ impl Drop for RespawnGuard {
 
 /// Answers an over-capacity connection from the acceptor thread: an
 /// immediate 503 with `Retry-After`, without reading the request — the
-/// whole point is to spend no worker time on it.
+/// whole point is to spend no worker time on it. The rejection still goes
+/// through the normal instrumentation path, so overload shows up in the
+/// request counters and the access log (under `endpoint="acceptor"`), not
+/// just in `queue_rejected`.
 fn reject_overloaded(shared: &Shared, stream: TcpStream) {
+    let metrics = &shared.metrics;
+    metrics.queue_rejected.inc();
+    let ctx = RequestCtx::new(metrics, metrics.request_id(None));
+    ctx.endpoint.set("acceptor");
     let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
-    let mut writer = BufWriter::new(stream);
+    let mut writer = TrackedWriter::new(BufWriter::new(stream));
     let body = Json::object(vec![
         ("error", Json::String("overloaded".into())),
         ("message", Json::String("pending-connection queue is full; retry shortly".into())),
     ]);
     let text = body.to_string_compact().expect("static body");
+    ctx.status.set(503);
     let _ = write_response(
         &mut writer,
         503,
         "application/json",
-        &[API_HEADER, ("Retry-After", "1")],
+        &[API_HEADER, ("Retry-After", "1"), (REQUEST_ID_HEADER, &ctx.id)],
         text.as_bytes(),
     );
+    metrics.finish_request(&ctx, "-", "-", writer.bytes());
 }
 
 /// Reads, routes, and answers one request, counting it once done. Under
 /// fault injection both stream halves are wrapped so the plan can delay,
 /// truncate, or reset connection IO.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // The connection has left the pending queue and owns a worker now.
+    shared.metrics.queue_depth.sub(1);
     let _ = stream.set_read_timeout(Some(shared.config.read_deadline));
     let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
     let Ok(read_half) = stream.try_clone() else { return };
@@ -393,47 +479,70 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 /// connection itself is the correct failure signal) — and the worker keeps
 /// serving. A read deadline expiring mid-request is answered 408.
 fn serve_one<R: BufRead, W: Write>(shared: &Shared, mut reader: R, writer: W) {
+    let metrics = &shared.metrics;
     let mut writer = TrackedWriter::new(writer);
-    match Request::read_from(&mut reader) {
+    let parsed = Request::read_from(&mut reader);
+    let inbound_id = parsed.as_ref().ok().and_then(|r| r.header("x-privbayes-request-id"));
+    let ctx = RequestCtx::new(metrics, metrics.request_id(inbound_id));
+    ctx.stage("parse");
+    let (method, path) = match &parsed {
+        Ok(request) => (request.method.clone(), request.path.clone()),
+        Err(_) => ("-".to_string(), "-".to_string()),
+    };
+    match parsed {
         Ok(request) => {
             let deadline = Instant::now() + shared.config.handler_deadline;
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 // Socket-level failures mid-response are the client's
                 // problem (it hung up); nothing to answer on a dead
                 // connection.
-                let _ = route(shared, &request, &mut writer, deadline);
+                let _ = route(shared, &request, &mut writer, deadline, &ctx);
             }));
             if outcome.is_err() {
-                shared.panics.fetch_add(1, Ordering::SeqCst);
+                metrics.panics.inc();
                 if !writer.started() {
-                    let _ = respond_error(&mut writer, 500, "internal", "request handler panicked");
+                    let _ = respond_error(
+                        &mut writer,
+                        &ctx,
+                        500,
+                        "internal",
+                        "request handler panicked",
+                    );
                 }
             }
         }
         Err(ServerError::Timeout(msg)) => {
-            let _ = respond_error(&mut writer, 408, "request-timeout", &msg);
+            ctx.endpoint.set("read");
+            let _ = respond_error(&mut writer, &ctx, 408, "request-timeout", &msg);
         }
         Err(e) => {
-            let _ = respond_error(&mut writer, 400, "bad-request", &e.to_string());
+            ctx.endpoint.set("read");
+            let _ = respond_error(&mut writer, &ctx, 400, "bad-request", &e.to_string());
         }
     }
-    shared.requests.fetch_add(1, Ordering::SeqCst);
+    metrics.finish_request(&ctx, &method, &path, writer.bytes());
 }
 
-/// A writer that remembers whether any response byte has reached the wire,
-/// so the panic handler knows whether a structured 500 is still possible.
+/// A writer that remembers whether any response byte has reached the wire
+/// (so the panic handler knows whether a structured 500 is still possible)
+/// and how many bytes did, for the access log.
 struct TrackedWriter<W: Write> {
     inner: W,
     started: bool,
+    bytes: u64,
 }
 
 impl<W: Write> TrackedWriter<W> {
     fn new(inner: W) -> Self {
-        Self { inner, started: false }
+        Self { inner, started: false, bytes: 0 }
     }
 
     fn started(&self) -> bool {
         self.started
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
     }
 }
 
@@ -442,6 +551,7 @@ impl<W: Write> Write for TrackedWriter<W> {
         let n = self.inner.write(buf)?;
         if n > 0 {
             self.started = true;
+            self.bytes += n as u64;
         }
         Ok(n)
     }
@@ -451,12 +561,14 @@ impl<W: Write> Write for TrackedWriter<W> {
     }
 }
 
-/// Dispatches on `(method, path)`.
+/// Dispatches on `(method, path)`. Each arm labels `ctx.endpoint` before
+/// doing any work, so even a response that fails mid-write is attributed.
 fn route<W: Write>(
     shared: &Shared,
     req: &Request,
     out: &mut W,
     deadline: Instant,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
     #[cfg(any(test, feature = "fault-injection"))]
     if let Some(plan) = shared.fault.read().expect("fault plan lock poisoned").as_ref() {
@@ -466,76 +578,132 @@ fn route<W: Write>(
     }
     let segments = req.segments();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => respond_json(
-            out,
-            200,
-            &Json::object(vec![
-                ("status", Json::String("ok".into())),
-                ("models", Json::from_usize(shared.registry.len())),
-                ("tenants", Json::from_usize(shared.ledger.snapshot().len())),
-                ("requests", Json::from_usize(shared.requests.load(Ordering::SeqCst) as usize)),
-                ("panics", Json::from_usize(shared.panics.load(Ordering::SeqCst) as usize)),
-                (
-                    "queue_rejected",
-                    Json::from_usize(shared.queue_rejected.load(Ordering::SeqCst) as usize),
-                ),
-            ]),
-        ),
-        ("GET", ["models"]) => {
-            let models: Vec<Json> = shared.registry.list().iter().map(|e| model_json(e)).collect();
-            respond_json(out, 200, &Json::Array(models))
+        ("GET", ["healthz"]) => {
+            ctx.endpoint.set("healthz");
+            let metrics = &shared.metrics;
+            respond_json(
+                out,
+                ctx,
+                200,
+                &Json::object(vec![
+                    ("status", Json::String("ok".into())),
+                    ("models", Json::from_usize(shared.registry.len())),
+                    ("tenants", Json::from_usize(shared.ledger.snapshot().len())),
+                    (
+                        "requests",
+                        Json::from_usize(
+                            metrics.registry().counter_total("privbayes_requests_total") as usize,
+                        ),
+                    ),
+                    ("panics", Json::from_usize(metrics.panics.get() as usize)),
+                    ("queue_rejected", Json::from_usize(metrics.queue_rejected.get() as usize)),
+                    ("queue_depth", Json::from_usize(metrics.queue_depth.get().max(0) as usize)),
+                    (
+                        "active_streams",
+                        Json::from_usize(metrics.active_streams.get().max(0) as usize),
+                    ),
+                ]),
+            )
         }
-        ("PUT", ["models", id]) => load_model(shared, id, &req.body, out),
-        ("GET", ["models", id]) => match shared.registry.get(id) {
-            Some(entry) => respond_json(out, 200, &model_json(&entry)),
-            None => respond_error(out, 404, "model-not-found", id),
-        },
+        ("GET", ["metrics"]) => {
+            ctx.endpoint.set("metrics");
+            if !shared.config.metrics_enabled {
+                return respond_error(
+                    out,
+                    ctx,
+                    404,
+                    "not-found",
+                    "metrics exposition is disabled on this server",
+                );
+            }
+            let body = shared.metrics.render(&shared.ledger.snapshot());
+            ctx.status.set(200);
+            ctx.stage("write");
+            write_response(
+                out,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &[API_HEADER, (REQUEST_ID_HEADER, &ctx.id)],
+                body.as_bytes(),
+            )
+        }
+        ("GET", ["models"]) => {
+            ctx.endpoint.set("models");
+            let models: Vec<Json> = shared.registry.list().iter().map(|e| model_json(e)).collect();
+            respond_json(out, ctx, 200, &Json::Array(models))
+        }
+        ("PUT", ["models", id]) => load_model(shared, id, &req.body, out, ctx),
+        ("GET", ["models", id]) => {
+            ctx.endpoint.set("models");
+            ctx.stage("lookup");
+            match shared.registry.get(id) {
+                Some(entry) => respond_json(out, ctx, 200, &model_json(&entry)),
+                None => respond_error(out, ctx, 404, "model-not-found", id),
+            }
+        }
         ("DELETE", ["models", id]) => {
+            ctx.endpoint.set("models");
             if shared.registry.evict(id) {
                 respond_json(
                     out,
+                    ctx,
                     200,
                     &Json::object(vec![("evicted", Json::String((*id).to_string()))]),
                 )
             } else {
-                respond_error(out, 404, "model-not-found", id)
+                respond_error(out, ctx, 404, "model-not-found", id)
             }
         }
-        ("GET", ["models", id, "synth"]) => synth_legacy(shared, id, req, out, deadline),
-        ("POST", ["v1", "models", id, "synth"]) => synth_v1(shared, id, req, out, deadline),
-        ("POST", ["v1", "models", id, "query"]) => query_v1(shared, id, req, out),
-        ("POST", ["fit"]) => fit(shared, req, out, deadline),
+        ("GET", ["models", id, "synth"]) => synth_legacy(shared, id, req, out, deadline, ctx),
+        ("POST", ["v1", "models", id, "synth"]) => synth_v1(shared, id, req, out, deadline, ctx),
+        ("POST", ["v1", "models", id, "query"]) => query_v1(shared, id, req, out, ctx),
+        ("POST", ["fit"]) => fit(shared, req, out, deadline, ctx),
         ("GET", ["tenants"]) => {
+            ctx.endpoint.set("tenants");
             let tenants: Vec<Json> = shared.ledger.snapshot().iter().map(tenant_json).collect();
-            respond_json(out, 200, &Json::Array(tenants))
+            respond_json(out, ctx, 200, &Json::Array(tenants))
         }
         ("PUT", ["tenants", id]) => {
+            ctx.endpoint.set("tenants");
             let Some(raw) = req.query("budget") else {
-                return respond_error(out, 400, "bad-request", "missing `budget` query parameter");
+                return respond_error(
+                    out,
+                    ctx,
+                    400,
+                    "bad-request",
+                    "missing `budget` query parameter",
+                );
             };
             let Ok(total) = raw.parse::<f64>() else {
-                return respond_error(out, 400, "bad-request", "unparsable `budget`");
+                return respond_error(out, ctx, 400, "bad-request", "unparsable `budget`");
             };
             match shared.ledger.register(id, total) {
                 Ok(()) => {
                     let row = shared.ledger.budget(id).expect("registered above");
-                    respond_json(out, 201, &tenant_json(&row))
+                    respond_json(out, ctx, 201, &tenant_json(&row))
                 }
-                Err(ServerError::Conflict(msg)) => respond_error(out, 409, "tenant-exists", &msg),
+                Err(ServerError::Conflict(msg)) => {
+                    respond_error(out, ctx, 409, "tenant-exists", &msg)
+                }
                 Err(e @ ServerError::Ledger(_)) => {
-                    respond_error(out, 500, "ledger-error", &e.to_string())
+                    respond_error(out, ctx, 500, "ledger-error", &e.to_string())
                 }
-                Err(e) => respond_error(out, 400, "bad-request", &e.to_string()),
+                Err(e) => respond_error(out, ctx, 400, "bad-request", &e.to_string()),
             }
         }
-        ("GET", ["tenants", id]) => match shared.ledger.budget(id) {
-            Some(row) => respond_json(out, 200, &tenant_json(&row)),
-            None => respond_error(out, 404, "tenant-not-found", id),
-        },
+        ("GET", ["tenants", id]) => {
+            ctx.endpoint.set("tenants");
+            match shared.ledger.budget(id) {
+                Some(row) => respond_json(out, ctx, 200, &tenant_json(&row)),
+                None => respond_error(out, ctx, 404, "tenant-not-found", id),
+            }
+        }
         ("POST", ["shutdown"]) => {
+            ctx.endpoint.set("shutdown");
             shared.shutdown.store(true, Ordering::SeqCst);
             let result = respond_json(
                 out,
+                ctx,
                 200,
                 &Json::object(vec![("status", Json::String("shutting-down".into()))]),
             );
@@ -549,6 +717,7 @@ fn route<W: Write>(
         (
             _,
             ["healthz"]
+            | ["metrics"]
             | ["models"]
             | ["models", _]
             | ["models", _, "synth"]
@@ -557,8 +726,27 @@ fn route<W: Write>(
             | ["tenants"]
             | ["tenants", _]
             | ["shutdown"],
-        ) => respond_error(out, 405, "method-not-allowed", &req.method),
-        _ => respond_error(out, 404, "not-found", &req.path),
+        ) => {
+            ctx.endpoint.set(endpoint_label(&segments));
+            respond_error(out, ctx, 405, "method-not-allowed", &req.method)
+        }
+        _ => respond_error(out, ctx, 404, "not-found", &req.path),
+    }
+}
+
+/// The metric endpoint label for a known path, so wrong-method 405s are
+/// counted under the endpoint they aimed at instead of `unknown`.
+fn endpoint_label(segments: &[&str]) -> &'static str {
+    match segments {
+        ["healthz"] => "healthz",
+        ["metrics"] => "metrics",
+        ["models"] | ["models", _] => "models",
+        ["models", _, "synth"] | ["v1", "models", _, "synth"] => "synth",
+        ["v1", "models", _, "query"] => "query",
+        ["fit"] => "fit",
+        ["tenants"] | ["tenants", _] => "tenants",
+        ["shutdown"] => "shutdown",
+        _ => "unknown",
     }
 }
 
@@ -568,20 +756,27 @@ fn load_model<W: Write>(
     id: &str,
     body: &[u8],
     out: &mut W,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
+    ctx.endpoint.set("models");
     let Ok(text) = std::str::from_utf8(body) else {
-        return respond_error(out, 400, "bad-request", "artifact body is not UTF-8");
+        return respond_error(out, ctx, 400, "bad-request", "artifact body is not UTF-8");
     };
     let artifact = match ReleasedModel::from_json_string(text) {
         Ok(artifact) => artifact,
-        Err(e) => return respond_error(out, 400, "invalid-model", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "invalid-model", &e.to_string()),
     };
-    match shared.registry.load(id, artifact) {
+    // `registry.load` validates and eagerly compiles the alias tables; its
+    // wall time is the alias-build cost for this artifact.
+    let compile_started = Instant::now();
+    let loaded = shared.registry.load(id, artifact);
+    ctx.metrics.alias_build_seconds.observe(compile_started.elapsed());
+    match loaded {
         Ok(created) => {
             let entry = shared.registry.get(id).expect("loaded above");
-            respond_json(out, if created { 201 } else { 200 }, &model_json(&entry))
+            respond_json(out, ctx, if created { 201 } else { 200 }, &model_json(&entry))
         }
-        Err(e) => respond_error(out, 400, "invalid-model", &e.to_string()),
+        Err(e) => respond_error(out, ctx, 400, "invalid-model", &e.to_string()),
     }
 }
 
@@ -597,27 +792,30 @@ fn synth_legacy<W: Write>(
     req: &Request,
     out: &mut W,
     deadline: Instant,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
+    ctx.endpoint.set("synth");
+    ctx.stage("lookup");
     let Some(entry) = shared.registry.get(id) else {
-        return respond_error(out, 404, "model-not-found", id);
+        return respond_error(out, ctx, 404, "model-not-found", id);
     };
     let format = match RowFormat::parse(req.query("format")) {
         Ok(format) => format,
-        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
     };
     let rows = match req.query("rows").map(str::parse::<usize>) {
         None => None,
         Some(Ok(rows)) => Some(rows),
-        Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `rows`"),
+        Some(Err(_)) => return respond_error(out, ctx, 400, "bad-request", "unparsable `rows`"),
     };
     let seed = match req.query("seed").map(str::parse::<u64>) {
         None => None,
         Some(Ok(seed)) => Some(seed),
-        Some(Err(_)) => return respond_error(out, 400, "bad-request", "unparsable `seed`"),
+        Some(Err(_)) => return respond_error(out, ctx, 400, "bad-request", "unparsable `seed`"),
     };
     let resolved =
         ResolvedSynth { rows, seed, format, projection: None, evidence: Vec::new(), start_row: 0 };
-    stream_synth(shared, &entry, &resolved, out, deadline)
+    stream_synth(shared, &entry, &resolved, out, deadline, ctx)
 }
 
 /// `POST /v1/models/{id}/synth`: parse the [`SynthSpec`] body, resolve it
@@ -630,20 +828,23 @@ fn synth_v1<W: Write>(
     req: &Request,
     out: &mut W,
     deadline: Instant,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
+    ctx.endpoint.set("synth");
+    ctx.stage("lookup");
     let Some(entry) = shared.registry.get(id) else {
-        return respond_error(out, 404, "model-not-found", id);
+        return respond_error(out, ctx, 404, "model-not-found", id);
     };
     let json = match parse_json_body(&req.body) {
         Ok(json) => json,
-        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
     };
     let resolved =
         match SynthSpec::from_json(&json).and_then(|spec| spec.resolve(&entry.artifact.schema)) {
             Ok(resolved) => resolved,
-            Err(e) => return respond_invalid_spec(out, &e),
+            Err(e) => return respond_invalid_spec(out, ctx, &e),
         };
-    stream_synth(shared, &entry, &resolved, out, deadline)
+    stream_synth(shared, &entry, &resolved, out, deadline, ctx)
 }
 
 /// Streams one resolved synthesis request: the shared tail of the legacy
@@ -658,11 +859,13 @@ fn stream_synth<W: Write>(
     resolved: &ResolvedSynth,
     out: &mut W,
     deadline: Instant,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
     let rows = resolved.rows.unwrap_or(entry.artifact.metadata.source_rows);
     if rows > shared.config.max_rows {
         return respond_error(
             out,
+            ctx,
             400,
             "too-many-rows",
             &format!("rows = {rows} exceeds the per-request cap of {}", shared.config.max_rows),
@@ -672,17 +875,19 @@ fn stream_synth<W: Write>(
         Some(seed) => seed,
         None => match StdRng::try_from_rng(&mut rand::rngs::SysRng) {
             Ok(mut rng) => rng.random::<u64>(),
-            Err(_) => return respond_error(out, 500, "internal", "entropy source unavailable"),
+            Err(_) => {
+                return respond_error(out, ctx, 500, "internal", "entropy source unavailable")
+            }
         },
     };
     let sampler = match entry.sampler() {
         Ok(sampler) => sampler,
-        Err(e) => return respond_error(out, 500, "internal", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 500, "internal", &e.to_string()),
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let stream = match sampler.stream_spec(&resolved.sample_spec(rows), &mut rng) {
         Ok(stream) => stream,
-        Err(e) => return respond_error(out, 400, "invalid-spec", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "invalid-spec", &e.to_string()),
     };
     // Ancestrally-closed evidence was already mass-checked exactly inside
     // `stream_spec`; only the likelihood-weighted mode cannot detect
@@ -702,6 +907,7 @@ fn stream_synth<W: Write>(
             if table.get(&coords) <= 0.0 {
                 return respond_error(
                     out,
+                    ctx,
                     400,
                     "invalid-spec",
                     "evidence has probability zero under the model",
@@ -713,30 +919,80 @@ fn stream_synth<W: Write>(
     let projection = resolved.projection.as_deref();
     let seed_text = seed.to_string();
     let cursor = Cursor { seed, row: resolved.start_row as u64 }.encode();
-    let headers = [API_HEADER, ("X-PrivBayes-Seed", &seed_text), ("X-PrivBayes-Cursor", &cursor)];
+    let headers = [
+        API_HEADER,
+        ("X-PrivBayes-Seed", &seed_text),
+        ("X-PrivBayes-Cursor", &cursor),
+        (REQUEST_ID_HEADER, &ctx.id),
+    ];
     if Instant::now() >= deadline {
         // Out of budget before the first byte: a clean 408 is still
         // possible (and more useful than a truncated stream).
-        return respond_error(out, 408, "request-timeout", "handler deadline expired");
+        return respond_error(out, ctx, 408, "request-timeout", "handler deadline expired");
     }
+    ctx.status.set(200);
+    let metrics = ctx.metrics;
+    metrics.active_streams.add(1);
+    let _guard = StreamGuard(metrics);
+    // Stage timings and throughput counters accumulate locally per chunk
+    // and hit the shared atomics once per stream — the hot loop stays
+    // identical in its output bytes and pays no per-chunk contention.
+    let mut sample_time = Duration::ZERO;
+    let mut write_time = Duration::ZERO;
+    let mut rows_out: u64 = 0;
+    let mut bytes_out: u64 = 0;
+    let finalize = |sample: Duration, write: Duration, rows: u64, bytes: u64| {
+        ctx.observe_stage("sample", sample);
+        ctx.observe_stage("write", write);
+        metrics.rows_streamed.add(rows);
+        metrics.bytes_streamed.add(bytes);
+    };
+    let write_started = Instant::now();
     let mut chunked = ChunkedResponse::begin(out, 200, resolved.format.content_type(), &headers)?;
     if resolved.start_row == 0 {
-        chunked.write(resolved.format.header(schema, projection).as_bytes())?;
+        let header = resolved.format.header(schema, projection);
+        bytes_out += header.len() as u64;
+        chunked.write(header.as_bytes())?;
     }
-    for chunk in stream {
+    write_time += write_started.elapsed();
+    let mut stream = stream;
+    loop {
+        let sample_started = Instant::now();
+        let Some(chunk) = stream.next() else { break };
+        sample_time += sample_started.elapsed();
         // The deadline is checked at chunk boundaries: once the response
         // has started the only honest way to stop is to truncate the
         // chunked stream (no terminating chunk), which the client decodes
         // as an interrupted transfer and may resume via the cursor.
         if Instant::now() >= deadline {
+            finalize(sample_time, write_time, rows_out, bytes_out);
             return Err(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 "handler deadline expired mid-stream",
             ));
         }
-        chunked.write(resolved.format.render(schema, projection, &chunk).as_bytes())?;
+        let write_started = Instant::now();
+        let rendered = resolved.format.render(schema, projection, &chunk);
+        rows_out += chunk.len() as u64;
+        bytes_out += rendered.len() as u64;
+        chunked.write(rendered.as_bytes())?;
+        write_time += write_started.elapsed();
     }
-    chunked.finish()
+    let write_started = Instant::now();
+    let result = chunked.finish();
+    write_time += write_started.elapsed();
+    finalize(sample_time, write_time, rows_out, bytes_out);
+    result
+}
+
+/// RAII guard: decrements the `privbayes_active_streams` gauge when a
+/// streaming response ends — finished, timed out, or client hang-up alike.
+struct StreamGuard<'m>(&'m ServerMetrics);
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_streams.sub(1);
+    }
 }
 
 /// `POST /v1/models/{id}/query`: answer a [`MarginalQuery`] exactly from
@@ -749,23 +1005,27 @@ fn query_v1<W: Write>(
     id: &str,
     req: &Request,
     out: &mut W,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
+    ctx.endpoint.set("query");
+    ctx.stage("lookup");
     let Some(entry) = shared.registry.get(id) else {
-        return respond_error(out, 404, "model-not-found", id);
+        return respond_error(out, ctx, 404, "model-not-found", id);
     };
     let json = match parse_json_body(&req.body) {
         Ok(json) => json,
-        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
     };
     let schema = &entry.artifact.schema;
     let attrs = match MarginalQuery::from_json(&json).and_then(|q| q.resolve(schema)) {
         Ok(attrs) => attrs,
-        Err(e) => return respond_invalid_spec(out, &e),
+        Err(e) => return respond_invalid_spec(out, ctx, &e),
     };
     let table = match theta_projection(&entry.artifact.model, schema, &attrs, DEFAULT_CELL_CAP) {
         Ok(table) => table,
-        Err(e) => return respond_error(out, 400, "invalid-spec", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "invalid-spec", &e.to_string()),
     };
+    ctx.stage("sample");
     let names: Vec<Json> =
         attrs.iter().map(|&a| Json::String(schema.attribute(a).name().to_string())).collect();
     let dims: Vec<Json> = table.dims().iter().map(|&d| Json::from_usize(d)).collect();
@@ -776,7 +1036,7 @@ fn query_v1<W: Write>(
         ("dims", Json::Array(dims)),
         ("values", Json::Array(values)),
     ]);
-    respond_json(out, 200, &body)
+    respond_json(out, ctx, 200, &body)
 }
 
 /// Parses a request body as UTF-8 JSON.
@@ -788,8 +1048,12 @@ fn parse_json_body(body: &[u8]) -> Result<Json, ServerError> {
 
 /// Answers a spec-validation failure: `400` with the `invalid-spec` error
 /// code and the typed error's message.
-fn respond_invalid_spec<W: Write>(out: &mut W, e: &SpecError) -> std::io::Result<()> {
-    respond_error(out, 400, "invalid-spec", &e.to_string())
+fn respond_invalid_spec<W: Write>(
+    out: &mut W,
+    ctx: &RequestCtx<'_>,
+    e: &SpecError,
+) -> std::io::Result<()> {
+    respond_error(out, ctx, 400, "invalid-spec", &e.to_string())
 }
 
 /// `POST /fit`: debit the tenant, fit on the uploaded table with the
@@ -803,24 +1067,29 @@ fn fit<W: Write>(
     req: &Request,
     out: &mut W,
     deadline: Instant,
+    ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
+    ctx.endpoint.set("fit");
     let parsed = match parse_fit_body(&req.body) {
         Ok(parsed) => parsed,
-        Err(e) => return respond_error(out, 400, "bad-request", &e.to_string()),
+        Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
     };
+    ctx.stage("parse");
     // Checked before the charge: a fit that cannot start within its budget
     // must not touch the ledger at all.
     if Instant::now() >= deadline {
-        return respond_error(out, 408, "request-timeout", "handler deadline expired");
+        return respond_error(out, ctx, 408, "request-timeout", "handler deadline expired");
     }
     let spends = parsed.method.spends_budget();
     if spends {
-        match shared.ledger.charge(&parsed.tenant, parsed.epsilon) {
+        let charged = shared.ledger.charge(&parsed.tenant, parsed.epsilon);
+        ctx.stage("ledger");
+        match charged {
             Ok(_) => {}
             Err(e @ LedgerError::Exhausted { .. }) => {
                 let message = e.to_string();
                 let LedgerError::Exhausted { tenant, requested, remaining } = e else {
-                    return respond_error(out, 500, "internal", &message);
+                    return respond_error(out, ctx, 500, "internal", &message);
                 };
                 let body = Json::object(vec![
                     ("error", Json::String("budget-exhausted".into())),
@@ -829,23 +1098,29 @@ fn fit<W: Write>(
                     ("requested", Json::Number(requested)),
                     ("remaining", Json::Number(remaining)),
                 ]);
-                return respond_json(out, 402, &body);
+                return respond_json(out, ctx, 402, &body);
             }
             Err(LedgerError::UnknownTenant(t)) => {
-                return respond_error(out, 404, "tenant-not-found", &t);
+                return respond_error(out, ctx, 404, "tenant-not-found", &t);
             }
             Err(LedgerError::InvalidAmount(msg)) => {
-                return respond_error(out, 400, "bad-request", &msg);
+                return respond_error(out, ctx, 400, "bad-request", &msg);
             }
             Err(e @ LedgerError::Persistence(_)) => {
-                return respond_error(out, 500, "ledger-error", &e.to_string());
+                return respond_error(out, ctx, 500, "ledger-error", &e.to_string());
             }
         }
     } else if shared.ledger.budget(&parsed.tenant).is_none() {
-        return respond_error(out, 404, "tenant-not-found", &parsed.tenant);
+        ctx.stage("ledger");
+        return respond_error(out, ctx, 404, "tenant-not-found", &parsed.tenant);
+    } else {
+        ctx.stage("ledger");
     }
     // Charged: any failure from here on refunds before reporting.
-    match run_fit(shared, &parsed) {
+    let fit_started = Instant::now();
+    let outcome = run_fit(shared, &parsed);
+    shared.metrics.fit_seconds.observe(fit_started.elapsed());
+    match outcome {
         Ok(entry) => {
             let remaining = shared.ledger.budget(&parsed.tenant).map_or(0.0, |row| row.remaining());
             let mut body = model_json(&entry);
@@ -853,13 +1128,13 @@ fn fit<W: Write>(
                 fields.push(("tenant".into(), Json::String(parsed.tenant.clone())));
                 fields.push(("remaining".into(), Json::Number(remaining)));
             }
-            respond_json(out, 201, &body)
+            respond_json(out, ctx, 201, &body)
         }
         Err(e) => {
             if spends {
                 shared.ledger.refund(&parsed.tenant, parsed.epsilon);
             }
-            respond_error(out, 400, "fit-failed", &e.to_string())
+            respond_error(out, ctx, 400, "fit-failed", &e.to_string())
         }
     }
 }
@@ -964,7 +1239,14 @@ fn run_fit(shared: &Shared, fit: &FitRequest) -> Result<Arc<ModelEntry>, ServerE
     };
     let fitted = fit_method(fit.method, &data, fit.epsilon, seed, &settings)
         .map_err(|e| ServerError::Model(e.to_string()))?;
-    shared.registry.load(&fit.model_id, fitted.artifact)?;
+    // The fit-phase engine counters (cache hits, scans, bytes materialised)
+    // feed the `privbayes_engine_*` families; the registry load is the
+    // alias-compile step and is timed as such.
+    shared.metrics.record_engine(&fitted.stats);
+    let compile_started = Instant::now();
+    let loaded = shared.registry.load(&fit.model_id, fitted.artifact);
+    shared.metrics.alias_build_seconds.observe(compile_started.elapsed());
+    loaded?;
     Ok(shared.registry.get(&fit.model_id).expect("loaded above"))
 }
 
@@ -991,16 +1273,32 @@ fn tenant_json(row: &TenantBudget) -> Json {
     ])
 }
 
-/// Writes a complete JSON response (every response carries the
-/// [`API_HEADER`], errors included).
-fn respond_json<W: Write>(out: &mut W, code: u16, body: &Json) -> std::io::Result<()> {
+/// Writes a complete JSON response. Every response carries the
+/// [`API_HEADER`] and the request id (errors included), and records its
+/// status on the [`RequestCtx`] so the access log and counters agree with
+/// what hit the wire.
+fn respond_json<W: Write>(
+    out: &mut W,
+    ctx: &RequestCtx<'_>,
+    code: u16,
+    body: &Json,
+) -> std::io::Result<()> {
     let text = body.to_string_compact().expect("response bodies are finite");
-    write_response(out, code, "application/json", &[API_HEADER], text.as_bytes())
+    ctx.status.set(code);
+    ctx.stage("write");
+    write_response(
+        out,
+        code,
+        "application/json",
+        &[API_HEADER, (REQUEST_ID_HEADER, &ctx.id)],
+        text.as_bytes(),
+    )
 }
 
 /// Writes a structured error: `{"error": CODE, "message": …}`.
 fn respond_error<W: Write>(
     out: &mut W,
+    ctx: &RequestCtx<'_>,
     code: u16,
     error: &str,
     message: &str,
@@ -1009,5 +1307,5 @@ fn respond_error<W: Write>(
         ("error", Json::String(error.to_string())),
         ("message", Json::String(message.to_string())),
     ]);
-    respond_json(out, code, &body)
+    respond_json(out, ctx, code, &body)
 }

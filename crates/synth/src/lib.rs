@@ -50,7 +50,6 @@
 
 use privbayes_data::encoding::EncodingKind;
 use privbayes_data::Dataset;
-use privbayes_marginals::EngineStats;
 use privbayes_model::ReleasedModel;
 
 mod error;
@@ -59,6 +58,9 @@ pub mod spec;
 
 pub use error::SynthError;
 pub use methods::MwemOptions;
+// Re-exported so serving layers can read fit-phase instrumentation off
+// [`FittedArtifact::stats`] without a direct `privbayes-marginals` edge.
+pub use privbayes_marginals::EngineStats;
 pub use spec::{
     AttrRef, Cursor, MarginalQuery, ResolvedSynth, RowFormat, SpecError, SynthSpec, ValueRef,
 };

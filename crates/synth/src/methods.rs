@@ -27,6 +27,7 @@ use privbayes_marginals::{
 use privbayes_model::{ModelMetadata, ReleasedModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 pub use privbayes_baselines::MwemOptions;
 
@@ -142,6 +143,7 @@ impl Synthesizer for PrivBayesAdaptive {
         };
         let engine = CountEngine::new(data);
         let mut rng = StdRng::seed_from_u64(seed);
+        let score_started = Instant::now();
         let network = greedy_bayes_adaptive_engine(
             &engine,
             settings.theta,
@@ -150,6 +152,7 @@ impl Synthesizer for PrivBayesAdaptive {
             &greedy,
             &mut rng,
         )?;
+        let score_micros = u64::try_from(score_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         let model = if settings.consistency_rounds > 0 {
             noisy_conditionals_consistent_engine(
                 &engine,
@@ -161,7 +164,8 @@ impl Synthesizer for PrivBayesAdaptive {
         } else {
             noisy_conditionals_general_engine(&engine, &network, Some(eps2), &mut rng)?
         };
-        let stats = engine.stats();
+        let mut stats = engine.stats();
+        stats.score_micros = score_micros;
         release(
             data,
             model,
@@ -215,7 +219,9 @@ impl Synthesizer for PrivBayesFixedK {
         };
         let engine = CountEngine::new(data);
         let mut rng = StdRng::seed_from_u64(seed);
+        let score_started = Instant::now();
         let network = greedy_bayes_fixed_k_engine(&engine, settings.fixed_k, &greedy, &mut rng)?;
+        let score_micros = u64::try_from(score_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         let model = if settings.consistency_rounds > 0 {
             noisy_conditionals_consistent_engine(
                 &engine,
@@ -227,7 +233,8 @@ impl Synthesizer for PrivBayesFixedK {
         } else {
             noisy_conditionals_general_engine(&engine, &network, Some(eps2), &mut rng)?
         };
-        let stats = engine.stats();
+        let mut stats = engine.stats();
+        stats.score_micros = score_micros;
         release(
             data,
             model,

@@ -13,6 +13,7 @@
 //! | [`marginals`] | `privbayes-marginals` |
 //! | [`ml`] | `privbayes-ml` |
 //! | [`model`] | `privbayes-model` |
+//! | [`obs`] | `privbayes-obs` (metrics, span timing, exposition format) |
 //! | [`relational`] | `privbayes-relational` |
 //! | [`server`] | `privbayes-server` (serving layer: registry, ledger, streaming) |
 //! | [`synth`] | `privbayes-synth` (the unified `Synthesizer` layer) |
@@ -29,6 +30,7 @@ pub use privbayes_dp as dp;
 pub use privbayes_marginals as marginals;
 pub use privbayes_ml as ml;
 pub use privbayes_model as model;
+pub use privbayes_obs as obs;
 pub use privbayes_relational as relational;
 pub use privbayes_server as server;
 pub use privbayes_synth as synth;
