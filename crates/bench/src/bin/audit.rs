@@ -152,12 +152,15 @@ fn main() {
     let method_names: Vec<String> =
         opts.methods.iter().map(|m| format!("\"{}\"", m.name())).collect();
     let json = format!(
-        "{{\n  \"pr\": 6,\n  \"quick\": {},\n  \"reps\": {},\n  \"delta\": {},\n  \
+        "{{\n  \"pr\": 6,\n  \"quick\": {},\n  \"mode\": \"{}\",\n  \
+         \"available_parallelism\": {},\n  \"workers\": 1,\n  \"reps\": {},\n  \"delta\": {},\n  \
          \"rows\": {},\n  \"attrs\": {},\n  \"neighborhood\": \"replace-one-tuple\",\n  \
          \"attack\": \"calibrated likelihood-ratio threshold on log Pr_model[target]\",\n  \
          \"bound\": \"(e^eps - 1)/(e^eps + 1) at the recorded epsilon_spent\",\n  \
          \"methods\": [{}],\n  \"points\": [\n{}\n  ],\n  \"all_pass\": {}\n}}\n",
         opts.quick,
+        if opts.quick { "quick" } else { "full" },
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         cfg.reps,
         cfg.delta,
         data.n(),

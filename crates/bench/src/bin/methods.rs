@@ -298,13 +298,16 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"pr\": 4,\n  \"quick\": {},\n  \"reps\": {},\n  \"threads\": {},\n  \
+        "{{\n  \"pr\": 4,\n  \"quick\": {},\n  \"mode\": \"{}\",\n  \"reps\": {},\n  \
+         \"threads\": {},\n  \"available_parallelism\": {},\n  \"workers\": 8,\n  \
          \"rows\": {},\n  \"attrs\": {},\n  \"workload\": {},\n  \
          \"equivalence\": \"all baselines bit-identical to scan references\",\n  \
          \"mwem\": {{\"scan_ms\": {:.2}, \"engine_ms\": {:.2}, \"speedup\": {:.2}, \"engine\": {}}},\n  \
          \"methods\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ]\n}}\n",
         cfg.quick,
+        if cfg.quick { "quick" } else { "full" },
         cfg.reps,
+        threads,
         threads,
         data.n(),
         data.d(),

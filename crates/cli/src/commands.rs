@@ -96,10 +96,13 @@ commands:
 
   serve    [--addr A=127.0.0.1:0] [--workers N=4] [--threads N]
            [--max-rows N=10000000] [--ledger LEDGER.json]
+           [--ledger-stripes N=8]
            [--model MODEL.json [--model-id ID=default]]
            [--tenant NAME --budget F]
            [--read-deadline-ms N=30000] [--write-deadline-ms N=30000]
            [--handler-deadline-ms N=120000] [--queue-depth N=64]
+           [--keepalive-requests N=1000] [--idle-deadline-ms N=5000]
+           [--cache-bytes N=67108864]
            [--access-log PATH] [--metrics on|off=on]
            Run the synthesis service: model registry, per-tenant privacy
            ledger (persisted at --ledger, crash-durable), and streaming
@@ -108,10 +111,15 @@ commands:
            threads used inside fit requests. Peers slower than the
            read/write deadlines are reaped with 408; --queue-depth bounds
            pending connections, with overflow answered 503 + Retry-After.
-           --access-log appends one JSON line per request; --metrics off
-           disables the GET /metrics Prometheus exposition (counters still
-           run and back GET /healthz). The fit, synth, and query commands
-           accept --verbose for per-stage wall-time reporting.
+           Connections are kept alive for up to --keepalive-requests
+           requests each, idle ones closed after --idle-deadline-ms.
+           --cache-bytes budgets the preformatted row-block cache (0
+           disables it); --ledger-stripes sets the tenant-ledger lock
+           stripe count. --access-log appends one JSON line per request;
+           --metrics off disables the GET /metrics Prometheus exposition
+           (counters still run and back GET /healthz). The fit, synth, and
+           query commands accept --verbose for per-stage wall-time
+           reporting.
 
 The --threads flag on fit/synth pins the scoring/sampling worker count
 (default: all cores); outputs are identical for every value.
@@ -640,6 +648,7 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "threads",
         "max-rows",
         "ledger",
+        "ledger-stripes",
         "model",
         "model-id",
         "tenant",
@@ -648,6 +657,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "write-deadline-ms",
         "handler-deadline-ms",
         "queue-depth",
+        "keepalive-requests",
+        "idle-deadline-ms",
+        "cache-bytes",
         "access-log",
         "metrics",
     ])?;
@@ -663,9 +675,13 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         }
         (None, None) => {}
     }
+    let stripes = args.parse_or("ledger-stripes", privbayes_server::DEFAULT_LEDGER_STRIPES)?;
+    if stripes == 0 {
+        return Err(CliError::Usage("--ledger-stripes must be positive".into()));
+    }
     let ledger = match args.optional("ledger") {
-        Some(path) => BudgetLedger::with_persistence(path)?,
-        None => BudgetLedger::in_memory(),
+        Some(path) => BudgetLedger::with_persistence_striped(path, stripes)?,
+        None => BudgetLedger::in_memory_striped(stripes),
     };
     match (args.optional("tenant"), args.parse_opt::<f64>("budget")?) {
         (Some(tenant), Some(budget)) => {
@@ -713,6 +729,15 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         write_deadline: deadline("write-deadline-ms", defaults.write_deadline)?,
         handler_deadline: deadline("handler-deadline-ms", defaults.handler_deadline)?,
         queue_depth: args.parse_or("queue-depth", defaults.queue_depth)?,
+        max_conn_requests: {
+            let n = args.parse_or("keepalive-requests", defaults.max_conn_requests)?;
+            if n == 0 {
+                return Err(CliError::Usage("--keepalive-requests must be positive".into()));
+            }
+            n
+        },
+        idle_deadline: deadline("idle-deadline-ms", defaults.idle_deadline)?,
+        cache_bytes: args.parse_or("cache-bytes", defaults.cache_bytes)?,
         metrics_enabled,
         access_log: args.optional("access-log").map(std::path::PathBuf::from),
     };

@@ -1,0 +1,269 @@
+//! The preformatted row-block cache.
+//!
+//! Streams are deterministic: for a fixed `(model, seed, format)` the bytes
+//! of chunk *i* are a pure function of the key, because the sampler derives
+//! each 1024-row chunk's RNG stream from `(seed, chunk index)` alone
+//! ([`privbayes::CHUNK_ROWS`] chunking). That makes formatted chunks safe
+//! to cache and replay: a repeat request is served as a memcpy of bytes
+//! the sampler already produced, instead of re-sampling and re-serialising.
+//!
+//! The cache is a byte-bounded LRU. Values are `Arc<str>` handles, so
+//! eviction only drops the map's reference — an in-flight stream that
+//! already cloned the handle keeps writing the same bytes; nothing is ever
+//! torn. Models are identified by their registry *generation* (a
+//! process-unique stamp minted per load), so an evicted-and-reloaded model
+//! can never be served bytes cached from its predecessor, even under the
+//! same id.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use privbayes_obs::Counter;
+
+use crate::stream::RowFormat;
+
+/// The cache key: one formatted chunk of one deterministic stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// The model's registry load generation (not its id — reloads must
+    /// never alias).
+    pub generation: u64,
+    /// The stream seed.
+    pub seed: u64,
+    /// The output format.
+    pub format: RowFormat,
+    /// The chunk index within the stream (chunk `i` covers rows
+    /// `[i * CHUNK_ROWS, (i + 1) * CHUNK_ROWS)` of the full stream).
+    pub chunk_index: usize,
+    /// Rows rendered into this block. Full chunks always hold `CHUNK_ROWS`
+    /// rows; the final chunk of an `N`-row stream holds `N % CHUNK_ROWS`.
+    /// Keying on the length keeps a short tail block (from a small request)
+    /// from ever being replayed into a longer stream.
+    pub rows: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    bytes: Arc<str>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<BlockKey, Slot>,
+    /// LRU order: tick → key. Ticks are unique (monotone per touch), so
+    /// the first entry is always the least-recently-used block.
+    lru: BTreeMap<u64, BlockKey>,
+    total_bytes: usize,
+    tick: u64,
+}
+
+/// Shared handles for the cache's hit/miss/eviction counters (pre-registered
+/// `Arc`s into the server's metric registry; a standalone cache counts into
+/// unexported counters).
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    /// Blocks served from cache.
+    pub hits: Arc<Counter>,
+    /// Blocks that had to be sampled and formatted.
+    pub misses: Arc<Counter>,
+    /// Bytes dropped to stay under the budget.
+    pub evicted_bytes: Arc<Counter>,
+}
+
+impl Default for CacheMetrics {
+    fn default() -> Self {
+        Self {
+            hits: Arc::new(Counter::default()),
+            misses: Arc::new(Counter::default()),
+            evicted_bytes: Arc::new(Counter::default()),
+        }
+    }
+}
+
+/// A byte-bounded LRU of formatted row blocks. `max_bytes == 0` disables
+/// caching entirely ([`RowBlockCache::get`] always misses, `insert` is a
+/// no-op), which keeps the serving path branch-free on configuration.
+#[derive(Debug)]
+pub struct RowBlockCache {
+    inner: Mutex<Inner>,
+    max_bytes: usize,
+    metrics: CacheMetrics,
+}
+
+impl RowBlockCache {
+    /// A cache holding at most `max_bytes` of formatted blocks.
+    #[must_use]
+    pub fn new(max_bytes: usize, metrics: CacheMetrics) -> Self {
+        Self { inner: Mutex::new(Inner::default()), max_bytes, metrics }
+    }
+
+    /// Whether the cache can ever store anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.max_bytes > 0
+    }
+
+    /// The configured byte budget.
+    #[must_use]
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Bytes currently held.
+    #[must_use]
+    pub fn len_bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").total_bytes
+    }
+
+    /// Looks up a block, counting a hit or miss and refreshing recency on a
+    /// hit. The returned `Arc` stays valid across any later eviction.
+    #[must_use]
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<str>> {
+        if !self.enabled() {
+            self.metrics.misses.inc();
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                let old = std::mem::replace(&mut slot.tick, tick);
+                let bytes = Arc::clone(&slot.bytes);
+                inner.lru.remove(&old);
+                inner.lru.insert(tick, key.clone());
+                drop(inner);
+                self.metrics.hits.inc();
+                Some(bytes)
+            }
+            None => {
+                drop(inner);
+                self.metrics.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly formatted block, evicting least-recently-used
+    /// blocks until the budget holds. A block larger than the whole budget
+    /// is not cached at all (it would immediately evict everything for one
+    /// never-reusable entry).
+    pub fn insert(&self, key: BlockKey, bytes: Arc<str>) {
+        if !self.enabled() || bytes.len() > self.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            // Racing inserts of the same deterministic block: keep ours,
+            // the bytes are identical by construction.
+            inner.lru.remove(&old.tick);
+            inner.total_bytes -= old.bytes.len();
+        }
+        inner.total_bytes += bytes.len();
+        inner.map.insert(key.clone(), Slot { bytes, tick });
+        inner.lru.insert(tick, key);
+        let mut evicted = 0usize;
+        while inner.total_bytes > self.max_bytes {
+            let (&old_tick, _) = inner.lru.iter().next().expect("over budget implies entries");
+            let old_key = inner.lru.remove(&old_tick).expect("present");
+            let slot = inner.map.remove(&old_key).expect("lru and map agree");
+            inner.total_bytes -= slot.bytes.len();
+            evicted += slot.bytes.len();
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.metrics.evicted_bytes.add(evicted as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64, chunk_index: usize) -> BlockKey {
+        BlockKey { generation: 1, seed, format: RowFormat::Csv, chunk_index, rows: 1024 }
+    }
+
+    fn block(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters_move() {
+        let cache = RowBlockCache::new(1024, CacheMetrics::default());
+        assert!(cache.get(&key(7, 0)).is_none());
+        cache.insert(key(7, 0), block("a,b\n0,1\n"));
+        let hit = cache.get(&key(7, 0)).expect("cached block");
+        assert_eq!(&*hit, "a,b\n0,1\n");
+        assert!(cache.get(&key(7, 1)).is_none(), "different chunk misses");
+        assert!(cache.get(&key(8, 0)).is_none(), "different seed misses");
+        assert_eq!(cache.metrics.hits.get(), 1);
+        assert_eq!(cache.metrics.misses.get(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_cold_blocks_by_bytes() {
+        // Budget of 20 bytes, three 8-byte blocks: inserting the third must
+        // evict exactly the least recently used one.
+        let cache = RowBlockCache::new(20, CacheMetrics::default());
+        cache.insert(key(1, 0), block("aaaaaaaa"));
+        cache.insert(key(1, 1), block("bbbbbbbb"));
+        let _ = cache.get(&key(1, 0)); // touch block 0: block 1 is now LRU
+        cache.insert(key(1, 2), block("cccccccc"));
+        assert!(cache.get(&key(1, 0)).is_some(), "recently touched survives");
+        assert!(cache.get(&key(1, 1)).is_none(), "LRU block was evicted");
+        assert!(cache.get(&key(1, 2)).is_some());
+        assert_eq!(cache.metrics.evicted_bytes.get(), 8);
+        assert!(cache.len_bytes() <= 20);
+    }
+
+    #[test]
+    fn eviction_never_invalidates_held_handles() {
+        let cache = RowBlockCache::new(8, CacheMetrics::default());
+        cache.insert(key(1, 0), block("12345678"));
+        let held = cache.get(&key(1, 0)).unwrap();
+        cache.insert(key(1, 1), block("87654321")); // evicts block 0
+        assert!(cache.get(&key(1, 0)).is_none());
+        assert_eq!(&*held, "12345678", "an in-flight stream keeps its bytes");
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cache = RowBlockCache::new(0, CacheMetrics::default());
+        assert!(!cache.enabled());
+        cache.insert(key(1, 0), block("data"));
+        assert!(cache.get(&key(1, 0)).is_none());
+        assert_eq!(cache.len_bytes(), 0);
+        assert_eq!(cache.metrics.hits.get(), 0);
+    }
+
+    #[test]
+    fn oversized_block_is_passed_through() {
+        let cache = RowBlockCache::new(4, CacheMetrics::default());
+        cache.insert(key(1, 0), block("too large to cache"));
+        assert!(cache.get(&key(1, 0)).is_none());
+        assert_eq!(cache.len_bytes(), 0, "nothing was evicted to make room");
+    }
+
+    #[test]
+    fn generation_isolates_reloaded_models() {
+        let cache = RowBlockCache::new(1024, CacheMetrics::default());
+        let old = BlockKey { generation: 1, ..key(7, 0) };
+        let new = BlockKey { generation: 2, ..key(7, 0) };
+        cache.insert(old.clone(), block("old bytes"));
+        assert!(cache.get(&new).is_none(), "a reloaded model must not see stale bytes");
+        assert!(cache.get(&old).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let cache = RowBlockCache::new(64, CacheMetrics::default());
+        cache.insert(key(1, 0), block("aaaa"));
+        cache.insert(key(1, 0), block("aaaa"));
+        assert_eq!(cache.len_bytes(), 4, "re-inserting the same key must not double-count");
+    }
+}

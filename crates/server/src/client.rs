@@ -1,7 +1,21 @@
 //! A tiny std-only client for the service — used by the integration tests,
 //! the perf harness, the `serve_and_query` example, and scripting against a
-//! running server. One TCP connection per request, mirroring the server's
-//! `Connection: close` policy.
+//! running server.
+//!
+//! # Connection reuse
+//!
+//! Idempotent requests issued through [`Client::request_retrying`] (reads,
+//! synthesis, queries, model loads) are sent `Connection: keep-alive` and
+//! the connection is pooled for the next request, so a request/response
+//! ping-pong pays one TCP handshake total instead of one per request. A
+//! pooled connection can always have gone stale behind our back (the
+//! server's idle deadline, its per-connection request cap, a crashed peer),
+//! so a failure on a *reused* connection is retried once on a fresh
+//! connection before it counts as a real failure — this costs nothing
+//! semantically precisely because only idempotent requests ever reuse.
+//! Non-idempotent requests ([`Client::request`] — fits, tenant
+//! registration, shutdown) keep the one-connection-per-request
+//! `Connection: close` discipline.
 //!
 //! # Retries
 //!
@@ -22,6 +36,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use privbayes_model::{Json, ReleasedModel};
@@ -97,18 +112,33 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One kept-alive connection waiting in the client's pool.
+#[derive(Debug)]
+struct PooledConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Whether this connection has already carried a request (a reused
+    /// connection gets one free reconnect on failure; a fresh one fails
+    /// for real).
+    used: bool,
+}
+
 /// A client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     retry: RetryPolicy,
+    /// The kept-alive connection pool (capacity 1: this client is a
+    /// sequential caller; clones share it). Only idempotent requests check
+    /// connections in or out.
+    pool: Arc<Mutex<Option<PooledConn>>>,
 }
 
 impl Client {
     /// A client for `addr` (anything `ToSocketAddrs` accepts as text, e.g.
     /// `127.0.0.1:8321`). Does not retry; see [`Client::with_retry`].
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into(), retry: RetryPolicy::none() }
+        Self { addr: addr.into(), retry: RetryPolicy::none(), pool: Arc::new(Mutex::new(None)) }
     }
 
     /// Installs a retry policy for idempotent requests.
@@ -148,7 +178,8 @@ impl Client {
     /// Like [`Client::request`], but a body truncated mid-transfer is
     /// returned as the delivered prefix plus the terminating error (see
     /// [`Response::read_partial`]) — the primitive under
-    /// [`Client::synth_resuming`].
+    /// [`Client::synth_resuming`]. Always a fresh `Connection: close`
+    /// exchange (partial-body recovery and connection reuse don't mix).
     ///
     /// # Errors
     /// Socket failure before the response head, or malformed head framing.
@@ -158,6 +189,12 @@ impl Client {
         path_and_query: &str,
         body: Option<(&str, &[u8])>,
     ) -> Result<(Response, Option<ServerError>), ServerError> {
+        let mut conn = self.connect()?;
+        self.exchange(&mut conn, method, path_and_query, body, false)
+    }
+
+    /// Opens a fresh connection with the client timeouts and `TCP_NODELAY`.
+    fn connect(&self) -> Result<PooledConn, ServerError> {
         // `connect_timeout` needs a resolved address; plain `connect` would
         // block on the OS SYN-retry schedule (minutes) for dead hosts.
         let addr =
@@ -167,35 +204,103 @@ impl Client {
         let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
         stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
         stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
-        let mut writer = stream.try_clone()?;
+        // Requests are small and written in one flush; don't let Nagle
+        // delay them behind an unacked previous segment.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(PooledConn { reader: BufReader::new(stream), writer, used: false })
+    }
+
+    /// Writes one request on `conn` and reads the full response. `keep`
+    /// picks the `Connection` header; whether the connection actually
+    /// survives is decided from the *response* (see `checkin`).
+    fn exchange(
+        &self,
+        conn: &mut PooledConn,
+        method: &str,
+        path_and_query: &str,
+        body: Option<(&str, &[u8])>,
+        keep: bool,
+    ) -> Result<(Response, Option<ServerError>), ServerError> {
+        let connection = if keep { "keep-alive" } else { "close" };
         match body {
             Some((content_type, data)) => {
                 write!(
-                    writer,
-                    "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    conn.writer,
+                    "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
                     self.addr,
                     data.len()
                 )?;
-                writer.write_all(data)?;
+                conn.writer.write_all(data)?;
             }
             None => {
                 write!(
-                    writer,
-                    "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+                    conn.writer,
+                    "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nConnection: {connection}\r\n\r\n",
                     self.addr
                 )?;
             }
         }
-        writer.flush()?;
-        Response::read_partial(&mut BufReader::new(stream))
+        conn.writer.flush()?;
+        conn.used = true;
+        Response::read_partial(&mut conn.reader)
+    }
+
+    /// One keep-alive request: reuse the pooled connection when present,
+    /// fall back to (and pool) a fresh one. A failure on a *reused*
+    /// connection — the server may have idled it out at any moment — is
+    /// invisibly retried once on a fresh connection; the caller must
+    /// therefore only use this for idempotent requests.
+    fn request_pooled(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> Result<Response, ServerError> {
+        let pooled = self.pool.lock().expect("client pool poisoned").take();
+        let mut conn = match pooled {
+            Some(conn) => conn,
+            None => self.connect()?,
+        };
+        let reused = conn.used;
+        let outcome = self.exchange(&mut conn, method, path_and_query, body, true);
+        let outcome = match outcome {
+            Err(ServerError::Io(_) | ServerError::Timeout(_) | ServerError::Protocol(_))
+                if reused =>
+            {
+                // Stale pooled connection: rebuild and re-send once.
+                conn = self.connect()?;
+                self.exchange(&mut conn, method, path_and_query, body, true)
+            }
+            other => other,
+        };
+        let (response, truncated) = outcome?;
+        match truncated {
+            Some(e) => Err(e), // a torn body also tore the framing: no checkin
+            None => {
+                // The server says whether the connection survives.
+                let keep = response
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+                if keep {
+                    let mut slot = self.pool.lock().expect("client pool poisoned");
+                    if slot.is_none() {
+                        *slot = Some(conn);
+                    }
+                }
+                Ok(response)
+            }
+        }
     }
 
     /// [`Client::request`] under the retry policy. `idempotent` is the
     /// caller's promise that re-issuing the request cannot double an
     /// effect; non-idempotent requests are never retried regardless of the
     /// failure (so a lost `POST /fit` response cannot double-debit ε).
-    /// Retried failures: connection errors, timeouts, and 5xx statuses
-    /// (honoring `Retry-After` on a 503).
+    /// Idempotent requests are also the ones sent keep-alive over the
+    /// pooled connection (reuse *is* an invisible retry on failure, so it
+    /// demands the same promise). Retried failures: connection errors,
+    /// timeouts, and 5xx statuses (honoring `Retry-After` on a 503).
     ///
     /// # Errors
     /// The last attempt's error once retries are exhausted.
@@ -208,7 +313,11 @@ impl Client {
     ) -> Result<Response, ServerError> {
         let mut attempt = 0u32;
         loop {
-            let result = self.request(method, path_and_query, body);
+            let result = if idempotent {
+                self.request_pooled(method, path_and_query, body)
+            } else {
+                self.request(method, path_and_query, body)
+            };
             let retriable = idempotent
                 && attempt < self.retry.max_retries
                 && match &result {

@@ -3,10 +3,11 @@
 //! The build environment is offline and std-only, so this is a hand-rolled
 //! implementation covering exactly what the service needs: request lines
 //! with query strings, `Content-Length` bodies, fixed responses, and
-//! `Transfer-Encoding: chunked` responses for row streaming. Every
-//! connection carries one request and is closed afterwards
-//! (`Connection: close`), which keeps the worker pool trivially fair and
-//! sidesteps keep-alive state machines.
+//! `Transfer-Encoding: chunked` responses for row streaming. Connections
+//! are persistent by default (HTTP/1.1 keep-alive): every response is
+//! explicitly framed (`Content-Length` or chunked) and carries an explicit
+//! `Connection:` header, so the peer always knows whether another request
+//! may follow on the same socket.
 
 use std::io::{BufRead, Read, Write};
 
@@ -31,6 +32,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// `true` for `HTTP/1.1` requests (persistent by default), `false` for
+    /// `HTTP/1.0` (close by default).
+    pub http11: bool,
 }
 
 impl Request {
@@ -50,10 +54,11 @@ impl Request {
         let target = parts
             .next()
             .ok_or_else(|| ServerError::Protocol("request line lacks a target".into()))?;
-        match parts.next() {
-            Some("HTTP/1.1" | "HTTP/1.0") => {}
+        let http11 = match parts.next() {
+            Some("HTTP/1.1") => true,
+            Some("HTTP/1.0") => false,
             _ => return Err(ServerError::Protocol("unsupported HTTP version".into())),
-        }
+        };
         let (raw_path, raw_query) = match target.split_once('?') {
             Some((p, q)) => (p, Some(q)),
             None => (target, None),
@@ -81,7 +86,19 @@ impl Request {
             }
             None => Vec::new(),
         };
-        Ok(Self { method, path, query, headers, body })
+        Ok(Self { method, path, query, headers, body, http11 })
+    }
+
+    /// Whether the peer wants the connection kept open after this request:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with an explicit
+    /// `Connection: keep-alive`.
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
     }
 
     /// The first query value for `key`, if present.
@@ -206,7 +223,8 @@ pub fn reason(code: u16) -> &'static str {
 /// Writes a complete fixed-length response. `extra_headers` are emitted
 /// after the standard ones (the server passes its `X-PrivBayes-Api` version
 /// marker through here so **every** response — success or error — carries
-/// it).
+/// it). `keep_alive` selects the `Connection:` disposition the head
+/// advertises; it must match what the serving loop actually does next.
 ///
 /// # Errors
 /// Propagates socket write failures.
@@ -215,6 +233,7 @@ pub fn write_response<W: Write>(
     code: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
+    keep_alive: bool,
     body: &[u8],
 ) -> std::io::Result<()> {
     write!(
@@ -226,9 +245,17 @@ pub fn write_response<W: Write>(
     for (name, value) in extra_headers {
         write!(out, "{name}: {value}\r\n")?;
     }
-    out.write_all(b"Connection: close\r\n\r\n")?;
+    write_connection_header(out, keep_alive)?;
     out.write_all(body)?;
     out.flush()
+}
+
+fn write_connection_header<W: Write>(out: &mut W, keep_alive: bool) -> std::io::Result<()> {
+    if keep_alive {
+        out.write_all(b"Connection: keep-alive\r\n\r\n")
+    } else {
+        out.write_all(b"Connection: close\r\n\r\n")
+    }
 }
 
 /// An in-progress `Transfer-Encoding: chunked` response. Each [`write`]
@@ -255,6 +282,7 @@ impl<W: Write> ChunkedResponse<W> {
         code: u16,
         content_type: &str,
         extra_headers: &[(&str, &str)],
+        keep_alive: bool,
     ) -> std::io::Result<Self> {
         write!(
             out,
@@ -264,7 +292,7 @@ impl<W: Write> ChunkedResponse<W> {
         for (name, value) in extra_headers {
             write!(out, "{name}: {value}\r\n")?;
         }
-        out.write_all(b"Connection: close\r\n\r\n")?;
+        write_connection_header(&mut out, keep_alive)?;
         Ok(Self { out })
     }
 
@@ -455,6 +483,18 @@ mod tests {
         assert_eq!(req.query("seed"), Some("7"));
         assert_eq!(req.query("missing"), None);
         assert_eq!(req.body, b"hello");
+        assert!(req.http11);
+        assert!(req.wants_keep_alive(), "HTTP/1.1 is persistent by default");
+    }
+
+    #[test]
+    fn connection_disposition_follows_version_and_header() {
+        let parse = |raw: &[u8]| Request::read_from(&mut &raw[..]).unwrap();
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
     }
 
     #[test]
@@ -509,6 +549,7 @@ mod tests {
             404,
             "application/json",
             &[("X-PrivBayes-Api", "v1")],
+            false,
             b"{\"error\":\"not-found\"}",
         )
         .unwrap();
@@ -516,14 +557,20 @@ mod tests {
         assert_eq!(resp.code, 404);
         assert_eq!(resp.header("content-type"), Some("application/json"));
         assert_eq!(resp.header("x-privbayes-api"), Some("v1"));
+        assert_eq!(resp.header("connection"), Some("close"));
         assert_eq!(resp.text(), "{\"error\":\"not-found\"}");
+
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "application/json", &[], true, b"{}").unwrap();
+        let resp = Response::read_from(&mut &wire[..]).unwrap();
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
     }
 
     #[test]
     fn chunked_response_round_trips() {
         let mut wire = Vec::new();
         let mut chunked =
-            ChunkedResponse::begin(&mut wire, 200, "text/csv", &[("X-PrivBayes-Api", "v1")])
+            ChunkedResponse::begin(&mut wire, 200, "text/csv", &[("X-PrivBayes-Api", "v1")], true)
                 .unwrap();
         chunked.write(b"a,b\n").unwrap();
         chunked.write(b"").unwrap(); // skipped, must not terminate the stream
@@ -533,6 +580,7 @@ mod tests {
         assert_eq!(resp.code, 200);
         assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
         assert_eq!(resp.header("x-privbayes-api"), Some("v1"));
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
         assert_eq!(resp.text(), "a,b\n0,1\n1,0\n");
     }
 
@@ -590,7 +638,7 @@ mod tests {
     #[test]
     fn read_partial_of_a_complete_response_reports_no_error() {
         let mut wire = Vec::new();
-        let mut chunked = ChunkedResponse::begin(&mut wire, 200, "text/csv", &[]).unwrap();
+        let mut chunked = ChunkedResponse::begin(&mut wire, 200, "text/csv", &[], false).unwrap();
         chunked.write(b"a,b\nrow\n").unwrap();
         chunked.finish().unwrap();
         let (resp, err) = Response::read_partial(&mut &wire[..]).unwrap();

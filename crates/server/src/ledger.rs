@@ -28,7 +28,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
 use privbayes_dp::{DpError, PrivacyBudget};
 use privbayes_model::{budget_from_json, budget_to_json, Json};
@@ -48,6 +48,12 @@ pub const LEDGER_FORMAT: &str = "privbayes-ledger/1";
 /// that still parses as JSON) is detected at startup instead of silently
 /// mis-accounting ε. All writes use v2.
 pub const LEDGER_FORMAT_V2: &str = "privbayes-ledger/2";
+
+/// Default number of lock stripes the tenant map is sharded into. Tenants
+/// hash to stripes, so operations on distinct tenants contend only when
+/// they collide — the check+spend hot path no longer serialises the whole
+/// ledger behind one mutex.
+pub const DEFAULT_LEDGER_STRIPES: usize = 8;
 
 /// Structured failures from ledger operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,13 +127,29 @@ pub struct LedgerObserver {
     /// Persists where the rename landed but the directory sync failed
     /// (mutation kept — the file already holds the new state).
     pub durable_failure: Arc<Counter>,
+    /// One counter per lock stripe, bumped when an acquisition found its
+    /// stripe already held. Empty (or shorter than the stripe count) simply
+    /// disables recording for the uncovered stripes.
+    pub stripe_contention: Vec<Arc<Counter>>,
 }
 
 /// A thread-safe map from tenant name to privacy budget, optionally backed
 /// by a JSON file.
+///
+/// The map is sharded into lock stripes keyed by tenant hash: check/charge
+/// on distinct tenants run in parallel, while check+spend on one tenant
+/// stays atomic inside its stripe. Persisted ledgers additionally serialise
+/// *mutations* behind a single `persist_lock` (taken before any stripe
+/// lock), so the file always renders from a consistent whole-ledger state —
+/// read-only operations never touch it.
 #[derive(Debug)]
 pub struct BudgetLedger {
-    tenants: Mutex<BTreeMap<String, PrivacyBudget>>,
+    stripes: Vec<Mutex<BTreeMap<String, PrivacyBudget>>>,
+    /// Held (before any stripe lock) for the whole mutate+persist sequence
+    /// of file-backed ledgers. Lock order `persist_lock → stripes` is
+    /// global, and pure readers take a single stripe only, so no cycle
+    /// exists.
+    persist_lock: Mutex<()>,
     path: Option<PathBuf>,
     observer: Mutex<Option<LedgerObserver>>,
     #[cfg(any(test, feature = "fault-injection"))]
@@ -145,16 +167,99 @@ struct PersistFailure {
 }
 
 impl BudgetLedger {
-    /// An empty, purely in-memory ledger.
+    /// An empty, purely in-memory ledger with the default stripe count.
     #[must_use]
     pub fn in_memory() -> Self {
-        Self {
-            tenants: Mutex::new(BTreeMap::new()),
-            path: None,
+        Self::in_memory_striped(DEFAULT_LEDGER_STRIPES)
+    }
+
+    /// An empty, purely in-memory ledger sharded into `stripes` locks.
+    #[must_use]
+    pub fn in_memory_striped(stripes: usize) -> Self {
+        Self::build(BTreeMap::new(), None, stripes)
+    }
+
+    fn build(
+        tenants: BTreeMap<String, PrivacyBudget>,
+        path: Option<PathBuf>,
+        stripes: usize,
+    ) -> Self {
+        let stripes = stripes.max(1);
+        let ledger = Self {
+            stripes: (0..stripes).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            persist_lock: Mutex::new(()),
+            path,
             observer: Mutex::new(None),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: Mutex::new(None),
+        };
+        for (name, budget) in tenants {
+            let index = ledger.stripe_of(&name);
+            ledger.stripes[index].lock().expect("fresh stripe lock").insert(name, budget);
         }
+        ledger
+    }
+
+    /// The number of lock stripes (fixed at construction).
+    #[must_use]
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe a tenant hashes to (FNV-1a over the name).
+    fn stripe_of(&self, tenant: &str) -> usize {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in tenant.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (hash % self.stripes.len() as u64) as usize
+    }
+
+    /// Locks one stripe, recording contention when the lock was already
+    /// held (the counter lookup runs only on the contended path, so the
+    /// fast path stays one uncontended `try_lock`).
+    fn lock_stripe(&self, index: usize) -> MutexGuard<'_, BTreeMap<String, PrivacyBudget>> {
+        match self.stripes[index].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                if let Some(obs) = self.observer.lock().expect("observer lock poisoned").as_ref() {
+                    if let Some(counter) = obs.stripe_contention.get(index) {
+                        counter.inc();
+                    }
+                }
+                self.stripes[index].lock().expect("ledger stripe lock poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("ledger stripe lock poisoned"),
+        }
+    }
+
+    /// The persist guard for mutators: file-backed ledgers serialise all
+    /// mutations so the rendered file is always a consistent merge;
+    /// in-memory ledgers skip it and mutate fully striped.
+    fn mutation_guard(&self) -> Option<MutexGuard<'_, ()>> {
+        self.path.as_ref().map(|_| self.persist_lock.lock().expect("persist lock poisoned"))
+    }
+
+    /// A consistent clone of the whole ledger, with `held` standing in for
+    /// stripe `held_index` (already locked by the caller). Only called with
+    /// the persist lock held, so no other mutation can interleave between
+    /// the per-stripe reads.
+    fn merged_with(
+        &self,
+        held_index: usize,
+        held: &BTreeMap<String, PrivacyBudget>,
+    ) -> BTreeMap<String, PrivacyBudget> {
+        let mut all = BTreeMap::new();
+        for (j, stripe) in self.stripes.iter().enumerate() {
+            if j == held_index {
+                all.extend(held.iter().map(|(k, v)| (k.clone(), v.clone())));
+            } else {
+                let guard = stripe.lock().expect("ledger stripe lock poisoned");
+                all.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+            }
+        }
+        all
     }
 
     /// Installs (or clears) the persist-observability handles. The server
@@ -180,6 +285,18 @@ impl BudgetLedger {
     /// parsed (a corrupt ledger must never be silently reset — that would
     /// forget spending).
     pub fn with_persistence(path: impl Into<PathBuf>) -> Result<Self, ServerError> {
+        Self::with_persistence_striped(path, DEFAULT_LEDGER_STRIPES)
+    }
+
+    /// Like [`BudgetLedger::with_persistence`], with an explicit stripe
+    /// count.
+    ///
+    /// # Errors
+    /// As [`BudgetLedger::with_persistence`].
+    pub fn with_persistence_striped(
+        path: impl Into<PathBuf>,
+        stripes: usize,
+    ) -> Result<Self, ServerError> {
         let path = path.into();
         let tenants = if path.exists() {
             let text = std::fs::read_to_string(&path)
@@ -189,13 +306,7 @@ impl BudgetLedger {
         } else {
             BTreeMap::new()
         };
-        Ok(Self {
-            tenants: Mutex::new(tenants),
-            path: Some(path),
-            observer: Mutex::new(None),
-            #[cfg(any(test, feature = "fault-injection"))]
-            fault: Mutex::new(None),
-        })
+        Ok(Self::build(tenants, Some(path), stripes))
     }
 
     fn parse(text: &str) -> Result<BTreeMap<String, PrivacyBudget>, ServerError> {
@@ -393,15 +504,18 @@ impl BudgetLedger {
     pub fn register(&self, tenant: &str, total: f64) -> Result<(), ServerError> {
         validate_id(tenant)?;
         let budget = PrivacyBudget::new(total).map_err(|e| ServerError::Protocol(e.to_string()))?;
-        let mut tenants = self.tenants.lock().expect("ledger lock poisoned");
-        if tenants.contains_key(tenant) {
+        let _mutation = self.mutation_guard();
+        let index = self.stripe_of(tenant);
+        let mut stripe = self.lock_stripe(index);
+        if stripe.contains_key(tenant) {
             return Err(ServerError::Conflict(format!("tenant `{tenant}` is already registered")));
         }
-        tenants.insert(tenant.to_string(), budget);
+        stripe.insert(tenant.to_string(), budget);
         if let Some(path) = &self.path {
-            if let Err(f) = self.persist(&tenants, path) {
+            let merged = self.merged_with(index, &stripe);
+            if let Err(f) = self.persist(&merged, path) {
                 if !f.durable {
-                    tenants.remove(tenant);
+                    stripe.remove(tenant);
                     return Err(f.error);
                 }
             }
@@ -416,9 +530,9 @@ impl BudgetLedger {
     /// The same [`LedgerError`]s as [`BudgetLedger::charge`], without any
     /// state change either way.
     pub fn check(&self, tenant: &str, epsilon: f64) -> Result<(), LedgerError> {
-        let tenants = self.tenants.lock().expect("ledger lock poisoned");
+        let stripe = self.lock_stripe(self.stripe_of(tenant));
         let budget =
-            tenants.get(tenant).ok_or_else(|| LedgerError::UnknownTenant(tenant.to_string()))?;
+            stripe.get(tenant).ok_or_else(|| LedgerError::UnknownTenant(tenant.to_string()))?;
         map_dp_error(budget.check(epsilon), tenant, budget)
     }
 
@@ -434,17 +548,19 @@ impl BudgetLedger {
     /// [`LedgerError::InvalidAmount`] for non-positive ε, and
     /// [`LedgerError::Persistence`] if the ledger file cannot be written.
     pub fn charge(&self, tenant: &str, epsilon: f64) -> Result<f64, LedgerError> {
-        let mut tenants = self.tenants.lock().expect("ledger lock poisoned");
-        let budget = tenants
-            .get_mut(tenant)
-            .ok_or_else(|| LedgerError::UnknownTenant(tenant.to_string()))?;
+        let _mutation = self.mutation_guard();
+        let index = self.stripe_of(tenant);
+        let mut stripe = self.lock_stripe(index);
+        let budget =
+            stripe.get_mut(tenant).ok_or_else(|| LedgerError::UnknownTenant(tenant.to_string()))?;
         map_dp_error(budget.consume(epsilon), tenant, budget)?;
         let remaining = budget.remaining();
         if let Some(path) = &self.path {
-            if let Err(f) = self.persist(&tenants, path) {
+            let merged = self.merged_with(index, &stripe);
+            if let Err(f) = self.persist(&merged, path) {
                 if !f.durable {
                     // Never hand out budget that is not durably recorded.
-                    tenants.get_mut(tenant).expect("present above").refund(epsilon);
+                    stripe.get_mut(tenant).expect("present above").refund(epsilon);
                     return Err(LedgerError::Persistence(f.error.to_string()));
                 }
                 // Rename landed: the debit is on disk, keep it.
@@ -460,13 +576,16 @@ impl BudgetLedger {
     /// privacy ledger): the refund path runs on error paths and must not
     /// introduce new failures, only stay consistent.
     pub fn refund(&self, tenant: &str, epsilon: f64) {
-        let mut tenants = self.tenants.lock().expect("ledger lock poisoned");
-        if let Some(budget) = tenants.get_mut(tenant) {
+        let _mutation = self.mutation_guard();
+        let index = self.stripe_of(tenant);
+        let mut stripe = self.lock_stripe(index);
+        if let Some(budget) = stripe.get_mut(tenant) {
             budget.refund(epsilon);
             if let Some(path) = &self.path {
-                if let Err(f) = self.persist(&tenants, path) {
+                let merged = self.merged_with(index, &stripe);
+                if let Err(f) = self.persist(&merged, path) {
                     if !f.durable {
-                        let _ = tenants.get_mut(tenant).expect("present above").consume(epsilon);
+                        let _ = stripe.get_mut(tenant).expect("present above").consume(epsilon);
                     }
                 }
             }
@@ -476,26 +595,30 @@ impl BudgetLedger {
     /// The tenant's current budget, if registered.
     #[must_use]
     pub fn budget(&self, tenant: &str) -> Option<TenantBudget> {
-        let tenants = self.tenants.lock().expect("ledger lock poisoned");
-        tenants.get(tenant).map(|b| TenantBudget {
+        let stripe = self.lock_stripe(self.stripe_of(tenant));
+        stripe.get(tenant).map(|b| TenantBudget {
             tenant: tenant.to_string(),
             total: b.total(),
             spent: b.spent(),
         })
     }
 
-    /// All tenants, sorted by name.
+    /// All tenants, sorted by name. Stripes are visited one at a time, so
+    /// a snapshot racing a mutation sees that tenant either before or
+    /// after — per-tenant rows are always internally consistent.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TenantBudget> {
-        let tenants = self.tenants.lock().expect("ledger lock poisoned");
-        tenants
-            .iter()
-            .map(|(name, b)| TenantBudget {
+        let mut rows: Vec<TenantBudget> = Vec::new();
+        for stripe in &self.stripes {
+            let guard = stripe.lock().expect("ledger stripe lock poisoned");
+            rows.extend(guard.iter().map(|(name, b)| TenantBudget {
                 tenant: name.clone(),
                 total: b.total(),
                 spent: b.spent(),
-            })
-            .collect()
+            }));
+        }
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
     }
 }
 
@@ -762,6 +885,63 @@ mod tests {
         assert!(BudgetLedger::with_persistence(&path).is_ok());
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&tmp);
+    }
+
+    #[test]
+    fn striped_concurrent_charges_account_exactly() {
+        // Hammer every stripe count from degenerate to oversized: N threads
+        // × K charges per tenant must land on exactly K·ε spent each —
+        // striping must never lose or double-apply a debit.
+        for stripes in [1usize, 2, 8, 64] {
+            let ledger = Arc::new(BudgetLedger::in_memory_striped(stripes));
+            let tenants: Vec<String> = (0..6).map(|i| format!("tenant-{i}")).collect();
+            for t in &tenants {
+                ledger.register(t, 10.0).unwrap();
+            }
+            std::thread::scope(|scope| {
+                for t in &tenants {
+                    let ledger = Arc::clone(&ledger);
+                    scope.spawn(move || {
+                        for _ in 0..50 {
+                            ledger.charge(t, 0.125).unwrap();
+                        }
+                    });
+                }
+            });
+            for t in &tenants {
+                let spent = ledger.budget(t).unwrap().spent;
+                assert_eq!(
+                    spent.to_bits(),
+                    6.25f64.to_bits(),
+                    "stripes={stripes} tenant={t}: expected 6.25 spent, got {spent}"
+                );
+            }
+            assert_eq!(ledger.snapshot().len(), tenants.len());
+        }
+    }
+
+    #[test]
+    fn striped_persistence_round_trips_every_tenant() {
+        // Tenants scattered over stripes must all land in one consistent
+        // file, and reload back into the right stripes.
+        let path = temp_path("striped");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ledger = BudgetLedger::with_persistence_striped(&path, 4).unwrap();
+            for i in 0..10 {
+                ledger.register(&format!("t{i}"), 1.0 + f64::from(i)).unwrap();
+            }
+            ledger.charge("t3", 0.5).unwrap();
+            ledger.charge("t7", 0.25).unwrap();
+        }
+        // Reload under a *different* stripe count: the file format is
+        // stripe-agnostic.
+        let restored = BudgetLedger::with_persistence_striped(&path, 16).unwrap();
+        assert_eq!(restored.snapshot().len(), 10);
+        assert_eq!(restored.budget("t3").unwrap().spent.to_bits(), 0.5f64.to_bits());
+        assert_eq!(restored.budget("t7").unwrap().spent.to_bits(), 0.25f64.to_bits());
+        assert_eq!(restored.budget("t0").unwrap().spent, 0.0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! The library crates fit, release, and sample models in-process; this crate
 //! turns them into a *system*: a std-only HTTP/1.1 service (no async
-//! runtime — a hand-rolled accept loop and worker pool on
+//! runtime — a hand-rolled accept loop with persistent keep-alive
+//! connections and per-worker sharded queues on
 //! [`std::net::TcpListener`], in the same spirit as the scoped-thread
 //! parallelism in `privbayes`'s greedy learner and sampler) with three
 //! pieces:
@@ -33,7 +34,9 @@
 //! `(seed, chunk index)` alone, so the streamed bytes are **identical** to
 //! the batch `sample_synthetic` path for the same seed — regardless of how
 //! many requests are in flight, which worker serves the connection, how
-//! many workers the server runs, or whether the model was evicted and
+//! many workers the server runs, whether the connection is fresh or
+//! reused, whether the chunks were replayed from the preformatted
+//! [`RowBlockCache`] or sampled cold, or whether the model was evicted and
 //! reloaded in between. The registry and ledger never participate in row
 //! generation; they only decide *whether* a request runs.
 //!
@@ -65,6 +68,7 @@
 //! handle.join().unwrap();
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod error;
 #[cfg(any(test, feature = "fault-injection"))]
@@ -76,13 +80,15 @@ pub mod registry;
 pub mod server;
 pub mod stream;
 
+pub use cache::{BlockKey, CacheMetrics, RowBlockCache};
 pub use client::{Client, RetryPolicy};
 pub use error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{Fault, FaultPlan, FaultSite, FaultStream, LedgerStep};
 pub use http::{Request, Response};
 pub use ledger::{
-    BudgetLedger, LedgerError, LedgerObserver, TenantBudget, LEDGER_FORMAT, LEDGER_FORMAT_V2,
+    BudgetLedger, LedgerError, LedgerObserver, TenantBudget, DEFAULT_LEDGER_STRIPES, LEDGER_FORMAT,
+    LEDGER_FORMAT_V2,
 };
 pub use metrics::{ServerMetrics, REQUEST_ID_HEADER};
 pub use registry::{ModelEntry, ModelRegistry};

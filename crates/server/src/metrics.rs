@@ -58,6 +58,14 @@ pub struct ServerMetrics {
     pub(crate) fit_seconds: Arc<Histogram>,
     /// Wall time spent compiling alias tables at model load/registration.
     pub(crate) alias_build_seconds: Arc<Histogram>,
+    /// Requests served over an already-used (kept-alive) connection.
+    pub(crate) connections_reused: Arc<Counter>,
+    /// Row-block cache hits (chunks served as preformatted bytes).
+    pub(crate) rowblock_cache_hits: Arc<Counter>,
+    /// Row-block cache misses (chunks sampled and formatted on demand).
+    pub(crate) rowblock_cache_misses: Arc<Counter>,
+    /// Bytes evicted from the row-block cache to stay under its budget.
+    pub(crate) rowblock_cache_evicted_bytes: Arc<Counter>,
     events: EventLog,
     access_log: Option<Mutex<File>>,
     id_base: u64,
@@ -152,6 +160,27 @@ impl ServerMetrics {
             "privbayes_alias_build_seconds",
             "Wall time compiling alias tables at model load/registration",
         );
+        let connections_reused = describe_counter(
+            "privbayes_connections_reused_total",
+            "Requests served over an already-used (kept-alive) connection",
+        );
+        let rowblock_cache_hits = describe_counter(
+            "privbayes_rowblock_cache_hits_total",
+            "Stream chunks served from the preformatted row-block cache",
+        );
+        let rowblock_cache_misses = describe_counter(
+            "privbayes_rowblock_cache_misses_total",
+            "Stream chunks sampled and formatted on demand (cache miss or bypass)",
+        );
+        let rowblock_cache_evicted_bytes = describe_counter(
+            "privbayes_rowblock_cache_evicted_bytes_total",
+            "Bytes evicted from the row-block cache to stay under its budget",
+        );
+        registry.describe(
+            "privbayes_ledger_stripe_contention_total",
+            MetricKind::Counter,
+            "Ledger lock acquisitions that found their stripe already held, by stripe",
+        );
         // A process-stable base for generated request ids: wall-clock nanos
         // folded with the pid, SplitMix64-mixed so ids from two servers
         // started in the same nanosecond still differ.
@@ -170,6 +199,10 @@ impl ServerMetrics {
             ledger_persist_seconds,
             fit_seconds,
             alias_build_seconds,
+            connections_reused,
+            rowblock_cache_hits,
+            rowblock_cache_misses,
+            rowblock_cache_evicted_bytes,
             events: EventLog::new(EVENT_RING),
             access_log: access_log.map(Mutex::new),
             id_base: mix64(seed),
@@ -303,6 +336,9 @@ pub struct RequestCtx<'m> {
     pub endpoint: Cell<&'static str>,
     /// The status actually written (0 until a response line goes out).
     pub status: Cell<u16>,
+    /// Whether the connection stays open after this response (decided by
+    /// the serving loop before routing; response writers advertise it).
+    pub keep_alive: Cell<bool>,
     started: Instant,
     last_mark: Cell<Instant>,
 }
@@ -317,6 +353,7 @@ impl<'m> RequestCtx<'m> {
             id,
             endpoint: Cell::new("unknown"),
             status: Cell::new(0),
+            keep_alive: Cell::new(false),
             started: now,
             last_mark: Cell::new(now),
         }
@@ -373,12 +410,17 @@ mod tests {
             "privbayes_active_streams",
             "privbayes_rows_streamed_total",
             "privbayes_bytes_streamed_total",
+            "privbayes_connections_reused_total",
+            "privbayes_rowblock_cache_hits_total",
+            "privbayes_rowblock_cache_misses_total",
+            "privbayes_rowblock_cache_evicted_bytes_total",
         ] {
             assert!(snapshot.has(name), "missing {name} in:\n{text}");
         }
         for family in [
             "privbayes_requests_total",
             "privbayes_stage_seconds",
+            "privbayes_ledger_stripe_contention_total",
             "privbayes_tenant_epsilon_spent",
             "privbayes_tenant_epsilon_remaining",
         ] {

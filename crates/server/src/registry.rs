@@ -9,6 +9,7 @@
 //! never dropped by an eviction racing with it.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use privbayes::CompiledSampler;
@@ -39,6 +40,11 @@ pub fn validate_id(id: &str) -> Result<(), ServerError> {
     Ok(())
 }
 
+/// Stamps every loaded entry with a process-unique generation, so caches
+/// keyed on it can never confuse a reloaded model with its predecessor
+/// (even when both carried the same id).
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
 /// One registered model: the artifact plus its id.
 #[derive(Debug)]
 pub struct ModelEntry {
@@ -46,6 +52,8 @@ pub struct ModelEntry {
     pub id: String,
     /// The released artifact (owns the cached [`CompiledSampler`]).
     pub artifact: ReleasedModel,
+    /// Process-unique load generation (fresh per [`ModelRegistry::load`]).
+    pub generation: u64,
 }
 
 impl ModelEntry {
@@ -59,9 +67,20 @@ impl ModelEntry {
 }
 
 /// A concurrent map from model id to loaded model.
-#[derive(Debug, Default)]
+///
+/// The map itself lives behind an [`Arc`] snapshot: readers clone the
+/// current snapshot pointer under a momentary read lock and then walk it
+/// with no lock held, so `GET /synth` lookups never contend with a
+/// load/evict holding the write lock mid-rebuild.
+#[derive(Debug)]
 pub struct ModelRegistry {
-    entries: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
+    entries: RwLock<Arc<BTreeMap<String, Arc<ModelEntry>>>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self { entries: RwLock::new(Arc::new(BTreeMap::new())) }
+    }
 }
 
 impl ModelRegistry {
@@ -81,36 +100,52 @@ impl ModelRegistry {
     /// [`ServerError::Model`] if the artifact fails to compile.
     pub fn load(&self, id: &str, artifact: ReleasedModel) -> Result<bool, ServerError> {
         validate_id(id)?;
-        let entry = ModelEntry { id: id.to_string(), artifact };
+        let entry = ModelEntry {
+            id: id.to_string(),
+            artifact,
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
+        };
         entry.sampler()?; // compile once, up front
         let mut entries = self.entries.write().expect("registry lock poisoned");
-        Ok(entries.insert(id.to_string(), Arc::new(entry)).is_none())
+        let mut next = BTreeMap::clone(&entries);
+        let was_new = next.insert(id.to_string(), Arc::new(entry)).is_none();
+        *entries = Arc::new(next);
+        Ok(was_new)
+    }
+
+    /// The current map snapshot; walked lock-free by the caller.
+    fn snapshot(&self) -> Arc<BTreeMap<String, Arc<ModelEntry>>> {
+        Arc::clone(&self.entries.read().expect("registry lock poisoned"))
     }
 
     /// The entry for `id`, if loaded. The returned [`Arc`] keeps the model
     /// alive across a later eviction.
     #[must_use]
     pub fn get(&self, id: &str) -> Option<Arc<ModelEntry>> {
-        self.entries.read().expect("registry lock poisoned").get(id).cloned()
+        self.snapshot().get(id).cloned()
     }
 
     /// Removes `id`; returns whether it was present. In-flight requests
     /// holding the entry's [`Arc`] are unaffected.
     #[must_use]
     pub fn evict(&self, id: &str) -> bool {
-        self.entries.write().expect("registry lock poisoned").remove(id).is_some()
+        let mut entries = self.entries.write().expect("registry lock poisoned");
+        let mut next = BTreeMap::clone(&entries);
+        let was_present = next.remove(id).is_some();
+        *entries = Arc::new(next);
+        was_present
     }
 
     /// All entries, sorted by id.
     #[must_use]
     pub fn list(&self) -> Vec<Arc<ModelEntry>> {
-        self.entries.read().expect("registry lock poisoned").values().cloned().collect()
+        self.snapshot().values().cloned().collect()
     }
 
     /// Number of loaded models.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().expect("registry lock poisoned").len()
+        self.snapshot().len()
     }
 
     /// Whether the registry is empty.
@@ -177,6 +212,17 @@ mod tests {
         let sampler = held.sampler().unwrap();
         let data = sampler.sample_dataset(32, Some(1), &mut StdRng::seed_from_u64(1)).unwrap();
         assert_eq!(data.n(), 32);
+    }
+
+    #[test]
+    fn reload_gets_a_fresh_generation() {
+        let registry = ModelRegistry::new();
+        registry.load("m", tiny_model()).unwrap();
+        let first = registry.get("m").unwrap().generation;
+        assert!(registry.evict("m"));
+        registry.load("m", tiny_model()).unwrap();
+        let second = registry.get("m").unwrap().generation;
+        assert_ne!(first, second, "same id reloaded must never share a generation");
     }
 
     #[test]

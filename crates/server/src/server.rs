@@ -41,22 +41,40 @@
 //!
 //! # Concurrency and determinism
 //!
-//! One acceptor thread feeds a channel drained by `workers` handler threads;
-//! each connection carries exactly one request. A synthesis response is
-//! computed entirely from `(model, seed, spec)` — the per-request RNG is
-//! seeded from the request, rows are generated in the sampler's fixed
-//! 1024-row chunk scheme, and each chunk is written as one HTTP chunk — so
-//! a fixed request is **byte-identical** no matter how many other streams
-//! are in flight, which worker serves it, or how often the model was
-//! evicted and reloaded in between. The legacy `GET` route desugars to a
-//! `SynthSpec` with no evidence, no projection, and no cursor, whose bytes
-//! are the pre-v1 bytes exactly; a cursor-resumed stream yields exactly the
-//! suffix of its uninterrupted counterpart. Shutdown closes the accept loop
-//! first, then lets every queued and in-flight request complete.
+//! One acceptor thread round-robins accepted sockets (with `TCP_NODELAY`
+//! set) across per-worker bounded queues — workers never contend on a
+//! shared receiver lock. Connections are **persistent**: each worker runs a
+//! keep-alive loop per connection, serving requests until the client asks
+//! `Connection: close`, the per-connection request cap
+//! ([`ServerConfig::max_conn_requests`]) is reached, the idle deadline
+//! expires, or the response failed mid-write (a truncated chunked stream
+//! must be followed by a close, so the client sees the interruption). An
+//! idle kept-alive connection is *parked*, not pinned: the worker polls
+//! parked connections between new ones, so a quiet client never starves
+//! the queue.
+//!
+//! A synthesis response is computed entirely from `(model, seed, spec)` —
+//! the per-request RNG is seeded from the request, rows are generated in
+//! the sampler's fixed 1024-row chunk scheme, and each chunk is written as
+//! one HTTP chunk — so a fixed request is **byte-identical** no matter how
+//! many other streams are in flight, which worker serves it, whether the
+//! connection is fresh or reused, or how often the model was evicted and
+//! reloaded in between. Unconditioned, unprojected streams are additionally
+//! served through the [`RowBlockCache`]: formatted chunks are keyed by
+//! `(model generation, seed, format, chunk index, rows)` and replayed as a
+//! memcpy on repeat — the bytes are identical by construction, and the
+//! generation key means a reloaded model can never replay its predecessor's
+//! blocks. The legacy `GET` route desugars to a `SynthSpec` with no
+//! evidence, no projection, and no cursor, whose bytes are the pre-v1 bytes
+//! exactly; a cursor-resumed stream yields exactly the suffix of its
+//! uninterrupted counterpart. Shutdown closes the accept loop first, then
+//! lets every queued and in-flight request complete (idle parked
+//! connections are simply closed).
 //!
 //! [`SynthSpec`]: privbayes_synth::SynthSpec
 //! [`MarginalQuery`]: privbayes_synth::MarginalQuery
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -66,6 +84,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use privbayes::inference::{theta_projection, DEFAULT_CELL_CAP};
+use privbayes::CHUNK_ROWS;
 use privbayes_data::csv::read_csv;
 use privbayes_model::{schema_from_json, Json, ReleasedModel};
 use privbayes_synth::{
@@ -74,6 +93,7 @@ use privbayes_synth::{
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::cache::{BlockKey, CacheMetrics, RowBlockCache};
 use crate::error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{Fault, FaultPlan, FaultSite, FaultStream};
@@ -114,10 +134,24 @@ pub struct ServerConfig {
     /// stream chunks (an overrunning stream is truncated) and before
     /// starting a fit.
     pub handler_deadline: Duration,
-    /// Bound on connections accepted but not yet claimed by a worker.
-    /// Overflow is answered immediately with 503 + `Retry-After` — graceful
-    /// degradation instead of unbounded queueing. Minimum 1.
+    /// Bound on connections accepted but not yet claimed by a worker
+    /// (split evenly across the per-worker queues). Overflow is answered
+    /// immediately with 503 + `Retry-After` — graceful degradation instead
+    /// of unbounded queueing. Minimum 1.
     pub queue_depth: usize,
+    /// Requests served per kept-alive connection before the server closes
+    /// it (`Connection: close` on the final response). Bounds how long one
+    /// client can monopolise connection state. Minimum 1 (every response
+    /// closes).
+    pub max_conn_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it. Idle connections are parked, not
+    /// pinned — this bounds parked-state lifetime, not worker time.
+    pub idle_deadline: Duration,
+    /// Byte budget for the preformatted row-block cache ([`RowBlockCache`]).
+    /// `0` disables caching; every stream then samples and formats from
+    /// scratch.
+    pub cache_bytes: usize,
     /// Whether `GET /metrics` is served (the registry itself always runs —
     /// `/healthz` and [`ServerHandle::stats`] read it regardless).
     pub metrics_enabled: bool,
@@ -136,6 +170,9 @@ impl Default for ServerConfig {
             write_deadline: Duration::from_secs(30),
             handler_deadline: Duration::from_secs(120),
             queue_depth: 64,
+            max_conn_requests: 1000,
+            idle_deadline: Duration::from_secs(5),
+            cache_bytes: 64 << 20,
             metrics_enabled: true,
             access_log: None,
         }
@@ -177,6 +214,7 @@ struct Shared {
     addr: SocketAddr,
     shutdown: AtomicBool,
     metrics: Arc<ServerMetrics>,
+    cache: RowBlockCache,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: FaultSlot,
 }
@@ -224,7 +262,23 @@ impl Server {
             durable_failure: metrics
                 .registry()
                 .counter("privbayes_ledger_persist_total", &[("outcome", "durable_failure")]),
+            stripe_contention: (0..ledger.stripe_count())
+                .map(|i| {
+                    metrics.registry().counter(
+                        "privbayes_ledger_stripe_contention_total",
+                        &[("stripe", &i.to_string())],
+                    )
+                })
+                .collect(),
         }));
+        let cache = RowBlockCache::new(
+            config.cache_bytes,
+            CacheMetrics {
+                hits: Arc::clone(&metrics.rowblock_cache_hits),
+                misses: Arc::clone(&metrics.rowblock_cache_misses),
+                evicted_bytes: Arc::clone(&metrics.rowblock_cache_evicted_bytes),
+            },
+        );
         let shared = Arc::new(Shared {
             registry,
             ledger,
@@ -232,6 +286,7 @@ impl Server {
             addr,
             shutdown: AtomicBool::new(false),
             metrics,
+            cache,
             #[cfg(any(test, feature = "fault-injection"))]
             fault: Arc::new(RwLock::new(None)),
         });
@@ -270,15 +325,20 @@ impl Server {
         let shared = self.shared;
         let workers = shared.config.workers.max(1);
         let queue_depth = shared.config.queue_depth.max(1);
-        // A *bounded* queue is the admission-control valve: when every
-        // worker is busy and `queue_depth` connections are already waiting,
-        // the acceptor answers 503 instead of queueing without limit.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
+        // Bounded *per-worker* queues are the admission-control valve: the
+        // total capacity stays `queue_depth`, but each worker drains its
+        // own channel, so claiming a connection never contends on a shared
+        // receiver lock. When every queue is full the acceptor answers 503
+        // instead of queueing without limit.
+        let per_worker = queue_depth.div_ceil(workers).max(1);
         let handles = Arc::new(Mutex::new(Vec::new()));
+        let mut senders = Vec::with_capacity(workers);
         for _ in 0..workers {
-            spawn_worker(&shared, &rx, &handles);
+            let (tx, rx) = mpsc::sync_channel::<TcpStream>(per_worker);
+            senders.push(tx);
+            spawn_worker(&shared, &Arc::new(Mutex::new(rx)), &handles);
         }
+        let mut next_worker = 0usize;
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(accepted) => accepted,
@@ -297,17 +357,38 @@ impl Server {
                 // stream closes it; queued requests still complete.
                 break;
             }
-            match tx.try_send(stream) {
-                Ok(()) => shared.metrics.queue_depth.add(1),
-                Err(mpsc::TrySendError::Full(stream)) => {
-                    reject_overloaded(&shared, stream);
+            // Small responses must not sit in the kernel waiting for an ACK
+            // under Nagle — a keep-alive ping-pong would otherwise pay up
+            // to one RTT-with-delay per request.
+            let _ = stream.set_nodelay(true);
+            // Round-robin across worker queues, skipping full ones; a full
+            // scan with no slot means the whole tier is saturated.
+            let mut pending = Some(stream);
+            let mut any_alive = false;
+            for offset in 0..workers {
+                let w = (next_worker + offset) % workers;
+                match senders[w].try_send(pending.take().expect("stream present")) {
+                    Ok(()) => {
+                        shared.metrics.queue_depth.add(1);
+                        next_worker = (w + 1) % workers;
+                        break;
+                    }
+                    Err(mpsc::TrySendError::Full(s)) => {
+                        any_alive = true;
+                        pending = Some(s);
+                    }
+                    // Unreachable while respawn holds the pool at `workers`
+                    // threads; skip rather than spin if it somehow isn't.
+                    Err(mpsc::TrySendError::Disconnected(s)) => pending = Some(s),
                 }
-                // Unreachable while respawn holds the pool at `workers`
-                // threads; bail rather than spin if it somehow isn't.
-                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            }
+            match pending {
+                None => {}
+                Some(stream) if any_alive => reject_overloaded(&shared, stream),
+                Some(_) => break, // every worker queue is gone: bail
             }
         }
-        drop(tx);
+        drop(senders);
         // Join every worker, including any respawned after a panic (the
         // vector grows while we drain it, hence the loop-and-pop).
         loop {
@@ -372,8 +453,8 @@ impl ServerHandle {
     }
 }
 
-/// Starts one pool worker. Each worker drains the shared queue; its handle
-/// is recorded in `handles` so shutdown can join the *current* pool even
+/// Starts one pool worker over its own connection queue; its handle is
+/// recorded in `handles` so shutdown can join the *current* pool even
 /// after respawns.
 fn spawn_worker(
     shared: &Arc<Shared>,
@@ -389,19 +470,233 @@ fn spawn_worker(
             rx: Arc::clone(&rx),
             handles: Arc::clone(&handles_slot),
         };
-        loop {
-            // Hold the receiver lock only while popping, so workers drain
-            // the queue concurrently.
-            let next = rx.lock().expect("worker queue lock poisoned").recv();
-            match next {
-                Ok(stream) => handle_connection(&shared, stream),
-                Err(_) => break, // acceptor closed the channel: drain done
-            }
-        }
+        worker_loop(&shared, &rx);
         // Clean exit: disarm the guard so no replacement is spawned.
         std::mem::forget(guard);
     });
     handles.lock().expect("worker handles lock poisoned").push(handle);
+}
+
+/// How long a worker waits on one socket probe while it has parked
+/// connections to rotate through. Small enough that a request landing on
+/// any parked connection (or the worker's queue) is picked up promptly;
+/// large enough not to spin.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// One worker: drains its queue, serving each connection's requests until
+/// the connection goes idle — idle connections are *parked* and polled
+/// between new ones, so a quiet keep-alive client never pins the worker.
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    let mut parked: VecDeque<Conn> = VecDeque::new();
+    loop {
+        // New connections take priority; block on the queue only when no
+        // parked connection could become ready behind our back.
+        let incoming = if parked.is_empty() {
+            match rx.lock().expect("worker queue lock poisoned").recv() {
+                Ok(stream) => Some(stream),
+                Err(_) => return, // acceptor closed the channel: drain done
+            }
+        } else {
+            match rx.lock().expect("worker queue lock poisoned").try_recv() {
+                Ok(stream) => Some(stream),
+                Err(mpsc::TryRecvError::Empty) => None,
+                // Shutdown: parked connections are idle by definition —
+                // dropping them closes them with no request in flight.
+                Err(mpsc::TryRecvError::Disconnected) => return,
+            }
+        };
+        if let Some(stream) = incoming {
+            // The connection has left the pending queue and owns this
+            // worker now.
+            shared.metrics.queue_depth.sub(1);
+            if let Some(conn) = Conn::new(shared, stream) {
+                drive(shared, conn, &mut parked);
+            }
+            continue;
+        }
+        // Nothing new: give the longest-parked connection a poll window.
+        let mut conn = parked.pop_front().expect("checked non-empty above");
+        match conn.poll(IDLE_POLL) {
+            Poll::Ready => drive(shared, conn, &mut parked),
+            Poll::Idle if conn.parked_at.elapsed() >= shared.config.idle_deadline => {
+                // Idle past the deadline: close silently (there is no
+                // request to answer).
+            }
+            Poll::Idle => parked.push_back(conn),
+            Poll::Closed => {} // peer hung up between requests
+        }
+    }
+}
+
+/// Serves requests on `conn` for as long as they keep coming, then parks
+/// it (keep-alive, no data ready) or drops it (close).
+fn drive(shared: &Shared, mut conn: Conn, parked: &mut VecDeque<Conn>) {
+    loop {
+        if !serve_request(shared, &mut conn) {
+            return; // dropping the connection closes it
+        }
+        // Linger briefly: a pipelining or ping-pong client's next request
+        // lands within the window and is served with zero handoff.
+        match conn.poll(IDLE_POLL) {
+            Poll::Ready => continue,
+            Poll::Closed => return,
+            Poll::Idle => {
+                conn.parked_at = Instant::now();
+                parked.push_back(conn);
+                return;
+            }
+        }
+    }
+}
+
+/// The connection's IO type: faultable in test builds, bare TCP otherwise.
+#[cfg(any(test, feature = "fault-injection"))]
+type ConnIo = FaultStream<TcpStream>;
+#[cfg(not(any(test, feature = "fault-injection")))]
+type ConnIo = TcpStream;
+
+/// Outcome of probing a connection for buffered request bytes.
+enum Poll {
+    /// Request bytes are buffered: serve now.
+    Ready,
+    /// No data within the window; the socket is still open.
+    Idle,
+    /// EOF or a socket error between requests: nothing left to serve.
+    Closed,
+}
+
+/// One accepted connection with its buffered halves and keep-alive state.
+struct Conn {
+    /// A plain handle on the socket, kept for timeout control (the file
+    /// description — and thus `SO_RCVTIMEO` — is shared with both halves).
+    socket: TcpStream,
+    reader: BufReader<ConnIo>,
+    writer: TrackedWriter<BufWriter<ConnIo>>,
+    /// Requests already answered on this connection.
+    served: u64,
+    /// When the connection was last parked (for the idle deadline).
+    parked_at: Instant,
+}
+
+impl Conn {
+    /// Wraps an accepted socket. Under fault injection both halves go
+    /// through the currently installed plan (captured once per connection).
+    fn new(shared: &Shared, stream: TcpStream) -> Option<Self> {
+        let _ = stream.set_read_timeout(Some(shared.config.read_deadline));
+        let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
+        let read_half = stream.try_clone().ok()?;
+        let socket = stream.try_clone().ok()?;
+        #[cfg(any(test, feature = "fault-injection"))]
+        let (reader, writer) = {
+            let plan = shared.fault.read().expect("fault plan lock poisoned").clone();
+            (
+                BufReader::new(FaultStream::new(read_half, plan.clone())),
+                TrackedWriter::new(BufWriter::new(FaultStream::new(stream, plan))),
+            )
+        };
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        let (reader, writer) =
+            (BufReader::new(read_half), TrackedWriter::new(BufWriter::new(stream)));
+        Some(Self { socket, reader, writer, served: 0, parked_at: Instant::now() })
+    }
+
+    /// Probes for buffered request bytes, waiting at most `window`.
+    fn poll(&mut self, window: Duration) -> Poll {
+        let _ = self.socket.set_read_timeout(Some(window));
+        match self.reader.fill_buf() {
+            Ok([]) => Poll::Closed,
+            Ok(_) => Poll::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Poll::Idle
+            }
+            Err(_) => Poll::Closed,
+        }
+    }
+}
+
+/// The per-request core: read, dispatch inside `catch_unwind`, answer,
+/// count. Returns whether the connection survives for another request.
+///
+/// A handler panic is isolated to this request — counted, answered with a
+/// structured 500 when the response has not started (after that the torn
+/// connection itself is the correct failure signal) — and always closes
+/// the connection. A read deadline expiring mid-request is answered 408. A
+/// peer that closes (or resets) a kept-alive connection *between* requests
+/// is not an error and not a request: the connection is dropped silently,
+/// so idle churn never skews the request counters.
+fn serve_request(shared: &Shared, conn: &mut Conn) -> bool {
+    let metrics = &shared.metrics;
+    // `poll` may have shrunk the socket timeout; requests get the full
+    // read deadline (the head may still be in flight behind the probe).
+    let _ = conn.socket.set_read_timeout(Some(shared.config.read_deadline));
+    conn.writer.begin_request();
+    let parsed = Request::read_from(&mut conn.reader);
+    let reused = conn.served > 0;
+    if reused && matches!(parsed, Err(ServerError::Io(_))) {
+        // EOF or reset between requests on a kept-alive connection.
+        return false;
+    }
+    let inbound_id = parsed.as_ref().ok().and_then(|r| r.header("x-privbayes-request-id"));
+    let ctx = RequestCtx::new(metrics, metrics.request_id(inbound_id));
+    ctx.stage("parse");
+    let (method, path) = match &parsed {
+        Ok(request) => (request.method.clone(), request.path.clone()),
+        Err(_) => ("-".to_string(), "-".to_string()),
+    };
+    let mut keep = false;
+    match parsed {
+        Ok(request) => {
+            if reused {
+                metrics.connections_reused.inc();
+            }
+            conn.served += 1;
+            ctx.keep_alive.set(
+                request.wants_keep_alive()
+                    && conn.served < shared.config.max_conn_requests.max(1) as u64
+                    && !shared.shutdown.load(Ordering::SeqCst),
+            );
+            let deadline = Instant::now() + shared.config.handler_deadline;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(shared, &request, &mut conn.writer, deadline, &ctx)
+            }));
+            match outcome {
+                // The handler may flip `keep_alive` off (shutdown does).
+                Ok(Ok(())) => keep = ctx.keep_alive.get(),
+                // Socket-level failure mid-response: for a streaming
+                // response this is the deliberate truncation path — the
+                // close is what lets the client detect the torn transfer.
+                Ok(Err(_)) => {}
+                Err(_) => {
+                    metrics.panics.inc();
+                    if !conn.writer.started() {
+                        ctx.keep_alive.set(false);
+                        let _ = respond_error(
+                            &mut conn.writer,
+                            &ctx,
+                            500,
+                            "internal",
+                            "request handler panicked",
+                        );
+                    }
+                }
+            }
+        }
+        Err(ServerError::Timeout(msg)) => {
+            ctx.endpoint.set("read");
+            let _ = respond_error(&mut conn.writer, &ctx, 408, "request-timeout", &msg);
+        }
+        Err(e) => {
+            ctx.endpoint.set("read");
+            let _ = respond_error(&mut conn.writer, &ctx, 400, "bad-request", &e.to_string());
+        }
+    }
+    metrics.finish_request(&ctx, &method, &path, conn.writer.request_bytes());
+    keep
 }
 
 /// Insurance against pool decay: per-request `catch_unwind` already stops
@@ -448,111 +743,47 @@ fn reject_overloaded(shared: &Shared, stream: TcpStream) {
         503,
         "application/json",
         &[API_HEADER, ("Retry-After", "1"), (REQUEST_ID_HEADER, &ctx.id)],
+        false,
         text.as_bytes(),
     );
-    metrics.finish_request(&ctx, "-", "-", writer.bytes());
+    metrics.finish_request(&ctx, "-", "-", writer.request_bytes());
 }
 
-/// Reads, routes, and answers one request, counting it once done. Under
-/// fault injection both stream halves are wrapped so the plan can delay,
-/// truncate, or reset connection IO.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // The connection has left the pending queue and owns a worker now.
-    shared.metrics.queue_depth.sub(1);
-    let _ = stream.set_read_timeout(Some(shared.config.read_deadline));
-    let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
-    let Ok(read_half) = stream.try_clone() else { return };
-    #[cfg(any(test, feature = "fault-injection"))]
-    {
-        let plan = shared.fault.read().expect("fault plan lock poisoned").clone();
-        let reader = BufReader::new(FaultStream::new(read_half, plan.clone()));
-        let writer = BufWriter::new(FaultStream::new(stream, plan));
-        serve_one(shared, reader, writer);
-    }
-    #[cfg(not(any(test, feature = "fault-injection")))]
-    serve_one(shared, BufReader::new(read_half), BufWriter::new(stream));
-}
-
-/// The per-request core: read, dispatch inside `catch_unwind`, answer.
-/// A handler panic is isolated to this request — counted, answered with a
-/// structured 500 when the response has not started (after that the torn
-/// connection itself is the correct failure signal) — and the worker keeps
-/// serving. A read deadline expiring mid-request is answered 408.
-fn serve_one<R: BufRead, W: Write>(shared: &Shared, mut reader: R, writer: W) {
-    let metrics = &shared.metrics;
-    let mut writer = TrackedWriter::new(writer);
-    let parsed = Request::read_from(&mut reader);
-    let inbound_id = parsed.as_ref().ok().and_then(|r| r.header("x-privbayes-request-id"));
-    let ctx = RequestCtx::new(metrics, metrics.request_id(inbound_id));
-    ctx.stage("parse");
-    let (method, path) = match &parsed {
-        Ok(request) => (request.method.clone(), request.path.clone()),
-        Err(_) => ("-".to_string(), "-".to_string()),
-    };
-    match parsed {
-        Ok(request) => {
-            let deadline = Instant::now() + shared.config.handler_deadline;
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // Socket-level failures mid-response are the client's
-                // problem (it hung up); nothing to answer on a dead
-                // connection.
-                let _ = route(shared, &request, &mut writer, deadline, &ctx);
-            }));
-            if outcome.is_err() {
-                metrics.panics.inc();
-                if !writer.started() {
-                    let _ = respond_error(
-                        &mut writer,
-                        &ctx,
-                        500,
-                        "internal",
-                        "request handler panicked",
-                    );
-                }
-            }
-        }
-        Err(ServerError::Timeout(msg)) => {
-            ctx.endpoint.set("read");
-            let _ = respond_error(&mut writer, &ctx, 408, "request-timeout", &msg);
-        }
-        Err(e) => {
-            ctx.endpoint.set("read");
-            let _ = respond_error(&mut writer, &ctx, 400, "bad-request", &e.to_string());
-        }
-    }
-    metrics.finish_request(&ctx, &method, &path, writer.bytes());
-}
-
-/// A writer that remembers whether any response byte has reached the wire
-/// (so the panic handler knows whether a structured 500 is still possible)
-/// and how many bytes did, for the access log.
+/// A writer that counts response bytes per request on a persistent
+/// connection: `started` tells the panic handler whether a structured 500
+/// is still possible for the *current* request, and `request_bytes` feeds
+/// the access log.
 struct TrackedWriter<W: Write> {
     inner: W,
-    started: bool,
     bytes: u64,
+    mark: u64,
 }
 
 impl<W: Write> TrackedWriter<W> {
     fn new(inner: W) -> Self {
-        Self { inner, started: false, bytes: 0 }
+        Self { inner, bytes: 0, mark: 0 }
     }
 
+    /// Resets the per-request view (call before reading each request).
+    fn begin_request(&mut self) {
+        self.mark = self.bytes;
+    }
+
+    /// Whether any byte of the current request's response was written.
     fn started(&self) -> bool {
-        self.started
+        self.bytes > self.mark
     }
 
-    fn bytes(&self) -> u64 {
-        self.bytes
+    /// Bytes written for the current request.
+    fn request_bytes(&self) -> u64 {
+        self.bytes - self.mark
     }
 }
 
 impl<W: Write> Write for TrackedWriter<W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         let n = self.inner.write(buf)?;
-        if n > 0 {
-            self.started = true;
-            self.bytes += n as u64;
-        }
+        self.bytes += n as u64;
         Ok(n)
     }
 
@@ -624,6 +855,7 @@ fn route<W: Write>(
                 200,
                 "text/plain; version=0.0.4; charset=utf-8",
                 &[API_HEADER, (REQUEST_ID_HEADER, &ctx.id)],
+                ctx.keep_alive.get(),
                 body.as_bytes(),
             )
         }
@@ -701,6 +933,8 @@ fn route<W: Write>(
         ("POST", ["shutdown"]) => {
             ctx.endpoint.set("shutdown");
             shared.shutdown.store(true, Ordering::SeqCst);
+            // The final response on a draining server always closes.
+            ctx.keep_alive.set(false);
             let result = respond_json(
                 out,
                 ctx,
@@ -948,35 +1182,121 @@ fn stream_synth<W: Write>(
         metrics.bytes_streamed.add(bytes);
     };
     let write_started = Instant::now();
-    let mut chunked = ChunkedResponse::begin(out, 200, resolved.format.content_type(), &headers)?;
+    let mut chunked = ChunkedResponse::begin(
+        out,
+        200,
+        resolved.format.content_type(),
+        &headers,
+        ctx.keep_alive.get(),
+    )?;
     if resolved.start_row == 0 {
         let header = resolved.format.header(schema, projection);
         bytes_out += header.len() as u64;
         chunked.write(header.as_bytes())?;
     }
     write_time += write_started.elapsed();
-    let mut stream = stream;
-    loop {
-        let sample_started = Instant::now();
-        let Some(chunk) = stream.next() else { break };
-        sample_time += sample_started.elapsed();
-        // The deadline is checked at chunk boundaries: once the response
-        // has started the only honest way to stop is to truncate the
-        // chunked stream (no terminating chunk), which the client decodes
-        // as an interrupted transfer and may resume via the cursor.
-        if Instant::now() >= deadline {
-            finalize(sample_time, write_time, rows_out, bytes_out);
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::TimedOut,
-                "handler deadline expired mid-stream",
-            ));
+    // Unconditioned, unprojected, from-the-start streams are pure functions
+    // of `(model generation, seed, format, rows)` chunk by chunk, so they
+    // route through the row-block cache: each chunk is either replayed from
+    // cache or sampled, formatted, and published for the next request.
+    // Everything else (evidence, projection, cursor resume) streams cold.
+    let cacheable = shared.cache.enabled()
+        && resolved.evidence.is_empty()
+        && resolved.projection.is_none()
+        && resolved.start_row == 0;
+    if cacheable {
+        // Chunks are absolute-aligned and per-chunk seeded, so a segment
+        // stream started at any chunk boundary yields exactly the chunks
+        // of the full stream — cache hits and misses interleave freely
+        // without changing a byte.
+        let mut segment = Some(stream);
+        let mut next_row = 0usize;
+        while next_row < rows {
+            // Deadline at chunk boundaries: once the response has started
+            // the only honest way to stop is to truncate the chunked
+            // stream (no terminating chunk), which the client decodes as
+            // an interrupted transfer and may resume via the cursor.
+            if Instant::now() >= deadline {
+                finalize(sample_time, write_time, rows_out, bytes_out);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "handler deadline expired mid-stream",
+                ));
+            }
+            let chunk_rows = CHUNK_ROWS.min(rows - next_row);
+            let key = BlockKey {
+                generation: entry.generation,
+                seed,
+                format: resolved.format,
+                chunk_index: next_row / CHUNK_ROWS,
+                rows: chunk_rows,
+            };
+            if let Some(block) = shared.cache.get(&key) {
+                // The sampler position is now stale; rebuild on next miss.
+                segment = None;
+                let write_started = Instant::now();
+                rows_out += chunk_rows as u64;
+                bytes_out += block.len() as u64;
+                chunked.write(block.as_bytes())?;
+                write_time += write_started.elapsed();
+            } else {
+                let sample_started = Instant::now();
+                if segment.is_none() {
+                    let seg = ResolvedSynth {
+                        rows: resolved.rows,
+                        seed: resolved.seed,
+                        format: resolved.format,
+                        projection: None,
+                        evidence: Vec::new(),
+                        start_row: next_row,
+                    };
+                    let mut seg_rng = StdRng::seed_from_u64(seed);
+                    match sampler.stream_spec(&seg.sample_spec(rows), &mut seg_rng) {
+                        Ok(s) => segment = Some(s),
+                        Err(e) => {
+                            // The spec already validated once; mid-response
+                            // there is no clean error channel left, so fail
+                            // like a deadline overrun: truncate.
+                            finalize(sample_time, write_time, rows_out, bytes_out);
+                            return Err(std::io::Error::other(e.to_string()));
+                        }
+                    }
+                }
+                let Some(chunk) = segment.as_mut().expect("created above").next() else { break };
+                sample_time += sample_started.elapsed();
+                let write_started = Instant::now();
+                let rendered = resolved.format.render(schema, projection, &chunk);
+                rows_out += chunk.len() as u64;
+                bytes_out += rendered.len() as u64;
+                let block: Arc<str> = Arc::from(rendered);
+                shared.cache.insert(key, Arc::clone(&block));
+                chunked.write(block.as_bytes())?;
+                write_time += write_started.elapsed();
+            }
+            next_row += chunk_rows;
         }
-        let write_started = Instant::now();
-        let rendered = resolved.format.render(schema, projection, &chunk);
-        rows_out += chunk.len() as u64;
-        bytes_out += rendered.len() as u64;
-        chunked.write(rendered.as_bytes())?;
-        write_time += write_started.elapsed();
+    } else {
+        let mut stream = stream;
+        loop {
+            let sample_started = Instant::now();
+            let Some(chunk) = stream.next() else { break };
+            sample_time += sample_started.elapsed();
+            // Same truncation contract as above: the deadline is checked
+            // at chunk boundaries only.
+            if Instant::now() >= deadline {
+                finalize(sample_time, write_time, rows_out, bytes_out);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "handler deadline expired mid-stream",
+                ));
+            }
+            let write_started = Instant::now();
+            let rendered = resolved.format.render(schema, projection, &chunk);
+            rows_out += chunk.len() as u64;
+            bytes_out += rendered.len() as u64;
+            chunked.write(rendered.as_bytes())?;
+            write_time += write_started.elapsed();
+        }
     }
     let write_started = Instant::now();
     let result = chunked.finish();
@@ -1291,6 +1611,7 @@ fn respond_json<W: Write>(
         code,
         "application/json",
         &[API_HEADER, (REQUEST_ID_HEADER, &ctx.id)],
+        ctx.keep_alive.get(),
         text.as_bytes(),
     )
 }

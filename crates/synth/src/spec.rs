@@ -243,7 +243,7 @@ impl From<u32> for ValueRef {
 }
 
 /// Wire format of a streamed synthesis response.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum RowFormat {
     /// `text/csv`: header line, then one comma-joined label row per tuple.
     #[default]

@@ -17,6 +17,10 @@
 //!    reaped with 408.
 //! 5. **Retry discipline** — idempotent requests retry; `POST /fit` (which
 //!    spends privacy budget) never auto-retries.
+//! 6. **Keep-alive survival** — registry eviction and ledger persistence
+//!    churn never tear a stream on a reused connection, and an injected
+//!    reset on a parked connection fails the next request cleanly, with the
+//!    pooled client recovering byte-exactly on a fresh connection.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -435,7 +439,171 @@ fn a_slow_loris_peer_is_reaped_with_408() {
 }
 
 // ---------------------------------------------------------------------------
-// 6. Retry discipline: /fit is never auto-retried
+// 6. Keep-alive connections under churn and injected resets
+// ---------------------------------------------------------------------------
+
+/// Registry eviction and ledger persistence churn racing kept-alive
+/// connections mid-stream: every streamed request on a reused connection
+/// either completes byte-identically to the reference or fails with a clean
+/// 404 (an eviction gap) — never a torn stream — and the same connections
+/// keep serving once the churn stops. The ledger, persisted (striped)
+/// throughout the race, holds every charge.
+#[test]
+fn eviction_and_ledger_churn_never_tear_a_keepalive_stream() {
+    let path = temp_path("keepalive-churn");
+    let _ = std::fs::remove_file(&path);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("m", fixture_model(1)).unwrap();
+    let ledger = Arc::new(BudgetLedger::with_persistence_striped(&path, 8).unwrap());
+    let config = ServerConfig { workers: 2, fit_threads: Some(1), ..ServerConfig::default() };
+    let server =
+        Server::bind("127.0.0.1:0", config, Arc::clone(&registry), Arc::clone(&ledger)).unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+    let client = Client::new(addr.to_string());
+
+    let rows = 4 * privbayes_suite::core::CHUNK_ROWS; // long enough to race
+    let reference = client.synth("m", rows, 9, "csv").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let outcomes: Vec<Result<String, ServerError>> = std::thread::scope(|scope| {
+        let churn = {
+            let registry = Arc::clone(&registry);
+            let ledger = Arc::clone(&ledger);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let reload = fixture_model(1);
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let _ = registry.evict("m");
+                    registry.load("m", reload.clone()).unwrap();
+                    let tenant = format!("tenant-{i}");
+                    ledger.register(&tenant, 1.0).unwrap();
+                    ledger.charge(&tenant, 0.5).unwrap();
+                    i += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        // Two streamers, each with its own kept-alive connection (a fresh
+        // `Client` each: clones would share one pool slot).
+        let streamers: Vec<_> = (0..2)
+            .map(|_| {
+                let client = Client::new(addr.to_string());
+                scope.spawn(move || {
+                    let results: Vec<_> =
+                        (0..8).map(|_| client.synth("m", rows, 9, "csv")).collect();
+                    // The churn is still running: one more request on the
+                    // same kept-alive connection must still be exact.
+                    (client, results)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut clients = Vec::new();
+        for t in streamers {
+            let (client, results) = t.join().unwrap();
+            all.extend(results);
+            clients.push(client);
+        }
+        stop.store(true, Ordering::SeqCst);
+        churn.join().unwrap();
+        // Calm after the churn: the *same* pooled connections serve again.
+        for client in &clients {
+            all.push(client.synth("m", rows, 9, "csv"));
+        }
+        all
+    });
+
+    let mut completed = 0;
+    for outcome in outcomes {
+        match outcome {
+            Ok(body) => {
+                assert_eq!(body, reference, "a completed keep-alive stream must be exact");
+                completed += 1;
+            }
+            Err(ServerError::Status { code: 404, .. }) => {} // eviction gap: clean error
+            Err(other) => panic!("keep-alive request failed uncleanly: {other}"),
+        }
+    }
+    assert!(completed >= 2, "streams must have completed during the churn");
+
+    // The connections really were reused, and the striped ledger persisted
+    // every charge through the race.
+    let reused =
+        client.metrics().unwrap().value("privbayes_connections_reused_total", &[]).unwrap_or(0.0);
+    assert!(reused > 0.0, "the streamers must have ridden kept-alive connections");
+    assert_eq!(ledger.budget("tenant-0").unwrap().spent.to_bits(), 0.5f64.to_bits());
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains(LEDGER_FORMAT_V2), "{text}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("tmp"));
+}
+
+/// An injected reset on a *reused* connection (`ConnRead` step 1: the first
+/// read after the first request's head) kills the parked connection. The
+/// next request on that raw socket fails cleanly — EOF or a reset, never a
+/// partial response — and a pooled client then recovers byte-exactly on a
+/// fresh connection.
+#[test]
+fn a_reset_on_a_reused_connection_fails_cleanly_and_recovery_is_byte_exact() {
+    let (handle, client, slot) = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let rows = 2 * privbayes_suite::core::CHUNK_ROWS + 57;
+    let path = format!("/models/m/synth?rows={rows}&seed=5&format=csv");
+
+    // Install the plan before any connection exists: each connection
+    // captures the live plan at accept time.
+    let plan = Arc::new(FaultPlan::new().inject(FaultSite::ConnRead, 1, Fault::Reset));
+    *slot.write().unwrap() = Some(Arc::clone(&plan));
+
+    // Request 1 on a raw keep-alive connection: head read is ConnRead step
+    // 0, clean — the full response arrives.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(format!("GET {path} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = Vec::new();
+    let mut buf = [0u8; 8192];
+    while !response.ends_with(b"\r\n0\r\n\r\n") {
+        let n = raw.read(&mut buf).expect("the first response must stream cleanly");
+        assert!(n > 0, "the first response must complete before the fault fires");
+        response.extend_from_slice(&buf[..n]);
+    }
+    assert!(response.starts_with(b"HTTP/1.1 200"), "first keep-alive response must be 200");
+
+    // The server's next read on this connection — its idle poll — consumes
+    // ConnRead step 1 and dies on the injected reset.
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(plan.fired() >= 1, "the injected reset must have fired");
+
+    // Request 2 on the dead connection fails *cleanly*: the write may be
+    // buffered, but no partial second response ever arrives.
+    let _ =
+        raw.write_all(format!("GET {path} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").as_bytes());
+    // EOF and ECONNRESET are equally clean — both read as "no bytes".
+    let after = raw.read(&mut buf).unwrap_or_default();
+    assert_eq!(after, 0, "a killed connection must never deliver a partial response");
+    drop(raw);
+
+    // A retrying pooled client recovers on a fresh connection (ConnRead
+    // steps 2+ are clean) — byte-exactly.
+    let recovered = client.with_retry(fast_retry(4)).synth("m", rows, 5, "csv").unwrap();
+    *slot.write().unwrap() = None;
+    let client = Client::new(addr.to_string());
+    let reference = client.synth("m", rows, 5, "csv").unwrap();
+    assert_eq!(recovered, reference, "recovery after the reset must be byte-exact");
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.panics, 0, "an injected reset must never panic a worker: {stats:?}");
+}
+
+// ---------------------------------------------------------------------------
+// 7. Retry discipline: /fit is never auto-retried
 // ---------------------------------------------------------------------------
 
 /// Against a server that answers every request 500, a retrying client

@@ -6,6 +6,9 @@
 //! 2. **Ledger** — budget exhaustion returns the structured 402 exactly at
 //!    the ε boundary, and a rejected request mutates nothing.
 //! 3. **Registry** — eviction under load never drops an in-flight request.
+//! 4. **Keep-alive** — back-to-back requests on one connection (the second
+//!    a row-block cache replay of the first) are each completely framed and
+//!    byte-identical to the batch path; `Connection: close` stays honored.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -249,6 +252,83 @@ fn eviction_under_load_never_drops_inflight_requests() {
 
     client.shutdown().unwrap();
     handle.join().unwrap();
+}
+
+/// Reads one HTTP/1.1 chunked response off `stream` — exactly up to the
+/// chunked terminator, leaving the connection positioned at the next
+/// response — and returns `(head, dechunked body)`. The scan for the
+/// terminator is unambiguous because CSV/NDJSON bodies never contain `\r`.
+fn read_chunked_response(stream: &mut TcpStream) -> (String, String) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    while !raw.ends_with(b"\r\n0\r\n\r\n") {
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "connection closed before the chunked terminator");
+        raw.extend_from_slice(&buf[..n]);
+    }
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let head = String::from_utf8(raw[..head_end].to_vec()).unwrap();
+    let mut body = String::new();
+    let mut rest = &raw[head_end..];
+    loop {
+        let line_end = rest.windows(2).position(|w| w == b"\r\n").unwrap();
+        let size =
+            usize::from_str_radix(std::str::from_utf8(&rest[..line_end]).unwrap(), 16).unwrap();
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            break;
+        }
+        body.push_str(std::str::from_utf8(&rest[..size]).unwrap());
+        rest = &rest[size + 2..];
+    }
+    (head, body)
+}
+
+/// Two requests on one kept-alive connection — the first sampled cold, the
+/// second replayed from the row-block cache — are each a complete,
+/// correctly framed `Connection: keep-alive` response whose dechunked body
+/// is byte-identical to the direct batch sampler; a `Connection: close`
+/// fetch of the same request still closes and carries the same bytes.
+#[test]
+fn a_kept_alive_connection_serves_byte_identical_streams_back_to_back() {
+    let (handle, client, registry, _ledger) = start_server(2);
+    let rows = privbayes_suite::core::CHUNK_ROWS + 201;
+    let seed = 13u64;
+
+    let entry = registry.get("m").unwrap();
+    let direct = entry
+        .sampler()
+        .unwrap()
+        .sample_dataset(rows, None, &mut StdRng::seed_from_u64(seed))
+        .unwrap();
+    let mut expected = Vec::new();
+    write_csv(&direct, &mut expected).unwrap();
+    let expected = String::from_utf8(expected).unwrap();
+
+    let path = format!("/models/m/synth?rows={rows}&seed={seed}&format=csv");
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+    for pass in ["cold", "cached"] {
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        let (head, body) = read_chunked_response(&mut stream);
+        assert!(head.starts_with("HTTP/1.1 200"), "{pass}: {head}");
+        assert!(
+            head.to_ascii_lowercase().contains("connection: keep-alive"),
+            "a kept-alive response must say so ({pass}): {head}"
+        );
+        assert_eq!(body, expected, "the {pass} keep-alive stream must equal the batch path");
+    }
+    drop(stream);
+
+    // `Connection: close` is still honored per request, bytes unchanged.
+    let closed = client.request("GET", &path, None).unwrap();
+    assert_eq!(closed.code, 200);
+    assert_eq!(closed.header("connection"), Some("close"));
+    assert_eq!(closed.text(), expected);
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.panics, 0, "{stats:?}");
 }
 
 /// Sends raw `bytes`, half-closes the write side, and returns whatever the
