@@ -12,9 +12,11 @@ use privbayes_data::csv::{read_csv, write_csv};
 use privbayes_data::encoding::EncodingKind;
 use privbayes_data::{Dataset, Schema};
 use privbayes_marginals::average_workload_tvd;
-use privbayes_model::{schema_from_json, Json, ReleasedModel, ReleasedRelationalModel};
+use privbayes_model::{
+    schema_from_json, schema_to_json, Json, ReleasedModel, ReleasedRelationalModel,
+};
 use privbayes_obs::Span;
-use privbayes_server::{BudgetLedger, ModelRegistry, Server, ServerConfig};
+use privbayes_server::{BudgetLedger, ModelRegistry, RefitPolicy, Server, ServerConfig};
 use privbayes_synth::{
     fit_method, Cursor, FitSettings, MarginalQuery, Method, RowFormat, SynthSpec,
 };
@@ -104,6 +106,7 @@ commands:
            [--keepalive-requests N=1000] [--idle-deadline-ms N=5000]
            [--cache-bytes N=67108864]
            [--access-log PATH] [--metrics on|off=on]
+           [--data-dir DIR] [--refit-rows N] [--refit-staleness-ms N]
            Run the synthesis service: model registry, per-tenant privacy
            ledger (persisted at --ledger, crash-durable), and streaming
            synthesis endpoints. Prints the bound address, then blocks until
@@ -117,9 +120,25 @@ commands:
            disables it); --ledger-stripes sets the tenant-ledger lock
            stripe count. --access-log appends one JSON line per request;
            --metrics off disables the GET /metrics Prometheus exposition
-           (counters still run and back GET /healthz). The fit, synth, and
+           (counters still run and back GET /healthz). --data-dir journals
+           ingested per-tenant datasets there (crash-durable, recovered on
+           restart); --refit-rows / --refit-staleness-ms enable background
+           refits once a tenant has that many pending rows, or any pending
+           rows that old — each refit debits the tenant's ε like POST /fit
+           and hot-swaps a new model generation. The fit, synth, and
            query commands accept --verbose for per-stage wall-time
            reporting.
+
+  ingest   --server ADDR --tenant NAME --data D.csv [--schema S.json]
+           [--model-id ID --epsilon F [--method NAME=privbayes] [--seed N]]
+           [--format csv|jsonl]
+           Append a batch of rows to a tenant's server-side dataset via
+           POST /v1/tenants/{t}/ingest. The first batch for a tenant must
+           carry --schema and the refit target (--model-id + --epsilon);
+           later batches may omit both. Appending spends no privacy
+           budget — ε is debited by the background refits the rows trigger
+           (see serve --refit-rows). Prints the server's receipt (batch,
+           total, and pending row counts).
 
 The --threads flag on fit/synth pins the scoring/sampling worker count
 (default: all cores); outputs are identical for every value.
@@ -154,6 +173,7 @@ where
         "inspect" => inspect(&parsed),
         "methods" => methods(&parsed),
         "serve" => serve(&parsed),
+        "ingest" => ingest(&parsed),
         other => Err(CliError::Usage(format!("unknown command `{other}` (try `help`)"))),
     }
 }
@@ -662,6 +682,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "cache-bytes",
         "access-log",
         "metrics",
+        "data-dir",
+        "refit-rows",
+        "refit-staleness-ms",
     ])?;
     let registry = Arc::new(ModelRegistry::new());
     match (args.optional("model"), args.optional("model-id")) {
@@ -740,6 +763,21 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         cache_bytes: args.parse_or("cache-bytes", defaults.cache_bytes)?,
         metrics_enabled,
         access_log: args.optional("access-log").map(std::path::PathBuf::from),
+        data_dir: args.optional("data-dir").map(std::path::PathBuf::from),
+        refit: {
+            let min_rows = args.parse_opt::<u64>("refit-rows")?;
+            if min_rows == Some(0) {
+                return Err(CliError::Usage("--refit-rows must be positive".into()));
+            }
+            let staleness_ms = args.parse_opt::<u64>("refit-staleness-ms")?;
+            if staleness_ms == Some(0) {
+                return Err(CliError::Usage("--refit-staleness-ms must be positive".into()));
+            }
+            RefitPolicy {
+                min_rows: min_rows.unwrap_or(u64::MAX),
+                max_staleness: staleness_ms.map(std::time::Duration::from_millis),
+            }
+        },
     };
     let server = Server::bind(
         args.optional("addr").unwrap_or("127.0.0.1:0"),
@@ -751,6 +789,67 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let _ = std::io::stdout().flush();
     let stats = server.run()?;
     Ok(format!("server shut down cleanly after {} requests", stats.requests))
+}
+
+/// `ingest`: append a batch of rows to a tenant's dataset on a running
+/// server. The batch file is shipped verbatim (the server validates every
+/// row against the schema before accepting anything).
+fn ingest(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[
+        "server", "tenant", "data", "schema", "model-id", "method", "epsilon", "seed", "format",
+    ])?;
+    let addr = args.required("server")?;
+    let tenant = args.required("tenant")?;
+    let data_path = args.required("data")?;
+    let rows = fs::read_to_string(data_path)
+        .map_err(|e| CliError::Io { path: data_path.into(), message: e.to_string() })?;
+    let rows_field = match args.optional("format").unwrap_or("csv") {
+        "csv" => "csv",
+        "jsonl" => "jsonl",
+        other => {
+            return Err(CliError::Usage(format!(
+                "--format: expected `csv` or `jsonl`, got `{other}`"
+            )))
+        }
+    };
+    let mut fields: Vec<(&str, Json)> = Vec::new();
+    if let Some(schema_path) = args.optional("schema") {
+        fields.push(("schema", schema_to_json(&load_schema(schema_path)?)));
+    }
+    match (args.optional("model-id"), args.parse_opt::<f64>("epsilon")?) {
+        (Some(id), Some(epsilon)) => {
+            fields.push(("model_id", Json::String(id.to_string())));
+            fields.push(("epsilon", Json::Number(epsilon)));
+            if let Some(method) = args.optional("method") {
+                fields.push(("method", Json::String(method.to_string())));
+            }
+            if let Some(seed) = args.parse_opt::<u64>("seed")? {
+                fields.push(("seed", Json::from_usize(seed as usize)));
+            }
+        }
+        (Some(_), None) => return Err(CliError::Usage("--model-id needs --epsilon".into())),
+        (None, Some(_)) => return Err(CliError::Usage("--epsilon needs --model-id".into())),
+        (None, None) => {}
+    }
+    fields.push((rows_field, Json::String(rows)));
+    let client = privbayes_server::Client::new(addr);
+    let response = client.ingest(tenant, &Json::object(fields))?;
+    if !(200..300).contains(&response.code) {
+        return Err(CliError::Server(format!(
+            "server returned {}: {}",
+            response.code,
+            response.text()
+        )));
+    }
+    let receipt = Json::parse(&response.text())
+        .map_err(|e| CliError::Server(format!("unparsable receipt: {e}")))?;
+    let count = |name: &str| receipt.get(name).and_then(Json::as_usize).unwrap_or(0);
+    Ok(format!(
+        "tenant {tenant}: accepted {} rows ({} total, {} pending refit)",
+        count("batch_rows"),
+        count("total_rows"),
+        count("pending_rows"),
+    ))
 }
 
 fn make_rng(seed: Option<u64>) -> StdRng {
@@ -1320,7 +1419,7 @@ mod tests {
         let full = fs::read_to_string(&full_path).unwrap();
 
         let tail_path = dir.join("tail.csv").to_str().unwrap().to_string();
-        let cursor = Cursor { seed: 5, row: 40 }.encode();
+        let cursor = Cursor { seed: 5, row: 40, generation: None }.encode();
         let out = run_cli(&[
             "synth",
             "--model",

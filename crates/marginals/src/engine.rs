@@ -200,18 +200,22 @@ pub trait CountBackend: Sync {
 }
 
 /// The general-domain backend: one fused radix pass over pre-encoded dense
-/// `u32` code columns.
-struct RadixBackend<'d> {
-    data: &'d Dataset,
+/// `u32` code columns. Owns its columns (cloned from the source dataset)
+/// so a long-lived engine — e.g. one per ingesting tenant — does not
+/// borrow the `Dataset` it was built from.
+#[derive(Debug)]
+struct RadixBackend {
+    schema: Schema,
+    /// Level-0 code columns, one per attribute.
+    columns: Vec<Vec<u32>>,
     /// Lazily-encoded generalised columns, indexed `[attr][level - 1]`.
-    /// Level 0 borrows the dataset column directly.
     generalised: Vec<Vec<OnceLock<Vec<u32>>>>,
+    n: usize,
 }
 
-impl<'d> RadixBackend<'d> {
-    fn new(data: &'d Dataset) -> Self {
-        let generalised = data
-            .schema()
+impl RadixBackend {
+    fn new(schema: Schema, columns: Vec<Vec<u32>>, n: usize) -> Self {
+        let generalised = schema
             .attributes()
             .iter()
             .map(|a| {
@@ -219,34 +223,57 @@ impl<'d> RadixBackend<'d> {
                 (1..height).map(|_| OnceLock::new()).collect()
             })
             .collect();
-        Self { data, generalised }
+        Self { schema, columns, generalised, n }
     }
 
     /// The dense code column of an axis (encoded once, then shared).
     fn codes(&self, axis: Axis) -> &[u32] {
         if axis.level == 0 {
-            return self.data.column(axis.attr);
+            return &self.columns[axis.attr];
         }
         self.generalised[axis.attr][axis.level - 1].get_or_init(|| {
             let lookup = self
-                .data
-                .schema()
+                .schema
                 .attribute(axis.attr)
                 .taxonomy()
                 .expect("validated by Axis::size")
                 .level_lookup(axis.level);
-            self.data.column(axis.attr).iter().map(|&v| lookup[v as usize]).collect()
+            self.columns[axis.attr].iter().map(|&v| lookup[v as usize]).collect()
         })
+    }
+
+    /// Appends `delta_n` rows of level-0 code columns. Generalised columns
+    /// that were already encoded are extended through the same taxonomy
+    /// lookup they were built with, so `codes` stays consistent; ones never
+    /// requested stay lazy.
+    fn extend(&mut self, columns: &[Vec<u32>], delta_n: usize) {
+        for (attr, levels) in self.generalised.iter_mut().enumerate() {
+            for (li, slot) in levels.iter_mut().enumerate() {
+                if let Some(col) = slot.get_mut() {
+                    let lookup = self
+                        .schema
+                        .attribute(attr)
+                        .taxonomy()
+                        .expect("generalised column exists")
+                        .level_lookup(li + 1);
+                    col.extend(columns[attr].iter().map(|&v| lookup[v as usize]));
+                }
+            }
+        }
+        for (col, add) in self.columns.iter_mut().zip(columns) {
+            col.extend_from_slice(add);
+        }
+        self.n += delta_n;
     }
 }
 
-impl CountBackend for RadixBackend<'_> {
+impl CountBackend for RadixBackend {
     fn supports(&self, _axes: &[Axis]) -> bool {
         true
     }
 
     fn materialise(&self, axes: &[Axis]) -> CountTable {
-        let schema = self.data.schema();
+        let schema = &self.schema;
         let dims: Vec<usize> = axes.iter().map(|a| a.size(schema)).collect();
         let cells: usize = dims.iter().product();
         let mut counts = vec![0u64; cells];
@@ -277,7 +304,7 @@ impl CountBackend for RadixBackend<'_> {
                 }
             }
             _ => {
-                for row in 0..self.data.n() {
+                for row in 0..self.n {
                     let mut idx = 0usize;
                     for (col, stride) in &cols {
                         idx += col[row] as usize * stride;
@@ -292,6 +319,7 @@ impl CountBackend for RadixBackend<'_> {
 
 /// Bit-packed columns of the binary attributes: joints over raw binary axes
 /// come from AND + popcount chains instead of row scans.
+#[derive(Debug)]
 struct BitBackend {
     /// One bit mask per attribute (empty for non-binary attributes).
     cols: Vec<Vec<u64>>,
@@ -303,16 +331,17 @@ impl BitBackend {
     /// lattice is exponential in the arity).
     const MAX_ARITY: usize = 16;
 
-    fn new(data: &Dataset) -> Self {
-        let n = data.n();
+    fn new(schema: &Schema, columns: &[Vec<u32>], n: usize) -> Self {
         let words = n.div_ceil(64);
-        let cols = (0..data.d())
-            .map(|a| {
-                if !data.schema().attribute(a).is_binary() {
+        let cols = columns
+            .iter()
+            .enumerate()
+            .map(|(a, column)| {
+                if !schema.attribute(a).is_binary() {
                     return Vec::new();
                 }
                 let mut mask = vec![0u64; words];
-                for (row, &v) in data.column(a).iter().enumerate() {
+                for (row, &v) in column.iter().enumerate() {
                     if v == 1 {
                         mask[row / 64] |= 1 << (row % 64);
                     }
@@ -321,6 +350,25 @@ impl BitBackend {
             })
             .collect();
         Self { cols, n }
+    }
+
+    /// Appends `delta_n` rows to the bit masks (binary attributes only —
+    /// `schema` decides, since an empty mask can also mean "no rows yet").
+    fn extend(&mut self, schema: &Schema, columns: &[Vec<u32>], delta_n: usize) {
+        let words = (self.n + delta_n).div_ceil(64);
+        for (a, mask) in self.cols.iter_mut().enumerate() {
+            if !schema.attribute(a).is_binary() {
+                continue;
+            }
+            mask.resize(words, 0);
+            for (i, &v) in columns[a].iter().enumerate() {
+                if v == 1 {
+                    let row = self.n + i;
+                    mask[row / 64] |= 1 << (row % 64);
+                }
+            }
+        }
+        self.n += delta_n;
     }
 }
 
@@ -405,6 +453,11 @@ pub struct EngineStats {
     pub cached_tables: usize,
     /// Bytes of count tables materialized by scans (8 bytes per cell).
     pub bytes_materialized: u64,
+    /// Incremental batches folded in via [`CountEngine::append`] /
+    /// [`CountEngine::merge`].
+    pub appends: usize,
+    /// Total rows delivered by those batches.
+    pub rows_appended: u64,
     /// Wall time spent materializing scan tables, in microseconds.
     pub scan_micros: u64,
     /// Wall time of the candidate-scoring (structure learning) phase, in
@@ -416,13 +469,62 @@ pub struct EngineStats {
     pub alias_micros: u64,
 }
 
+/// A schema-tagged batch of encoded rows, ready to fold into a
+/// [`CountEngine`] — the unit of incremental ingestion. Deltas combine
+/// associatively ([`EngineDelta::merge`]), so per-shard batches can be
+/// concatenated in any grouping before they reach the engine and the final
+/// counts are identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineDelta {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+    n: usize,
+}
+
+impl EngineDelta {
+    /// Captures a dataset's rows as a delta (columns are cloned; the
+    /// dataset is not borrowed).
+    #[must_use]
+    pub fn from_dataset(data: &Dataset) -> Self {
+        let columns = (0..data.d()).map(|a| data.column(a).to_vec()).collect();
+        Self { schema: data.schema().clone(), columns, n: data.n() }
+    }
+
+    /// Concatenates `other` after this delta.
+    ///
+    /// # Panics
+    /// Panics if the schemas differ.
+    pub fn merge(&mut self, other: EngineDelta) {
+        assert_eq!(self.schema, other.schema, "delta schemas must match");
+        for (col, add) in self.columns.iter_mut().zip(&other.columns) {
+            col.extend_from_slice(add);
+        }
+        self.n += other.n;
+    }
+
+    /// Rows carried by this delta.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Schema the rows are encoded against.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
 /// The shared count engine: one per dataset, used by every greedy round (and
-/// safe to share across scoring threads).
+/// safe to share across scoring threads). Owns its encoded columns, so an
+/// engine can outlive the `Dataset` it was built from and keep growing via
+/// [`CountEngine::append`].
 ///
 /// See the module docs for the caching and determinism contract.
-pub struct CountEngine<'d> {
+#[derive(Debug)]
+pub struct CountEngine {
     n: usize,
-    radix: RadixBackend<'d>,
+    radix: RadixBackend,
     bits: Option<BitBackend>,
     /// Canonical tables keyed by the axis set sorted by (attr, level).
     cache: RwLock<HashMap<Vec<Axis>, Arc<CountTable>>>,
@@ -431,27 +533,85 @@ pub struct CountEngine<'d> {
     scans: AtomicUsize,
     bytes_materialized: AtomicU64,
     scan_nanos: AtomicU64,
+    appends: usize,
+    rows_appended: u64,
 }
 
-impl<'d> CountEngine<'d> {
-    /// Builds an engine over `data`. The popcount backend is constructed when
+impl CountEngine {
+    /// Builds an engine over `data` (columns are cloned — the engine does
+    /// not borrow the dataset). The popcount backend is constructed when
     /// the schema has any binary attribute; generalised code columns are
     /// encoded lazily on first use.
     #[must_use]
-    pub fn new(data: &'d Dataset) -> Self {
-        let any_binary =
-            data.schema().attributes().iter().any(privbayes_data::Attribute::is_binary);
+    pub fn new(data: &Dataset) -> Self {
+        Self::from_delta(EngineDelta::from_dataset(data))
+    }
+
+    /// Builds an engine directly from a delta's columns.
+    #[must_use]
+    pub fn from_delta(delta: EngineDelta) -> Self {
+        let EngineDelta { schema, columns, n } = delta;
+        let any_binary = schema.attributes().iter().any(privbayes_data::Attribute::is_binary);
+        let bits = any_binary.then(|| BitBackend::new(&schema, &columns, n));
         Self {
-            n: data.n(),
-            radix: RadixBackend::new(data),
-            bits: any_binary.then(|| BitBackend::new(data)),
+            n,
+            radix: RadixBackend::new(schema, columns, n),
+            bits,
             cache: RwLock::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             projections: AtomicUsize::new(0),
             scans: AtomicUsize::new(0),
             bytes_materialized: AtomicU64::new(0),
             scan_nanos: AtomicU64::new(0),
+            appends: 0,
+            rows_appended: 0,
         }
+    }
+
+    /// Folds a batch of rows into the engine: every cached table is
+    /// advanced by the batch's exact integer counts and the backends'
+    /// columns grow in place, so subsequent requests are **bit-identical**
+    /// to a cold engine over the concatenated data. (Counting is exact
+    /// integer arithmetic and probabilities are always derived as
+    /// `count · (1/n)`, so incremental addition commutes with scanning.)
+    ///
+    /// # Panics
+    /// Panics if the batch's schema differs from the engine's.
+    pub fn append(&mut self, batch: &Dataset) {
+        self.merge(EngineDelta::from_dataset(batch));
+    }
+
+    /// As [`append`](Self::append), from an already-captured delta.
+    ///
+    /// # Panics
+    /// Panics if the delta's schema differs from the engine's.
+    pub fn merge(&mut self, delta: EngineDelta) {
+        assert_eq!(self.radix.schema, delta.schema, "append schema must match the engine's");
+        self.appends += 1;
+        self.rows_appended += delta.n as u64;
+        if delta.n == 0 {
+            return;
+        }
+        // Advance every cached table by the delta's own counts before the
+        // columns grow: a scratch backend over just the delta rows counts
+        // each cached axis set, and exact integer addition folds it in.
+        // `Arc::make_mut` clones a table another thread still holds, so an
+        // in-flight reader keeps its pre-append snapshot.
+        let scratch = RadixBackend::new(delta.schema, delta.columns, delta.n);
+        let cache = self.cache.get_mut().expect("cache lock poisoned");
+        for (key, table) in cache.iter_mut() {
+            let add = scratch.materialise(key);
+            let base = Arc::make_mut(table);
+            for (c, &a) in base.counts.iter_mut().zip(add.counts()) {
+                *c += a;
+            }
+        }
+        let RadixBackend { columns, n: delta_n, .. } = scratch;
+        if let Some(bits) = &mut self.bits {
+            bits.extend(&self.radix.schema, &columns, delta_n);
+        }
+        self.radix.extend(&columns, delta_n);
+        self.n += delta_n;
     }
 
     /// Number of rows in the underlying dataset.
@@ -463,7 +623,18 @@ impl<'d> CountEngine<'d> {
     /// Schema of the underlying dataset.
     #[must_use]
     pub fn schema(&self) -> &Schema {
-        self.radix.data.schema()
+        &self.radix.schema
+    }
+
+    /// Raw (level-0) code column of attribute `attr`, spanning every row
+    /// ever appended. Lets callers that journal or re-materialise the
+    /// backing data read it without keeping a second copy.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    #[must_use]
+    pub fn column(&self, attr: usize) -> &[u32] {
+        &self.radix.columns[attr]
     }
 
     /// The joint distribution over `axes` (probability scale), laid out
@@ -528,6 +699,8 @@ impl<'d> CountEngine<'d> {
             scans: self.scans.load(Ordering::Relaxed),
             cached_tables: self.cache.read().expect("cache lock poisoned").len(),
             bytes_materialized: self.bytes_materialized.load(Ordering::Relaxed),
+            appends: self.appends,
+            rows_appended: self.rows_appended,
             scan_micros: self.scan_nanos.load(Ordering::Relaxed) / 1_000,
             score_micros: 0,
             alias_micros: 0,
@@ -619,7 +792,7 @@ impl<'d> CountEngine<'d> {
     }
 }
 
-impl MarginalSource for CountEngine<'_> {
+impl MarginalSource for CountEngine {
     fn n(&self) -> usize {
         CountEngine::n(self)
     }
@@ -863,6 +1036,109 @@ mod tests {
         let data = binary_dataset(10, 7);
         let engine = CountEngine::new(&data);
         let _ = engine.joint(&[Axis::raw(0), Axis::raw(0)]);
+    }
+
+    /// Splits `data`'s rows into `[..at]` and `[at..]` datasets.
+    fn split_rows(data: &Dataset, at: usize) -> (Dataset, Dataset) {
+        let rows: Vec<Vec<u32>> =
+            (0..data.n()).map(|r| (0..data.d()).map(|a| data.column(a)[r]).collect()).collect();
+        let head = Dataset::from_rows(data.schema().clone(), &rows[..at]).unwrap();
+        let tail = Dataset::from_rows(data.schema().clone(), &rows[at..]).unwrap();
+        (head, tail)
+    }
+
+    #[test]
+    fn append_is_bit_identical_to_cold_scan_of_concatenated_data() {
+        for (full, warm_axes) in [
+            (mixed_dataset(321, 11), vec![Axis::raw(0), Axis::raw(1), Axis::raw(3)]),
+            (binary_dataset(257, 12), vec![Axis::raw(0), Axis::raw(1), Axis::raw(2)]),
+        ] {
+            let (head, tail) = split_rows(&full, 128);
+            let mut engine = CountEngine::new(&head);
+            // Warm the cache (including a generalised level where available)
+            // so the append path must advance cached tables, not just
+            // columns.
+            let _ = engine.joint(&warm_axes);
+            if full.schema().attribute(1).taxonomy().is_some() {
+                let _ = engine.joint(&[Axis { attr: 1, level: 1 }, Axis::raw(0)]);
+            }
+            engine.append(&tail);
+            assert_eq!(engine.n(), full.n());
+            for axes in [
+                warm_axes.clone(),
+                vec![Axis::raw(2), Axis::raw(0)],
+                vec![Axis::raw(1)],
+                vec![Axis::raw(0), Axis::raw(1), Axis::raw(2), Axis::raw(3)],
+            ] {
+                assert_matches_from_dataset(&full, &engine, &axes);
+            }
+            if full.schema().attribute(1).taxonomy().is_some() {
+                assert_matches_from_dataset(
+                    &full,
+                    &engine,
+                    &[Axis { attr: 1, level: 1 }, Axis::raw(0)],
+                );
+            }
+            let stats = engine.stats();
+            assert_eq!(stats.appends, 1);
+            assert_eq!(stats.rows_appended, (full.n() - 128) as u64);
+        }
+    }
+
+    #[test]
+    fn delta_merge_is_associative() {
+        let full = mixed_dataset(300, 13);
+        let (head, rest) = split_rows(&full, 100);
+        let (mid, tail) = split_rows(&rest, 100);
+
+        // (head ⊕ mid) ⊕ tail vs head ⊕ (mid ⊕ tail): identical counts.
+        let mut left = EngineDelta::from_dataset(&head);
+        left.merge(EngineDelta::from_dataset(&mid));
+        left.merge(EngineDelta::from_dataset(&tail));
+        let mut right_tail = EngineDelta::from_dataset(&mid);
+        right_tail.merge(EngineDelta::from_dataset(&tail));
+        let mut right = EngineDelta::from_dataset(&head);
+        right.merge(right_tail);
+        assert_eq!(left, right);
+
+        let engine = CountEngine::from_delta(left);
+        assert_matches_from_dataset(&full, &engine, &[Axis::raw(0), Axis::raw(1), Axis::raw(3)]);
+    }
+
+    #[test]
+    fn appending_to_an_empty_engine_matches_a_cold_engine() {
+        let full = binary_dataset(90, 14);
+        let empty = Dataset::from_rows(full.schema().clone(), &[]).unwrap();
+        let mut engine = CountEngine::new(&empty);
+        let _ = engine.joint(&[Axis::raw(0), Axis::raw(3)]);
+        engine.append(&full);
+        for axes in
+            [vec![Axis::raw(0), Axis::raw(3)], vec![Axis::raw(1), Axis::raw(2), Axis::raw(0)]]
+        {
+            assert_matches_from_dataset(&full, &engine, &axes);
+        }
+    }
+
+    #[test]
+    fn append_does_not_mutate_tables_held_by_readers() {
+        let full = mixed_dataset(200, 15);
+        let (head, tail) = split_rows(&full, 120);
+        let mut engine = CountEngine::new(&head);
+        let axes = [Axis::raw(0), Axis::raw(1)];
+        let before = engine.joint_counts(&axes);
+        let snapshot = before.counts().to_vec();
+        engine.append(&tail);
+        // The pre-append handle still sees head-only counts…
+        assert_eq!(before.counts(), &snapshot[..]);
+        // …while the engine serves the concatenated counts.
+        assert_matches_from_dataset(&full, &engine, &axes);
+    }
+
+    #[test]
+    #[should_panic(expected = "append schema must match")]
+    fn append_rejects_schema_mismatch() {
+        let mut engine = CountEngine::new(&binary_dataset(10, 16));
+        engine.append(&mixed_dataset(10, 16));
     }
 
     #[test]

@@ -457,13 +457,16 @@ impl Client {
     pub fn synth_resuming(&self, id: &str, spec: &SynthSpec) -> Result<String, ServerError> {
         let path = format!("/v1/models/{id}/synth");
         let mut assembled: Vec<u8> = Vec::new();
-        // Once the first response head arrives: (seed, next row to request).
-        let mut state: Option<(u64, u64)> = None;
+        // Once the first response head arrives: the server-reported cursor
+        // with the row advanced past what we kept. The cursor carries the
+        // model generation too, so a resume keeps sampling the generation
+        // the stream started on even if a refit swapped in a newer one.
+        let mut state: Option<Cursor> = None;
         let mut attempt = 0u32;
         loop {
             let current = match state {
                 None => spec.clone(),
-                Some((seed, row)) => spec.clone().with_cursor(Cursor { seed, row }),
+                Some(cursor) => spec.clone().with_cursor(cursor),
             };
             let text = current
                 .to_json()
@@ -498,11 +501,11 @@ impl Client {
                 .header("x-privbayes-seed")
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| ServerError::Protocol("stream lacks X-PrivBayes-Seed".into()))?;
-            let start_row = response
+            let cursor = response
                 .header("x-privbayes-cursor")
                 .and_then(|t| Cursor::decode(t).ok())
-                .map(|c| c.row)
                 .ok_or_else(|| ServerError::Protocol("stream lacks X-PrivBayes-Cursor".into()))?;
+            let start_row = cursor.row;
             match truncated {
                 None => {
                     assembled.extend_from_slice(&response.body);
@@ -527,7 +530,7 @@ impl Client {
                         lines = lines.saturating_sub(1);
                     }
                     assembled.extend_from_slice(kept);
-                    state = Some((seed, start_row + lines));
+                    state = Some(Cursor { seed, row: start_row + lines, ..cursor });
                     std::thread::sleep(self.retry.delay(attempt, None));
                     attempt += 1;
                 }
@@ -593,6 +596,36 @@ impl Client {
     pub fn fit_raw(&self, body: &Json) -> Result<Response, ServerError> {
         let text = body.to_string_compact().map_err(|e| ServerError::Protocol(e.to_string()))?;
         self.request("POST", "/fit", Some(("application/json", text.as_bytes())))
+    }
+
+    /// `POST /v1/tenants/{tenant}/ingest` with a raw JSON body (schema +
+    /// refit target on the first batch, `csv` or `jsonl` rows on every
+    /// batch). Returns the raw [`Response`] so callers can inspect
+    /// structured 4xx bodies.
+    ///
+    /// **Never auto-retried**, whatever the policy: an accepted append
+    /// mutates the tenant's dataset, and a retry after an ambiguous
+    /// timeout could land the same rows twice.
+    ///
+    /// # Errors
+    /// Socket and protocol errors only; HTTP-level failures come back as
+    /// the response.
+    pub fn ingest(&self, tenant: &str, body: &Json) -> Result<Response, ServerError> {
+        let text = body.to_string_compact().map_err(|e| ServerError::Protocol(e.to_string()))?;
+        self.request(
+            "POST",
+            &format!("/v1/tenants/{tenant}/ingest"),
+            Some(("application/json", text.as_bytes())),
+        )
+    }
+
+    /// `GET /v1/models/{id}/generations`: the retained generation chain,
+    /// newest first. Idempotent: retried under the policy.
+    ///
+    /// # Errors
+    /// Socket/protocol errors and [`ServerError::Status`] on non-2xx.
+    pub fn generations(&self, id: &str) -> Result<Json, ServerError> {
+        self.get_json(&format!("/v1/models/{id}/generations"))
     }
 
     /// `POST /shutdown`.

@@ -19,6 +19,9 @@ pub enum ServerError {
     },
     /// The persisted ledger file could not be parsed or written.
     Ledger(String),
+    /// A per-tenant dataset journal could not be parsed or written, or an
+    /// ingest batch was rejected.
+    Dataset(String),
     /// The request conflicts with existing state (e.g. re-registering a
     /// tenant); the server answers 409.
     Conflict(String),
@@ -36,6 +39,7 @@ impl fmt::Display for ServerError {
             ServerError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ServerError::Status { code, body } => write!(f, "server returned {code}: {body}"),
             ServerError::Ledger(msg) => write!(f, "ledger: {msg}"),
+            ServerError::Dataset(msg) => write!(f, "dataset: {msg}"),
             ServerError::Conflict(msg) => write!(f, "conflict: {msg}"),
             ServerError::Model(msg) => write!(f, "model: {msg}"),
             ServerError::Timeout(msg) => write!(f, "timeout: {msg}"),

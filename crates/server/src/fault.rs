@@ -45,10 +45,19 @@ pub enum FaultSite {
     ConnWrite,
     /// One request dispatched to a handler.
     Handler,
+    /// One per-tenant dataset-journal persistence attempt (same step
+    /// anatomy as [`FaultSite::LedgerPersist`]: faults name a
+    /// [`LedgerStep`] inside the write-temp→fsync→rename sequence).
+    DatasetPersist,
 }
 
-const SITES: [FaultSite; 4] =
-    [FaultSite::LedgerPersist, FaultSite::ConnRead, FaultSite::ConnWrite, FaultSite::Handler];
+const SITES: [FaultSite; 5] = [
+    FaultSite::LedgerPersist,
+    FaultSite::ConnRead,
+    FaultSite::ConnWrite,
+    FaultSite::Handler,
+    FaultSite::DatasetPersist,
+];
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -57,6 +66,7 @@ impl FaultSite {
             FaultSite::ConnRead => 1,
             FaultSite::ConnWrite => 2,
             FaultSite::Handler => 3,
+            FaultSite::DatasetPersist => 4,
         }
     }
 }
@@ -117,7 +127,7 @@ struct Rule {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     rules: Vec<Rule>,
-    counters: [AtomicU64; 4],
+    counters: [AtomicU64; 5],
     fired: AtomicU64,
 }
 
@@ -187,7 +197,7 @@ impl FaultPlan {
 
     /// The sites this plan can inject at (fixed; exposed for diagnostics).
     #[must_use]
-    pub fn sites() -> [FaultSite; 4] {
+    pub fn sites() -> [FaultSite; 5] {
         SITES
     }
 }

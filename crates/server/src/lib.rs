@@ -74,6 +74,7 @@ pub mod error;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;
 pub mod http;
+pub mod ingest;
 pub mod ledger;
 pub mod metrics;
 pub mod registry;
@@ -86,12 +87,16 @@ pub use error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{Fault, FaultPlan, FaultSite, FaultStream, LedgerStep};
 pub use http::{Request, Response};
+pub use ingest::{
+    parse_batch, BatchFormat, DatasetStore, IngestReceipt, RefitJob, RefitPolicy, RefitSpec,
+    TenantIngest, DATASET_FORMAT,
+};
 pub use ledger::{
     BudgetLedger, LedgerError, LedgerObserver, TenantBudget, DEFAULT_LEDGER_STRIPES, LEDGER_FORMAT,
     LEDGER_FORMAT_V2,
 };
 pub use metrics::{ServerMetrics, REQUEST_ID_HEADER};
-pub use registry::{ModelEntry, ModelRegistry};
+pub use registry::{GenerationLookup, ModelEntry, ModelRegistry, RETAINED_GENERATIONS};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use stream::RowFormat;
 // The metric-snapshot surface, re-exported so scrape consumers (tests, the

@@ -121,6 +121,27 @@ impl ServerMetrics {
             MetricKind::Counter,
             "Bytes of count tables materialized by CountEngine scans",
         );
+        registry.describe(
+            "privbayes_ingest_rows_total",
+            MetricKind::Counter,
+            "Rows accepted by POST /v1/tenants/{t}/ingest, by tenant",
+        );
+        registry.describe(
+            "privbayes_ingest_batch_rows",
+            MetricKind::Histogram,
+            "Rows per accepted ingest batch (power-of-two buckets; one \
+             \"microsecond\" stands for one row)",
+        );
+        registry.describe(
+            "privbayes_refits_total",
+            MetricKind::Counter,
+            "Background refits by outcome (ok, failed, exhausted, charge-failed)",
+        );
+        registry.describe(
+            "privbayes_model_generation",
+            MetricKind::Gauge,
+            "Newest registry generation serving each model id",
+        );
         let describe_gauge = |name: &str, help: &str| {
             registry.describe(name, MetricKind::Gauge, help);
             registry.gauge(name, &[])
@@ -285,6 +306,29 @@ impl ServerMetrics {
             .add(stats.bytes_materialized);
     }
 
+    /// Records one accepted ingest batch: the per-tenant row counter and
+    /// the batch-size histogram.
+    pub fn record_ingest(&self, tenant: &str, rows: u64) {
+        self.registry.counter("privbayes_ingest_rows_total", &[("tenant", tenant)]).add(rows);
+        // The histogram buckets are powers of two over "microseconds"; by
+        // feeding one row as one microsecond the family doubles as a
+        // batch-size distribution without a second histogram type.
+        self.registry
+            .histogram("privbayes_ingest_batch_rows", &[])
+            .observe_ns(rows.saturating_mul(1000));
+    }
+
+    /// Counts one finished background refit under its outcome label.
+    pub fn record_refit(&self, status: &'static str) {
+        self.registry.counter("privbayes_refits_total", &[("status", status)]).inc();
+    }
+
+    /// Mirrors the newest generation serving `model` after a (re)load.
+    pub fn set_model_generation(&self, model: &str, generation: u64) {
+        let clamped = i64::try_from(generation).unwrap_or(i64::MAX);
+        self.registry.gauge("privbayes_model_generation", &[("model", model)]).set(clamped);
+    }
+
     /// Finishes one request: the by-endpoint/status counter, the
     /// per-endpoint latency histogram, and a JSON access line into the ring
     /// (and the file sink when configured). `bytes` is what actually
@@ -423,9 +467,39 @@ mod tests {
             "privbayes_ledger_stripe_contention_total",
             "privbayes_tenant_epsilon_spent",
             "privbayes_tenant_epsilon_remaining",
+            "privbayes_ingest_rows_total",
+            "privbayes_ingest_batch_rows",
+            "privbayes_refits_total",
+            "privbayes_model_generation",
         ] {
             assert!(snapshot.types.contains_key(family), "no TYPE line for {family}");
         }
+    }
+
+    #[test]
+    fn ingest_and_refit_metrics_accumulate() {
+        let metrics = ServerMetrics::new(None);
+        metrics.record_ingest("acme", 128);
+        metrics.record_ingest("acme", 64);
+        metrics.record_ingest("globex", 1);
+        metrics.record_refit("ok");
+        metrics.record_refit("ok");
+        metrics.record_refit("failed");
+        metrics.set_model_generation("census", 3);
+        metrics.set_model_generation("census", 7);
+        let snapshot = parse_text(&metrics.render(&[])).unwrap();
+        assert_eq!(
+            snapshot.value("privbayes_ingest_rows_total", &[("tenant", "acme")]),
+            Some(192.0)
+        );
+        assert_eq!(
+            snapshot.value("privbayes_ingest_rows_total", &[("tenant", "globex")]),
+            Some(1.0)
+        );
+        assert_eq!(snapshot.value("privbayes_ingest_batch_rows_count", &[]), Some(3.0));
+        assert_eq!(snapshot.value("privbayes_refits_total", &[("status", "ok")]), Some(2.0));
+        assert_eq!(snapshot.value("privbayes_refits_total", &[("status", "failed")]), Some(1.0));
+        assert_eq!(snapshot.value("privbayes_model_generation", &[("model", "census")]), Some(7.0));
     }
 
     #[test]

@@ -7,6 +7,17 @@
 //! entry from the map: any request that already cloned the `Arc` keeps
 //! streaming from the (still-alive) compiled model — an in-flight request is
 //! never dropped by an eviction racing with it.
+//!
+//! An id names a **generation chain**, not a single model: every
+//! [`ModelRegistry::load`] under an existing id atomically swaps a new
+//! current generation in front of the old one (one `Arc` snapshot
+//! replacement — readers never observe a half-updated chain), and the most
+//! recent [`RETAINED_GENERATIONS`] stay addressable through
+//! [`ModelRegistry::get_generation`]. A stream that pinned its generation
+//! via a `pbc2` cursor therefore resumes against exactly the artifact it
+//! started on, even after a background refit hot-swaps the current model;
+//! once a generation ages out of the chain, resumption gets a structured
+//! "evicted" answer instead of silently different bytes.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,7 +77,36 @@ impl ModelEntry {
     }
 }
 
-/// A concurrent map from model id to loaded model.
+/// How many generations of one id stay addressable (and alive) in the
+/// chain. Older generations are dropped from the map on the next load —
+/// streams already holding their `Arc` finish unaffected, but new
+/// pinned-cursor lookups for them answer "evicted".
+pub const RETAINED_GENERATIONS: usize = 4;
+
+/// One id's generation chain, newest first. Immutable once published: a
+/// load builds a fresh chain and swaps the map snapshot.
+#[derive(Debug)]
+struct Chain {
+    entries: Vec<Arc<ModelEntry>>,
+}
+
+/// Outcome of a generation-pinned lookup (see
+/// [`ModelRegistry::get_generation`]).
+#[derive(Debug)]
+pub enum GenerationLookup {
+    /// The pinned generation is still in the chain.
+    Found(Arc<ModelEntry>),
+    /// The id exists but that generation aged out of the chain; `newest`
+    /// is the current generation (for the structured 410 body).
+    Evicted {
+        /// The chain's current generation.
+        newest: u64,
+    },
+    /// No model is loaded under the id at all.
+    Unknown,
+}
+
+/// A concurrent map from model id to its generation chain.
 ///
 /// The map itself lives behind an [`Arc`] snapshot: readers clone the
 /// current snapshot pointer under a momentary read lock and then walk it
@@ -74,7 +114,7 @@ impl ModelEntry {
 /// load/evict holding the write lock mid-rebuild.
 #[derive(Debug)]
 pub struct ModelRegistry {
-    entries: RwLock<Arc<BTreeMap<String, Arc<ModelEntry>>>>,
+    entries: RwLock<Arc<BTreeMap<String, Arc<Chain>>>>,
 }
 
 impl Default for ModelRegistry {
@@ -91,8 +131,9 @@ impl ModelRegistry {
     }
 
     /// Loads `artifact` under `id`, eagerly compiling its sampler so the
-    /// cost is paid at load time, not on the first synthesis request.
-    /// Replaces any previous entry with the same id; returns `true` if the
+    /// cost is paid at load time, not on the first synthesis request. The
+    /// new entry becomes the id's current generation; previous ones stay
+    /// in the chain up to [`RETAINED_GENERATIONS`]. Returns `true` if the
     /// id was new.
     ///
     /// # Errors
@@ -108,25 +149,50 @@ impl ModelRegistry {
         entry.sampler()?; // compile once, up front
         let mut entries = self.entries.write().expect("registry lock poisoned");
         let mut next = BTreeMap::clone(&entries);
-        let was_new = next.insert(id.to_string(), Arc::new(entry)).is_none();
+        let mut chain = vec![Arc::new(entry)];
+        if let Some(previous) = next.get(id) {
+            chain.extend(previous.entries.iter().cloned());
+        }
+        chain.truncate(RETAINED_GENERATIONS);
+        let was_new = next.insert(id.to_string(), Arc::new(Chain { entries: chain })).is_none();
         *entries = Arc::new(next);
         Ok(was_new)
     }
 
     /// The current map snapshot; walked lock-free by the caller.
-    fn snapshot(&self) -> Arc<BTreeMap<String, Arc<ModelEntry>>> {
+    fn snapshot(&self) -> Arc<BTreeMap<String, Arc<Chain>>> {
         Arc::clone(&self.entries.read().expect("registry lock poisoned"))
     }
 
-    /// The entry for `id`, if loaded. The returned [`Arc`] keeps the model
-    /// alive across a later eviction.
+    /// The current-generation entry for `id`, if loaded. The returned
+    /// [`Arc`] keeps the model alive across later evictions and reloads.
     #[must_use]
     pub fn get(&self, id: &str) -> Option<Arc<ModelEntry>> {
-        self.snapshot().get(id).cloned()
+        self.snapshot().get(id).and_then(|chain| chain.entries.first().cloned())
     }
 
-    /// Removes `id`; returns whether it was present. In-flight requests
-    /// holding the entry's [`Arc`] are unaffected.
+    /// The entry for a specific pinned `generation` of `id` — what a
+    /// `pbc2` cursor resumes against.
+    #[must_use]
+    pub fn get_generation(&self, id: &str, generation: u64) -> GenerationLookup {
+        let snapshot = self.snapshot();
+        let Some(chain) = snapshot.get(id) else { return GenerationLookup::Unknown };
+        match chain.entries.iter().find(|e| e.generation == generation) {
+            Some(entry) => GenerationLookup::Found(Arc::clone(entry)),
+            None => GenerationLookup::Evicted {
+                newest: chain.entries.first().map_or(0, |e| e.generation),
+            },
+        }
+    }
+
+    /// The retained generation chain for `id`, newest first.
+    #[must_use]
+    pub fn generations(&self, id: &str) -> Option<Vec<Arc<ModelEntry>>> {
+        self.snapshot().get(id).map(|chain| chain.entries.clone())
+    }
+
+    /// Removes `id` — the whole chain; returns whether it was present.
+    /// In-flight requests holding an entry's [`Arc`] are unaffected.
     #[must_use]
     pub fn evict(&self, id: &str) -> bool {
         let mut entries = self.entries.write().expect("registry lock poisoned");
@@ -136,13 +202,13 @@ impl ModelRegistry {
         was_present
     }
 
-    /// All entries, sorted by id.
+    /// The current generation of every id, sorted by id.
     #[must_use]
     pub fn list(&self) -> Vec<Arc<ModelEntry>> {
-        self.snapshot().values().cloned().collect()
+        self.snapshot().values().filter_map(|chain| chain.entries.first().cloned()).collect()
     }
 
-    /// Number of loaded models.
+    /// Number of loaded model ids (not generations).
     #[must_use]
     pub fn len(&self) -> usize {
         self.snapshot().len()
@@ -223,6 +289,47 @@ mod tests {
         registry.load("m", tiny_model()).unwrap();
         let second = registry.get("m").unwrap().generation;
         assert_ne!(first, second, "same id reloaded must never share a generation");
+    }
+
+    #[test]
+    fn reloads_grow_a_pinned_generation_chain() {
+        let registry = ModelRegistry::new();
+        registry.load("m", tiny_model()).unwrap();
+        let first = registry.get("m").unwrap().generation;
+        registry.load("m", tiny_model()).unwrap();
+        let second = registry.get("m").unwrap().generation;
+        assert_ne!(first, second);
+        // Both generations resolve; the chain lists newest first.
+        assert!(matches!(
+            registry.get_generation("m", first),
+            GenerationLookup::Found(e) if e.generation == first
+        ));
+        assert!(matches!(
+            registry.get_generation("m", second),
+            GenerationLookup::Found(e) if e.generation == second
+        ));
+        let chain: Vec<u64> =
+            registry.generations("m").unwrap().iter().map(|e| e.generation).collect();
+        assert_eq!(chain, vec![second, first]);
+        assert_eq!(registry.len(), 1, "a chain is one id");
+        assert_eq!(registry.list().len(), 1, "list shows current generations only");
+    }
+
+    #[test]
+    fn old_generations_age_out_and_answer_evicted() {
+        let registry = ModelRegistry::new();
+        registry.load("m", tiny_model()).unwrap();
+        let first = registry.get("m").unwrap().generation;
+        for _ in 0..RETAINED_GENERATIONS {
+            registry.load("m", tiny_model()).unwrap();
+        }
+        assert_eq!(registry.generations("m").unwrap().len(), RETAINED_GENERATIONS);
+        let newest = registry.get("m").unwrap().generation;
+        match registry.get_generation("m", first) {
+            GenerationLookup::Evicted { newest: n } => assert_eq!(n, newest),
+            other => panic!("expected Evicted, got {other:?}"),
+        }
+        assert!(matches!(registry.get_generation("ghost", 1), GenerationLookup::Unknown));
     }
 
     #[test]

@@ -88,7 +88,8 @@ use privbayes::CHUNK_ROWS;
 use privbayes_data::csv::read_csv;
 use privbayes_model::{schema_from_json, Json, ReleasedModel};
 use privbayes_synth::{
-    fit_method, Cursor, FitSettings, MarginalQuery, Method, ResolvedSynth, SpecError, SynthSpec,
+    fit_method, fit_method_with_engine, Cursor, EngineStats, FitSettings, MarginalQuery, Method,
+    ResolvedSynth, SpecError, SynthSpec,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -98,9 +99,10 @@ use crate::error::ServerError;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{Fault, FaultPlan, FaultSite, FaultStream};
 use crate::http::{write_response, ChunkedResponse, Request};
+use crate::ingest::{parse_batch, BatchFormat, DatasetStore, RefitJob, RefitPolicy, RefitSpec};
 use crate::ledger::{BudgetLedger, LedgerError, LedgerObserver, TenantBudget};
 use crate::metrics::{RequestCtx, ServerMetrics, REQUEST_ID_HEADER};
-use crate::registry::{ModelEntry, ModelRegistry};
+use crate::registry::{GenerationLookup, ModelEntry, ModelRegistry};
 use crate::stream::RowFormat;
 #[cfg(any(test, feature = "fault-injection"))]
 use std::sync::RwLock;
@@ -158,6 +160,14 @@ pub struct ServerConfig {
     /// File appended with one JSON line per finished request. `None`
     /// disables the file sink; the in-memory ring is always kept.
     pub access_log: Option<PathBuf>,
+    /// Directory for the per-tenant dataset journals behind
+    /// `POST /v1/tenants/{t}/ingest`. `None` keeps ingested data in memory
+    /// only (appends do not survive a restart).
+    pub data_dir: Option<PathBuf>,
+    /// When accumulated appends trigger a ledger-accounted background
+    /// refit. The default never triggers; ingested rows then sit pending
+    /// until the policy is enabled.
+    pub refit: RefitPolicy,
 }
 
 impl Default for ServerConfig {
@@ -175,6 +185,8 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             metrics_enabled: true,
             access_log: None,
+            data_dir: None,
+            refit: RefitPolicy::disabled(),
         }
     }
 }
@@ -210,6 +222,7 @@ impl ServerStats {
 struct Shared {
     registry: Arc<ModelRegistry>,
     ledger: Arc<BudgetLedger>,
+    store: Arc<DatasetStore>,
     config: ServerConfig,
     addr: SocketAddr,
     shutdown: AtomicBool,
@@ -279,9 +292,17 @@ impl Server {
                 evicted_bytes: Arc::clone(&metrics.rowblock_cache_evicted_bytes),
             },
         );
+        // The dataset store recovers every journaled tenant before the
+        // first request is accepted, so a post-restart append lands on the
+        // full recovered history.
+        let store = Arc::new(match &config.data_dir {
+            Some(dir) => DatasetStore::open(dir)?,
+            None => DatasetStore::in_memory(),
+        });
         let shared = Arc::new(Shared {
             registry,
             ledger,
+            store,
             config,
             addr,
             shutdown: AtomicBool::new(false),
@@ -297,6 +318,14 @@ impl Server {
     #[must_use]
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.shared.metrics)
+    }
+
+    /// The per-tenant dataset store behind the ingest endpoint (shared
+    /// with the running server; callers keep it across [`Server::spawn`]
+    /// to inspect ingestion state or install fault plans in tests).
+    #[must_use]
+    pub fn store(&self) -> Arc<DatasetStore> {
+        Arc::clone(&self.shared.store)
     }
 
     /// The actual bound address (resolves ephemeral ports).
@@ -338,6 +367,23 @@ impl Server {
             senders.push(tx);
             spawn_worker(&shared, &Arc::new(Mutex::new(rx)), &handles);
         }
+        // The refit janitor: polls the dataset store for tenants the policy
+        // says are due and runs each refit with the same ledger discipline
+        // as `POST /fit` (charge first, refund on failure). It runs beside
+        // the workers so a long fit never blocks request serving; the store
+        // single-flights per tenant, so at most one refit per tenant is in
+        // flight regardless of poll cadence.
+        let janitor = shared.config.refit.is_enabled().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    for job in shared.store.due_refits(&shared.config.refit) {
+                        run_refit(&shared, &job);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        });
         let mut next_worker = 0usize;
         loop {
             let (stream, _) = match self.listener.accept() {
@@ -389,6 +435,9 @@ impl Server {
             }
         }
         drop(senders);
+        if let Some(handle) = janitor {
+            let _ = handle.join();
+        }
         // Join every worker, including any respawned after a panic (the
         // vector grows while we drain it, hence the loop-and-pop).
         loop {
@@ -889,6 +938,8 @@ fn route<W: Write>(
         ("GET", ["models", id, "synth"]) => synth_legacy(shared, id, req, out, deadline, ctx),
         ("POST", ["v1", "models", id, "synth"]) => synth_v1(shared, id, req, out, deadline, ctx),
         ("POST", ["v1", "models", id, "query"]) => query_v1(shared, id, req, out, ctx),
+        ("GET", ["v1", "models", id, "generations"]) => generations_v1(shared, id, out, ctx),
+        ("POST", ["v1", "tenants", tenant, "ingest"]) => ingest_v1(shared, tenant, req, out, ctx),
         ("POST", ["fit"]) => fit(shared, req, out, deadline, ctx),
         ("GET", ["tenants"]) => {
             ctx.endpoint.set("tenants");
@@ -955,7 +1006,8 @@ fn route<W: Write>(
             | ["models"]
             | ["models", _]
             | ["models", _, "synth"]
-            | ["v1", "models", _, "synth" | "query"]
+            | ["v1", "models", _, "synth" | "query" | "generations"]
+            | ["v1", "tenants", _, "ingest"]
             | ["fit"]
             | ["tenants"]
             | ["tenants", _]
@@ -977,6 +1029,8 @@ fn endpoint_label(segments: &[&str]) -> &'static str {
         ["models"] | ["models", _] => "models",
         ["models", _, "synth"] | ["v1", "models", _, "synth"] => "synth",
         ["v1", "models", _, "query"] => "query",
+        ["v1", "models", _, "generations"] => "generations",
+        ["v1", "tenants", _, "ingest"] => "ingest",
         ["fit"] => "fit",
         ["tenants"] | ["tenants", _] => "tenants",
         ["shutdown"] => "shutdown",
@@ -1008,6 +1062,7 @@ fn load_model<W: Write>(
     match loaded {
         Ok(created) => {
             let entry = shared.registry.get(id).expect("loaded above");
+            shared.metrics.set_model_generation(id, entry.generation);
             respond_json(out, ctx, if created { 201 } else { 200 }, &model_json(&entry))
         }
         Err(e) => respond_error(out, ctx, 400, "invalid-model", &e.to_string()),
@@ -1047,8 +1102,15 @@ fn synth_legacy<W: Write>(
         Some(Ok(seed)) => Some(seed),
         Some(Err(_)) => return respond_error(out, ctx, 400, "bad-request", "unparsable `seed`"),
     };
-    let resolved =
-        ResolvedSynth { rows, seed, format, projection: None, evidence: Vec::new(), start_row: 0 };
+    let resolved = ResolvedSynth {
+        rows,
+        seed,
+        format,
+        projection: None,
+        evidence: Vec::new(),
+        start_row: 0,
+        generation: None,
+    };
     stream_synth(shared, &entry, &resolved, out, deadline, ctx)
 }
 
@@ -1065,19 +1127,48 @@ fn synth_v1<W: Write>(
     ctx: &RequestCtx<'_>,
 ) -> std::io::Result<()> {
     ctx.endpoint.set("synth");
-    ctx.stage("lookup");
-    let Some(entry) = shared.registry.get(id) else {
-        return respond_error(out, ctx, 404, "model-not-found", id);
-    };
     let json = match parse_json_body(&req.body) {
         Ok(json) => json,
         Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
     };
-    let resolved =
-        match SynthSpec::from_json(&json).and_then(|spec| spec.resolve(&entry.artifact.schema)) {
-            Ok(resolved) => resolved,
-            Err(e) => return respond_invalid_spec(out, ctx, &e),
-        };
+    let spec = match SynthSpec::from_json(&json) {
+        Ok(spec) => spec,
+        Err(e) => return respond_invalid_spec(out, ctx, &e),
+    };
+    ctx.stage("lookup");
+    // A `pbc2` cursor pins the model *generation* it was cut from, so a
+    // stream resumed across a hot-swap keeps sampling the exact artifact
+    // that produced its prefix — bytes identical to the uninterrupted
+    // stream. Unpinned requests serve the newest generation.
+    let pinned = spec.cursor.as_ref().and_then(|c| c.generation);
+    let entry = match pinned {
+        None => match shared.registry.get(id) {
+            Some(entry) => entry,
+            None => return respond_error(out, ctx, 404, "model-not-found", id),
+        },
+        Some(generation) => match shared.registry.get_generation(id, generation) {
+            GenerationLookup::Found(entry) => entry,
+            GenerationLookup::Evicted { newest } => {
+                return respond_error(
+                    out,
+                    ctx,
+                    410,
+                    "generation-evicted",
+                    &format!(
+                        "generation {generation} of model `{id}` has aged out \
+                         (newest is {newest}); restart the stream without a cursor"
+                    ),
+                );
+            }
+            GenerationLookup::Unknown => {
+                return respond_error(out, ctx, 404, "model-not-found", id)
+            }
+        },
+    };
+    let resolved = match spec.resolve(&entry.artifact.schema) {
+        Ok(resolved) => resolved,
+        Err(e) => return respond_invalid_spec(out, ctx, &e),
+    };
     stream_synth(shared, &entry, &resolved, out, deadline, ctx)
 }
 
@@ -1152,7 +1243,11 @@ fn stream_synth<W: Write>(
     let schema = sampler.schema();
     let projection = resolved.projection.as_deref();
     let seed_text = seed.to_string();
-    let cursor = Cursor { seed, row: resolved.start_row as u64 }.encode();
+    // The resume token pins the generation actually serving this stream,
+    // so resuming after a refit hot-swaps in keeps the original artifact.
+    let cursor =
+        Cursor { seed, row: resolved.start_row as u64, generation: Some(entry.generation) }
+            .encode();
     let headers = [
         API_HEADER,
         ("X-PrivBayes-Seed", &seed_text),
@@ -1249,6 +1344,7 @@ fn stream_synth<W: Write>(
                         projection: None,
                         evidence: Vec::new(),
                         start_row: next_row,
+                        generation: resolved.generation,
                     };
                     let mut seg_rng = StdRng::seed_from_u64(seed);
                     match sampler.stream_spec(&seg.sample_spec(rows), &mut seg_rng) {
@@ -1357,6 +1453,219 @@ fn query_v1<W: Write>(
         ("values", Json::Array(values)),
     ]);
     respond_json(out, ctx, 200, &body)
+}
+
+/// `GET /v1/models/{id}/generations`: the retained generation chain,
+/// newest first — what a pinned cursor can still resume against.
+fn generations_v1<W: Write>(
+    shared: &Shared,
+    id: &str,
+    out: &mut W,
+    ctx: &RequestCtx<'_>,
+) -> std::io::Result<()> {
+    ctx.endpoint.set("generations");
+    ctx.stage("lookup");
+    match shared.registry.generations(id) {
+        Some(entries) => {
+            let generations: Vec<Json> = entries.iter().map(|e| model_json(e)).collect();
+            respond_json(
+                out,
+                ctx,
+                200,
+                &Json::object(vec![
+                    ("id", Json::String(id.to_string())),
+                    ("retained", Json::from_usize(generations.len())),
+                    ("generations", Json::Array(generations)),
+                ]),
+            )
+        }
+        None => respond_error(out, ctx, 404, "model-not-found", id),
+    }
+}
+
+/// `POST /v1/tenants/{t}/ingest`: append a schema-validated batch to the
+/// tenant's journaled dataset. The first batch must carry `schema` and the
+/// refit target (`model_id`, `epsilon`, optional `method`/`seed`); later
+/// batches may omit both. Rows ride in `csv` (the `POST /fit` layout) or
+/// `jsonl` (one object or array per line). Appending spends no budget —
+/// ε is debited by the background refit the appended rows trigger.
+fn ingest_v1<W: Write>(
+    shared: &Shared,
+    tenant: &str,
+    req: &Request,
+    out: &mut W,
+    ctx: &RequestCtx<'_>,
+) -> std::io::Result<()> {
+    ctx.endpoint.set("ingest");
+    let json = match parse_json_body(&req.body) {
+        Ok(json) => json,
+        Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
+    };
+    let (spec, format, text) = match parse_ingest_body(&json) {
+        Ok(parsed) => parsed,
+        Err(e) => return respond_error(out, ctx, 400, "bad-request", &e.to_string()),
+    };
+    let schema = match json.get("schema") {
+        Some(v) => match schema_from_json(v) {
+            Ok(schema) => schema,
+            Err(e) => return respond_error(out, ctx, 400, "bad-request", &format!("schema: {e}")),
+        },
+        None => match shared.store.schema(tenant) {
+            Some(schema) => schema,
+            None => {
+                return respond_error(
+                    out,
+                    ctx,
+                    400,
+                    "bad-request",
+                    &format!("first ingest batch for tenant `{tenant}` must carry `schema`"),
+                )
+            }
+        },
+    };
+    let batch = match parse_batch(&schema, format, &text) {
+        Ok(batch) => batch,
+        Err(e) => return respond_error(out, ctx, 400, "bad-batch", &e.to_string()),
+    };
+    ctx.stage("parse");
+    match shared.store.append(tenant, &batch, spec.as_ref()) {
+        Ok(receipt) => {
+            shared.metrics.record_ingest(tenant, receipt.batch_rows);
+            respond_json(
+                out,
+                ctx,
+                200,
+                &Json::object(vec![
+                    ("tenant", Json::String(tenant.to_string())),
+                    ("batch_rows", Json::from_usize(receipt.batch_rows as usize)),
+                    ("total_rows", Json::from_usize(receipt.total_rows as usize)),
+                    ("pending_rows", Json::from_usize(receipt.pending_rows as usize)),
+                ]),
+            )
+        }
+        Err(e @ ServerError::Dataset(_)) => {
+            respond_error(out, ctx, 400, "ingest-rejected", &e.to_string())
+        }
+        Err(e) => respond_error(out, ctx, 400, "bad-request", &e.to_string()),
+    }
+}
+
+/// Pulls the optional refit target and the batch rows out of an ingest
+/// body. A body naming `model_id` must also carry a valid `epsilon`;
+/// `method` defaults to `privbayes` and `seed` to 0 (refit seeds are fixed
+/// per tenant so every generation is a pure function of the data).
+fn parse_ingest_body(json: &Json) -> Result<(Option<RefitSpec>, BatchFormat, String), ServerError> {
+    let field = |name: &str| ServerError::Protocol(format!("missing or mistyped `{name}`"));
+    let spec = match json.get("model_id") {
+        None => None,
+        Some(v) => {
+            let model_id = v.as_str().ok_or_else(|| field("model_id"))?.to_string();
+            let method = match json.get("method") {
+                None => Method::PrivBayes,
+                Some(v) => {
+                    let name = v.as_str().ok_or_else(|| field("method"))?;
+                    Method::parse(name).ok_or_else(|| {
+                        ServerError::Protocol(format!(
+                            "unknown method `{name}`; valid methods: {}",
+                            Method::names()
+                        ))
+                    })?
+                }
+            };
+            let epsilon =
+                json.get("epsilon").and_then(Json::as_f64).ok_or_else(|| field("epsilon"))?;
+            let seed = match json.get("seed") {
+                None => 0,
+                Some(v) => v.as_usize().ok_or_else(|| field("seed"))? as u64,
+            };
+            Some(RefitSpec { model_id, method, epsilon, seed })
+        }
+    };
+    let (format, text) = if let Some(v) = json.get("csv") {
+        (BatchFormat::Csv, v.as_str().ok_or_else(|| field("csv"))?.to_string())
+    } else if let Some(v) = json.get("jsonl") {
+        (BatchFormat::Jsonl, v.as_str().ok_or_else(|| field("jsonl"))?.to_string())
+    } else {
+        return Err(ServerError::Protocol("batch must carry `csv` or `jsonl` rows".into()));
+    };
+    Ok((spec, format, text))
+}
+
+/// One background refit: debit the tenant exactly as `POST /fit` would,
+/// fit over the tenant's live engine, hot-swap the model's registry
+/// generation, and refund the debit on any failure — a failed refit never
+/// leaks budget, a successful one is charged exactly once. The fit holds
+/// the tenant's dataset lock, so same-tenant appends queue behind it and
+/// each generation covers an exact point-in-time prefix of the data.
+fn run_refit(shared: &Shared, job: &RefitJob) {
+    let spec = &job.spec;
+    let spends = spec.method.spends_budget();
+    if spends {
+        if let Err(e) = shared.ledger.charge(&job.tenant, spec.epsilon) {
+            let status = match e {
+                LedgerError::Exhausted { .. } => "exhausted",
+                _ => "charge-failed",
+            };
+            shared.metrics.record_refit(status);
+            shared.store.refit_finished(&job.tenant, None);
+            return;
+        }
+    } else if shared.ledger.budget(&job.tenant).is_none() {
+        shared.metrics.record_refit("charge-failed");
+        shared.store.refit_finished(&job.tenant, None);
+        return;
+    }
+    let settings = FitSettings {
+        threads: shared.config.fit_threads,
+        comment: format!("refit via privbayes-server ingest for tenant {}", job.tenant),
+        ..FitSettings::default()
+    };
+    let fit_started = Instant::now();
+    let outcome = shared.store.with_engine(&job.tenant, |engine| {
+        let before = engine.stats();
+        let fitted =
+            fit_method_with_engine(spec.method, engine, spec.epsilon, spec.seed, &settings);
+        (before, fitted)
+    });
+    shared.metrics.fit_seconds.observe(fit_started.elapsed());
+    let loaded = match outcome {
+        Some((before, Ok(fitted))) => {
+            // The tenant engine is long-lived; record only this fit's
+            // counter increments, not the cumulative engine totals.
+            let after = fitted.stats;
+            shared.metrics.record_engine(&EngineStats {
+                hits: after.hits.saturating_sub(before.hits),
+                projections: after.projections.saturating_sub(before.projections),
+                scans: after.scans.saturating_sub(before.scans),
+                bytes_materialized: after
+                    .bytes_materialized
+                    .saturating_sub(before.bytes_materialized),
+                ..after
+            });
+            let compile_started = Instant::now();
+            let loaded = shared.registry.load(&spec.model_id, fitted.artifact);
+            shared.metrics.alias_build_seconds.observe(compile_started.elapsed());
+            loaded.map(|_| ())
+        }
+        Some((_, Err(e))) => Err(ServerError::Model(e.to_string())),
+        None => Err(ServerError::Dataset(format!("tenant `{}` vanished mid-refit", job.tenant))),
+    };
+    match loaded {
+        Ok(()) => {
+            if let Some(entry) = shared.registry.get(&spec.model_id) {
+                shared.metrics.set_model_generation(&spec.model_id, entry.generation);
+            }
+            shared.metrics.record_refit("ok");
+            shared.store.refit_finished(&job.tenant, Some(job.total_rows));
+        }
+        Err(_) => {
+            if spends {
+                shared.ledger.refund(&job.tenant, spec.epsilon);
+            }
+            shared.metrics.record_refit("failed");
+            shared.store.refit_finished(&job.tenant, None);
+        }
+    }
 }
 
 /// Parses a request body as UTF-8 JSON.
@@ -1567,7 +1876,9 @@ fn run_fit(shared: &Shared, fit: &FitRequest) -> Result<Arc<ModelEntry>, ServerE
     let loaded = shared.registry.load(&fit.model_id, fitted.artifact);
     shared.metrics.alias_build_seconds.observe(compile_started.elapsed());
     loaded?;
-    Ok(shared.registry.get(&fit.model_id).expect("loaded above"))
+    let entry = shared.registry.get(&fit.model_id).expect("loaded above");
+    shared.metrics.set_model_generation(&fit.model_id, entry.generation);
+    Ok(entry)
 }
 
 /// A model's public metadata (no conditionals — those are the artifact).
@@ -1575,6 +1886,7 @@ fn model_json(entry: &ModelEntry) -> Json {
     let meta = &entry.artifact.metadata;
     Json::object(vec![
         ("id", Json::String(entry.id.clone())),
+        ("generation", Json::from_usize(entry.generation as usize)),
         ("method", Json::String(meta.method.clone())),
         ("attributes", Json::from_usize(entry.artifact.schema.len())),
         ("epsilon", Json::Number(meta.epsilon)),

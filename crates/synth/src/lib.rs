@@ -233,7 +233,9 @@ pub trait Synthesizer {
     fn method(&self) -> Method;
 
     /// Fits a private model on `data` under total budget `epsilon`,
-    /// deterministically in `seed`.
+    /// deterministically in `seed`. The default builds a fresh
+    /// [`CountEngine`](privbayes_marginals::CountEngine) over `data` and
+    /// delegates to [`Synthesizer::fit_with_engine`].
     ///
     /// # Errors
     /// Returns [`SynthError::InvalidConfig`] for bad parameters (non-positive
@@ -243,6 +245,25 @@ pub trait Synthesizer {
     fn fit(
         &self,
         data: &Dataset,
+        epsilon: f64,
+        seed: u64,
+        settings: &FitSettings,
+    ) -> Result<FittedArtifact, SynthError> {
+        self.fit_with_engine(&privbayes_marginals::CountEngine::new(data), epsilon, seed, settings)
+    }
+
+    /// Fits through an existing engine — the path the ingestion subsystem
+    /// takes with a long-lived, incrementally-appended per-tenant engine.
+    /// The engine's determinism contract (every answer bit-identical to a
+    /// cold scan, regardless of cache state or append history) makes a
+    /// refit over an appended engine produce the **same artifact bits** as
+    /// a cold fit over the concatenated data.
+    ///
+    /// # Errors
+    /// As [`Synthesizer::fit`].
+    fn fit_with_engine(
+        &self,
+        engine: &privbayes_marginals::CountEngine,
         epsilon: f64,
         seed: u64,
         settings: &FitSettings,
@@ -261,6 +282,21 @@ pub fn fit_method(
     settings: &FitSettings,
 ) -> Result<FittedArtifact, SynthError> {
     method.synthesizer().fit(data, epsilon, seed, settings)
+}
+
+/// Convenience: fit `method` through an existing engine (see
+/// [`Synthesizer::fit_with_engine`]).
+///
+/// # Errors
+/// As [`Synthesizer::fit`].
+pub fn fit_method_with_engine(
+    method: Method,
+    engine: &privbayes_marginals::CountEngine,
+    epsilon: f64,
+    seed: u64,
+    settings: &FitSettings,
+) -> Result<FittedArtifact, SynthError> {
+    method.synthesizer().fit_with_engine(engine, epsilon, seed, settings)
 }
 
 #[cfg(test)]

@@ -46,11 +46,11 @@ pub(crate) fn synthesizer(method: Method) -> Box<dyn Synthesizer> {
 }
 
 /// Shared validation: data shape and (for budget-spending methods) ε.
-fn validate(data: &Dataset, epsilon: f64, spends: bool) -> Result<(), SynthError> {
-    if data.n() == 0 {
+fn validate(n: usize, d: usize, epsilon: f64, spends: bool) -> Result<(), SynthError> {
+    if n == 0 {
         return Err(SynthError::InvalidConfig("empty dataset".into()));
     }
-    if data.d() < 2 {
+    if d < 2 {
         return Err(SynthError::InvalidConfig("need at least two attributes".into()));
     }
     if spends && !(epsilon > 0.0 && epsilon.is_finite()) {
@@ -70,7 +70,8 @@ struct Provenance<'a> {
 
 /// Wraps a fitted [`NoisyModel`] in a validated release artifact.
 fn release(
-    data: &Dataset,
+    schema: &Schema,
+    n: usize,
     model: NoisyModel,
     settings: &FitSettings,
     provenance: Provenance,
@@ -83,10 +84,10 @@ fn release(
             theta: settings.theta,
             score: provenance.score.to_string(),
             encoding: provenance.encoding.to_string(),
-            source_rows: data.n(),
+            source_rows: n,
             comment: settings.comment.clone(),
         },
-        data.schema().clone(),
+        schema.clone(),
         model,
     )?;
     Ok(FittedArtifact {
@@ -107,14 +108,14 @@ impl Synthesizer for PrivBayesAdaptive {
         Method::PrivBayes
     }
 
-    fn fit(
+    fn fit_with_engine(
         &self,
-        data: &Dataset,
+        engine: &CountEngine,
         epsilon: f64,
         seed: u64,
         settings: &FitSettings,
     ) -> Result<FittedArtifact, SynthError> {
-        validate(data, epsilon, true)?;
+        validate(engine.n(), engine.schema().len(), epsilon, true)?;
         let use_taxonomy = match settings.encoding {
             EncodingKind::Vanilla => false,
             EncodingKind::Hierarchical => true,
@@ -141,11 +142,10 @@ impl Synthesizer for PrivBayesAdaptive {
             max_degree: settings.max_degree,
             threads: settings.threads,
         };
-        let engine = CountEngine::new(data);
         let mut rng = StdRng::seed_from_u64(seed);
         let score_started = Instant::now();
         let network = greedy_bayes_adaptive_engine(
-            &engine,
+            engine,
             settings.theta,
             eps2,
             use_taxonomy,
@@ -155,19 +155,20 @@ impl Synthesizer for PrivBayesAdaptive {
         let score_micros = u64::try_from(score_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         let model = if settings.consistency_rounds > 0 {
             noisy_conditionals_consistent_engine(
-                &engine,
+                engine,
                 &network,
                 Some(eps2),
                 settings.consistency_rounds,
                 &mut rng,
             )?
         } else {
-            noisy_conditionals_general_engine(&engine, &network, Some(eps2), &mut rng)?
+            noisy_conditionals_general_engine(engine, &network, Some(eps2), &mut rng)?
         };
         let mut stats = engine.stats();
         stats.score_micros = score_micros;
         release(
-            data,
+            engine.schema(),
+            engine.n(),
             model,
             settings,
             Provenance {
@@ -191,14 +192,14 @@ impl Synthesizer for PrivBayesFixedK {
         Method::PrivBayesK
     }
 
-    fn fit(
+    fn fit_with_engine(
         &self,
-        data: &Dataset,
+        engine: &CountEngine,
         epsilon: f64,
         seed: u64,
         settings: &FitSettings,
     ) -> Result<FittedArtifact, SynthError> {
-        validate(data, epsilon, true)?;
+        validate(engine.n(), engine.schema().len(), epsilon, true)?;
         // Algorithm 2 enumerates raw-attribute parent sets: the fixed-k
         // method is vanilla-domain only, and says so rather than silently
         // ignoring a requested encoding.
@@ -217,26 +218,26 @@ impl Synthesizer for PrivBayesFixedK {
             max_degree: settings.max_degree,
             threads: settings.threads,
         };
-        let engine = CountEngine::new(data);
         let mut rng = StdRng::seed_from_u64(seed);
         let score_started = Instant::now();
-        let network = greedy_bayes_fixed_k_engine(&engine, settings.fixed_k, &greedy, &mut rng)?;
+        let network = greedy_bayes_fixed_k_engine(engine, settings.fixed_k, &greedy, &mut rng)?;
         let score_micros = u64::try_from(score_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         let model = if settings.consistency_rounds > 0 {
             noisy_conditionals_consistent_engine(
-                &engine,
+                engine,
                 &network,
                 Some(eps2),
                 settings.consistency_rounds,
                 &mut rng,
             )?
         } else {
-            noisy_conditionals_general_engine(&engine, &network, Some(eps2), &mut rng)?
+            noisy_conditionals_general_engine(engine, &network, Some(eps2), &mut rng)?
         };
         let mut stats = engine.stats();
         stats.score_micros = score_micros;
         release(
-            data,
+            engine.schema(),
+            engine.n(),
             model,
             settings,
             Provenance {
@@ -265,15 +266,16 @@ impl Synthesizer for MwemMethod {
         Method::Mwem
     }
 
-    fn fit(
+    fn fit_with_engine(
         &self,
-        data: &Dataset,
+        engine: &CountEngine,
         epsilon: f64,
         seed: u64,
         settings: &FitSettings,
     ) -> Result<FittedArtifact, SynthError> {
-        validate(data, epsilon, true)?;
-        let dims = data.schema().domain_sizes();
+        let schema = engine.schema();
+        validate(engine.n(), schema.len(), epsilon, true)?;
+        let dims = schema.domain_sizes();
         let cells: usize = dims.iter().product();
         if cells > privbayes_baselines::mwem::MAX_CELLS {
             return Err(SynthError::InvalidConfig(format!(
@@ -284,12 +286,11 @@ impl Synthesizer for MwemMethod {
         if settings.mwem.iterations == 0 {
             return Err(SynthError::InvalidConfig("mwem needs at least one round".into()));
         }
-        let d = data.d();
+        let d = schema.len();
         let alpha = settings.alpha.clamp(1, d);
         let workload = AlphaWayWorkload::new(d, alpha);
-        let engine = CountEngine::new(data);
         let mut rng = StdRng::seed_from_u64(seed);
-        let fit = mwem_fit(&engine, &workload, epsilon, settings.mwem, &mut rng);
+        let fit = mwem_fit(engine, &workload, epsilon, settings.mwem, &mut rng);
 
         // Order-k Markov factorisation of the final weights.
         let order = settings.max_degree.max(1);
@@ -302,10 +303,11 @@ impl Synthesizer for MwemMethod {
             pairs.push(ApPair::new(child, subset[..subset.len() - 1].to_vec()));
             conditionals.push(conditional_from_joint(&joint, child));
         }
-        let network = BayesianNetwork::new(pairs, data.schema())?;
-        let stats = MarginalSource::stats(&engine);
+        let network = BayesianNetwork::new(pairs, schema)?;
+        let stats = MarginalSource::stats(engine);
         release(
-            data,
+            schema,
+            engine.n(),
             NoisyModel { network, conditionals },
             settings,
             Provenance {
@@ -336,27 +338,28 @@ impl Synthesizer for PairwiseMethod {
         }
     }
 
-    fn fit(
+    fn fit_with_engine(
         &self,
-        data: &Dataset,
+        engine: &CountEngine,
         epsilon: f64,
         seed: u64,
         settings: &FitSettings,
     ) -> Result<FittedArtifact, SynthError> {
-        validate(data, epsilon, true)?;
-        let d = data.d();
+        let schema = engine.schema();
+        validate(engine.n(), schema.len(), epsilon, true)?;
+        let d = schema.len();
         let workload = AlphaWayWorkload::new(d, 2.min(d));
-        let engine = CountEngine::new(data);
         let mut rng = StdRng::seed_from_u64(seed);
         let tables = if self.geometric {
-            geometric_marginals(&engine, &workload, epsilon, &mut rng)
+            geometric_marginals(engine, &workload, epsilon, &mut rng)
         } else {
-            laplace_marginals(&engine, &workload, epsilon, &mut rng)
+            laplace_marginals(engine, &workload, epsilon, &mut rng)
         };
-        let model = chain_from_pairs(data.schema(), &workload, &tables)?;
+        let model = chain_from_pairs(schema, &workload, &tables)?;
         let stats = engine.stats();
         release(
-            data,
+            schema,
+            engine.n(),
             model,
             settings,
             Provenance {
@@ -404,20 +407,14 @@ fn chain_from_pairs(
 /// it spends no budget and reports zero engine stats.
 struct UniformMethod;
 
-impl Synthesizer for UniformMethod {
-    fn method(&self) -> Method {
-        Method::Uniform
-    }
-
-    fn fit(
+impl UniformMethod {
+    fn fit_from_shape(
         &self,
-        data: &Dataset,
-        _epsilon: f64,
-        _seed: u64,
+        schema: &Schema,
+        n: usize,
         settings: &FitSettings,
     ) -> Result<FittedArtifact, SynthError> {
-        validate(data, 0.0, false)?;
-        let schema = data.schema();
+        validate(n, schema.len(), 0.0, false)?;
         let d = schema.len();
         let mut pairs = Vec::with_capacity(d);
         let mut conditionals = Vec::with_capacity(d);
@@ -434,17 +431,46 @@ impl Synthesizer for UniformMethod {
         }
         let network = BayesianNetwork::new(pairs, schema)?;
         release(
-            data,
+            schema,
+            n,
             NoisyModel { network, conditionals },
             settings,
             Provenance {
-                method: self.method(),
+                method: Method::Uniform,
                 epsilon_spent: 0.0,
                 stats: EngineStats::default(),
                 score: "-",
                 encoding: EncodingKind::Vanilla.name(),
             },
         )
+    }
+}
+
+impl Synthesizer for UniformMethod {
+    fn method(&self) -> Method {
+        Method::Uniform
+    }
+
+    // Overridden (instead of the engine-building default) because uniform
+    // touches no data: it needs only the schema and row count.
+    fn fit(
+        &self,
+        data: &Dataset,
+        _epsilon: f64,
+        _seed: u64,
+        settings: &FitSettings,
+    ) -> Result<FittedArtifact, SynthError> {
+        self.fit_from_shape(data.schema(), data.n(), settings)
+    }
+
+    fn fit_with_engine(
+        &self,
+        engine: &CountEngine,
+        _epsilon: f64,
+        _seed: u64,
+        settings: &FitSettings,
+    ) -> Result<FittedArtifact, SynthError> {
+        self.fit_from_shape(engine.schema(), engine.n(), settings)
     }
 }
 

@@ -354,56 +354,80 @@ fn projected_attrs<'a>(
     }
 }
 
-/// Prefix of every cursor token this version emits.
+/// Prefix of generation-less cursor tokens (the original stable format).
 const CURSOR_PREFIX: &str = "pbc1";
 
-/// A resume point in a synthesis stream: the stream's seed plus the next
-/// row to deliver.
+/// Prefix of generation-pinning cursor tokens.
+const CURSOR_PREFIX_V2: &str = "pbc2";
+
+/// A resume point in a synthesis stream: the stream's seed, the next row to
+/// deliver, and (optionally) the model **generation** the stream started
+/// on.
 ///
-/// The token format is **documented and stable**:
-/// `pbc1-<seed as 16 hex digits>-<row in hex>`. A `/v1` synth response
-/// reports its own start token in `X-PrivBayes-Cursor` (and the effective
-/// seed in `X-PrivBayes-Seed`); a client that consumed `r` complete data
-/// rows resumes by sending the same spec with the token's final field
-/// advanced by `r` — typed clients simply build
-/// `Cursor { seed, row: r }`. Versioned (`pbc1`) so the encoding can evolve
-/// without breaking old tokens.
+/// The token formats are **documented and stable**:
+/// `pbc1-<seed as 16 hex digits>-<row in hex>` and
+/// `pbc2-<seed as 16 hex digits>-<row in hex>-<generation in hex>`. A `/v1`
+/// synth response reports its own start token in `X-PrivBayes-Cursor` (and
+/// the effective seed in `X-PrivBayes-Seed`); a client that consumed `r`
+/// complete data rows resumes by sending the same spec with the token's row
+/// field advanced by `r` — typed clients simply build
+/// `Cursor { seed, row: r, generation }`. `pbc1` tokens remain accepted and
+/// resolve with no generation pin (the registry serves its current
+/// generation).
 ///
 /// Because every chunk's RNG stream is derived from `(seed, chunk index)`
 /// alone, a stream resumed at row `r` yields exactly rows `r..` of the
 /// uninterrupted stream — byte-identical once rendered (continuations skip
-/// the CSV header).
+/// the CSV header). The generation pin extends that guarantee across model
+/// hot-swaps: a `pbc2` resume keeps sampling the *same released model* the
+/// stream started on, even after a refit has installed a newer generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cursor {
     /// The seed the stream was started with.
     pub seed: u64,
     /// The next row (0-based) the resumed stream should deliver.
     pub row: u64,
+    /// The model generation the stream started on (`None` for `pbc1`
+    /// tokens: resume against whatever generation currently serves).
+    pub generation: Option<u64>,
 }
 
 impl Cursor {
-    /// Encodes the cursor as an opaque token.
+    /// Encodes the cursor as an opaque token (`pbc2` when a generation is
+    /// pinned, `pbc1` otherwise).
     #[must_use]
     pub fn encode(&self) -> String {
-        format!("{CURSOR_PREFIX}-{:016x}-{:x}", self.seed, self.row)
+        match self.generation {
+            Some(generation) => {
+                format!("{CURSOR_PREFIX_V2}-{:016x}-{:x}-{generation:x}", self.seed, self.row)
+            }
+            None => format!("{CURSOR_PREFIX}-{:016x}-{:x}", self.seed, self.row),
+        }
     }
 
-    /// Decodes a token produced by [`Cursor::encode`].
+    /// Decodes a token produced by [`Cursor::encode`] (either version).
     ///
     /// # Errors
     /// Returns [`SpecError::BadCursor`] for any malformed token.
     pub fn decode(token: &str) -> Result<Self, SpecError> {
         let bad = || SpecError::BadCursor(format!("unparsable token `{token}`"));
         let mut parts = token.split('-');
-        if parts.next() != Some(CURSOR_PREFIX) {
-            return Err(bad());
-        }
+        let versioned = match parts.next() {
+            Some(CURSOR_PREFIX) => false,
+            Some(CURSOR_PREFIX_V2) => true,
+            _ => return Err(bad()),
+        };
         let seed = parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()).ok_or_else(bad)?;
         let row = parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()).ok_or_else(bad)?;
+        let generation = if versioned {
+            Some(parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()).ok_or_else(bad)?)
+        } else {
+            None
+        };
         if parts.next().is_some() {
             return Err(bad());
         }
-        Ok(Self { seed, row })
+        Ok(Self { seed, row, generation })
     }
 }
 
@@ -637,6 +661,7 @@ impl SynthSpec {
             projection: if projection.is_empty() { None } else { Some(projection) },
             evidence,
             start_row,
+            generation: self.cursor.and_then(|c| c.generation),
         })
     }
 }
@@ -657,6 +682,9 @@ pub struct ResolvedSynth {
     pub evidence: Vec<(usize, u32)>,
     /// Resume offset (0 for fresh streams).
     pub start_row: usize,
+    /// Model generation the resume cursor pinned (`None` when the request
+    /// carried no cursor or a `pbc1` token — serve the current generation).
+    pub generation: Option<u64>,
 }
 
 impl ResolvedSynth {
@@ -797,7 +825,7 @@ mod tests {
             .select("region")
             .select("smoker")
             .where_eq("smoker", "v1")
-            .with_cursor(Cursor { seed: 7, row: 2048 });
+            .with_cursor(Cursor { seed: 7, row: 2048, generation: Some(3) });
         let restored = SynthSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(restored, spec);
         // The default spec serialises to an empty object and back.
@@ -865,7 +893,7 @@ mod tests {
 
     #[test]
     fn cursor_round_trip_and_seed_consistency() {
-        let cursor = Cursor { seed: 0xDEAD_BEEF, row: 4096 };
+        let cursor = Cursor { seed: 0xDEAD_BEEF, row: 4096, generation: None };
         assert_eq!(Cursor::decode(&cursor.encode()).unwrap(), cursor);
         assert!(Cursor::decode("garbage").is_err());
         assert!(Cursor::decode("pbc1-zz-0").is_err());
@@ -875,8 +903,27 @@ mod tests {
         let resolved = SynthSpec::new().with_cursor(cursor).resolve(&schema).unwrap();
         assert_eq!(resolved.seed, Some(0xDEAD_BEEF));
         assert_eq!(resolved.start_row, 4096);
+        assert_eq!(resolved.generation, None);
         let e = SynthSpec::new().with_seed(1).with_cursor(cursor).resolve(&schema).unwrap_err();
         assert!(matches!(e, SpecError::BadCursor(_)), "{e}");
+    }
+
+    #[test]
+    fn generation_cursors_round_trip_and_pin_the_resolved_spec() {
+        let cursor = Cursor { seed: 5, row: 100, generation: Some(0xA7) };
+        let token = cursor.encode();
+        assert!(token.starts_with("pbc2-"), "{token}");
+        assert_eq!(Cursor::decode(&token).unwrap(), cursor);
+        // pbc2 demands the generation field; pbc1 forbids it.
+        assert!(Cursor::decode("pbc2-0-0").is_err());
+        assert!(Cursor::decode("pbc2-0-0-zz").is_err());
+        assert!(Cursor::decode("pbc2-0-0-0-0").is_err());
+
+        let schema = schema();
+        let resolved = SynthSpec::new().with_cursor(cursor).resolve(&schema).unwrap();
+        assert_eq!(resolved.seed, Some(5));
+        assert_eq!(resolved.start_row, 100);
+        assert_eq!(resolved.generation, Some(0xA7));
     }
 
     proptest::proptest! {
@@ -886,10 +933,14 @@ mod tests {
         fn prop_cursor_encode_decode_round_trips(
             seed in proptest::any::<u64>(),
             row in proptest::any::<u64>(),
+            pinned in proptest::any::<bool>(),
+            gen_value in proptest::any::<u64>(),
         ) {
-            let cursor = Cursor { seed, row };
+            let generation = pinned.then_some(gen_value);
+            let cursor = Cursor { seed, row, generation };
             let token = cursor.encode();
-            proptest::prop_assert!(token.starts_with("pbc1-"), "token `{token}`");
+            let prefix = if generation.is_some() { "pbc2-" } else { "pbc1-" };
+            proptest::prop_assert!(token.starts_with(prefix), "token `{token}`");
             proptest::prop_assert_eq!(Cursor::decode(&token).unwrap(), cursor);
         }
 

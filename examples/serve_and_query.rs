@@ -156,7 +156,11 @@ fn main() {
     let tail = client
         .synth_with(
             "health-survey",
-            &SynthSpec::new().with_rows(1000).with_cursor(Cursor { seed: 33, row: 400 }),
+            &SynthSpec::new().with_rows(1000).with_cursor(Cursor {
+                seed: 33,
+                row: 400,
+                generation: None,
+            }),
         )
         .unwrap()
         .text();

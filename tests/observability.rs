@@ -204,11 +204,18 @@ fn the_exposition_is_conformant_and_lists_every_family() {
         "privbayes_ledger_stripe_contention_total",
         "privbayes_tenant_epsilon_spent",
         "privbayes_tenant_epsilon_remaining",
+        "privbayes_ingest_rows_total",
+        "privbayes_ingest_batch_rows",
+        "privbayes_refits_total",
+        "privbayes_model_generation",
     ] {
         assert!(snapshot.types.contains_key(family), "no TYPE line for {family} in:\n{text}");
     }
     assert_eq!(snapshot.types["privbayes_requests_total"], "counter");
     assert_eq!(snapshot.types["privbayes_queue_depth"], "gauge");
+    assert_eq!(snapshot.types["privbayes_ingest_rows_total"], "counter");
+    assert_eq!(snapshot.types["privbayes_ingest_batch_rows"], "histogram");
+    assert_eq!(snapshot.types["privbayes_model_generation"], "gauge");
     assert_eq!(snapshot.types["privbayes_request_seconds"], "histogram");
     assert_eq!(snapshot.types["privbayes_connections_reused_total"], "counter");
     assert_eq!(snapshot.types["privbayes_rowblock_cache_hits_total"], "counter");

@@ -332,9 +332,11 @@ fn cursor_resume_is_byte_identical_to_an_uninterrupted_stream() {
     let resumed = client
         .synth_with(
             "m",
-            &SynthSpec::new()
-                .with_rows(rows)
-                .with_cursor(Cursor { seed: 9, row: resume_at as u64 }),
+            &SynthSpec::new().with_rows(rows).with_cursor(Cursor {
+                seed: 9,
+                row: resume_at as u64,
+                generation: None,
+            }),
         )
         .unwrap();
     let prefix: String = full_text.lines().take(1 + resume_at).map(|l| format!("{l}\n")).collect();
@@ -354,8 +356,12 @@ fn cursor_resume_is_byte_identical_to_an_uninterrupted_stream() {
     let full = client.synth_with("m", &spec).unwrap().text();
     let again = client.synth_with("m", &spec).unwrap().text();
     assert_eq!(full, again, "conditional streams must be deterministic");
-    let resumed =
-        client.synth_with("m", &spec.clone().with_cursor(Cursor { seed: 77, row: 2000 })).unwrap();
+    let resumed = client
+        .synth_with(
+            "m",
+            &spec.clone().with_cursor(Cursor { seed: 77, row: 2000, generation: None }),
+        )
+        .unwrap();
     let prefix: String = full.lines().take(1 + 2000).map(|l| format!("{l}\n")).collect();
     assert_eq!(format!("{prefix}{}", resumed.text()), full);
 
